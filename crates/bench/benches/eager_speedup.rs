@@ -1,0 +1,42 @@
+//! Criterion bench: Figure 8 — eager (e = 0.04) vs no-eager (e = 1.0)
+//! propagation on small streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fcds_bench::drivers::{self, ThetaImpl};
+use std::time::Duration;
+
+const LG_K: u8 = 12;
+
+fn bench_eager_vs_noeager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eager_speedup");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    for &uniques in &[64u64, 512, 1024, 4096, 16_384] {
+        group.throughput(Throughput::Elements(uniques));
+        for (label, e) in [("eager", 0.04), ("no-eager", 1.0)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, uniques),
+                &uniques,
+                |b, &uniques| {
+                    let impl_ = ThetaImpl::Concurrent {
+                        writers: 1,
+                        e,
+                        max_b: None,
+                    };
+                    let mut nonce = 0u64;
+                    b.iter(|| {
+                        nonce += 1;
+                        drivers::time_write_only(impl_, LG_K, uniques, nonce)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eager_vs_noeager);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: the Figure 7 mixed read/write workload — writers with
+//! 10 background readers pausing 1 ms between queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fcds_bench::drivers::{self, ThetaImpl};
+use std::time::Duration;
+
+const LG_K: u8 = 12;
+const UNIQUES: u64 = 1 << 19;
+const READERS: usize = 10;
+
+fn bench_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixed_workload");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(UNIQUES));
+
+    for impl_ in [
+        ThetaImpl::concurrent(1),
+        ThetaImpl::concurrent(2),
+        ThetaImpl::LockBased { threads: 1 },
+        ThetaImpl::LockBased { threads: 2 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(impl_.label()),
+            &impl_,
+            |b, &impl_| {
+                let mut nonce = 0u64;
+                b.iter(|| {
+                    nonce += 1;
+                    drivers::time_mixed(
+                        impl_,
+                        LG_K,
+                        UNIQUES,
+                        READERS,
+                        Duration::from_millis(1),
+                        nonce,
+                    )
+                    .write_duration
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed);
+criterion_main!(benches);

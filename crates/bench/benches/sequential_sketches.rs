@@ -1,0 +1,76 @@
+//! Criterion bench: raw update cost of the sequential substrate sketches
+//! (the "extremely fast, tens of millions of updates per second" baseline
+//! the paper's introduction describes).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fcds_sketches::hash::murmur3_64;
+use fcds_sketches::hll::HllSketch;
+use fcds_sketches::quantiles::QuantilesSketch;
+use fcds_sketches::theta::{KmvThetaSketch, QuickSelectThetaSketch, ThetaRead};
+use std::time::Duration;
+
+const N: u64 = 1 << 18;
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_update");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(N));
+
+    group.bench_function("murmur3_64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc ^= murmur3_64(&i.to_le_bytes(), 9001);
+            }
+            acc
+        })
+    });
+
+    group.bench_function("theta_quickselect", |b| {
+        b.iter(|| {
+            let mut s = QuickSelectThetaSketch::new(12, 9001).unwrap();
+            for i in 0..N {
+                s.update(i);
+            }
+            s.estimate()
+        })
+    });
+
+    group.bench_function("theta_kmv", |b| {
+        b.iter(|| {
+            let mut s = KmvThetaSketch::new(4096, 9001).unwrap();
+            for i in 0..N {
+                s.update(i);
+            }
+            s.estimate()
+        })
+    });
+
+    group.bench_function("hll", |b| {
+        b.iter(|| {
+            let mut s = HllSketch::new(12, 9001).unwrap();
+            for i in 0..N {
+                s.update(i);
+            }
+            s.estimate()
+        })
+    });
+
+    group.bench_function("quantiles_k128", |b| {
+        b.iter(|| {
+            let mut s = QuantilesSketch::<u64>::with_seed(128, 1).unwrap();
+            for i in 0..N {
+                s.update(i);
+            }
+            s.quantile(0.5)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion bench: write-only Θ throughput (Figures 1 and 6 in micro
+//! form) — concurrent sketch at several writer counts vs the lock-based
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fcds_bench::drivers::{self, ThetaImpl};
+use std::time::Duration;
+
+const LG_K: u8 = 12;
+const UNIQUES: u64 = 1 << 19;
+
+fn bench_write_only(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(4, |c| c.get());
+    let mut group = c.benchmark_group("write_only");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(UNIQUES));
+
+    let mut configs: Vec<ThetaImpl> = vec![ThetaImpl::concurrent(1)];
+    for w in [2usize, 4, 8] {
+        if w <= cores {
+            configs.push(ThetaImpl::concurrent(w));
+        }
+    }
+    configs.push(ThetaImpl::LockBased { threads: 1 });
+    if cores >= 4 {
+        configs.push(ThetaImpl::LockBased { threads: 4 });
+    }
+
+    for impl_ in configs {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(impl_.label()),
+            &impl_,
+            |b, &impl_| {
+                let mut nonce = 0u64;
+                b.iter(|| {
+                    nonce += 1;
+                    drivers::time_write_only(impl_, LG_K, UNIQUES, nonce)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scalability_b1(c: &mut Criterion) {
+    // Figure 1's configuration: b = 1.
+    let cores = std::thread::available_parallelism().map_or(4, |c| c.get());
+    let mut group = c.benchmark_group("scalability_b1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(UNIQUES));
+    for w in [1usize, 2, 4, 8] {
+        if w > cores {
+            break;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            let mut nonce = 0u64;
+            b.iter(|| {
+                nonce += 1;
+                drivers::time_write_only(ThetaImpl::concurrent_b1(w), LG_K, UNIQUES, nonce)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_only, bench_scalability_b1);
+criterion_main!(benches);

@@ -1,0 +1,249 @@
+//! The two characterisation profiles of §7.1.
+//!
+//! * **SpeedProfile** — for each stream size on a log ladder, measure the
+//!   time to feed that many unique values and report nanoseconds per
+//!   update (`nS/u`, convertible to updates/second as `1e9/nS`), averaged
+//!   over a trial count that shrinks geometrically with the size.
+//! * **AccuracyProfile** — for each stream size, run many single-writer
+//!   trials, log the relative error of a query issued right after the
+//!   last update, and report the mean plus error quantiles. Plotting the
+//!   quantile curves produces the paper's "pitchfork" (Figure 5).
+
+use crate::drivers::{self, ThetaImpl};
+use crate::workload;
+use std::time::Duration;
+
+/// One speed-profile measurement point.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedPoint {
+    /// Number of unique values fed (`InU` in the artifact's output).
+    pub uniques: u64,
+    /// Trials averaged.
+    pub trials: u64,
+    /// Mean nanoseconds per update (`nS/u`).
+    pub nanos_per_update: f64,
+}
+
+impl SpeedPoint {
+    /// Throughput in million updates per second.
+    pub fn mops(&self) -> f64 {
+        1e3 / self.nanos_per_update
+    }
+}
+
+/// Configuration of a speed profile run.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedProfile {
+    /// Sketch size (`lg_k`).
+    pub lg_k: u8,
+    /// Smallest stream size: `2^lg_min`.
+    pub lg_min: u32,
+    /// Largest stream size: `2^lg_max`.
+    pub lg_max: u32,
+    /// Update budget per measurement point (drives the trial schedule).
+    pub budget: u64,
+    /// Cap on trials per point.
+    pub max_trials: u64,
+}
+
+impl SpeedProfile {
+    /// A quick profile (seconds per implementation).
+    pub fn quick(lg_k: u8) -> Self {
+        SpeedProfile {
+            lg_k,
+            lg_min: 10,
+            lg_max: 20,
+            budget: 1 << 21,
+            max_trials: 64,
+        }
+    }
+
+    /// A paper-scale profile (minutes per implementation).
+    pub fn full(lg_k: u8) -> Self {
+        SpeedProfile {
+            lg_k,
+            lg_min: 4,
+            lg_max: 23,
+            budget: 1 << 24,
+            max_trials: 4096,
+        }
+    }
+
+    /// Runs the profile for one implementation.
+    pub fn run(&self, impl_: ThetaImpl) -> Vec<SpeedPoint> {
+        let sizes = workload::size_ladder(self.lg_min, self.lg_max, false);
+        sizes
+            .iter()
+            .map(|&uniques| {
+                let trials = workload::trials_for_size(uniques, self.budget, self.max_trials);
+                // One warm-up trial absorbs allocator and thread-spawn
+                // noise.
+                let _ = drivers::time_write_only(impl_, self.lg_k, uniques, u64::MAX);
+                let total: Duration = (0..trials)
+                    .map(|t| drivers::time_write_only(impl_, self.lg_k, uniques, t))
+                    .sum();
+                SpeedPoint {
+                    uniques,
+                    trials,
+                    nanos_per_update: total.as_nanos() as f64 / (trials * uniques) as f64,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One accuracy-profile measurement point: the error distribution at a
+/// given stream size.
+#[derive(Debug, Clone)]
+pub struct AccuracyPoint {
+    /// Number of unique values fed.
+    pub uniques: u64,
+    /// Trials.
+    pub trials: u64,
+    /// Mean relative error.
+    pub mean: f64,
+    /// Relative-error quantiles `(q, value)` for q in the requested list.
+    pub quantiles: Vec<(f64, f64)>,
+}
+
+impl AccuracyPoint {
+    /// Looks up a quantile recorded in this point.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.quantiles
+            .iter()
+            .find(|(qq, _)| (qq - q).abs() < 1e-9)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+/// Configuration of an accuracy ("pitchfork") profile.
+#[derive(Debug, Clone)]
+pub struct AccuracyProfile {
+    /// Sketch size (`lg_k`).
+    pub lg_k: u8,
+    /// Concurrency error parameter `e` (1.0 = no eager propagation).
+    pub e: f64,
+    /// Smallest stream size: `2^lg_min`.
+    pub lg_min: u32,
+    /// Largest stream size: `2^lg_max`.
+    pub lg_max: u32,
+    /// Trials per point (the paper uses 4096).
+    pub trials: u64,
+    /// Quantiles to report (the pitchfork tines).
+    pub quantiles: Vec<f64>,
+}
+
+impl AccuracyProfile {
+    /// The pitchfork quantiles used by the DataSketches characterisation.
+    pub fn default_quantiles() -> Vec<f64> {
+        vec![0.01, 0.25, 0.5, 0.75, 0.99]
+    }
+
+    /// A quick profile.
+    pub fn quick(lg_k: u8, e: f64) -> Self {
+        AccuracyProfile {
+            lg_k,
+            e,
+            lg_min: 4,
+            lg_max: 16,
+            trials: 128,
+            quantiles: Self::default_quantiles(),
+        }
+    }
+
+    /// A paper-scale profile (4096 trials per point).
+    pub fn full(lg_k: u8, e: f64) -> Self {
+        AccuracyProfile {
+            lg_k,
+            e,
+            lg_min: 2,
+            lg_max: 21,
+            trials: 4096,
+            quantiles: Self::default_quantiles(),
+        }
+    }
+
+    /// Runs the profile.
+    pub fn run(&self) -> Vec<AccuracyPoint> {
+        let sizes = workload::size_ladder(self.lg_min, self.lg_max, true);
+        sizes
+            .iter()
+            .map(|&uniques| {
+                let mut errors: Vec<f64> = (0..self.trials)
+                    .map(|t| drivers::accuracy_trial(self.lg_k, self.e, uniques, t))
+                    .collect();
+                errors.sort_by(f64::total_cmp);
+                let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+                let quantiles = self
+                    .quantiles
+                    .iter()
+                    .map(|&q| {
+                        let idx =
+                            ((q * (errors.len() - 1) as f64).round() as usize).min(errors.len() - 1);
+                        (q, errors[idx])
+                    })
+                    .collect();
+                AccuracyPoint {
+                    uniques,
+                    trials: self.trials,
+                    mean,
+                    quantiles,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_profile_produces_ladder_points() {
+        let p = SpeedProfile {
+            lg_k: 9,
+            lg_min: 8,
+            lg_max: 10,
+            budget: 1 << 12,
+            max_trials: 4,
+        };
+        let pts = p.run(ThetaImpl::LockBased { threads: 1 });
+        assert_eq!(pts.len(), 3);
+        assert!(pts.iter().all(|pt| pt.nanos_per_update > 0.0));
+        assert!(pts.iter().all(|pt| pt.mops() > 0.0));
+    }
+
+    #[test]
+    fn accuracy_profile_pitchfork_shape() {
+        let p = AccuracyProfile {
+            lg_k: 9,
+            e: 0.04,
+            lg_min: 6,
+            lg_max: 8,
+            trials: 16,
+            quantiles: AccuracyProfile::default_quantiles(),
+        };
+        let pts = p.run();
+        assert_eq!(pts.len(), 5); // dense ladder 64..256
+        for pt in &pts {
+            // Quantiles must be monotone.
+            let vals: Vec<f64> = pt.quantiles.iter().map(|(_, v)| *v).collect();
+            assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+            // Small streams with eager propagation: near-exact.
+            assert!(pt.mean.abs() < 0.05, "mean error {} at {}", pt.mean, pt.uniques);
+        }
+    }
+
+    #[test]
+    fn accuracy_point_quantile_lookup() {
+        let pt = AccuracyPoint {
+            uniques: 10,
+            trials: 1,
+            mean: 0.0,
+            quantiles: vec![(0.5, 0.1)],
+        };
+        assert_eq!(pt.quantile(0.5), 0.1);
+        assert!(pt.quantile(0.25).is_nan());
+    }
+}

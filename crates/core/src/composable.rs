@@ -1,0 +1,159 @@
+//! The composable-sketch interface of §5.1.
+//!
+//! The generic algorithm is built on top of an existing sequential sketch
+//! extended with three APIs:
+//!
+//! * `snapshot()` — a queryable copy obtainable concurrently with merges;
+//! * `calcHint()` — a non-zero value piggy-backed to update threads on the
+//!   `prop_i` variable;
+//! * `shouldAdd(hint, a)` — a *static* pre-filter discarding updates that
+//!   cannot affect the sketch (e.g., Θ-filtering), evaluated on the update
+//!   thread without touching shared state.
+//!
+//! In Rust we split the roles along the threads that own them:
+//! [`LocalSketch`] is the thread-local buffer an update thread fills
+//! (`localS_i`), and [`GlobalSketch`] is the shared composable sketch
+//! (`globalS`) owned by the propagator, which publishes query snapshots
+//! through an explicitly synchronised *view* so that `snapshot` and
+//! `merge` may run concurrently with strong linearisability (the paper's
+//! requirement on composable sketches).
+
+use std::num::NonZeroU64;
+
+/// Encodes a hint into the non-zero `u64` carried by the `prop_i` atomic
+/// (Algorithm 2 reserves 0 for "propagation requested").
+pub trait HintCodec: Copy + Send + 'static {
+    /// Encodes the hint; must never produce 0.
+    fn encode(self) -> NonZeroU64;
+    /// Decodes a hint previously produced by [`HintCodec::encode`].
+    fn decode(raw: NonZeroU64) -> Self;
+}
+
+/// The trivial hint for sketches without a useful pre-filter (`shouldAdd`
+/// constantly true); the paper allows exactly this degenerate choice.
+impl HintCodec for () {
+    fn encode(self) -> NonZeroU64 {
+        NonZeroU64::new(1).expect("1 is non-zero")
+    }
+    fn decode(_raw: NonZeroU64) -> Self {}
+}
+
+/// Θ-style hints: the hint is the global sketch's Θ, a non-zero value in
+/// the 64-bit hash domain (`normalize_hash` guarantees hashes ≥ 1, so a
+/// Θ of 0 can never arise).
+impl HintCodec for u64 {
+    fn encode(self) -> NonZeroU64 {
+        NonZeroU64::new(self).expect("theta hint must be non-zero")
+    }
+    fn decode(raw: NonZeroU64) -> Self {
+        raw.get()
+    }
+}
+
+/// A thread-local sketch (`localS_i` of Algorithm 2): filled by exactly
+/// one update thread, drained by the propagator.
+pub trait LocalSketch: Send + 'static {
+    /// The (pre-processed) stream item type. For Θ sketches this is the
+    /// already-hashed `u64`, so hashing happens once, on the update
+    /// thread.
+    type Item: Send + 'static;
+
+    /// The hint type shared with the global sketch.
+    type Hint: HintCodec;
+
+    /// Buffers one item (line 122).
+    fn update(&mut self, item: Self::Item);
+
+    /// The static pre-filter `shouldAdd(h, a)` (line 120): `false` means
+    /// the item cannot affect the sketch given the hint and may be
+    /// dropped before buffering. Must not depend on `self`'s state —
+    /// the paper requires it to be a static function of `(hint, item)`.
+    fn should_add(hint: Self::Hint, item: &Self::Item) -> bool;
+
+    /// Empties the buffer (line 114; called by the propagator after a
+    /// merge, and by the engine on abandoned shutdown).
+    fn clear(&mut self);
+
+    /// Number of buffered items.
+    fn len(&self) -> usize;
+
+    /// Whether the buffer is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The shared composable sketch (`globalS` of Algorithm 2), owned by the
+/// propagator thread in the lazy phase and briefly by update threads
+/// (under the engine's mutex) during the eager phase of §5.3.
+pub trait GlobalSketch: Send + 'static {
+    /// The matching local-sketch type.
+    type Local: LocalSketch;
+
+    /// Shared, concurrently readable state through which snapshots are
+    /// published (e.g., an atomic `est`, a seqlock record, or an epoch
+    /// pointer cell).
+    type View: Send + Sync + 'static;
+
+    /// The query result type produced from a view.
+    type Snapshot: Send + 'static;
+
+    /// Creates an empty local sketch for a newly registered update thread.
+    fn new_local(&self) -> Self::Local;
+
+    /// Creates the shared view, initialised to this sketch's current
+    /// state.
+    fn new_view(&self) -> Self::View;
+
+    /// Merges (and clears) a local buffer into the global state
+    /// (line 113–114).
+    fn merge(&mut self, local: &mut Self::Local);
+
+    /// Directly ingests one item — the eager-propagation path of §5.3,
+    /// where update threads bypass their local buffers while the stream
+    /// is small.
+    fn update_direct(&mut self, item: <Self::Local as LocalSketch>::Item);
+
+    /// Publishes the current state into the view. The single atomic store
+    /// inside is the linearisation point of the merge, mirroring the
+    /// composable Θ sketch's write to `est`.
+    fn publish(&self, view: &Self::View);
+
+    /// Reads a consistent snapshot from the view; safe to call
+    /// concurrently with `publish` (the composable-sketch requirement of
+    /// §5.1).
+    fn snapshot(view: &Self::View) -> Self::Snapshot;
+
+    /// Computes the hint piggy-backed to update threads (line 115).
+    fn calc_hint(&self) -> <Self::Local as LocalSketch>::Hint;
+
+    /// Number of stream items this sketch has ingested (used by the
+    /// adaptation logic of §5.3 to decide when to leave the eager phase).
+    fn stream_len(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_hint_round_trips() {
+        let raw = ().encode();
+        assert_eq!(raw.get(), 1);
+        <() as HintCodec>::decode(raw);
+    }
+
+    #[test]
+    fn u64_hint_round_trips() {
+        for v in [1u64, 42, u64::MAX] {
+            let raw = v.encode();
+            assert_eq!(u64::decode(raw), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn u64_zero_hint_panics() {
+        let _ = 0u64.encode();
+    }
+}

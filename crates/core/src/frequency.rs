@@ -1,0 +1,415 @@
+//! A concurrent frequent-items (Misra–Gries) sketch — a fourth
+//! instantiation of the generic framework.
+//!
+//! Misra–Gries merges by counter addition + reduction, so local buffers
+//! can even pre-aggregate: the local sketch here is a small counting map
+//! that collapses duplicate items before the hand-off, which both
+//! shrinks the merge and demonstrates that "local sketch" need not mean
+//! "plain buffer". There is no sound static pre-filter (any item can
+//! grow a counter), so the hint is trivial — exactly the degenerate case
+//! §5.1 permits.
+//!
+//! Snapshots are published as an immutable heavy-hitters table behind an
+//! epoch pointer, like the Quantiles instantiation.
+
+use crate::composable::{GlobalSketch, LocalSketch};
+use crate::config::ConcurrencyConfig;
+use crate::runtime::{ConcurrentSketch, SketchWriter};
+use crate::sync::EpochCell;
+use fcds_sketches::error::Result;
+use fcds_sketches::frequency::{FrequencyEstimate, MisraGriesSketch};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Immutable snapshot of the frequency summary.
+#[derive(Debug, Clone)]
+pub struct FrequencySnapshot<T: Eq + Hash + Clone> {
+    counters: HashMap<T, u64>,
+    /// Uniform error slack (see [`MisraGriesSketch::max_error`]).
+    pub max_error: u64,
+    /// Stream length reflected by this snapshot.
+    pub n: u64,
+}
+
+impl<T: Eq + Hash + Clone> FrequencySnapshot<T> {
+    /// Frequency estimate for an item.
+    pub fn estimate(&self, item: &T) -> FrequencyEstimate {
+        let lower = self.counters.get(item).copied().unwrap_or(0);
+        FrequencyEstimate {
+            lower_bound: lower,
+            upper_bound: lower + self.max_error,
+        }
+    }
+
+    /// Items possibly above `threshold`, sorted by decreasing lower
+    /// bound (no false negatives among retained items).
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(T, FrequencyEstimate)> {
+        let mut out: Vec<(T, FrequencyEstimate)> = self
+            .counters
+            .iter()
+            .map(|(item, &c)| {
+                (
+                    item.clone(),
+                    FrequencyEstimate {
+                        lower_bound: c,
+                        upper_bound: c + self.max_error,
+                    },
+                )
+            })
+            .filter(|(_, e)| e.upper_bound > threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.lower_bound.cmp(&a.1.lower_bound));
+        out
+    }
+}
+
+/// Global side: the sequential Misra–Gries summary.
+pub struct FrequencyGlobal<T: Eq + Hash + Clone + Send + Sync + 'static> {
+    sketch: MisraGriesSketch<T>,
+}
+
+impl<T: Eq + Hash + Clone + Send + Sync + 'static> std::fmt::Debug for FrequencyGlobal<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrequencyGlobal")
+            .field("n", &self.sketch.n())
+            .finish()
+    }
+}
+
+/// Local side: a pre-aggregating counter map.
+#[derive(Debug)]
+pub struct FrequencyLocal<T: Eq + Hash> {
+    counts: HashMap<T, u64>,
+    items: usize,
+}
+
+impl<T: Eq + Hash> Default for FrequencyLocal<T> {
+    fn default() -> Self {
+        FrequencyLocal {
+            counts: HashMap::new(),
+            items: 0,
+        }
+    }
+}
+
+impl<T: Eq + Hash + Clone + Send + 'static> LocalSketch for FrequencyLocal<T> {
+    type Item = T;
+    type Hint = ();
+
+    fn update(&mut self, item: T) {
+        *self.counts.entry(item).or_insert(0) += 1;
+        self.items += 1;
+    }
+
+    fn should_add(_: (), _: &T) -> bool {
+        true
+    }
+
+    fn clear(&mut self) {
+        self.counts.clear();
+        self.items = 0;
+    }
+
+    /// Counts *stream items* buffered (not distinct keys): the engine's
+    /// `b` bound is on updates, matching the `r = 2Nb` analysis.
+    fn len(&self) -> usize {
+        self.items
+    }
+}
+
+impl<T: Eq + Hash + Clone + Send + Sync + 'static> GlobalSketch for FrequencyGlobal<T> {
+    type Local = FrequencyLocal<T>;
+    type View = EpochCell<FrequencySnapshot<T>>;
+    type Snapshot = Arc<FrequencySnapshot<T>>;
+
+    fn new_local(&self) -> FrequencyLocal<T> {
+        FrequencyLocal::default()
+    }
+
+    fn new_view(&self) -> Self::View {
+        EpochCell::new(self.snapshot_now())
+    }
+
+    fn merge(&mut self, local: &mut FrequencyLocal<T>) {
+        for (item, count) in local.counts.drain() {
+            self.sketch.update_weighted(item, count);
+        }
+        local.items = 0;
+    }
+
+    fn update_direct(&mut self, item: T) {
+        self.sketch.update(item);
+    }
+
+    fn publish(&self, view: &Self::View) {
+        view.store(self.snapshot_now());
+    }
+
+    fn snapshot(view: &Self::View) -> Arc<FrequencySnapshot<T>> {
+        view.load()
+    }
+
+    fn calc_hint(&self) {}
+
+    fn stream_len(&self) -> u64 {
+        self.sketch.n()
+    }
+}
+
+impl<T: Eq + Hash + Clone + Send + Sync + 'static> FrequencyGlobal<T> {
+    fn snapshot_now(&self) -> FrequencySnapshot<T> {
+        let counters: HashMap<T, u64> = self
+            .sketch
+            .heavy_hitters(0)
+            .into_iter()
+            .map(|(item, e)| (item, e.lower_bound))
+            .collect();
+        FrequencySnapshot {
+            counters,
+            max_error: self.sketch.max_error(),
+            n: self.sketch.n(),
+        }
+    }
+}
+
+/// Builder for [`ConcurrentFrequencySketch`].
+#[derive(Debug, Clone)]
+pub struct ConcurrentFrequencyBuilder {
+    k: usize,
+    config: ConcurrencyConfig,
+}
+
+impl Default for ConcurrentFrequencyBuilder {
+    fn default() -> Self {
+        ConcurrentFrequencyBuilder {
+            k: 64,
+            config: ConcurrencyConfig::default(),
+        }
+    }
+}
+
+impl ConcurrentFrequencyBuilder {
+    /// Starts from defaults: 64 counters, `e = 0.04`, one writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the maximum number of counters `k`.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the expected number of update threads.
+    pub fn writers(mut self, writers: usize) -> Self {
+        self.config.writers = writers;
+        self
+    }
+
+    /// Sets the maximum relative error attributable to concurrency.
+    pub fn max_concurrency_error(mut self, e: f64) -> Self {
+        self.config.max_concurrency_error = e;
+        self
+    }
+
+    /// Overrides the full concurrency configuration.
+    pub fn config(mut self, config: ConcurrencyConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds and starts the sketch.
+    pub fn build<T: Eq + Hash + Clone + Send + Sync + 'static>(
+        self,
+    ) -> Result<ConcurrentFrequencySketch<T>> {
+        let global = FrequencyGlobal {
+            sketch: MisraGriesSketch::new(self.k)?,
+        };
+        let inner = ConcurrentSketch::start(global, self.config)?;
+        Ok(ConcurrentFrequencySketch { inner })
+    }
+}
+
+/// Concurrent heavy-hitters sketch.
+///
+/// # Examples
+///
+/// ```
+/// use fcds_core::frequency::ConcurrentFrequencyBuilder;
+///
+/// let sketch = ConcurrentFrequencyBuilder::new().k(32).writers(2).build::<u64>().unwrap();
+/// let mut w = sketch.writer();
+/// for i in 0..10_000u64 {
+///     w.update(if i % 4 == 0 { 7 } else { i });
+/// }
+/// w.flush();
+/// sketch.quiesce();
+/// let snap = sketch.snapshot();
+/// assert!(snap.estimate(&7).upper_bound >= 2_500);
+/// ```
+pub struct ConcurrentFrequencySketch<T: Eq + Hash + Clone + Send + Sync + 'static> {
+    inner: ConcurrentSketch<FrequencyGlobal<T>>,
+}
+
+impl<T: Eq + Hash + Clone + Send + Sync + 'static> std::fmt::Debug
+    for ConcurrentFrequencySketch<T>
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentFrequencySketch").finish()
+    }
+}
+
+impl<T: Eq + Hash + Clone + Send + Sync + 'static> ConcurrentFrequencySketch<T> {
+    /// Shorthand for [`ConcurrentFrequencyBuilder::new`].
+    pub fn builder() -> ConcurrentFrequencyBuilder {
+        ConcurrentFrequencyBuilder::new()
+    }
+
+    /// Registers an update thread.
+    pub fn writer(&self) -> FrequencyWriter<T> {
+        FrequencyWriter {
+            inner: self.inner.writer(),
+        }
+    }
+
+    /// Wait-free snapshot of the current heavy-hitters table.
+    pub fn snapshot(&self) -> Arc<FrequencySnapshot<T>> {
+        self.inner.snapshot()
+    }
+
+    /// The relaxation bound `r = 2Nb`.
+    pub fn relaxation(&self) -> u64 {
+        self.inner.relaxation()
+    }
+
+    /// Waits until all handed-off buffers have been merged and published.
+    pub fn quiesce(&self) {
+        self.inner.quiesce();
+    }
+}
+
+/// Per-thread writer for [`ConcurrentFrequencySketch`].
+pub struct FrequencyWriter<T: Eq + Hash + Clone + Send + Sync + 'static> {
+    inner: SketchWriter<FrequencyGlobal<T>>,
+}
+
+impl<T: Eq + Hash + Clone + Send + Sync + 'static> std::fmt::Debug for FrequencyWriter<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrequencyWriter").finish()
+    }
+}
+
+impl<T: Eq + Hash + Clone + Send + Sync + 'static> FrequencyWriter<T> {
+    /// Processes one stream item.
+    #[inline]
+    pub fn update(&mut self, item: T) {
+        self.inner.update(item);
+    }
+
+    /// Hands the partial local buffer to the propagator.
+    pub fn flush(&mut self) {
+        self.inner.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_hitter_survives_concurrency() {
+        let sketch = ConcurrentFrequencyBuilder::new()
+            .k(32)
+            .writers(4)
+            .build::<u64>()
+            .unwrap();
+        let per = 50_000u64;
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let mut w = sketch.writer();
+                s.spawn(move || {
+                    for i in 0..per {
+                        // 25% of traffic is item 42; the rest is noise
+                        // spread over a wide key space.
+                        let item = if i % 4 == 0 { 42 } else { t * per + i };
+                        w.update(item);
+                    }
+                    w.flush();
+                });
+            }
+        });
+        sketch.quiesce();
+        let snap = sketch.snapshot();
+        assert_eq!(snap.n, 4 * per);
+        let truth = 4 * per / 4;
+        let est = snap.estimate(&42);
+        assert!(est.lower_bound <= truth);
+        assert!(est.upper_bound >= truth, "upper {} < {truth}", est.upper_bound);
+        // It must be the top heavy hitter.
+        let hh = snap.heavy_hitters(snap.n / 10);
+        assert_eq!(hh.first().map(|(i, _)| *i), Some(42));
+    }
+
+    #[test]
+    fn local_preaggregation_counts_duplicates() {
+        // All updates are the same key: local buffers collapse them, and
+        // the merged weight must equal the stream length exactly.
+        let sketch = ConcurrentFrequencyBuilder::new()
+            .k(8)
+            .writers(2)
+            .max_concurrency_error(1.0)
+            .build::<&'static str>()
+            .unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let mut w = sketch.writer();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        w.update("hot");
+                    }
+                    w.flush();
+                });
+            }
+        });
+        sketch.quiesce();
+        let snap = sketch.snapshot();
+        assert_eq!(snap.estimate(&"hot").lower_bound, 20_000);
+        assert_eq!(snap.n, 20_000);
+    }
+
+    #[test]
+    fn eager_phase_small_stream_exact() {
+        let sketch = ConcurrentFrequencyBuilder::new()
+            .k(16)
+            .writers(1)
+            .build::<u64>()
+            .unwrap();
+        let mut w = sketch.writer();
+        for i in 0..100u64 {
+            w.update(i % 10);
+        }
+        // Eager: visible immediately and exact (10 keys < k counters).
+        let snap = sketch.snapshot();
+        assert_eq!(snap.n, 100);
+        assert_eq!(snap.estimate(&3).lower_bound, 10);
+        assert_eq!(snap.max_error, 0);
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let sketch = ConcurrentFrequencyBuilder::new()
+            .k(16)
+            .writers(1)
+            .build::<String>()
+            .unwrap();
+        let mut w = sketch.writer();
+        for i in 0..1_000u64 {
+            w.update(format!("key{}", i % 5));
+        }
+        w.flush();
+        sketch.quiesce();
+        let snap = sketch.snapshot();
+        assert_eq!(snap.estimate(&"key0".to_string()).lower_bound, 200);
+    }
+}

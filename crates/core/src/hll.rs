@@ -1,0 +1,394 @@
+//! A concurrent HLL sketch — a third instantiation demonstrating the
+//! framework's genericity (§8 names "other sketches" as future work, and
+//! the artifact appendix exercises HLL).
+//!
+//! HLL composes naturally: merging is register-wise max (commutative and
+//! idempotent), and there is a genuinely useful pre-filtering hint in the
+//! spirit of §5.1: if every register is at least `m₀`, then an update
+//! whose rank `ρ(h)` is at most `m₀` cannot change any register and can
+//! be dropped on the update thread. Registers only grow, so — like Θ —
+//! the hint is conservative and never filters an update that could still
+//! matter. The fraction of surviving updates is ~2^(−m₀), which shrinks
+//! as the stream grows, exactly like the Θ filter.
+
+use crate::composable::{GlobalSketch, HintCodec, LocalSketch};
+use crate::config::ConcurrencyConfig;
+use crate::runtime::{ConcurrentSketch, SketchWriter};
+use crate::sync::AtomicF64;
+use fcds_sketches::error::Result;
+use fcds_sketches::hash::{Hashable, DEFAULT_SEED};
+use fcds_sketches::hll::HllSketch;
+use std::num::NonZeroU64;
+
+/// The HLL hint: the number of registers' common floor `m₀` plus the
+/// sketch's `lg_m` (needed to compute ρ on the update thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HllHint {
+    /// `lg_m` of the global sketch.
+    pub lg_m: u8,
+    /// Minimum register value: updates with `ρ(h) ≤ floor` are dropped.
+    pub floor: u8,
+}
+
+impl HintCodec for HllHint {
+    fn encode(self) -> NonZeroU64 {
+        // lg_m ≥ 4 keeps the encoding non-zero even when floor = 0.
+        NonZeroU64::new(((self.lg_m as u64) << 8) | self.floor as u64)
+            .expect("lg_m ≥ 4 makes the hint non-zero")
+    }
+    fn decode(raw: NonZeroU64) -> Self {
+        HllHint {
+            lg_m: (raw.get() >> 8) as u8,
+            floor: (raw.get() & 0xFF) as u8,
+        }
+    }
+}
+
+/// The rank `ρ` of a hash for a sketch with `lg_m` index bits: one plus
+/// the number of leading zeros after the index bits.
+#[inline]
+pub fn rho(hash: u64, lg_m: u8) -> u8 {
+    let tail = hash << lg_m;
+    if tail == 0 {
+        64 - lg_m + 1
+    } else {
+        (tail.leading_zeros() + 1) as u8
+    }
+}
+
+/// The global side of the concurrent HLL sketch.
+#[derive(Debug)]
+pub struct HllGlobal {
+    sketch: HllSketch,
+    ingested: u64,
+}
+
+/// The local side: a buffer of pre-hashed, pre-filtered updates.
+#[derive(Debug, Default)]
+pub struct HllLocal {
+    hashes: Vec<u64>,
+}
+
+impl LocalSketch for HllLocal {
+    type Item = u64;
+    type Hint = HllHint;
+
+    fn update(&mut self, hash: u64) {
+        self.hashes.push(hash);
+    }
+
+    /// Drops updates whose rank cannot exceed any register: safe because
+    /// registers are monotonically non-decreasing.
+    fn should_add(hint: HllHint, hash: &u64) -> bool {
+        rho(*hash, hint.lg_m) > hint.floor
+    }
+
+    fn clear(&mut self) {
+        self.hashes.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.hashes.len()
+    }
+}
+
+impl GlobalSketch for HllGlobal {
+    type Local = HllLocal;
+    type View = AtomicF64;
+    type Snapshot = f64;
+
+    fn new_local(&self) -> HllLocal {
+        HllLocal::default()
+    }
+
+    fn new_view(&self) -> AtomicF64 {
+        AtomicF64::new(self.sketch.estimate())
+    }
+
+    fn merge(&mut self, local: &mut HllLocal) {
+        for h in local.hashes.drain(..) {
+            self.sketch.update_hash(h);
+            self.ingested += 1;
+        }
+    }
+
+    fn update_direct(&mut self, hash: u64) {
+        self.sketch.update_hash(hash);
+        self.ingested += 1;
+    }
+
+    fn publish(&self, view: &AtomicF64) {
+        view.store(self.sketch.estimate());
+    }
+
+    fn snapshot(view: &AtomicF64) -> f64 {
+        view.load()
+    }
+
+    fn calc_hint(&self) -> HllHint {
+        let floor = self.sketch.registers().iter().copied().min().unwrap_or(0);
+        HllHint {
+            lg_m: self.sketch.lg_m(),
+            floor,
+        }
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.ingested
+    }
+}
+
+/// Builder for [`ConcurrentHllSketch`].
+#[derive(Debug, Clone)]
+pub struct ConcurrentHllBuilder {
+    lg_m: u8,
+    seed: u64,
+    config: ConcurrencyConfig,
+}
+
+impl Default for ConcurrentHllBuilder {
+    fn default() -> Self {
+        ConcurrentHllBuilder {
+            lg_m: 12,
+            seed: DEFAULT_SEED,
+            config: ConcurrencyConfig::default(),
+        }
+    }
+}
+
+impl ConcurrentHllBuilder {
+    /// Starts from defaults: 4096 registers, `e = 0.04`, one writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `lg_m` (number of registers = `2^lg_m`).
+    pub fn lg_m(mut self, lg_m: u8) -> Self {
+        self.lg_m = lg_m;
+        self
+    }
+
+    /// Sets the hash seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the expected number of update threads.
+    pub fn writers(mut self, writers: usize) -> Self {
+        self.config.writers = writers;
+        self
+    }
+
+    /// Sets the maximum relative error attributable to concurrency.
+    pub fn max_concurrency_error(mut self, e: f64) -> Self {
+        self.config.max_concurrency_error = e;
+        self
+    }
+
+    /// Overrides the full concurrency configuration.
+    pub fn config(mut self, config: ConcurrencyConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds and starts the sketch.
+    pub fn build(self) -> Result<ConcurrentHllSketch> {
+        let global = HllGlobal {
+            sketch: HllSketch::new(self.lg_m, self.seed)?,
+            ingested: 0,
+        };
+        let seed = self.seed;
+        let inner = ConcurrentSketch::start(global, self.config)?;
+        Ok(ConcurrentHllSketch { inner, seed })
+    }
+}
+
+/// Concurrent HLL distinct-count sketch.
+///
+/// # Examples
+///
+/// ```
+/// use fcds_core::hll::ConcurrentHllBuilder;
+///
+/// let sketch = ConcurrentHllBuilder::new().lg_m(12).writers(2).build().unwrap();
+/// let mut w = sketch.writer();
+/// for i in 0..100_000u64 {
+///     w.update(i);
+/// }
+/// w.flush();
+/// sketch.quiesce();
+/// assert!((sketch.estimate() - 100_000.0).abs() / 100_000.0 < 0.1);
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentHllSketch {
+    inner: ConcurrentSketch<HllGlobal>,
+    seed: u64,
+}
+
+impl ConcurrentHllSketch {
+    /// Shorthand for [`ConcurrentHllBuilder::new`].
+    pub fn builder() -> ConcurrentHllBuilder {
+        ConcurrentHllBuilder::new()
+    }
+
+    /// Registers an update thread.
+    pub fn writer(&self) -> HllWriter {
+        HllWriter {
+            inner: self.inner.writer(),
+            seed: self.seed,
+        }
+    }
+
+    /// The current distinct-count estimate.
+    pub fn estimate(&self) -> f64 {
+        self.inner.snapshot()
+    }
+
+    /// A copy of the current global registers (takes the global lock; not
+    /// a hot-path operation). Useful for off-line unions.
+    pub fn registers(&self) -> HllSketch {
+        self.inner.with_global(|g| g.sketch.clone())
+    }
+
+    /// The relaxation bound `r = 2Nb`.
+    pub fn relaxation(&self) -> u64 {
+        self.inner.relaxation()
+    }
+
+    /// Waits until all handed-off buffers have been merged and published.
+    pub fn quiesce(&self) {
+        self.inner.quiesce();
+    }
+}
+
+/// Per-thread writer for [`ConcurrentHllSketch`].
+#[derive(Debug)]
+pub struct HllWriter {
+    inner: SketchWriter<HllGlobal>,
+    seed: u64,
+}
+
+impl HllWriter {
+    /// Processes one stream item.
+    #[inline]
+    pub fn update<T: Hashable>(&mut self, item: T) {
+        self.inner.update(item.hash_with_seed(self.seed));
+    }
+
+    /// Hands the partial local buffer to the propagator.
+    pub fn flush(&mut self) {
+        self.inner.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hint_round_trips() {
+        for (lg_m, floor) in [(4u8, 0u8), (12, 3), (21, 61)] {
+            let h = HllHint { lg_m, floor };
+            assert_eq!(HllHint::decode(h.encode()), h);
+        }
+    }
+
+    #[test]
+    fn rho_matches_sketch_semantics() {
+        assert_eq!(rho(0, 4), 61);
+        assert_eq!(rho(u64::MAX, 4), 1);
+        // Hash with index bits set and tail 0b01…: rho = 2.
+        let h = (0b01u64) << (64 - 4 - 2);
+        assert_eq!(rho(h, 4), 2);
+    }
+
+    #[test]
+    fn filter_never_drops_a_state_changing_update() {
+        // Brute-force: for random hashes, if should_add says drop, then
+        // updating a sketch whose min register equals the floor must be a
+        // no-op.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut sketch = HllSketch::new(4, 1).unwrap();
+        for _ in 0..20_000 {
+            let h: u64 = rng.random();
+            let floor = sketch.registers().iter().copied().min().unwrap();
+            let hint = HllHint { lg_m: 4, floor };
+            let predicted_drop = !HllLocal::should_add(hint, &h);
+            let changed = sketch.update_hash(h);
+            assert!(
+                !(predicted_drop && changed),
+                "filter dropped a state-changing update (h={h:#x})"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_estimate_accuracy() {
+        let s = ConcurrentHllBuilder::new()
+            .lg_m(12)
+            .seed(7)
+            .writers(4)
+            .build()
+            .unwrap();
+        let n_per = 100_000u64;
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let mut w = s.writer();
+                sc.spawn(move || {
+                    for i in 0..n_per {
+                        w.update(t * n_per + i);
+                    }
+                    w.flush();
+                });
+            }
+        });
+        s.quiesce();
+        let n = 4.0 * n_per as f64;
+        let rel = (s.estimate() - n).abs() / n;
+        assert!(rel < 0.1, "relative error {rel}");
+    }
+
+    #[test]
+    fn registers_equal_sequential_union_after_quiesce() {
+        let s = ConcurrentHllBuilder::new()
+            .lg_m(10)
+            .seed(5)
+            .writers(2)
+            .max_concurrency_error(1.0)
+            .build()
+            .unwrap();
+        let mut reference = HllSketch::new(10, 5).unwrap();
+        for i in 0..50_000u64 {
+            reference.update(i);
+        }
+        std::thread::scope(|sc| {
+            for t in 0..2u64 {
+                let mut w = s.writer();
+                sc.spawn(move || {
+                    for i in (t..50_000).step_by(2) {
+                        w.update(i);
+                    }
+                    w.flush();
+                });
+            }
+        });
+        s.quiesce();
+        // Register-wise max is order-independent, so after quiescence the
+        // concurrent registers must exactly equal the sequential ones.
+        assert_eq!(s.registers(), reference);
+    }
+
+    #[test]
+    fn tiny_stream_eager_accuracy() {
+        let s = ConcurrentHllBuilder::new().lg_m(12).writers(2).build().unwrap();
+        let mut w = s.writer();
+        for i in 0..200u64 {
+            w.update(i);
+        }
+        // Eager phase: immediately visible, linear-counting accurate.
+        let est = s.estimate();
+        assert!((est - 200.0).abs() < 10.0, "est = {est}");
+    }
+}

@@ -1,0 +1,67 @@
+//! # fcds-core — the generic concurrent sketch framework
+//!
+//! This crate is the primary contribution of
+//! [*Fast Concurrent Data Sketches*](https://arxiv.org/abs/1902.10995)
+//! (PODC 2019), reimplemented in Rust: a generic algorithm that wraps a
+//! sequential *composable* sketch and serves **real-time queries
+//! concurrently with multi-threaded ingestion**, with a provable
+//! consistency guarantee — strong linearisability with respect to an
+//! *r-relaxation* of the sequential sketch, `r = 2Nb` for `N` update
+//! threads with local buffers of size `b` (Theorem 1).
+//!
+//! ## Architecture (Algorithm 2)
+//!
+//! ```text
+//!  update threads t1..tN                    propagator t0         queries
+//!  ┌───────────────────┐   prop_i (atomic)  ┌─────────────┐   ┌──────────┐
+//!  │ shouldAdd(hint,a)?│──────hand-off─────▶│ merge local │   │ snapshot │
+//!  │ localS_i[cur_i]   │◀────hint (Θ)───────│ into global │──▶│ from view│
+//!  └───────────────────┘                    │ publish est │   └──────────┘
+//!                                           └─────────────┘
+//! ```
+//!
+//! * Each update thread buffers into a local sketch and hands it off via
+//!   a single atomic (`prop_i`) every `b` updates — one memory fence per
+//!   batch ([`sync::PropSlot`]).
+//! * A dedicated propagator merges local buffers into the global sketch
+//!   and *publishes* a snapshot through an atomic view (Θ: a seqlock
+//!   triple; Quantiles: an epoch-managed pointer) — queries never touch
+//!   the global sketch and never block.
+//! * The hint piggy-backed on `prop_i` (Θ itself for the Θ sketch) lets
+//!   update threads pre-filter doomed updates (`shouldAdd`), which is
+//!   what makes the design scale (Figure 1).
+//! * For small streams the framework runs in the **eager** phase of
+//!   §5.3 — updates go straight to the global sketch, serialised — so
+//!   short streams suffer no relaxation error; it adapts to the buffered
+//!   mode once the stream passes `2/e²` ([`config::ConcurrencyConfig`]).
+//!
+//! ## Instantiations
+//!
+//! * [`theta::ConcurrentThetaSketch`] — the concurrent Θ sketch the paper
+//!   contributed to Apache DataSketches (§7's evaluation subject).
+//! * [`quantiles::ConcurrentQuantilesSketch`] — the §6.2 instantiation.
+//! * [`hll::ConcurrentHllSketch`] — an extra instantiation (future work
+//!   per §8) with a novel min-register pre-filter hint.
+//! * [`frequency::ConcurrentFrequencySketch`] — Misra–Gries heavy
+//!   hitters with pre-aggregating local buffers.
+//! * [`lock_based`] — the lock-protected baseline all figures compare
+//!   against.
+//!
+//! Implement [`composable::GlobalSketch`]/[`composable::LocalSketch`] to
+//! parallelise your own sketch.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod composable;
+pub mod config;
+pub mod frequency;
+pub mod hll;
+pub mod lock_based;
+pub mod quantiles;
+pub mod runtime;
+pub mod sync;
+pub mod theta;
+
+pub use config::ConcurrencyConfig;
+pub use runtime::{ConcurrentSketch, SketchWriter};

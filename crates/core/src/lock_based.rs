@@ -1,0 +1,233 @@
+//! The lock-based baseline: a sequential sketch behind a read/write lock.
+//!
+//! This is the "trivial solution" every figure of the paper compares
+//! against (§1, §7): applications using non-thread-safe sketch libraries
+//! must wrap every API call in a lock, which serialises updates and makes
+//! readers compete with writers. Figure 1 shows it not only failing to
+//! scale but *degrading* with contention.
+
+use fcds_sketches::error::Result;
+use fcds_sketches::hash::Hashable;
+use fcds_sketches::oracle::Oracle;
+use fcds_sketches::quantiles::QuantilesSketch;
+use fcds_sketches::theta::{CompactThetaSketch, QuickSelectThetaSketch, ThetaRead};
+use parking_lot::RwLock;
+
+/// A generic lock-protected wrapper: updates take the write lock, queries
+/// the read lock.
+#[derive(Debug)]
+pub struct Locked<S> {
+    inner: RwLock<S>,
+}
+
+impl<S> Locked<S> {
+    /// Wraps a sketch.
+    pub fn new(sketch: S) -> Self {
+        Locked {
+            inner: RwLock::new(sketch),
+        }
+    }
+
+    /// Runs a mutating operation under the write lock.
+    pub fn write<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Runs a read-only operation under the read lock.
+    pub fn read<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Consumes the wrapper, returning the sketch.
+    pub fn into_inner(self) -> S {
+        self.inner.into_inner()
+    }
+}
+
+/// Lock-based Θ sketch — the baseline of Figures 1, 6 and 7.
+///
+/// # Examples
+///
+/// ```
+/// use fcds_core::lock_based::LockBasedTheta;
+///
+/// let sketch = LockBasedTheta::new(12, 9001).unwrap();
+/// std::thread::scope(|s| {
+///     for t in 0..2u64 {
+///         let sketch = &sketch;
+///         s.spawn(move || {
+///             for i in 0..10_000u64 {
+///                 sketch.update(t * 10_000 + i);
+///             }
+///         });
+///     }
+/// });
+/// assert!((sketch.estimate() - 20_000.0).abs() / 20_000.0 < 0.05);
+/// ```
+#[derive(Debug)]
+pub struct LockBasedTheta {
+    inner: Locked<QuickSelectThetaSketch>,
+    seed: u64,
+}
+
+impl LockBasedTheta {
+    /// Creates a lock-protected quick-select Θ sketch.
+    pub fn new(lg_k: u8, seed: u64) -> Result<Self> {
+        Ok(LockBasedTheta {
+            inner: Locked::new(QuickSelectThetaSketch::new(lg_k, seed)?),
+            seed,
+        })
+    }
+
+    /// Processes one stream item (write lock).
+    pub fn update<T: Hashable>(&self, item: T) {
+        let hash = fcds_sketches::theta::normalize_hash(item.hash_with_seed(self.seed));
+        self.inner.write(|s| {
+            s.update_hash(hash);
+        });
+    }
+
+    /// Processes a pre-hashed item (write lock).
+    pub fn update_hash(&self, hash: u64) {
+        self.inner.write(|s| {
+            s.update_hash(hash);
+        });
+    }
+
+    /// The distinct-count estimate (read lock).
+    pub fn estimate(&self) -> f64 {
+        self.inner.read(|s| s.estimate())
+    }
+
+    /// Freezes the current state (read lock).
+    pub fn compact(&self) -> CompactThetaSketch {
+        self.inner.read(|s| s.compact())
+    }
+
+    /// The hash seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Lock-based Quantiles sketch baseline.
+#[derive(Debug)]
+pub struct LockBasedQuantiles<T: Ord + Clone> {
+    inner: Locked<QuantilesSketch<T>>,
+}
+
+impl<T: Ord + Clone> LockBasedQuantiles<T> {
+    /// Creates a lock-protected Quantiles sketch.
+    pub fn new(k: usize, oracle: impl Oracle + 'static) -> Result<Self> {
+        Ok(LockBasedQuantiles {
+            inner: Locked::new(QuantilesSketch::new(k, oracle)?),
+        })
+    }
+
+    /// Processes one stream element (write lock).
+    pub fn update(&self, item: T) {
+        self.inner.write(|s| s.update(item));
+    }
+
+    /// Approximate φ-quantile (read lock).
+    pub fn quantile(&self, phi: f64) -> Option<T> {
+        self.inner.read(|s| s.quantile(phi))
+    }
+
+    /// Approximate normalised rank (read lock).
+    pub fn rank(&self, item: &T) -> f64 {
+        self.inner.read(|s| s.rank(item))
+    }
+
+    /// Stream length processed (read lock).
+    pub fn n(&self) -> u64 {
+        self.inner.read(|s| s.n())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcds_sketches::oracle::DeterministicOracle;
+    use fcds_sketches::theta::rse;
+
+    #[test]
+    fn locked_generic_wrapper() {
+        let l = Locked::new(Vec::<u64>::new());
+        l.write(|v| v.push(1));
+        l.write(|v| v.push(2));
+        assert_eq!(l.read(|v| v.len()), 2);
+        assert_eq!(l.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn theta_multithreaded_accuracy() {
+        let sketch = LockBasedTheta::new(11, 1).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let sketch = &sketch;
+                s.spawn(move || {
+                    for i in 0..50_000u64 {
+                        sketch.update(t * 50_000 + i);
+                    }
+                });
+            }
+        });
+        let rel = (sketch.estimate() - 200_000.0).abs() / 200_000.0;
+        assert!(rel < 5.0 * rse(2048), "relative error {rel}");
+    }
+
+    #[test]
+    fn theta_queries_interleaved_with_updates() {
+        let sketch = LockBasedTheta::new(10, 1).unwrap();
+        std::thread::scope(|s| {
+            let sk = &sketch;
+            s.spawn(move || {
+                for i in 0..100_000u64 {
+                    sk.update(i);
+                }
+            });
+            let sk = &sketch;
+            s.spawn(move || {
+                let mut last = 0.0f64;
+                for _ in 0..1_000 {
+                    let e = sk.estimate();
+                    // Lock-based queries are linearisable: the estimate of
+                    // a growing distinct stream never shrinks drastically.
+                    assert!(e >= 0.0);
+                    assert!(e >= last * 0.8, "estimate collapsed");
+                    last = last.max(e);
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn quantiles_lock_based() {
+        let q = LockBasedQuantiles::new(64, DeterministicOracle::new(1)).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in (t..20_000).step_by(2) {
+                        q.update(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(q.n(), 20_000);
+        let med = q.quantile(0.5).unwrap();
+        assert!((med as f64 - 10_000.0).abs() < 1_500.0, "median {med}");
+        assert!((q.rank(&10_000) - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        let sketch = LockBasedTheta::new(10, 1).unwrap();
+        for i in 0..50_000u64 {
+            sketch.update(i);
+        }
+        let c = sketch.compact();
+        assert!((c.estimate() - sketch.estimate()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,470 @@
+//! The concurrent Quantiles sketch — the paper's second instantiation
+//! (§6.2).
+//!
+//! The Quantiles sketch has no useful pre-filter, so it uses the trivial
+//! hint (`shouldAdd ≡ true`, which §5.1 explicitly allows). Snapshots are
+//! published as an immutable [`QuantilesReader`] behind an epoch-managed
+//! pointer cell: the pointer swap is a single atomic store (the merge's
+//! linearisation point) and queries run entirely on their snapshot,
+//! concurrent with further merges.
+//!
+//! The per-merge snapshot rebuild costs O(retained · log retained); this
+//! is the price of wait-free queries on a multi-word sketch and is
+//! amortised over the `b` updates of each merge. (A copy-on-write level
+//! ladder would reduce it; the paper's evaluation only measures Θ
+//! throughput, so we keep the simple, obviously-correct publication.)
+//!
+//! By Theorem 1 plus the analysis of §6.2, a query misses at most
+//! `r = 2Nb` updates and therefore returns an element whose rank error is
+//! at most `ε_r = ε − rε/n + r/n` — the relaxation penalty vanishes as
+//! the stream grows.
+
+use crate::composable::{GlobalSketch, LocalSketch};
+use crate::config::ConcurrencyConfig;
+use crate::runtime::{ConcurrentSketch, SketchWriter};
+use crate::sync::EpochCell;
+use fcds_sketches::error::Result;
+use fcds_sketches::oracle::{DeterministicOracle, Oracle};
+use fcds_sketches::quantiles::{QuantilesReader, QuantilesSketch};
+use std::sync::Arc;
+
+/// The global side: the sequential mergeable Quantiles sketch plus its
+/// published reader.
+pub struct QuantilesGlobal<T: Ord + Clone + Send + Sync + 'static> {
+    sketch: QuantilesSketch<T>,
+}
+
+impl<T: Ord + Clone + Send + Sync + 'static> std::fmt::Debug for QuantilesGlobal<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantilesGlobal")
+            .field("n", &self.sketch.n())
+            .finish()
+    }
+}
+
+/// The local side: a plain buffer of incoming items.
+#[derive(Debug)]
+pub struct QuantilesLocal<T> {
+    items: Vec<T>,
+}
+
+impl<T> Default for QuantilesLocal<T> {
+    fn default() -> Self {
+        QuantilesLocal { items: Vec::new() }
+    }
+}
+
+impl<T: Ord + Clone + Send + 'static> LocalSketch for QuantilesLocal<T> {
+    type Item = T;
+    /// Trivial hint: the Quantiles sketch has no pre-filter (§5.1 allows
+    /// `shouldAdd` to be constantly true).
+    type Hint = ();
+
+    fn update(&mut self, item: T) {
+        self.items.push(item);
+    }
+
+    fn should_add(_: (), _: &T) -> bool {
+        true
+    }
+
+    fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+impl<T: Ord + Clone + Send + Sync + 'static> GlobalSketch for QuantilesGlobal<T> {
+    type Local = QuantilesLocal<T>;
+    type View = EpochCell<QuantilesReader<T>>;
+    type Snapshot = Arc<QuantilesReader<T>>;
+
+    fn new_local(&self) -> QuantilesLocal<T> {
+        QuantilesLocal::default()
+    }
+
+    fn new_view(&self) -> Self::View {
+        EpochCell::new(self.sketch.reader())
+    }
+
+    fn merge(&mut self, local: &mut QuantilesLocal<T>) {
+        for item in local.items.drain(..) {
+            self.sketch.update(item);
+        }
+    }
+
+    fn update_direct(&mut self, item: T) {
+        self.sketch.update(item);
+    }
+
+    fn publish(&self, view: &Self::View) {
+        view.store(self.sketch.reader());
+    }
+
+    fn snapshot(view: &Self::View) -> Arc<QuantilesReader<T>> {
+        view.load()
+    }
+
+    fn calc_hint(&self) {}
+
+    fn stream_len(&self) -> u64 {
+        self.sketch.n()
+    }
+}
+
+/// Builder for [`ConcurrentQuantilesSketch`].
+#[derive(Debug, Clone)]
+pub struct ConcurrentQuantilesBuilder {
+    k: usize,
+    oracle_seed: u64,
+    config: ConcurrencyConfig,
+}
+
+impl Default for ConcurrentQuantilesBuilder {
+    fn default() -> Self {
+        ConcurrentQuantilesBuilder {
+            k: 128,
+            oracle_seed: 0xFCD5,
+            config: ConcurrencyConfig::default(),
+        }
+    }
+}
+
+impl ConcurrentQuantilesBuilder {
+    /// Starts from defaults: `k = 128`, `e = 0.04`, one writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the sketch accuracy parameter `k`.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Seeds the de-randomisation oracle that provides the compaction
+    /// coin flips (§4).
+    pub fn oracle_seed(mut self, seed: u64) -> Self {
+        self.oracle_seed = seed;
+        self
+    }
+
+    /// Sets the expected number of update threads `N`.
+    pub fn writers(mut self, writers: usize) -> Self {
+        self.config.writers = writers;
+        self
+    }
+
+    /// Sets the maximum relative error attributable to concurrency.
+    pub fn max_concurrency_error(mut self, e: f64) -> Self {
+        self.config.max_concurrency_error = e;
+        self
+    }
+
+    /// Overrides the full concurrency configuration.
+    pub fn config(mut self, config: ConcurrencyConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds and starts the sketch.
+    pub fn build<T: Ord + Clone + Send + Sync + 'static>(
+        self,
+    ) -> Result<ConcurrentQuantilesSketch<T>> {
+        let sketch = QuantilesSketch::new(self.k, DeterministicOracle::new(self.oracle_seed))?;
+        let inner = ConcurrentSketch::start(QuantilesGlobal { sketch }, self.config)?;
+        Ok(ConcurrentQuantilesSketch { inner, k: self.k })
+    }
+
+    /// Builds around an explicit oracle.
+    pub fn build_with_oracle<T: Ord + Clone + Send + Sync + 'static>(
+        self,
+        oracle: impl Oracle + 'static,
+    ) -> Result<ConcurrentQuantilesSketch<T>> {
+        let sketch = QuantilesSketch::new(self.k, oracle)?;
+        let inner = ConcurrentSketch::start(QuantilesGlobal { sketch }, self.config)?;
+        Ok(ConcurrentQuantilesSketch { inner, k: self.k })
+    }
+}
+
+/// Concurrent Quantiles sketch with r-relaxed PAC rank guarantees (§6.2).
+///
+/// # Examples
+///
+/// ```
+/// use fcds_core::quantiles::ConcurrentQuantilesBuilder;
+///
+/// let sketch = ConcurrentQuantilesBuilder::new()
+///     .k(128)
+///     .writers(2)
+///     .build::<u64>()
+///     .unwrap();
+/// let mut w = sketch.writer();
+/// for i in 0..50_000u64 {
+///     w.update(i);
+/// }
+/// w.flush();
+/// sketch.quiesce();
+/// let median = sketch.quantile(0.5).unwrap();
+/// assert!((median as f64 - 25_000.0).abs() < 2_500.0);
+/// ```
+pub struct ConcurrentQuantilesSketch<T: Ord + Clone + Send + Sync + 'static> {
+    inner: ConcurrentSketch<QuantilesGlobal<T>>,
+    k: usize,
+}
+
+impl<T: Ord + Clone + Send + Sync + 'static> std::fmt::Debug for ConcurrentQuantilesSketch<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentQuantilesSketch")
+            .field("k", &self.k)
+            .finish()
+    }
+}
+
+impl<T: Ord + Clone + Send + Sync + 'static> ConcurrentQuantilesSketch<T> {
+    /// Shorthand for [`ConcurrentQuantilesBuilder::new`].
+    pub fn builder() -> ConcurrentQuantilesBuilder {
+        ConcurrentQuantilesBuilder::new()
+    }
+
+    /// Registers an update thread.
+    pub fn writer(&self) -> QuantilesWriter<T> {
+        QuantilesWriter {
+            inner: self.inner.writer(),
+        }
+    }
+
+    /// Takes a wait-free snapshot of the current state; all queries on it
+    /// are mutually consistent.
+    pub fn snapshot(&self) -> Arc<QuantilesReader<T>> {
+        self.inner.snapshot()
+    }
+
+    /// Approximate φ-quantile of the stream so far (`None` if empty).
+    pub fn quantile(&self, phi: f64) -> Option<T> {
+        self.snapshot().quantile(phi)
+    }
+
+    /// Approximate normalised rank of `item`.
+    pub fn rank(&self, item: &T) -> f64 {
+        self.snapshot().rank(item)
+    }
+
+    /// Stream length reflected by the current snapshot.
+    pub fn visible_n(&self) -> u64 {
+        self.snapshot().n()
+    }
+
+    /// The accuracy parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The relaxation bound `r = 2Nb`.
+    pub fn relaxation(&self) -> u64 {
+        self.inner.relaxation()
+    }
+
+    /// The relaxed rank-error bound `ε_r` of §6.2 at the current visible
+    /// stream length.
+    pub fn relaxed_epsilon(&self) -> f64 {
+        let eps = fcds_sketches::quantiles::epsilon_for_k(self.k);
+        fcds_sketches::quantiles::relaxed_epsilon(eps, self.relaxation(), self.visible_n())
+    }
+
+    /// Waits until all handed-off buffers have been merged and published.
+    pub fn quiesce(&self) {
+        self.inner.quiesce();
+    }
+}
+
+/// Per-thread writer for [`ConcurrentQuantilesSketch`].
+pub struct QuantilesWriter<T: Ord + Clone + Send + Sync + 'static> {
+    inner: SketchWriter<QuantilesGlobal<T>>,
+}
+
+impl<T: Ord + Clone + Send + Sync + 'static> std::fmt::Debug for QuantilesWriter<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantilesWriter").finish()
+    }
+}
+
+impl<T: Ord + Clone + Send + Sync + 'static> QuantilesWriter<T> {
+    /// Processes one stream element.
+    #[inline]
+    pub fn update(&mut self, item: T) {
+        self.inner.update(item);
+    }
+
+    /// Hands the partial local buffer to the propagator.
+    pub fn flush(&mut self) {
+        self.inner.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcds_sketches::quantiles::epsilon_for_k;
+
+    #[test]
+    fn empty_sketch() {
+        let s = ConcurrentQuantilesBuilder::new().build::<u64>().unwrap();
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.visible_n(), 0);
+    }
+
+    #[test]
+    fn small_stream_eager_is_exact() {
+        let s = ConcurrentQuantilesBuilder::new()
+            .k(64)
+            .writers(2)
+            .max_concurrency_error(0.04)
+            .build::<u64>()
+            .unwrap();
+        let mut w = s.writer();
+        for i in 0..100u64 {
+            w.update(i);
+        }
+        // Eager phase: everything is immediately visible.
+        assert_eq!(s.visible_n(), 100);
+        assert_eq!(s.quantile(0.0), Some(0));
+        assert_eq!(s.quantile(1.0), Some(99));
+    }
+
+    #[test]
+    fn concurrent_rank_accuracy() {
+        let k = 128;
+        let s = ConcurrentQuantilesBuilder::new()
+            .k(k)
+            .writers(4)
+            .build::<u64>()
+            .unwrap();
+        let n_per = 50_000u64;
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let mut w = s.writer();
+                sc.spawn(move || {
+                    for i in 0..n_per {
+                        w.update(t * n_per + i);
+                    }
+                    w.flush();
+                });
+            }
+        });
+        s.quiesce();
+        let n = 4 * n_per;
+        assert_eq!(s.visible_n(), n);
+        let eps = epsilon_for_k(k);
+        for phi in [0.1, 0.5, 0.9] {
+            let v = s.quantile(phi).unwrap();
+            let true_rank = v as f64 / n as f64;
+            assert!(
+                (true_rank - phi).abs() <= 4.0 * eps,
+                "phi={phi} rank={true_rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_is_internally_consistent_under_ingestion() {
+        let s = ConcurrentQuantilesBuilder::new()
+            .k(64)
+            .writers(2)
+            .max_concurrency_error(1.0)
+            .build::<u64>()
+            .unwrap();
+        std::thread::scope(|sc| {
+            for _ in 0..2 {
+                let mut w = s.writer();
+                sc.spawn(move || {
+                    for i in 0..100_000u64 {
+                        w.update(i);
+                    }
+                });
+            }
+            for _ in 0..200 {
+                let snap = s.snapshot();
+                if snap.n() == 0 {
+                    continue;
+                }
+                // Quantiles from one snapshot must be monotone in φ.
+                let q25 = snap.quantile(0.25).unwrap();
+                let q50 = snap.quantile(0.5).unwrap();
+                let q75 = snap.quantile(0.75).unwrap();
+                assert!(q25 <= q50 && q50 <= q75);
+            }
+        });
+    }
+
+    #[test]
+    fn visible_n_lags_by_at_most_r_after_writer_flushes() {
+        let s = ConcurrentQuantilesBuilder::new()
+            .k(32)
+            .writers(1)
+            .max_concurrency_error(1.0)
+            .build::<u64>()
+            .unwrap();
+        let mut w = s.writer();
+        let n = 10_000u64;
+        for i in 0..n {
+            w.update(i);
+        }
+        // Without a flush, at most 2·b updates may be invisible
+        // (one full buffer in flight + the current partial one).
+        s.quiesce();
+        let visible = s.visible_n();
+        let r = s.relaxation();
+        assert!(
+            visible + r >= n,
+            "visible {visible} lags more than r={r} behind {n}"
+        );
+        w.flush();
+        s.quiesce();
+        assert_eq!(s.visible_n(), n);
+    }
+
+    #[test]
+    fn relaxed_epsilon_shrinks_with_stream() {
+        let s = ConcurrentQuantilesBuilder::new()
+            .k(128)
+            .writers(2)
+            .build::<u64>()
+            .unwrap();
+        let mut w = s.writer();
+        for i in 0..2_000u64 {
+            w.update(i);
+        }
+        w.flush();
+        s.quiesce();
+        let eps_small = s.relaxed_epsilon();
+        for i in 2_000..200_000u64 {
+            w.update(i);
+        }
+        w.flush();
+        s.quiesce();
+        let eps_large = s.relaxed_epsilon();
+        assert!(eps_large < eps_small);
+        assert!(eps_large < epsilon_for_k(128) + 1e-3);
+    }
+
+    #[test]
+    fn works_with_total_f64() {
+        use fcds_sketches::quantiles::TotalF64;
+        let s = ConcurrentQuantilesBuilder::new()
+            .k(64)
+            .build::<TotalF64>()
+            .unwrap();
+        let mut w = s.writer();
+        for i in 0..10_000 {
+            w.update(TotalF64(i as f64));
+        }
+        w.flush();
+        s.quiesce();
+        let med = s.quantile(0.5).unwrap().0;
+        assert!((med - 5_000.0).abs() < 1_000.0);
+    }
+}

@@ -1,0 +1,747 @@
+//! The generic concurrent sketch engine — Algorithm 2 of the paper.
+//!
+//! [`ConcurrentSketch`] wires together:
+//!
+//! * `N` update threads, each owning a [`SketchWriter`] with a
+//!   double-buffered local sketch (`localS_i[2]`, `cur_i`);
+//! * one background **propagator** thread (`t0`) that merges local
+//!   sketches into the shared global sketch and piggy-backs hints on the
+//!   `prop_i` atomics (lines 110–115);
+//! * any number of query threads reading snapshots from the global
+//!   sketch's published view (lines 116–118), never blocking on and never
+//!   blocked by ingestion;
+//! * the adaptive eager phase of §5.3: while the stream is shorter than
+//!   `2/e²`, update threads write straight into the global sketch
+//!   (serialised by a lock, exactly as in the paper's implementation) so
+//!   that small streams suffer no relaxation error.
+//!
+//! With double buffering enabled (the default) this is `OptParSketch` and
+//! a query may miss at most `r = 2Nb` preceding updates (Theorem 1); with
+//! it disabled it is the unoptimised `ParSketch` with `r = Nb` (Lemma 1).
+
+use crate::composable::{GlobalSketch, HintCodec, LocalSketch};
+use crate::config::ConcurrencyConfig;
+use crate::sync::PropSlot;
+use fcds_sketches::error::Result;
+use parking_lot::Mutex;
+use std::num::NonZeroU64;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+const PHASE_EAGER: u8 = 0;
+const PHASE_LAZY: u8 = 1;
+
+/// Engine counters, readable at any time (monotone, `Relaxed` updates —
+/// they are diagnostics, not synchronisation).
+#[derive(Debug, Default)]
+struct Counters {
+    merges: AtomicU64,
+    eager_updates: AtomicU64,
+    handoffs: AtomicU64,
+}
+
+/// A point-in-time copy of the engine's diagnostic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Local buffers merged by the propagator (lines 113–115 executions).
+    pub merges: u64,
+    /// Updates applied directly during the eager phase (§5.3).
+    pub eager_updates: u64,
+    /// Buffer hand-offs performed by writers (`prop_i ← 0` stores).
+    pub handoffs: u64,
+}
+
+/// State shared between the main handle, writers, the propagator, and
+/// query threads.
+struct Shared<G: GlobalSketch> {
+    /// The global composable sketch. Owned by the propagator in the lazy
+    /// phase; briefly locked by update threads during the eager phase —
+    /// the lock is uncontended once lazy (only the propagator takes it),
+    /// so its cost is amortised over `b` updates.
+    global: Mutex<G>,
+    /// Concurrently readable snapshot state.
+    view: G::View,
+    /// [`PHASE_EAGER`] or [`PHASE_LAZY`]; flips exactly once.
+    phase: AtomicU8,
+    /// Current local-buffer size `b` (1 during eager, raised at the
+    /// transition per §5.3).
+    buffer_size: AtomicU64,
+    config: ConcurrencyConfig,
+    eager_limit: u64,
+    lazy_b: u64,
+    /// Registered worker slots.
+    slots: Mutex<Vec<Arc<PropSlot<G::Local>>>>,
+    /// Bumped on registry changes so the propagator reloads its local copy.
+    slots_version: AtomicU64,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+/// A concurrent sketch: the paper's `OptParSketch` (or `ParSketch` when
+/// double buffering is disabled) instantiated with a composable sketch
+/// `G`.
+///
+/// Create writers with [`ConcurrentSketch::writer`] (one per update
+/// thread; writers are `Send` but not `Sync`), query from any thread with
+/// [`ConcurrentSketch::snapshot`], and drop the handle to stop the
+/// propagator.
+pub struct ConcurrentSketch<G: GlobalSketch> {
+    shared: Arc<Shared<G>>,
+    propagator: Option<JoinHandle<()>>,
+}
+
+impl<G: GlobalSketch> std::fmt::Debug for ConcurrentSketch<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentSketch")
+            .field("config", &self.shared.config)
+            .field("phase", &self.shared.phase.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<G: GlobalSketch> ConcurrentSketch<G> {
+    /// Starts the engine around an (typically empty) global sketch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn start(global: G, config: ConcurrencyConfig) -> Result<Self> {
+        config.validate()?;
+        let view = global.new_view();
+        global.publish(&view);
+        let eager_limit = config.eager_limit();
+        let lazy_b = config.buffer_size();
+        let start_eager = eager_limit > 0 && global.stream_len() < eager_limit;
+        let shared = Arc::new(Shared {
+            global: Mutex::new(global),
+            view,
+            phase: AtomicU8::new(if start_eager { PHASE_EAGER } else { PHASE_LAZY }),
+            buffer_size: AtomicU64::new(if start_eager { 1 } else { lazy_b }),
+            config,
+            eager_limit,
+            lazy_b,
+            slots: Mutex::new(Vec::new()),
+            slots_version: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        let propagator = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fcds-propagator".into())
+                .spawn(move || propagator_loop(shared))
+                .expect("spawn propagator thread")
+        };
+        Ok(ConcurrentSketch {
+            shared,
+            propagator: Some(propagator),
+        })
+    }
+
+    /// Registers a new update thread and returns its writer handle.
+    ///
+    /// The relaxation bound `r = 2Nb` assumes at most `config.writers`
+    /// concurrently active writers; registering more still yields correct
+    /// relaxed behaviour, but with `N` equal to the actual writer count.
+    pub fn writer(&self) -> SketchWriter<G> {
+        let (local_a, local_b, hint) = {
+            let g = self.shared.global.lock();
+            (g.new_local(), g.new_local(), g.calc_hint())
+        };
+        let slot = Arc::new(PropSlot::new(local_a, local_b, hint.encode().get()));
+        {
+            let mut reg = self.shared.slots.lock();
+            reg.push(Arc::clone(&slot));
+        }
+        self.shared.slots_version.fetch_add(1, Ordering::Release);
+        SketchWriter {
+            shared: Arc::clone(&self.shared),
+            slot,
+            cur: 0,
+            counter: 0,
+            b: self.shared.buffer_size.load(Ordering::Relaxed),
+            hint,
+            filtered: 0,
+        }
+    }
+
+    /// Takes a query snapshot from the published view. Runs concurrently
+    /// with ingestion; freshness is governed by the `r = 2Nb` relaxation
+    /// (Theorem 1).
+    pub fn snapshot(&self) -> G::Snapshot {
+        G::snapshot(&self.shared.view)
+    }
+
+    /// Read-only access to the shared view (for sketch-specific fast-path
+    /// queries).
+    pub fn view(&self) -> &G::View {
+        &self.shared.view
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ConcurrencyConfig {
+        &self.shared.config
+    }
+
+    /// The current relaxation bound `r` (see
+    /// [`ConcurrencyConfig::relaxation`]).
+    pub fn relaxation(&self) -> u64 {
+        self.shared.config.relaxation()
+    }
+
+    /// Whether the sketch is still in the eager phase of §5.3.
+    pub fn is_eager(&self) -> bool {
+        self.shared.phase.load(Ordering::Acquire) == PHASE_EAGER
+    }
+
+    /// Number of items the global sketch has ingested (buffered local
+    /// updates are not included — that is the point of the relaxation).
+    pub fn global_stream_len(&self) -> u64 {
+        self.shared.global.lock().stream_len()
+    }
+
+    /// Blocks until every pending hand-off has been merged and published.
+    ///
+    /// Writers must have been flushed (or dropped) first for this to
+    /// capture all their updates; afterwards a snapshot reflects every
+    /// update that preceded the flushes.
+    pub fn quiesce(&self) {
+        loop {
+            let pending = {
+                let reg = self.shared.slots.lock();
+                reg.iter().any(|s| s.pending_buffer().is_some())
+            };
+            if !pending {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// A snapshot of the engine's diagnostic counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            merges: self.shared.counters.merges.load(Ordering::Relaxed),
+            eager_updates: self.shared.counters.eager_updates.load(Ordering::Relaxed),
+            handoffs: self.shared.counters.handoffs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs a closure against the global sketch under its lock. Intended
+    /// for result extraction after ingestion (e.g., obtaining a compact
+    /// image); taking this lock on the hot path would serialise against
+    /// the propagator.
+    pub fn with_global<R>(&self, f: impl FnOnce(&G) -> R) -> R {
+        let g = self.shared.global.lock();
+        f(&g)
+    }
+}
+
+impl<G: GlobalSketch> Drop for ConcurrentSketch<G> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.propagator.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The propagator thread `t0` (Algorithm 2, lines 110–115).
+fn propagator_loop<G: GlobalSketch>(shared: Arc<Shared<G>>) {
+    let mut local_slots: Vec<Arc<PropSlot<G::Local>>> = Vec::new();
+    let mut seen_version = u64::MAX;
+    let backoff = crossbeam::utils::Backoff::new();
+    loop {
+        let version = shared.slots_version.load(Ordering::Acquire);
+        if version != seen_version {
+            local_slots = shared.slots.lock().clone();
+            seen_version = version;
+        }
+
+        let mut did_work = false;
+        let mut saw_retired = false;
+        for slot in &local_slots {
+            did_work |= try_propagate(&shared, slot);
+            saw_retired |= slot.is_retired();
+        }
+
+        if saw_retired {
+            // Drop fully drained retired slots from the registry.
+            let mut reg = shared.slots.lock();
+            let before = reg.len();
+            reg.retain(|s| !(s.is_retired() && s.pending_buffer().is_none()));
+            if reg.len() != before {
+                shared.slots_version.fetch_add(1, Ordering::Release);
+            }
+            local_slots = reg.clone();
+            drop(reg);
+            seen_version = shared.slots_version.load(Ordering::Acquire);
+        }
+
+        if shared.shutdown.load(Ordering::Acquire) {
+            // Final drain so that post-shutdown snapshots reflect every
+            // completed hand-off.
+            let reg = shared.slots.lock().clone();
+            for slot in &reg {
+                try_propagate(&shared, slot);
+            }
+            return;
+        }
+
+        if did_work {
+            backoff.reset();
+        } else {
+            // Spin briefly, then yield; the propagator stays hot (the
+            // paper dedicates a thread to it) without starving workers.
+            backoff.snooze();
+        }
+    }
+}
+
+/// Merges one pending local buffer, publishes, and returns ownership with
+/// the fresh hint. Returns `true` if a merge happened.
+fn try_propagate<G: GlobalSketch>(shared: &Shared<G>, slot: &PropSlot<G::Local>) -> bool {
+    let Some(idx) = slot.pending_buffer() else {
+        return false;
+    };
+    let hint = {
+        let mut g = shared.global.lock();
+        // SAFETY: `idx` comes from `pending_buffer`; this function is
+        // called only from the unique propagator thread.
+        unsafe {
+            slot.with_propagator_buffer(idx, |buf| {
+                g.merge(buf);
+                debug_assert!(buf.is_empty(), "merge must clear the local buffer");
+            });
+        }
+        g.publish(&shared.view);
+        g.calc_hint()
+    };
+    slot.complete_propagation(hint.encode().get());
+    shared.counters.merges.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+/// Per-thread writer handle (update thread `t_i`, lines 119–129).
+///
+/// `Send` but not `Sync`: exactly one thread drives a writer. Dropping a
+/// writer flushes its partial buffer (blocking briefly on the propagator)
+/// and retires its slot.
+pub struct SketchWriter<G: GlobalSketch> {
+    shared: Arc<Shared<G>>,
+    slot: Arc<PropSlot<G::Local>>,
+    cur: usize,
+    counter: u64,
+    b: u64,
+    hint: <G::Local as LocalSketch>::Hint,
+    filtered: u64,
+}
+
+impl<G: GlobalSketch> std::fmt::Debug for SketchWriter<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SketchWriter")
+            .field("cur", &self.cur)
+            .field("counter", &self.counter)
+            .field("b", &self.b)
+            .finish()
+    }
+}
+
+impl<G: GlobalSketch> SketchWriter<G> {
+    /// Processes one stream item (the `update_i(a)` procedure).
+    #[inline]
+    pub fn update(&mut self, item: <G::Local as LocalSketch>::Item) {
+        let item = if self.shared.phase.load(Ordering::Acquire) == PHASE_EAGER {
+            // Eager phase (§5.3): propagate directly, serialised by the
+            // global lock; re-check the phase under the lock because the
+            // transition happens there.
+            match self.try_eager(item) {
+                None => return,
+                Some(item) => item, // phase flipped while we waited
+            }
+        } else {
+            item
+        };
+
+        // Line 120: the shouldAdd pre-filter (ablatable for measuring
+        // its contribution — see ConcurrencyConfig::disable_prefilter).
+        if !self.shared.config.disable_prefilter
+            && !<G::Local as LocalSketch>::should_add(self.hint, &item)
+        {
+            self.filtered += 1;
+            return;
+        }
+        // Lines 121–122: buffer locally.
+        // SAFETY: we are the unique worker of this slot and `cur` is our
+        // current buffer.
+        unsafe {
+            self.slot.with_worker_buffer(self.cur, |l| l.update(item));
+        }
+        self.counter += 1;
+        // Line 123: flush when the buffer reaches b.
+        if self.counter >= self.b {
+            self.flush_inner();
+        }
+    }
+
+    /// Eager-phase direct update. Returns the item back if the phase
+    /// turned lazy before we acquired the lock.
+    fn try_eager(
+        &mut self,
+        item: <G::Local as LocalSketch>::Item,
+    ) -> Option<<G::Local as LocalSketch>::Item> {
+        let mut g = self.shared.global.lock();
+        if self.shared.phase.load(Ordering::Relaxed) != PHASE_EAGER {
+            return Some(item);
+        }
+        g.update_direct(item);
+        g.publish(&self.shared.view);
+        self.shared
+            .counters
+            .eager_updates
+            .fetch_add(1, Ordering::Relaxed);
+        self.hint = g.calc_hint();
+        if g.stream_len() >= self.shared.eager_limit {
+            // §5.3: raise b to the lazy buffer size and leave the eager
+            // phase. The store order (b first) means a worker that sees
+            // LAZY also sees the raised b at its next flush.
+            self.shared
+                .buffer_size
+                .store(self.shared.lazy_b, Ordering::Relaxed);
+            self.shared.phase.store(PHASE_LAZY, Ordering::Release);
+        }
+        None
+    }
+
+    /// Hands the filled buffer to the propagator (lines 125–129) and, in
+    /// `ParSketch` mode (no double buffering), waits for the merge.
+    fn flush_inner(&mut self) {
+        // Line 125: wait until prop_i ≠ 0.
+        if !self.wait_merged() {
+            return; // shutdown: abandon buffered updates
+        }
+        // Lines 126–129: flip cur, refresh b, request propagation.
+        self.cur = 1 - self.cur;
+        self.counter = 0;
+        self.b = self.shared.buffer_size.load(Ordering::Relaxed);
+        // SAFETY: wait_merged ensured the propagator released the buffers.
+        unsafe { self.slot.hand_off(self.cur) };
+        self.shared.counters.handoffs.fetch_add(1, Ordering::Relaxed);
+
+        if !self.shared.config.double_buffering {
+            // Unoptimised ParSketch: the update thread idles until its
+            // (single) buffer has been merged (underlined line 124/125).
+            self.wait_merged();
+        }
+    }
+
+    /// Spins until the propagator has returned buffer ownership, updating
+    /// the hint from the piggy-backed value. Returns `false` on shutdown.
+    fn wait_merged(&mut self) -> bool {
+        let backoff = crossbeam::utils::Backoff::new();
+        loop {
+            if let Some(raw) = self.slot.propagation_result() {
+                let nz = NonZeroU64::new(raw).expect("hints are non-zero");
+                self.hint = <G::Local as LocalSketch>::Hint::decode(nz);
+                return true;
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                // SAFETY: the propagator has exited (or is exiting and no
+                // longer owns our buffers once prop ≠ 0 fails to arrive);
+                // clearing our own buffer is safe because the propagator's
+                // final drain only touches buffers with prop == 0, and
+                // losing buffered updates on teardown is the documented
+                // semantics.
+                self.counter = 0;
+                return false;
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Flushes the partially filled buffer so that its updates become
+    /// visible to queries once the propagator merges them. Blocks until
+    /// the previous propagation (if any) completes.
+    pub fn flush(&mut self) {
+        if self.counter > 0 {
+            self.flush_inner();
+        }
+    }
+
+    /// Number of updates currently buffered locally (not yet handed off).
+    pub fn buffered(&self) -> u64 {
+        self.counter
+    }
+
+    /// The writer's current buffer size `b`.
+    pub fn buffer_size(&self) -> u64 {
+        self.b
+    }
+
+    /// Updates this writer dropped via the `shouldAdd` pre-filter — the
+    /// quantity §5.1 credits for the algorithm's scalability.
+    pub fn filtered(&self) -> u64 {
+        self.filtered
+    }
+}
+
+impl<G: GlobalSketch> Drop for SketchWriter<G> {
+    fn drop(&mut self) {
+        self.flush();
+        self.slot.retire();
+        // Nudge the propagator's registry scan.
+        self.shared.slots_version.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy "sum sketch": exact, so the engine must not lose or duplicate
+    /// a single update. Uses the trivial hint.
+    #[derive(Debug, Default)]
+    struct SumGlobal {
+        total: u64,
+        n: u64,
+    }
+
+    #[derive(Debug, Default)]
+    struct SumLocal {
+        items: Vec<u64>,
+    }
+
+    impl LocalSketch for SumLocal {
+        type Item = u64;
+        type Hint = ();
+        fn update(&mut self, item: u64) {
+            self.items.push(item);
+        }
+        fn should_add(_: (), _: &u64) -> bool {
+            true
+        }
+        fn clear(&mut self) {
+            self.items.clear();
+        }
+        fn len(&self) -> usize {
+            self.items.len()
+        }
+    }
+
+    impl GlobalSketch for SumGlobal {
+        type Local = SumLocal;
+        type View = crate::sync::AtomicF64;
+        type Snapshot = f64;
+
+        fn new_local(&self) -> SumLocal {
+            SumLocal::default()
+        }
+        fn new_view(&self) -> Self::View {
+            crate::sync::AtomicF64::new(self.total as f64)
+        }
+        fn merge(&mut self, local: &mut SumLocal) {
+            for v in local.items.drain(..) {
+                self.total += v;
+                self.n += 1;
+            }
+        }
+        fn update_direct(&mut self, item: u64) {
+            self.total += item;
+            self.n += 1;
+        }
+        fn publish(&self, view: &Self::View) {
+            view.store(self.total as f64);
+        }
+        fn snapshot(view: &Self::View) -> f64 {
+            view.load()
+        }
+        fn calc_hint(&self) {}
+        fn stream_len(&self) -> u64 {
+            self.n
+        }
+    }
+
+    fn run_sum(writers: usize, per_writer: u64, config: ConcurrencyConfig) -> f64 {
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), config).unwrap();
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let mut wr = sketch.writer();
+                s.spawn(move || {
+                    for i in 0..per_writer {
+                        wr.update(w as u64 * per_writer + i);
+                    }
+                    // Writer drop flushes the partial buffer.
+                });
+            }
+        });
+        sketch.quiesce();
+        sketch.snapshot()
+    }
+
+    fn expected_sum(writers: usize, per_writer: u64) -> f64 {
+        let total_items = writers as u64 * per_writer;
+        // Values are 0..writers*per_writer, each exactly once.
+        (total_items * (total_items - 1) / 2) as f64
+    }
+
+    #[test]
+    fn exact_sum_single_writer_lazy() {
+        let cfg = ConcurrencyConfig {
+            writers: 1,
+            max_concurrency_error: 1.0, // no eager phase
+            ..Default::default()
+        };
+        assert_eq!(run_sum(1, 10_000, cfg), expected_sum(1, 10_000));
+    }
+
+    #[test]
+    fn exact_sum_many_writers_lazy() {
+        let cfg = ConcurrencyConfig {
+            writers: 4,
+            max_concurrency_error: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(run_sum(4, 25_000, cfg), expected_sum(4, 25_000));
+    }
+
+    #[test]
+    fn exact_sum_with_eager_phase() {
+        let cfg = ConcurrencyConfig {
+            writers: 4,
+            max_concurrency_error: 0.04, // eager limit 1250
+            ..Default::default()
+        };
+        assert_eq!(run_sum(4, 5_000, cfg), expected_sum(4, 5_000));
+    }
+
+    #[test]
+    fn exact_sum_stream_shorter_than_eager_limit() {
+        let cfg = ConcurrencyConfig {
+            writers: 2,
+            max_concurrency_error: 0.04,
+            ..Default::default()
+        };
+        // 2 × 100 = 200 < 1250: never leaves the eager phase.
+        assert_eq!(run_sum(2, 100, cfg), expected_sum(2, 100));
+    }
+
+    #[test]
+    fn exact_sum_unoptimised_parsketch() {
+        let cfg = ConcurrencyConfig {
+            writers: 3,
+            max_concurrency_error: 1.0,
+            double_buffering: false,
+            ..Default::default()
+        };
+        assert_eq!(run_sum(3, 10_000, cfg), expected_sum(3, 10_000));
+    }
+
+    #[test]
+    fn eager_phase_transitions_to_lazy() {
+        let cfg = ConcurrencyConfig {
+            writers: 1,
+            max_concurrency_error: 0.1, // eager limit 200
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        assert!(sketch.is_eager());
+        let mut w = sketch.writer();
+        for i in 0..500u64 {
+            w.update(i);
+        }
+        assert!(!sketch.is_eager(), "should have left the eager phase");
+        w.flush();
+        sketch.quiesce();
+        assert_eq!(sketch.snapshot(), (499 * 500 / 2) as f64);
+    }
+
+    #[test]
+    fn snapshot_is_monotone_under_concurrent_ingestion() {
+        let cfg = ConcurrencyConfig {
+            writers: 2,
+            max_concurrency_error: 1.0,
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let mut wr = sketch.writer();
+                s.spawn(move || {
+                    for i in 0..200_000u64 {
+                        wr.update(i % 7);
+                    }
+                });
+            }
+            let mut last = 0.0;
+            for _ in 0..10_000 {
+                let v = sketch.snapshot();
+                assert!(v >= last, "sum went backwards: {v} < {last}");
+                last = v;
+            }
+        });
+    }
+
+    #[test]
+    fn writers_can_join_mid_stream() {
+        let cfg = ConcurrencyConfig {
+            writers: 2,
+            max_concurrency_error: 1.0,
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        {
+            let mut w1 = sketch.writer();
+            for i in 0..1_000u64 {
+                w1.update(i);
+            }
+        } // w1 dropped: flushed and retired
+        {
+            let mut w2 = sketch.writer();
+            for i in 1_000..2_000u64 {
+                w2.update(i);
+            }
+        }
+        sketch.quiesce();
+        assert_eq!(sketch.snapshot(), (1999 * 2000 / 2) as f64);
+    }
+
+    #[test]
+    fn manual_flush_makes_updates_visible() {
+        let cfg = ConcurrencyConfig {
+            writers: 1,
+            max_concurrency_error: 1.0,
+            max_buffer_size: 16,
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        let mut w = sketch.writer();
+        for _ in 0..5 {
+            w.update(1); // stays in the local buffer (b = 16)
+        }
+        assert_eq!(w.buffered(), 5);
+        w.flush();
+        assert_eq!(w.buffered(), 0);
+        sketch.quiesce();
+        assert_eq!(sketch.snapshot(), 5.0);
+    }
+
+    #[test]
+    fn drop_without_writers_is_clean() {
+        let sketch =
+            ConcurrentSketch::start(SumGlobal::default(), ConcurrencyConfig::default()).unwrap();
+        drop(sketch);
+    }
+
+    #[test]
+    fn relaxation_accessor() {
+        let cfg = ConcurrencyConfig {
+            writers: 4,
+            max_concurrency_error: 1.0,
+            ..Default::default()
+        };
+        let r = cfg.relaxation();
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        assert_eq!(sketch.relaxation(), r);
+    }
+}

@@ -1,0 +1,112 @@
+//! An atomic `f64` built on `AtomicU64` bit-casting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic `f64` cell.
+///
+/// This is the `atomic est` variable of the composable Θ sketch
+/// (Algorithm 1 line 4): the single word through which a merge result
+/// becomes visible to queries, making the write the operation's
+/// linearisation point.
+///
+/// # Examples
+///
+/// ```
+/// use fcds_core::sync::AtomicF64;
+///
+/// let est = AtomicF64::new(0.0);
+/// est.store(1234.5);
+/// assert_eq!(est.load(), 1234.5);
+/// ```
+#[derive(Debug)]
+pub struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    /// Creates a new cell holding `value`.
+    pub fn new(value: f64) -> Self {
+        AtomicF64 {
+            bits: AtomicU64::new(value.to_bits()),
+        }
+    }
+
+    /// Atomically reads the value (acquire ordering: everything the writer
+    /// did before its release store is visible afterwards).
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Atomically writes the value (release ordering).
+    #[inline]
+    pub fn store(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Release);
+    }
+
+    /// Atomically swaps the value, returning the previous one.
+    #[inline]
+    pub fn swap(&self, value: f64) -> f64 {
+        f64::from_bits(self.bits.swap(value.to_bits(), Ordering::AcqRel))
+    }
+}
+
+impl Default for AtomicF64 {
+    fn default() -> Self {
+        AtomicF64::new(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trips_values() {
+        let a = AtomicF64::new(0.0);
+        for v in [0.0, -0.0, 1.5, f64::MAX, f64::MIN_POSITIVE, -123.25] {
+            a.store(v);
+            assert_eq!(a.load().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn preserves_nan_bits() {
+        let a = AtomicF64::new(f64::NAN);
+        assert!(a.load().is_nan());
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let a = AtomicF64::new(1.0);
+        assert_eq!(a.swap(2.0), 1.0);
+        assert_eq!(a.load(), 2.0);
+    }
+
+    #[test]
+    fn concurrent_readers_see_some_written_value() {
+        let a = Arc::new(AtomicF64::new(0.0));
+        let writer = {
+            let a = Arc::clone(&a);
+            std::thread::spawn(move || {
+                for i in 0..100_000u64 {
+                    a.store(i as f64);
+                }
+            })
+        };
+        let reader = {
+            let a = Arc::clone(&a);
+            std::thread::spawn(move || {
+                for _ in 0..100_000 {
+                    let v = a.load();
+                    // Never a torn value: always an integral written value.
+                    assert_eq!(v, v.trunc());
+                    assert!((0.0..100_000.0).contains(&v));
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+    }
+}

@@ -1,0 +1,32 @@
+//! Synchronisation primitives underpinning Algorithm 2.
+//!
+//! The paper's model (§2) assumes a non-sequentially-consistent shared
+//! memory with explicitly declared atomic variables whose reads and writes
+//! are guarded by memory fences. This module provides the concrete Rust
+//! counterparts:
+//!
+//! * [`AtomicF64`] — the atomic `est` variable of the composable Θ sketch
+//!   (Algorithm 1, line 4): a `u64`-backed atomic holding `f64` bits.
+//! * [`SeqSnapshot`] — a single-writer seqlock over a small `Copy` record,
+//!   implementing the "double collect of the relevant state" the paper
+//!   suggests for snapshots of multi-word sketch state (§5.1).
+//! * [`EpochCell`] — an atomically swappable `Arc` published with
+//!   release/acquire semantics and reclaimed through crossbeam's epoch GC;
+//!   used to publish Quantiles/HLL snapshots. A pointer store is a single
+//!   atomic write, preserving the strong-linearisability argument.
+//! * [`PropSlot`] — the per-worker hand-off cell realising the `prop_i`
+//!   protocol between update threads and the propagator (Algorithm 2,
+//!   lines 110–129), including the double-buffer (`cur_i`) optimisation.
+//!
+//! All `unsafe` in the workspace is confined to this module and guarded by
+//! the protocol invariants documented on each type.
+
+mod atomic_f64;
+mod epoch_cell;
+mod prop_slot;
+mod seq_snapshot;
+
+pub use atomic_f64::AtomicF64;
+pub use epoch_cell::EpochCell;
+pub use prop_slot::{PropSlot, PROP_PENDING};
+pub use seq_snapshot::SeqSnapshot;

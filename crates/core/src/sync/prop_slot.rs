@@ -1,0 +1,269 @@
+//! The per-worker hand-off cell implementing Algorithm 2's `prop_i`
+//! protocol with double buffering (`localS_i[2]` / `cur_i`).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// The distinguished `prop` value signalling "propagation requested"
+/// (Algorithm 2 initialises `prop_i` to a non-zero hint and the worker
+/// stores 0 to request a merge).
+pub const PROP_PENDING: u64 = 0;
+
+/// Shared state between one update thread (the *worker*) and the
+/// propagator thread `t0`, realising lines 110–129 of Algorithm 2.
+///
+/// # Protocol
+///
+/// The slot holds two buffers. At any moment the worker exclusively owns
+/// `buffers[cur]` and fills it with updates. Ownership of the *other*
+/// buffer depends on `prop`:
+///
+/// * `prop != PROP_PENDING` — the propagator is done: `buffers[1−cur]` is
+///   merged and cleared, and `prop` carries the piggy-backed hint
+///   (line 115). The worker may flip `cur` and hand the filled buffer off.
+/// * `prop == PROP_PENDING` — a hand-off is in flight: `buffers[1−cur]`
+///   belongs to the propagator, which will merge it, clear it, and store
+///   the new hint into `prop`.
+///
+/// The worker's hand-off (line 126–129) stores `cur` *before* the release
+/// store of `PROP_PENDING` into `prop`; the propagator's acquire load of
+/// `prop` therefore observes both the new `cur` and every buffer write
+/// that preceded the hand-off. Symmetrically, the propagator's release
+/// store of the hint publishes the cleared buffer back to the worker.
+/// This pair of fences is exactly the synchronisation cost the paper
+/// amortises over `b` updates (§5.2).
+///
+/// # Safety
+///
+/// The `unsafe` buffer accessors must be called in accordance with the
+/// ownership rules above; the engine (`runtime` module) is the only
+/// caller. Violations are caught probabilistically by the stress tests
+/// below and deterministically by the relaxation checker in
+/// `fcds-relaxation`.
+#[derive(Debug)]
+pub struct PropSlot<L> {
+    prop: AtomicU64,
+    cur: AtomicUsize,
+    retired: AtomicBool,
+    buffers: [UnsafeCell<L>; 2],
+}
+
+// SAFETY: the buffers are accessed under the single-owner protocol
+// documented above; `L: Send` suffices because at most one thread touches
+// a given buffer at a time and ownership transfer is fenced by `prop`.
+unsafe impl<L: Send> Sync for PropSlot<L> {}
+
+impl<L> PropSlot<L> {
+    /// Creates a slot whose two buffers start as `a` and `b`, with the
+    /// initial hint `initial_hint` (must not equal [`PROP_PENDING`]).
+    pub fn new(a: L, b: L, initial_hint: u64) -> Self {
+        assert_ne!(initial_hint, PROP_PENDING, "hint must be non-zero");
+        PropSlot {
+            prop: AtomicU64::new(initial_hint),
+            cur: AtomicUsize::new(0),
+            retired: AtomicBool::new(false),
+            buffers: [UnsafeCell::new(a), UnsafeCell::new(b)],
+        }
+    }
+
+    // ---------------- worker side ----------------
+
+    /// Current `prop` value: `None` while a propagation is pending,
+    /// `Some(hint)` once the propagator has completed (line 125's wait
+    /// condition).
+    #[inline]
+    pub fn propagation_result(&self) -> Option<u64> {
+        match self.prop.load(Ordering::Acquire) {
+            PROP_PENDING => None,
+            hint => Some(hint),
+        }
+    }
+
+    /// Grants the worker mutable access to its current buffer.
+    ///
+    /// # Safety
+    ///
+    /// `cur` must be the worker's current buffer index (the value it last
+    /// handed to [`Self::hand_off`], or 0 initially), and the caller must
+    /// be the unique worker thread of this slot.
+    #[inline]
+    pub unsafe fn with_worker_buffer<R>(&self, cur: usize, f: impl FnOnce(&mut L) -> R) -> R {
+        f(&mut *self.buffers[cur].get())
+    }
+
+    /// Hands the buffer `1 − new_cur` (the one just filled) to the
+    /// propagator and makes `new_cur` the worker's buffer (lines 126–129).
+    ///
+    /// # Safety
+    ///
+    /// Must only be called by the worker thread, and only when
+    /// [`Self::propagation_result`] returned `Some` (i.e., the propagator
+    /// is not using any buffer).
+    #[inline]
+    pub unsafe fn hand_off(&self, new_cur: usize) {
+        debug_assert!(new_cur < 2);
+        debug_assert_ne!(self.prop.load(Ordering::Relaxed), PROP_PENDING);
+        self.cur.store(new_cur, Ordering::Relaxed);
+        self.prop.store(PROP_PENDING, Ordering::Release);
+    }
+
+    /// Marks this worker as finished; the propagator drops the slot from
+    /// its round after any final pending merge completes.
+    pub fn retire(&self) {
+        self.retired.store(true, Ordering::Release);
+    }
+
+    // ---------------- propagator side ----------------
+
+    /// If a propagation is requested, returns the index of the buffer the
+    /// propagator now owns (`1 − cur`).
+    #[inline]
+    pub fn pending_buffer(&self) -> Option<usize> {
+        if self.prop.load(Ordering::Acquire) == PROP_PENDING {
+            Some(1 - self.cur.load(Ordering::Relaxed))
+        } else {
+            None
+        }
+    }
+
+    /// Grants the propagator mutable access to the buffer returned by
+    /// [`Self::pending_buffer`].
+    ///
+    /// # Safety
+    ///
+    /// `idx` must come from a [`Self::pending_buffer`] call on this slot
+    /// that returned `Some` since the last [`Self::complete_propagation`],
+    /// and the caller must be the unique propagator thread.
+    #[inline]
+    pub unsafe fn with_propagator_buffer<R>(&self, idx: usize, f: impl FnOnce(&mut L) -> R) -> R {
+        f(&mut *self.buffers[idx].get())
+    }
+
+    /// Completes a propagation: returns buffer ownership to the worker and
+    /// piggy-backs the new hint (line 115). `hint` must not be
+    /// [`PROP_PENDING`].
+    #[inline]
+    pub fn complete_propagation(&self, hint: u64) {
+        debug_assert_ne!(hint, PROP_PENDING);
+        self.prop.store(hint, Ordering::Release);
+    }
+
+    /// Whether the worker has retired this slot.
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Drives the full protocol: a worker pushes `n` items in batches of
+    /// `b` through a `Vec<u64>` double buffer while a propagator drains
+    /// them. Every item must arrive exactly once, in batches that respect
+    /// the buffer bound.
+    fn run_protocol(n: u64, b: usize) {
+        let slot = Arc::new(PropSlot::new(Vec::<u64>::new(), Vec::new(), u64::MAX));
+        let done = Arc::new(AtomicBool::new(false));
+
+        let propagator = {
+            let slot = Arc::clone(&slot);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut received: Vec<u64> = Vec::new();
+                loop {
+                    if let Some(idx) = slot.pending_buffer() {
+                        // SAFETY: idx from pending_buffer; single propagator.
+                        unsafe {
+                            slot.with_propagator_buffer(idx, |buf| {
+                                assert!(buf.len() <= b, "batch exceeded b");
+                                received.append(buf);
+                            });
+                        }
+                        slot.complete_propagation(u64::MAX);
+                    } else if done.load(Ordering::Acquire) && slot.pending_buffer().is_none() {
+                        break;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                received
+            })
+        };
+
+        // Worker.
+        let mut cur = 0usize;
+        let mut counter = 0usize;
+        for i in 0..n {
+            // SAFETY: we are the unique worker; `cur` tracks hand-offs.
+            unsafe {
+                slot.with_worker_buffer(cur, |buf| buf.push(i));
+            }
+            counter += 1;
+            if counter == b {
+                while slot.propagation_result().is_none() {
+                    std::hint::spin_loop();
+                }
+                cur = 1 - cur;
+                counter = 0;
+                // SAFETY: propagation_result returned Some.
+                unsafe { slot.hand_off(cur) };
+            }
+        }
+        // Final flush of the partial buffer.
+        if counter > 0 {
+            while slot.propagation_result().is_none() {
+                std::hint::spin_loop();
+            }
+            cur = 1 - cur;
+            // SAFETY: as above.
+            unsafe { slot.hand_off(cur) };
+        }
+        // Wait for the last hand-off to be consumed before signalling done.
+        while slot.propagation_result().is_none() {
+            std::hint::spin_loop();
+        }
+        done.store(true, Ordering::Release);
+
+        let received = propagator.join().unwrap();
+        let expected: Vec<u64> = (0..n).collect();
+        assert_eq!(received, expected, "items lost, duplicated or reordered");
+    }
+
+    #[test]
+    fn protocol_delivers_every_item_exactly_once_b1() {
+        run_protocol(10_000, 1);
+    }
+
+    #[test]
+    fn protocol_delivers_every_item_exactly_once_b16() {
+        run_protocol(100_000, 16);
+    }
+
+    #[test]
+    fn protocol_with_partial_final_batch() {
+        run_protocol(1003, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "hint must be non-zero")]
+    fn zero_initial_hint_rejected() {
+        let _ = PropSlot::new(0u8, 0u8, PROP_PENDING);
+    }
+
+    #[test]
+    fn retire_is_visible() {
+        let slot = PropSlot::new(0u8, 0u8, 1);
+        assert!(!slot.is_retired());
+        slot.retire();
+        assert!(slot.is_retired());
+    }
+
+    #[test]
+    fn initial_state_carries_hint() {
+        let slot = PropSlot::new(0u8, 0u8, 42);
+        assert_eq!(slot.propagation_result(), Some(42));
+        assert_eq!(slot.pending_buffer(), None);
+    }
+}

@@ -1,0 +1,175 @@
+//! Single-writer seqlock over a small `Copy` record — the paper's
+//! "double collect" snapshot (§5.1).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A single-writer, many-reader snapshot cell.
+///
+/// The writer (the propagator thread) publishes a new value of `T` with
+/// [`SeqSnapshot::write`]; readers obtain a consistent copy with
+/// [`SeqSnapshot::read`], retrying if a write raced them (the classic
+/// seqlock / double-collect). Because there is exactly one writer, no
+/// writer-writer synchronisation is needed.
+///
+/// The version counter is even when the cell is stable and odd while a
+/// write is in progress. A read is valid iff the version was even and
+/// unchanged across the two collects.
+///
+/// # Safety protocol
+///
+/// * Only one thread may call [`write`](Self::write) at a time (enforced
+///   by requiring `&mut self`-like discipline at the call site — the
+///   propagator owns the writer role; debug builds assert the version
+///   parity to catch violations).
+/// * Readers never dereference torn data: they copy the bytes and then
+///   validate the version before using the copy. `T: Copy` guarantees the
+///   copy itself cannot observe broken invariants beyond torn plain data,
+///   which validation discards.
+#[derive(Debug)]
+pub struct SeqSnapshot<T: Copy> {
+    version: AtomicU64,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: all access to `value` is mediated by the seqlock protocol above;
+// readers only use copies validated against the version counter.
+unsafe impl<T: Copy + Send> Sync for SeqSnapshot<T> {}
+unsafe impl<T: Copy + Send> Send for SeqSnapshot<T> {}
+
+impl<T: Copy> SeqSnapshot<T> {
+    /// Creates a cell holding `initial`.
+    pub fn new(initial: T) -> Self {
+        SeqSnapshot {
+            version: AtomicU64::new(0),
+            value: UnsafeCell::new(initial),
+        }
+    }
+
+    /// Publishes a new value. Must only be called from the single writer
+    /// thread.
+    pub fn write(&self, value: T) {
+        let v = self.version.load(Ordering::Relaxed);
+        debug_assert_eq!(v % 2, 0, "concurrent writers on SeqSnapshot");
+        // Enter the critical section: odd version.
+        self.version.store(v + 1, Ordering::Release);
+        // Order the version bump before the data write.
+        std::sync::atomic::fence(Ordering::Release);
+        // SAFETY: single writer; readers validate versions and discard
+        // anything read while the version was odd or changed.
+        unsafe {
+            *self.value.get() = value;
+        }
+        // Order the data write before the closing version bump.
+        self.version.store(v + 2, Ordering::Release);
+    }
+
+    /// Returns a consistent copy of the current value (retrying while a
+    /// write is in flight).
+    pub fn read(&self) -> T {
+        loop {
+            let v1 = self.version.load(Ordering::Acquire);
+            if v1 % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            // SAFETY: we copy the bytes and validate afterwards; a torn
+            // copy is discarded by the version check. T: Copy means no
+            // drop/ownership hazards in the copy itself.
+            let value = unsafe { std::ptr::read_volatile(self.value.get()) };
+            std::sync::atomic::fence(Ordering::Acquire);
+            let v2 = self.version.load(Ordering::Acquire);
+            if v1 == v2 {
+                return value;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Triple {
+        a: u64,
+        b: u64,
+        c: u64,
+    }
+
+    #[test]
+    fn read_returns_initial() {
+        let s = SeqSnapshot::new(Triple { a: 1, b: 2, c: 3 });
+        assert_eq!(s.read(), Triple { a: 1, b: 2, c: 3 });
+    }
+
+    #[test]
+    fn write_then_read() {
+        let s = SeqSnapshot::new(Triple { a: 0, b: 0, c: 0 });
+        s.write(Triple { a: 7, b: 8, c: 9 });
+        assert_eq!(s.read(), Triple { a: 7, b: 8, c: 9 });
+    }
+
+    #[test]
+    fn concurrent_reads_are_never_torn() {
+        // The writer always keeps a = b = c; readers must never observe a
+        // mixed triple.
+        let s = Arc::new(SeqSnapshot::new(Triple { a: 0, b: 0, c: 0 }));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    s.write(Triple { a: i, b: i, c: i });
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..200_000 {
+                        let t = s.read();
+                        assert!(t.a == t.b && t.b == t.c, "torn read: {t:?}");
+                    }
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn monotonic_writes_are_monotonic_reads() {
+        let s = Arc::new(SeqSnapshot::new(0u64));
+        let writer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for i in 1..=100_000u64 {
+                    s.write(i);
+                }
+            })
+        };
+        let reader = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let mut last = 0;
+                for _ in 0..100_000 {
+                    let v = s.read();
+                    assert!(v >= last, "went backwards: {v} < {last}");
+                    last = v;
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+    }
+}

@@ -1,0 +1,676 @@
+//! The concurrent Θ sketch — the instantiation the paper contributed to
+//! Apache DataSketches and evaluates in §7.
+//!
+//! * The **global sketch** is a sequential quick-select Θ sketch (the
+//!   `HeapQuickSelectSketch` family, §7.1) owned by the propagator.
+//! * Its published **view** is the snapshot triple (estimate, Θ,
+//!   retained) behind a single-writer seqlock — the paper's composable Θ
+//!   sketch publishes the atomic `est`; we additionally expose Θ and the
+//!   retained count (consistently) because the relaxation checker needs
+//!   them. Queries never touch the global sketch itself.
+//! * **Local sketches** are plain hash buffers: items are hashed once on
+//!   the update thread, pre-filtered by the piggy-backed hint
+//!   (`shouldAdd(Θ_g, a) ⇔ h(a) < Θ_g`, §5.1), and handed to the
+//!   propagator in batches of `b`.
+//!
+//! The hint filter is what makes Figure 1's near-perfect scalability
+//! possible: once Θ shrinks, almost all updates die on the update thread
+//! without any synchronisation.
+
+use crate::composable::{GlobalSketch, LocalSketch};
+use crate::config::ConcurrencyConfig;
+use crate::runtime::{ConcurrentSketch, SketchWriter};
+use crate::sync::SeqSnapshot;
+use fcds_sketches::error::Result;
+use fcds_sketches::hash::{Hashable, DEFAULT_SEED};
+use fcds_sketches::oracle::Oracle;
+use fcds_sketches::theta::{
+    normalize_hash, theta_to_fraction, CompactThetaSketch, QuickSelectThetaSketch, ThetaRead,
+};
+
+/// A consistent query snapshot of the concurrent Θ sketch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThetaSnapshot {
+    /// The distinct-count estimate (`est`).
+    pub estimate: f64,
+    /// The threshold Θ at the time of the snapshot (integer hash domain).
+    pub theta: u64,
+    /// Number of retained samples.
+    pub retained: u64,
+}
+
+impl ThetaSnapshot {
+    /// Θ as a fraction of the hash domain (the paper's real-valued Θ).
+    pub fn theta_fraction(&self) -> f64 {
+        theta_to_fraction(self.theta)
+    }
+}
+
+/// The global side of the concurrent Θ sketch (the composable sketch of
+/// §5.1 with `snapshot`/`calcHint`/`shouldAdd`).
+#[derive(Debug)]
+pub struct ThetaGlobal {
+    sketch: QuickSelectThetaSketch,
+    /// Distinct hashes accepted so far; drives the §5.3 adaptation.
+    ingested: u64,
+}
+
+impl ThetaGlobal {
+    /// Wraps an empty quick-select sketch.
+    pub fn new(lg_k: u8, seed: u64) -> Result<Self> {
+        Ok(ThetaGlobal {
+            sketch: QuickSelectThetaSketch::new(lg_k, seed)?,
+            ingested: 0,
+        })
+    }
+
+    fn snapshot_now(&self) -> ThetaSnapshot {
+        ThetaSnapshot {
+            estimate: self.sketch.estimate(),
+            theta: self.sketch.theta(),
+            retained: self.sketch.retained() as u64,
+        }
+    }
+}
+
+/// The local side: a buffer of pre-hashed, pre-filtered updates.
+#[derive(Debug, Default)]
+pub struct ThetaLocal {
+    hashes: Vec<u64>,
+}
+
+impl LocalSketch for ThetaLocal {
+    /// Items are already-normalised 64-bit hashes: hashing happens once,
+    /// on the update thread.
+    type Item = u64;
+    /// The hint is the global sketch's Θ (Algorithm 1's `calcHint`).
+    type Hint = u64;
+
+    fn update(&mut self, hash: u64) {
+        self.hashes.push(hash);
+    }
+
+    /// `shouldAdd(H, a) ⇔ h(a) < H` (Algorithm 1 line 26). Safe because Θ
+    /// is monotonically decreasing: a hash at or above the current Θ can
+    /// never enter the sample set.
+    fn should_add(hint: u64, hash: &u64) -> bool {
+        *hash < hint
+    }
+
+    fn clear(&mut self) {
+        self.hashes.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.hashes.len()
+    }
+}
+
+impl GlobalSketch for ThetaGlobal {
+    type Local = ThetaLocal;
+    type View = SeqSnapshot<ThetaSnapshot>;
+    type Snapshot = ThetaSnapshot;
+
+    fn new_local(&self) -> ThetaLocal {
+        ThetaLocal::default()
+    }
+
+    fn new_view(&self) -> Self::View {
+        SeqSnapshot::new(self.snapshot_now())
+    }
+
+    fn merge(&mut self, local: &mut ThetaLocal) {
+        for h in local.hashes.drain(..) {
+            if self.sketch.update_hash(h) {
+                self.ingested += 1;
+            }
+        }
+    }
+
+    fn update_direct(&mut self, hash: u64) {
+        if self.sketch.update_hash(hash) {
+            self.ingested += 1;
+        }
+    }
+
+    fn publish(&self, view: &Self::View) {
+        view.write(self.snapshot_now());
+    }
+
+    fn snapshot(view: &Self::View) -> ThetaSnapshot {
+        view.read()
+    }
+
+    fn calc_hint(&self) -> u64 {
+        self.sketch.theta()
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.ingested
+    }
+}
+
+/// Builder for [`ConcurrentThetaSketch`].
+///
+/// # Examples
+///
+/// ```
+/// use fcds_core::theta::ConcurrentThetaBuilder;
+///
+/// let sketch = ConcurrentThetaBuilder::new()
+///     .lg_k(12)                    // k = 4096 (the paper's default)
+///     .writers(4)                  // N update threads
+///     .max_concurrency_error(0.04) // e; eager limit = 2/e² = 1250
+///     .build()
+///     .unwrap();
+/// let mut w = sketch.writer();
+/// for i in 0..10_000u64 {
+///     w.update(i);
+/// }
+/// w.flush();
+/// sketch.quiesce();
+/// assert!((sketch.estimate() - 10_000.0).abs() / 10_000.0 < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConcurrentThetaBuilder {
+    lg_k: u8,
+    seed: u64,
+    config: ConcurrencyConfig,
+}
+
+impl Default for ConcurrentThetaBuilder {
+    fn default() -> Self {
+        ConcurrentThetaBuilder {
+            lg_k: 12,
+            seed: DEFAULT_SEED,
+            config: ConcurrencyConfig::default(),
+        }
+    }
+}
+
+impl ConcurrentThetaBuilder {
+    /// Starts from the paper's defaults: `lg_k = 12` (k = 4096),
+    /// `e = 0.04`, one writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `lg_k` (nominal sample size `k = 2^lg_k`).
+    pub fn lg_k(mut self, lg_k: u8) -> Self {
+        self.lg_k = lg_k;
+        self
+    }
+
+    /// Sets the hash seed directly.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Draws the hash seed from a de-randomisation oracle (§4).
+    pub fn oracle(mut self, oracle: &mut dyn Oracle) -> Self {
+        self.seed = oracle.hash_seed();
+        self
+    }
+
+    /// Sets the expected number of update threads `N`.
+    pub fn writers(mut self, writers: usize) -> Self {
+        self.config.writers = writers;
+        self
+    }
+
+    /// Sets the maximum relative error attributable to concurrency (`e`,
+    /// §7.1). `1.0` disables the eager phase.
+    pub fn max_concurrency_error(mut self, e: f64) -> Self {
+        self.config.max_concurrency_error = e;
+        self
+    }
+
+    /// Caps the local buffer size `b`.
+    pub fn max_buffer_size(mut self, b: u64) -> Self {
+        self.config.max_buffer_size = b;
+        self
+    }
+
+    /// Selects `OptParSketch` (true, default) or the unoptimised
+    /// `ParSketch` (false).
+    pub fn double_buffering(mut self, enabled: bool) -> Self {
+        self.config.double_buffering = enabled;
+        self
+    }
+
+    /// Ablation: disables the Θ hint pre-filter (`shouldAdd`), shipping
+    /// every update through the hand-off protocol. Benchmarking only.
+    pub fn disable_prefilter(mut self, disabled: bool) -> Self {
+        self.config.disable_prefilter = disabled;
+        self
+    }
+
+    /// Overrides the full concurrency configuration.
+    pub fn config(mut self, config: ConcurrencyConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds and starts the sketch (spawning the propagator thread).
+    pub fn build(self) -> Result<ConcurrentThetaSketch> {
+        let global = ThetaGlobal::new(self.lg_k, self.seed)?;
+        let lg_k = self.lg_k;
+        let seed = self.seed;
+        let inner = ConcurrentSketch::start(global, self.config)?;
+        Ok(ConcurrentThetaSketch { inner, lg_k, seed })
+    }
+}
+
+/// The concurrent Θ sketch (the paper's headline artefact).
+///
+/// Queries ([`estimate`](Self::estimate), [`snapshot`](Self::snapshot))
+/// may be issued from any thread at any time and satisfy the r-relaxed
+/// consistency of Theorem 1 with `r = 2Nb`. One [`ThetaWriter`] per
+/// update thread ingests the stream.
+#[derive(Debug)]
+pub struct ConcurrentThetaSketch {
+    inner: ConcurrentSketch<ThetaGlobal>,
+    lg_k: u8,
+    seed: u64,
+}
+
+impl ConcurrentThetaSketch {
+    /// Shorthand for [`ConcurrentThetaBuilder::new`].
+    pub fn builder() -> ConcurrentThetaBuilder {
+        ConcurrentThetaBuilder::new()
+    }
+
+    /// Registers an update thread.
+    pub fn writer(&self) -> ThetaWriter {
+        ThetaWriter {
+            inner: self.inner.writer(),
+            seed: self.seed,
+        }
+    }
+
+    /// The current distinct-count estimate (reads one atomic snapshot;
+    /// never blocks ingestion).
+    pub fn estimate(&self) -> f64 {
+        self.inner.snapshot().estimate
+    }
+
+    /// A consistent (estimate, Θ, retained) snapshot.
+    pub fn snapshot(&self) -> ThetaSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Nominal sample size `k`.
+    pub fn k(&self) -> usize {
+        1 << self.lg_k
+    }
+
+    /// The hash seed (update threads and mergeable peers must share it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The relaxation bound `r = 2Nb` (or `Nb` without double buffering).
+    pub fn relaxation(&self) -> u64 {
+        self.inner.relaxation()
+    }
+
+    /// Whether the sketch is still in the eager phase (§5.3).
+    pub fn is_eager(&self) -> bool {
+        self.inner.is_eager()
+    }
+
+    /// Waits until all handed-off buffers have been merged and published.
+    /// Flush the writers first to capture their partial buffers.
+    pub fn quiesce(&self) {
+        self.inner.quiesce();
+    }
+
+    /// Freezes the current global state into an immutable compact sketch
+    /// (for set operations or serialisation). Takes the global lock; not
+    /// a hot-path operation.
+    pub fn compact(&self) -> CompactThetaSketch {
+        self.inner.with_global(|g| g.sketch.compact())
+    }
+
+    /// The configured error bound `max{e + 1/√k, 2/√k}` (§7.1).
+    pub fn error_bound(&self) -> f64 {
+        self.inner.config().error_bound(self.k())
+    }
+
+    /// Engine diagnostics: merges performed, eager updates, hand-offs.
+    pub fn stats(&self) -> crate::runtime::EngineStats {
+        self.inner.stats()
+    }
+}
+
+/// Per-thread writer for [`ConcurrentThetaSketch`].
+#[derive(Debug)]
+pub struct ThetaWriter {
+    inner: SketchWriter<ThetaGlobal>,
+    seed: u64,
+}
+
+impl ThetaWriter {
+    /// Processes one stream item: hashes it (once) and runs the
+    /// `shouldAdd` pre-filter before buffering.
+    #[inline]
+    pub fn update<T: Hashable>(&mut self, item: T) {
+        self.inner
+            .update(normalize_hash(item.hash_with_seed(self.seed)));
+    }
+
+    /// Processes a pre-hashed item (must be normalised, i.e. non-zero).
+    #[inline]
+    pub fn update_hash(&mut self, hash: u64) {
+        debug_assert_ne!(hash, 0);
+        self.inner.update(hash);
+    }
+
+    /// Hands the partially filled local buffer to the propagator.
+    pub fn flush(&mut self) {
+        self.inner.flush();
+    }
+
+    /// Number of locally buffered (not yet visible) updates.
+    pub fn buffered(&self) -> u64 {
+        self.inner.buffered()
+    }
+
+    /// Updates dropped by the Θ hint pre-filter on this writer.
+    pub fn filtered(&self) -> u64 {
+        self.inner.filtered()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcds_sketches::theta::{rse, THETA_MAX};
+
+    fn build(lg_k: u8, writers: usize, e: f64) -> ConcurrentThetaSketch {
+        ConcurrentThetaBuilder::new()
+            .lg_k(lg_k)
+            .seed(42)
+            .writers(writers)
+            .max_concurrency_error(e)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let s = build(12, 1, 0.04);
+        assert_eq!(s.estimate(), 0.0);
+        let snap = s.snapshot();
+        assert_eq!(snap.theta, THETA_MAX);
+        assert_eq!(snap.retained, 0);
+    }
+
+    #[test]
+    fn tiny_stream_with_eager_is_exact() {
+        // Below the eager limit (1250) the sketch processes sequentially:
+        // zero relaxation error, exact answers in exact mode (§5.3).
+        let s = build(12, 2, 0.04);
+        let mut w = s.writer();
+        for i in 0..1_000u64 {
+            w.update(i);
+        }
+        assert_eq!(s.estimate(), 1_000.0, "eager phase must be exact");
+        assert!(s.is_eager());
+    }
+
+    #[test]
+    fn single_writer_large_stream_accuracy() {
+        let s = build(12, 1, 0.04);
+        let n = 500_000u64;
+        let mut w = s.writer();
+        for i in 0..n {
+            w.update(i);
+        }
+        w.flush();
+        s.quiesce();
+        let rel = (s.estimate() - n as f64).abs() / n as f64;
+        assert!(rel < 5.0 * rse(4096), "relative error {rel}");
+    }
+
+    #[test]
+    fn multi_writer_disjoint_streams_accuracy() {
+        let s = build(12, 4, 0.04);
+        let n_per = 250_000u64;
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let mut w = s.writer();
+                sc.spawn(move || {
+                    for i in 0..n_per {
+                        w.update(t * n_per + i);
+                    }
+                });
+            }
+        });
+        s.quiesce();
+        let n = 4.0 * n_per as f64;
+        let rel = (s.estimate() - n).abs() / n;
+        assert!(rel < 5.0 * rse(4096), "relative error {rel}");
+    }
+
+    #[test]
+    fn multi_writer_overlapping_streams_count_once() {
+        let s = build(11, 4, 0.04);
+        std::thread::scope(|sc| {
+            for _ in 0..4 {
+                let mut w = s.writer();
+                sc.spawn(move || {
+                    for i in 0..200_000u64 {
+                        w.update(i); // all writers feed the same items
+                    }
+                });
+            }
+        });
+        s.quiesce();
+        let rel = (s.estimate() - 200_000.0).abs() / 200_000.0;
+        assert!(rel < 5.0 * rse(2048) + 0.01, "relative error {rel}");
+    }
+
+    #[test]
+    fn queries_never_block_and_are_monotonicish() {
+        // Distinct stream: the estimate should (weakly) grow; transient
+        // non-monotonicity within the estimator noise is allowed, so we
+        // only check it never collapses.
+        let s = build(12, 2, 0.04);
+        std::thread::scope(|sc| {
+            for t in 0..2u64 {
+                let mut w = s.writer();
+                sc.spawn(move || {
+                    for i in 0..300_000u64 {
+                        w.update(t * 300_000 + i);
+                    }
+                });
+            }
+            let mut peak: f64 = 0.0;
+            for _ in 0..5_000 {
+                let est = s.estimate();
+                assert!(est >= 0.0);
+                peak = peak.max(est);
+                assert!(est >= peak * 0.5, "estimate collapsed: {est} vs peak {peak}");
+            }
+        });
+    }
+
+    #[test]
+    fn relaxation_staleness_bound_after_flush() {
+        // After all writers flush and the engine quiesces, the snapshot
+        // must reflect *every* update (staleness 0 at quiescence).
+        let s = build(10, 3, 1.0); // no eager: pure relaxed mode
+        let n_per = 50_000u64;
+        std::thread::scope(|sc| {
+            for t in 0..3u64 {
+                let mut w = s.writer();
+                sc.spawn(move || {
+                    for i in 0..n_per {
+                        w.update(t * n_per + i);
+                    }
+                    w.flush();
+                });
+            }
+        });
+        s.quiesce();
+        let n = 3.0 * n_per as f64;
+        let rel = (s.estimate() - n).abs() / n;
+        assert!(rel < 5.0 * rse(1024), "relative error {rel}");
+    }
+
+    #[test]
+    fn compact_matches_snapshot() {
+        let s = build(10, 1, 0.04);
+        let mut w = s.writer();
+        for i in 0..100_000u64 {
+            w.update(i);
+        }
+        w.flush();
+        s.quiesce();
+        let snap = s.snapshot();
+        let compact = s.compact();
+        assert_eq!(compact.theta(), snap.theta);
+        assert_eq!(compact.retained() as u64, snap.retained);
+    }
+
+    #[test]
+    fn compact_sketches_from_writers_union_correctly() {
+        use fcds_sketches::theta::ThetaUnion;
+        let s1 = build(10, 1, 0.04);
+        let s2 = build(10, 1, 0.04);
+        {
+            let mut w1 = s1.writer();
+            let mut w2 = s2.writer();
+            for i in 0..80_000u64 {
+                w1.update(i);
+                w2.update(i + 40_000);
+            }
+        }
+        s1.quiesce();
+        s2.quiesce();
+        let mut u = ThetaUnion::new(10, 42).unwrap();
+        u.update(&s1.compact()).unwrap();
+        u.update(&s2.compact()).unwrap();
+        let est = u.result().estimate();
+        let rel = (est - 120_000.0).abs() / 120_000.0;
+        assert!(rel < 0.1, "union relative error {rel}");
+    }
+
+    #[test]
+    fn unoptimised_parsketch_variant_works() {
+        let s = ConcurrentThetaBuilder::new()
+            .lg_k(10)
+            .seed(7)
+            .writers(2)
+            .max_concurrency_error(1.0)
+            .double_buffering(false)
+            .build()
+            .unwrap();
+        assert_eq!(s.relaxation(), 2 * s.inner.config().buffer_size());
+        std::thread::scope(|sc| {
+            for t in 0..2u64 {
+                let mut w = s.writer();
+                sc.spawn(move || {
+                    for i in 0..100_000u64 {
+                        w.update(t * 100_000 + i);
+                    }
+                    w.flush();
+                });
+            }
+        });
+        s.quiesce();
+        let rel = (s.estimate() - 200_000.0).abs() / 200_000.0;
+        assert!(rel < 5.0 * rse(1024), "relative error {rel}");
+    }
+
+    #[test]
+    fn hint_filter_reduces_buffered_traffic() {
+        // Once Θ is small, almost every update dies at shouldAdd: the
+        // writer's buffered count must stay far below the stream length.
+        let s = build(8, 1, 1.0);
+        let mut w = s.writer();
+        for i in 0..1_000_000u64 {
+            w.update(i);
+        }
+        // Θ after 1M distinct with k=256 is ≈ 256/1M; the local buffer
+        // can only ever hold b items, so just assert the writer made
+        // progress without error and the estimate is sane.
+        w.flush();
+        s.quiesce();
+        let rel = (s.estimate() - 1.0e6).abs() / 1.0e6;
+        assert!(rel < 5.0 * rse(256), "relative error {rel}");
+    }
+
+    #[test]
+    fn error_bound_accessor() {
+        let s = build(12, 1, 0.04);
+        let expected = (0.04 + 1.0 / 64.0f64).max(2.0 / 64.0);
+        assert!((s.error_bound() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_expose_filter_and_merge_activity() {
+        // Large distinct stream with small k: Θ collapses quickly, so the
+        // overwhelming majority of updates must die at shouldAdd, and the
+        // hand-off/merge counters must stay tiny relative to the stream.
+        let s = build(6, 1, 1.0); // k = 64
+        let n = 500_000u64;
+        let mut w = s.writer();
+        for i in 0..n {
+            w.update(i);
+        }
+        let filtered = w.filtered();
+        w.flush();
+        s.quiesce();
+        let stats = s.stats();
+        assert!(
+            filtered > n * 9 / 10,
+            "expected >90% filtered, got {filtered}/{n}"
+        );
+        assert!(stats.merges >= 1);
+        assert!(stats.handoffs >= 1);
+        assert!(
+            stats.handoffs < n / 100,
+            "hand-offs {} not amortised",
+            stats.handoffs
+        );
+        assert_eq!(stats.eager_updates, 0, "e = 1.0 must skip the eager phase");
+
+        // And with the filter ablated, nothing is filtered.
+        let s2 = ConcurrentThetaBuilder::new()
+            .lg_k(6)
+            .seed(1)
+            .writers(1)
+            .max_concurrency_error(1.0)
+            .disable_prefilter(true)
+            .build()
+            .unwrap();
+        let mut w2 = s2.writer();
+        for i in 0..10_000u64 {
+            w2.update(i);
+        }
+        assert_eq!(w2.filtered(), 0);
+    }
+
+    #[test]
+    fn snapshot_estimate_matches_global_after_quiesce() {
+        let s = build(10, 2, 0.04);
+        std::thread::scope(|sc| {
+            for t in 0..2u64 {
+                let mut w = s.writer();
+                sc.spawn(move || {
+                    for i in 0..60_000u64 {
+                        w.update(t * 60_000 + i);
+                    }
+                    w.flush();
+                });
+            }
+        });
+        s.quiesce();
+        let snap = s.snapshot();
+        let global_est = s.inner.with_global(|g| g.sketch.estimate());
+        assert_eq!(snap.estimate, global_est);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property and schedule tests for the engine's hand-off protocol: for
+//! arbitrary configurations (writer counts, buffer sizes, eager limits,
+//! double-buffering on/off) the exact "sum sketch" must never lose or
+//! duplicate an update once flushed and quiesced.
+
+use fcds_core::composable::{GlobalSketch, LocalSketch};
+use fcds_core::sync::AtomicF64;
+use fcds_core::{ConcurrencyConfig, ConcurrentSketch};
+use proptest::prelude::*;
+
+/// Exact sum + count "sketch": any protocol bug (lost buffer, double
+/// merge, torn hand-off) shows up as a wrong total.
+#[derive(Debug, Default)]
+struct SumGlobal {
+    total: u64,
+    n: u64,
+}
+
+#[derive(Debug, Default)]
+struct SumLocal {
+    items: Vec<u64>,
+}
+
+impl LocalSketch for SumLocal {
+    type Item = u64;
+    type Hint = ();
+    fn update(&mut self, item: u64) {
+        self.items.push(item);
+    }
+    fn should_add(_: (), _: &u64) -> bool {
+        true
+    }
+    fn clear(&mut self) {
+        self.items.clear();
+    }
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+impl GlobalSketch for SumGlobal {
+    type Local = SumLocal;
+    type View = AtomicF64;
+    type Snapshot = f64;
+    fn new_local(&self) -> SumLocal {
+        SumLocal::default()
+    }
+    fn new_view(&self) -> AtomicF64 {
+        AtomicF64::new(self.total as f64)
+    }
+    fn merge(&mut self, local: &mut SumLocal) {
+        for v in local.items.drain(..) {
+            self.total += v;
+            self.n += 1;
+        }
+    }
+    fn update_direct(&mut self, item: u64) {
+        self.total += item;
+        self.n += 1;
+    }
+    fn publish(&self, view: &AtomicF64) {
+        view.store(self.total as f64);
+    }
+    fn snapshot(view: &AtomicF64) -> f64 {
+        view.load()
+    }
+    fn calc_hint(&self) {}
+    fn stream_len(&self) -> u64 {
+        self.n
+    }
+}
+
+fn run(writers: usize, per_writer: u64, config: ConcurrencyConfig) -> f64 {
+    let sketch = ConcurrentSketch::start(SumGlobal::default(), config).unwrap();
+    std::thread::scope(|s| {
+        for w in 0..writers as u64 {
+            let mut wr = sketch.writer();
+            s.spawn(move || {
+                for i in 0..per_writer {
+                    wr.update(w * per_writer + i + 1);
+                }
+            });
+        }
+    });
+    sketch.quiesce();
+    sketch.snapshot()
+}
+
+fn expected(writers: u64, per_writer: u64) -> f64 {
+    let total = writers * per_writer;
+    (total * (total + 1) / 2) as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn no_update_lost_for_any_configuration(
+        writers in 1usize..6,
+        per_writer in 1u64..5_000,
+        max_b in 1u64..64,
+        e_pct in 1u32..=100, // e in 0.01..=1.00
+        double_buffering in any::<bool>(),
+    ) {
+        let config = ConcurrencyConfig {
+            writers,
+            max_concurrency_error: e_pct as f64 / 100.0,
+            max_buffer_size: max_b,
+            double_buffering,
+            disable_prefilter: false,
+        };
+        let sum = run(writers, per_writer, config);
+        prop_assert_eq!(sum, expected(writers as u64, per_writer));
+    }
+
+    #[test]
+    fn interleaved_flushes_preserve_totals(
+        flushes in prop::collection::vec(1u64..500, 1..8),
+    ) {
+        // A single writer alternating bursts and manual flushes.
+        let config = ConcurrencyConfig {
+            writers: 1,
+            max_concurrency_error: 1.0,
+            max_buffer_size: 16,
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), config).unwrap();
+        let mut w = sketch.writer();
+        let mut pushed = 0u64;
+        for burst in &flushes {
+            for _ in 0..*burst {
+                pushed += 1;
+                w.update(pushed);
+            }
+            w.flush();
+        }
+        sketch.quiesce();
+        prop_assert_eq!(sketch.snapshot(), (pushed * (pushed + 1) / 2) as f64);
+    }
+}
+
+#[test]
+fn heavy_schedule_stress_with_random_yields() {
+    // Writers randomly yield mid-stream to shake out interleavings; the
+    // total must still be exact.
+    use rand::{Rng, SeedableRng};
+    let config = ConcurrencyConfig {
+        writers: 6,
+        max_concurrency_error: 0.04,
+        max_buffer_size: 8,
+        ..Default::default()
+    };
+    let sketch = ConcurrentSketch::start(SumGlobal::default(), config).unwrap();
+    let per = 30_000u64;
+    std::thread::scope(|s| {
+        for t in 0..6u64 {
+            let mut w = sketch.writer();
+            s.spawn(move || {
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(t);
+                for i in 0..per {
+                    w.update(t * per + i + 1);
+                    if rng.random_ratio(1, 512) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+    sketch.quiesce();
+    let total = 6 * per;
+    assert_eq!(sketch.snapshot(), (total * (total + 1) / 2) as f64);
+}

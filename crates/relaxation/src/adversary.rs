@@ -1,0 +1,268 @@
+//! Monte-Carlo simulation of the §6.1 adversaries.
+//!
+//! The adversary may hide up to `r` updates from every query. The paper
+//! shows the worst case is achieved by hiding either `j = 0` or `j = r`
+//! elements *smaller than Θ*, which shifts the query's Θ from the k-th to
+//! the (k+j)-th order statistic of the hashed stream:
+//!
+//! * the **strong** adversary `A_s` sees the coin flips (the hash values)
+//!   and picks `j ∈ {0, r}` to maximise the realised error `|e − n|`;
+//! * the **weak** adversary `A_w` must commit without seeing them and
+//!   picks the deterministic error-maximising choice `j = r`.
+//!
+//! One simulation trial draws `n` iid uniform hashes, extracts `M₍ₖ₎` and
+//! `M₍ₖ₊ᵣ₎`, and evaluates the three estimators (sequential, strong,
+//! weak). Aggregates over many trials regenerate Table 1; the per-trial
+//! samples regenerate the distributions of Figure 4 and the decision
+//! regions of Figure 3.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one simulation: stream size `n`, sketch size `k`,
+/// relaxation `r` (Table 1 uses `n = 2¹⁵`, `k = 2¹⁰`, `r = 8`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversaryParams {
+    /// Number of (distinct) stream elements.
+    pub n: u64,
+    /// Sketch sample size.
+    pub k: usize,
+    /// Relaxation bound.
+    pub r: usize,
+}
+
+impl AdversaryParams {
+    /// Table 1's parameters: `n = 2¹⁵`, `k = 2¹⁰`, `r = 8`.
+    pub fn table1() -> Self {
+        AdversaryParams {
+            n: 1 << 15,
+            k: 1 << 10,
+            r: 8,
+        }
+    }
+}
+
+/// The three estimates produced from one random stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialEstimates {
+    /// Sequential sketch: `e = (k−1)/M₍ₖ₎`.
+    pub sequential: f64,
+    /// Strong adversary: `(k−1)/M₍ₖ₊g₎` with `g ∈ {0, r}` maximising the
+    /// realised error.
+    pub strong: f64,
+    /// Weak adversary: `(k−1)/M₍ₖ₊ᵣ₎`.
+    pub weak: f64,
+    /// The k-th minimum (Θ of the sequential sketch).
+    pub m_k: f64,
+    /// The (k+r)-th minimum (Θ under the weak adversary).
+    pub m_k_r: f64,
+}
+
+/// Aggregate statistics of an estimator across trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorStats {
+    /// Mean estimate.
+    pub mean: f64,
+    /// Root-mean-square error relative to `n`:
+    /// `√(E[(e−n)²])/n = √(σ²/n² + (E[e]−n)²/n²)` (the paper's RSE
+    /// decomposition).
+    pub rse: f64,
+    /// Relative bias `(E[e] − n)/n`.
+    pub relative_bias: f64,
+}
+
+/// Full simulation output.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    /// Parameters used.
+    pub params: AdversaryParams,
+    /// Number of Monte-Carlo trials.
+    pub trials: usize,
+    /// Sequential-sketch statistics (Table 1 column 1–2).
+    pub sequential: EstimatorStats,
+    /// Strong-adversary statistics (Table 1 column 3).
+    pub strong: EstimatorStats,
+    /// Weak-adversary statistics (Table 1 column 4).
+    pub weak: EstimatorStats,
+    /// Per-trial estimates (for histograms — Figure 4).
+    pub samples: Vec<TrialEstimates>,
+}
+
+/// Runs one trial on an explicitly seeded stream of uniform hashes.
+pub fn run_trial(params: AdversaryParams, rng: &mut impl Rng) -> TrialEstimates {
+    let AdversaryParams { n, k, r } = params;
+    assert!(n as usize > k + r, "analysis assumes n > k + r");
+    // Draw n uniforms and select the k-th and (k+r)-th minima. A full
+    // sort is O(n log n); selecting twice is O(n) amortised.
+    let mut hashes: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+    let (_, &mut m_k, rest) = hashes.select_nth_unstable_by(k - 1, f64::total_cmp);
+    // (k+r)-th minimum is the (r-1)-th smallest of the right partition.
+    let (_, &mut m_k_r, _) = rest.select_nth_unstable_by(r - 1, f64::total_cmp);
+    let est = |theta: f64| (k as f64 - 1.0) / theta;
+    let (e0, er) = (est(m_k), est(m_k_r));
+    let nf = n as f64;
+    // Strong adversary: g(0, r) = argmax_j |est(M₍ₖ₊ⱼ₎) − n|.
+    let strong = if (e0 - nf).abs() >= (er - nf).abs() { e0 } else { er };
+    TrialEstimates {
+        sequential: e0,
+        strong,
+        weak: er,
+        m_k,
+        m_k_r,
+    }
+}
+
+fn stats(estimates: impl Iterator<Item = f64> + Clone, n: u64) -> EstimatorStats {
+    let nf = n as f64;
+    let count = estimates.clone().count() as f64;
+    let mean = estimates.clone().sum::<f64>() / count;
+    let mse = estimates.map(|e| (e - nf) * (e - nf)).sum::<f64>() / count;
+    EstimatorStats {
+        mean,
+        rse: mse.sqrt() / nf,
+        relative_bias: (mean - nf) / nf,
+    }
+}
+
+/// Runs the full Monte-Carlo simulation (Table 1 regeneration).
+pub fn simulate(params: AdversaryParams, trials: usize, seed: u64) -> SimulationResult {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let samples: Vec<TrialEstimates> = (0..trials).map(|_| run_trial(params, &mut rng)).collect();
+    SimulationResult {
+        params,
+        trials,
+        sequential: stats(samples.iter().map(|t| t.sequential), params.n),
+        strong: stats(samples.iter().map(|t| t.strong), params.n),
+        weak: stats(samples.iter().map(|t| t.weak), params.n),
+        samples,
+    }
+}
+
+/// Classification of the strong adversary's choice for Figure 3: given a
+/// realised pair `(m_k, m_k_r)`, returns `true` if the adversary prefers
+/// hiding `r` elements (Θ = `M₍ₖ₊ᵣ₎`, the dark-gray region) and `false`
+/// for Θ = `M₍ₖ₎` (light gray).
+pub fn strong_prefers_hiding(params: AdversaryParams, m_k: f64, m_k_r: f64) -> bool {
+    let k = params.k as f64;
+    let n = params.n as f64;
+    let e0 = (k - 1.0) / m_k;
+    let er = (k - 1.0) / m_k_r;
+    (er - n).abs() > (e0 - n).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orderstats;
+
+    fn run_table1(trials: usize) -> SimulationResult {
+        simulate(AdversaryParams::table1(), trials, 0xFCD5)
+    }
+
+    #[test]
+    fn sequential_estimator_nearly_unbiased() {
+        let res = run_table1(4_000);
+        assert!(
+            res.sequential.relative_bias.abs() < 0.01,
+            "bias {}",
+            res.sequential.relative_bias
+        );
+    }
+
+    #[test]
+    fn sequential_rse_matches_closed_form() {
+        let res = run_table1(4_000);
+        // Table 1: ≤ 1/√(k−2) ≈ 3.13%; simulated value ≈ 3.1%.
+        let bound = 1.0 / (1022.0f64).sqrt();
+        assert!(res.sequential.rse < bound * 1.1, "rse {}", res.sequential.rse);
+        assert!(res.sequential.rse > bound * 0.8, "rse {}", res.sequential.rse);
+    }
+
+    #[test]
+    fn weak_adversary_matches_closed_form_expectation() {
+        let res = run_table1(4_000);
+        let expected = orderstats::expected_estimate(1 << 15, 1 << 10, 8);
+        let rel = (res.weak.mean - expected).abs() / expected;
+        assert!(rel < 0.01, "weak mean {} vs closed form {expected}", res.weak.mean);
+    }
+
+    #[test]
+    fn weak_adversary_underestimates() {
+        // Hiding small elements inflates Θ ⇒ deflates the estimate.
+        let res = run_table1(2_000);
+        assert!(res.weak.relative_bias < 0.0);
+    }
+
+    #[test]
+    fn strong_adversary_rse_bracket() {
+        // Table 1 reports ≈3.8% for the strong adversary at these
+        // parameters — strictly worse than sequential, within 2× bound.
+        let res = run_table1(4_000);
+        assert!(res.strong.rse >= res.sequential.rse, "strong must be worst");
+        assert!(res.strong.rse < 0.05, "rse {}", res.strong.rse);
+        assert!(
+            res.strong.rse > 0.03,
+            "strong rse {} implausibly small",
+            res.strong.rse
+        );
+    }
+
+    #[test]
+    fn weak_rse_within_paper_bound() {
+        let res = run_table1(4_000);
+        let bound = orderstats::weak_adversary_rse_bound(1 << 10, 8);
+        assert!(res.weak.rse <= bound, "rse {} vs bound {bound}", res.weak.rse);
+    }
+
+    #[test]
+    fn strong_dominates_weak_and_sequential_per_trial() {
+        let res = run_table1(500);
+        let n = (1u64 << 15) as f64;
+        for t in &res.samples {
+            let es = (t.strong - n).abs();
+            assert!(es + 1e-9 >= (t.sequential - n).abs());
+            assert!(es + 1e-9 >= (t.weak - n).abs());
+        }
+    }
+
+    #[test]
+    fn order_statistics_are_ordered() {
+        let res = run_table1(200);
+        for t in &res.samples {
+            assert!(t.m_k < t.m_k_r, "M(k) must precede M(k+r)");
+            assert!(t.sequential > t.weak, "smaller Θ ⇒ larger estimate");
+        }
+    }
+
+    #[test]
+    fn strong_choice_classifier_agrees_with_trials() {
+        let params = AdversaryParams::table1();
+        let res = simulate(params, 300, 7);
+        for t in &res.samples {
+            let prefers = strong_prefers_hiding(params, t.m_k, t.m_k_r);
+            let expected = if prefers { t.weak } else { t.sequential };
+            assert_eq!(t.strong, expected);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = simulate(AdversaryParams::table1(), 100, 1);
+        let b = simulate(AdversaryParams::table1(), 100, 1);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > k + r")]
+    fn tiny_stream_rejected() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = run_trial(
+            AdversaryParams {
+                n: 100,
+                k: 100,
+                r: 8,
+            },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Sequential histories and the r-relaxation of Definition 2.
+//!
+//! A *sequential history* is a sequence of operations (each invocation
+//! immediately followed by its response). Definition 2 calls a sequential
+//! history `H` an **r-relaxation** of a sequential history `H′` if
+//!
+//! 1. `H` is comprised of all but at most `r` of the invocations in `H′`
+//!    (and their responses), and
+//! 2. each invocation in `H` is preceded by all but at most `r` of the
+//!    invocations that precede the same invocation in `H′`.
+//!
+//! Intuitively: up to `r` operations may be dropped, and every operation
+//! may be overtaken by at most `r` operations that should have preceded
+//! it. Figure 2 of the paper shows a 1-relaxation; the unit tests below
+//! reproduce it.
+
+use std::collections::HashMap;
+
+/// An operation in a sketch history.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `S.update(a)`; the payload identifies the item.
+    Update(u64),
+    /// `S.query(arg)` with its response; the payload is an opaque result
+    /// identifier (queries with different results are different ops).
+    Query(u64),
+}
+
+/// A sequential history: operations with unique identifiers, in order.
+///
+/// Identifiers tie the "same invocation" across `H` and `H′` (the
+/// definition compares invocations, not just payloads).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct History {
+    ops: Vec<(u64, Op)>,
+}
+
+impl History {
+    /// The empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Appends an operation with the given unique id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already present.
+    pub fn push(&mut self, id: u64, op: Op) {
+        assert!(
+            !self.ops.iter().any(|(i, _)| *i == id),
+            "duplicate operation id {id}"
+        );
+        self.ops.push((id, op));
+    }
+
+    /// Builder-style [`Self::push`].
+    pub fn with(mut self, id: u64, op: Op) -> Self {
+        self.push(id, op);
+        self
+    }
+
+    /// The operations in order.
+    pub fn ops(&self) -> &[(u64, Op)] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Decides whether `self` is an r-relaxation of `other` (`self` = H,
+    /// `other` = H′), per Definition 2.
+    ///
+    /// Runs in O(|H′|²) — intended for tests and small recorded histories.
+    pub fn is_r_relaxation_of(&self, other: &History, r: usize) -> bool {
+        // Positions of every op in H′ and in H.
+        let pos_prime: HashMap<u64, usize> = other
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, (id, _))| (*id, i))
+            .collect();
+        let pos_h: HashMap<u64, usize> = self
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, (id, _))| (*id, i))
+            .collect();
+
+        // Condition 0: every op of H appears in H′ with the same payload.
+        for (id, op) in &self.ops {
+            match pos_prime.get(id) {
+                None => return false,
+                Some(&j) => {
+                    if other.ops[j].1 != *op {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Condition 1: at most r ops of H′ are missing from H.
+        if other.len() - self.len() > r {
+            return false;
+        }
+        // Condition 2: for each invocation x in H, at most r of the
+        // invocations preceding x in H′ fail to precede it in H
+        // (either dropped or reordered after x).
+        for (id_x, _) in &self.ops {
+            let px_prime = pos_prime[id_x];
+            let px_h = pos_h[id_x];
+            let mut overtaken = 0usize;
+            for (id_y, _) in &other.ops[..px_prime] {
+                match pos_h.get(id_y) {
+                    None => overtaken += 1, // dropped
+                    Some(&py_h) if py_h > px_h => overtaken += 1, // reordered
+                    _ => {}
+                }
+            }
+            if overtaken > r {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(id: u64) -> (u64, Op) {
+        (id, Op::Update(id))
+    }
+
+    fn hist(ids: &[u64]) -> History {
+        let mut h = History::new();
+        for &id in ids {
+            h.push(id, Op::Update(id));
+        }
+        h
+    }
+
+    #[test]
+    fn history_is_its_own_0_relaxation() {
+        let h = hist(&[1, 2, 3, 4]);
+        assert!(h.is_r_relaxation_of(&h, 0));
+    }
+
+    #[test]
+    fn figure2_one_relaxation() {
+        // Figure 2's shape: a query overtaken by one update. In H′ the
+        // query (id 10) comes after update 1; in H it comes before —
+        // i.e., the query "missed" one preceding update.
+        let h_prime = History::new()
+            .with(1, Op::Update(1))
+            .with(10, Op::Query(0))
+            .with(2, Op::Update(2));
+        let h = History::new()
+            .with(10, Op::Query(0))
+            .with(1, Op::Update(1))
+            .with(2, Op::Update(2));
+        assert!(h.is_r_relaxation_of(&h_prime, 1));
+        assert!(!h.is_r_relaxation_of(&h_prime, 0));
+    }
+
+    #[test]
+    fn dropped_op_counts_against_r() {
+        let h_prime = hist(&[1, 2, 3]);
+        let h = hist(&[1, 3]);
+        assert!(h.is_r_relaxation_of(&h_prime, 1));
+        assert!(!h.is_r_relaxation_of(&h_prime, 0));
+    }
+
+    #[test]
+    fn too_many_drops_rejected() {
+        let h_prime = hist(&[1, 2, 3, 4, 5]);
+        let h = hist(&[1, 5]);
+        assert!(h.is_r_relaxation_of(&h_prime, 3));
+        assert!(!h.is_r_relaxation_of(&h_prime, 2));
+    }
+
+    #[test]
+    fn reordering_within_r_accepted() {
+        // Element 1 overtaken by 2 and 3: needs r ≥ 2 for op 1? No — the
+        // condition counts, per op x, how many of x's H′-predecessors do
+        // not precede it in H. For op 1 (no predecessors in H′) it's 0;
+        // for ops 2 and 3 the moved op 1 still precedes... check both
+        // directions.
+        let h_prime = hist(&[1, 2, 3]);
+        let h = History::new()
+            .with(2, Op::Update(2))
+            .with(3, Op::Update(3))
+            .with(1, Op::Update(1));
+        // Op 1 in H is preceded by nothing in H′-order that matters; ops
+        // 2,3 each miss predecessor 1 ⇒ max overtaken = 1.
+        assert!(h.is_r_relaxation_of(&h_prime, 1));
+        assert!(!h.is_r_relaxation_of(&h_prime, 0));
+    }
+
+    #[test]
+    fn long_distance_overtaking_needs_large_r() {
+        // The last op of H′ moved to the front of H: it misses all n−1
+        // predecessors.
+        let n = 10u64;
+        let h_prime = hist(&(1..=n).collect::<Vec<_>>());
+        let mut ids: Vec<u64> = vec![n];
+        ids.extend(1..n);
+        let h = hist(&ids);
+        assert!(h.is_r_relaxation_of(&h_prime, (n - 1) as usize));
+        assert!(!h.is_r_relaxation_of(&h_prime, (n - 2) as usize));
+    }
+
+    #[test]
+    fn foreign_op_rejected() {
+        let h_prime = hist(&[1, 2]);
+        let h = hist(&[1, 2, 99]);
+        assert!(!h.is_r_relaxation_of(&h_prime, 5));
+    }
+
+    #[test]
+    fn payload_mismatch_rejected() {
+        let h_prime = History::new().with(1, Op::Update(1)).with(2, Op::Query(7));
+        let h = History::new().with(1, Op::Update(1)).with(2, Op::Query(8));
+        assert!(!h.is_r_relaxation_of(&h_prime, 2));
+    }
+
+    #[test]
+    fn empty_histories() {
+        let e = History::new();
+        assert!(e.is_r_relaxation_of(&e, 0));
+        let h = hist(&[1]);
+        assert!(e.is_r_relaxation_of(&h, 1));
+        assert!(!e.is_r_relaxation_of(&h, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate operation id")]
+    fn duplicate_ids_panic() {
+        let mut h = History::new();
+        h.push(1, Op::Update(1));
+        h.push(1, Op::Update(2));
+    }
+
+    #[test]
+    fn relaxation_is_monotone_in_r() {
+        let h_prime = hist(&[1, 2, 3, 4, 5, 6]);
+        let h = History::new()
+            .with(2, Op::Update(2))
+            .with(1, Op::Update(1))
+            .with(4, Op::Update(4))
+            .with(6, Op::Update(6))
+            .with(5, Op::Update(5));
+        // Find the minimal r and check monotonicity above it.
+        let min_r = (0..=6)
+            .find(|&r| h.is_r_relaxation_of(&h_prime, r))
+            .expect("some r works");
+        for r in min_r..=6 {
+            assert!(h.is_r_relaxation_of(&h_prime, r));
+        }
+        for r in 0..min_r {
+            assert!(!h.is_r_relaxation_of(&h_prime, r));
+        }
+    }
+
+    #[test]
+    fn update_helper_consistency() {
+        let (id, op) = upd(3);
+        assert_eq!(id, 3);
+        assert_eq!(op, Op::Update(3));
+    }
+}

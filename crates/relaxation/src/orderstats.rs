@@ -1,0 +1,145 @@
+//! Order-statistics mathematics behind §6.1.
+//!
+//! The hashed distinct elements of the stream are modelled as `n` iid
+//! uniform variables on `[0, 1]`; `M₍ᵢ₎`, the i-th minimum, follows a
+//! Beta(i, n−i+1) distribution. The Θ estimator evaluated at `M₍ᵢ₎` is
+//! `est(M₍ᵢ₎) = (k−1)/M₍ᵢ₎`, whose moments are exactly computable:
+//!
+//! * `E[1/M₍ᵢ₎] = n/(i−1)`
+//! * `E[1/M₍ᵢ₎²] = n(n−1)/((i−1)(i−2))`
+//!
+//! which yield the closed forms in Table 1: the weak adversary (which
+//! always hides `j = r` elements, the error-maximising deterministic
+//! choice) produces expectation `n(k−1)/(k+r−1)`.
+
+/// Expected value of the i-th minimum of `n` iid uniforms:
+/// `E[M₍ᵢ₎] = i/(n+1)`.
+pub fn expected_min(n: u64, i: u64) -> f64 {
+    assert!(i >= 1 && i <= n, "order statistic index out of range");
+    i as f64 / (n as f64 + 1.0)
+}
+
+/// `E[(k−1)/M₍ₖ₊ⱼ₎]` — the expected Θ estimate when the query sees the
+/// (k+j)-th minimum as Θ: `n(k−1)/(k+j−1)`.
+///
+/// With `j = 0` this recovers the unbiasedness of the sequential sketch
+/// (`E[e] = n`); with `j = r` it is the weak adversary's expectation from
+/// Table 1.
+pub fn expected_estimate(n: u64, k: u64, j: u64) -> f64 {
+    assert!(k + j >= 2, "estimator needs k+j ≥ 2");
+    n as f64 * (k as f64 - 1.0) / (k as f64 + j as f64 - 1.0)
+}
+
+/// Exact second moment `E[est(M₍ₖ₊ⱼ₎)²] = (k−1)²·n(n−1)/((k+j−1)(k+j−2))`.
+pub fn second_moment_estimate(n: u64, k: u64, j: u64) -> f64 {
+    assert!(k + j >= 3, "second moment needs k+j ≥ 3");
+    let (n, k, j) = (n as f64, k as f64, j as f64);
+    (k - 1.0) * (k - 1.0) * n * (n - 1.0) / ((k + j - 1.0) * (k + j - 2.0))
+}
+
+/// Exact RSE (root-mean-square error relative to `n`) of the estimator
+/// that always evaluates at `M₍ₖ₊ⱼ₎`:
+/// `√(E[(e−n)²])/n = √(E[e²] − 2n·E[e] + n²)/n`.
+///
+/// With `j = 0` this is the sequential sketch's exact RSE (≈ `1/√(k−2)`);
+/// with `j = r` it is the weak adversary's, which §6.1 bounds by
+/// `√(1/(k−2)) + r/(k−2)`.
+pub fn rse_estimate(n: u64, k: u64, j: u64) -> f64 {
+    let e1 = expected_estimate(n, k, j);
+    let e2 = second_moment_estimate(n, k, j);
+    let n = n as f64;
+    let mse = (e2 - 2.0 * n * e1 + n * n).max(0.0);
+    mse.sqrt() / n
+}
+
+/// The paper's closed-form *bound* on the weak-adversary RSE:
+/// `√(1/(k−2)) + r/(k−2)` (§6.1). Re-exported from `fcds-sketches` for
+/// convenience.
+pub fn weak_adversary_rse_bound(k: usize, r: usize) -> f64 {
+    fcds_sketches::theta::relaxed_rse(k, r)
+}
+
+/// The relative bias the weak adversary induces:
+/// `(n − E[e_Aw])/n = r/(k+r−1)`.
+pub fn weak_adversary_relative_bias(k: u64, r: u64) -> f64 {
+    r as f64 / (k as f64 + r as f64 - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_min_is_increasing() {
+        let n = 100;
+        let mut last = 0.0;
+        for i in 1..=n {
+            let v = expected_min(n, i);
+            assert!(v > last);
+            last = v;
+        }
+        assert!((expected_min(n, n) - 100.0 / 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_estimator_is_unbiased() {
+        // j = 0: E[e] = n.
+        for &(n, k) in &[(1 << 15, 1 << 10), (1_000_000, 4096)] {
+            assert!((expected_estimate(n, k, 0) - n as f64).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weak_adversary_expectation_matches_table1() {
+        // Table 1: E[e_Aw] = n(k−1)/(k+r−1) with n = 2^15, k = 2^10, r = 8.
+        let e = expected_estimate(1 << 15, 1 << 10, 8);
+        let expected = 32768.0 * 1023.0 / 1031.0;
+        assert!((e - expected).abs() < 1e-9);
+        // ≈ 0.992 · n: a slight underestimate.
+        assert!(e < 32768.0);
+        assert!(e > 0.99 * 32768.0);
+    }
+
+    #[test]
+    fn sequential_rse_matches_1_over_sqrt_k_minus_2() {
+        // For large n the exact RSE at j=0 approaches √((n−k+1)/(n(k−2)))
+        // ≈ 1/√(k−2).
+        let k = 1 << 10;
+        let rse = rse_estimate(1 << 20, k, 0);
+        let bound = 1.0 / ((k as f64) - 2.0).sqrt();
+        assert!(rse <= bound * 1.001, "rse {rse} vs bound {bound}");
+        assert!(rse >= bound * 0.9, "rse {rse} much below bound {bound}");
+    }
+
+    #[test]
+    fn weak_rse_within_paper_bound() {
+        // §6.1: RSE(e_Aw) ≤ √(1/(k−2)) + r/(k−2); numerically ~3.8%
+        // for Table 1's parameters.
+        let (n, k, r) = (1u64 << 15, 1u64 << 10, 8u64);
+        let rse = rse_estimate(n, k, r);
+        let bound = weak_adversary_rse_bound(k as usize, r as usize);
+        assert!(rse <= bound, "rse {rse} vs bound {bound}");
+        assert!(rse > 0.03 && rse < 0.045, "rse {rse} not near Table 1's 3.8%");
+    }
+
+    #[test]
+    fn rse_grows_with_j() {
+        let (n, k) = (1u64 << 15, 1u64 << 10);
+        let r0 = rse_estimate(n, k, 0);
+        let r8 = rse_estimate(n, k, 8);
+        let r64 = rse_estimate(n, k, 64);
+        assert!(r0 < r8 && r8 < r64);
+    }
+
+    #[test]
+    fn weak_bias_formula() {
+        let bias = weak_adversary_relative_bias(1 << 10, 8);
+        assert!((bias - 8.0 / 1031.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "order statistic index")]
+    fn expected_min_rejects_zero() {
+        let _ = expected_min(10, 0);
+    }
+}

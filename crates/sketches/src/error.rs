@@ -1,0 +1,105 @@
+//! Error type shared by all sketches in the workspace.
+
+use std::fmt;
+
+/// Errors returned by sketch constructors and operations.
+///
+/// Sketch *updates* and *queries* are infallible by design (they are the
+/// hot path); errors can only arise from invalid configuration or from
+/// operations that combine incompatible sketches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SketchError {
+    /// A configuration parameter was out of its documented range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// Two sketches could not be combined (merge / set operation) because
+    /// their configurations are incompatible.
+    Incompatible {
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// A serialised sketch image could not be decoded.
+    Corrupt {
+        /// Description of the corruption.
+        reason: String,
+    },
+}
+
+impl SketchError {
+    /// Convenience constructor for [`SketchError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        SketchError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SketchError::Incompatible`].
+    pub fn incompatible(reason: impl Into<String>) -> Self {
+        SketchError::Incompatible {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SketchError::Corrupt`].
+    pub fn corrupt(reason: impl Into<String>) -> Self {
+        SketchError::Corrupt {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SketchError::Incompatible { reason } => {
+                write!(f, "incompatible sketches: {reason}")
+            }
+            SketchError::Corrupt { reason } => {
+                write!(f, "corrupt sketch image: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+/// Result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, SketchError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = SketchError::invalid("k", "must be a power of two");
+        assert_eq!(e.to_string(), "invalid parameter `k`: must be a power of two");
+    }
+
+    #[test]
+    fn display_incompatible() {
+        let e = SketchError::incompatible("k mismatch: 128 vs 256");
+        assert_eq!(e.to_string(), "incompatible sketches: k mismatch: 128 vs 256");
+    }
+
+    #[test]
+    fn display_corrupt() {
+        let e = SketchError::corrupt("truncated preamble");
+        assert_eq!(e.to_string(), "corrupt sketch image: truncated preamble");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SketchError::invalid("x", "y"));
+    }
+}

@@ -1,0 +1,352 @@
+//! The Misra–Gries frequent-items summary.
+
+use crate::error::{Result, SketchError};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A frequency estimate for one item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrequencyEstimate {
+    /// Lower bound on the item's true count (the retained counter).
+    pub lower_bound: u64,
+    /// Upper bound: `lower_bound + max_error`.
+    pub upper_bound: u64,
+}
+
+impl FrequencyEstimate {
+    /// Whether the item is *guaranteed* to appear more than `threshold`
+    /// times.
+    pub fn surely_above(&self, threshold: u64) -> bool {
+        self.lower_bound > threshold
+    }
+
+    /// Whether the item *may* appear more than `threshold` times.
+    pub fn possibly_above(&self, threshold: u64) -> bool {
+        self.upper_bound > threshold
+    }
+}
+
+/// Misra–Gries heavy-hitters sketch with at most `k` counters.
+///
+/// Guarantees: for every item with true count `f`,
+/// `estimate.lower_bound ≤ f ≤ estimate.lower_bound + max_error()`,
+/// and `max_error() ≤ n/(k+1)`. Every item with `f > n/(k+1)` is
+/// guaranteed to be present in the summary.
+///
+/// # Examples
+///
+/// ```
+/// use fcds_sketches::frequency::MisraGriesSketch;
+///
+/// let mut mg = MisraGriesSketch::<&str>::new(8).unwrap();
+/// for _ in 0..1_000 { mg.update("heavy"); }
+/// for i in 0..500u64 {
+///     let light = format!("light{i}");
+///     mg.update_owned(Box::leak(light.into_boxed_str()) as &str);
+/// }
+/// let est = mg.estimate(&"heavy");
+/// assert!(est.lower_bound >= 800);
+/// assert!(est.upper_bound >= 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MisraGriesSketch<T: Eq + Hash + Clone> {
+    k: usize,
+    n: u64,
+    counters: HashMap<T, u64>,
+    /// Total weight removed by decrements — the uniform over-/under-count
+    /// slack of every absent or retained item.
+    error: u64,
+}
+
+impl<T: Eq + Hash + Clone> MisraGriesSketch<T> {
+    /// Creates a sketch holding at most `k` counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `k == 0`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(SketchError::invalid("k", "must be ≥ 1"));
+        }
+        Ok(MisraGriesSketch {
+            k,
+            n: 0,
+            counters: HashMap::with_capacity(k + 1),
+            error: 0,
+        })
+    }
+
+    /// Maximum number of counters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Stream length processed so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The uniform error slack: any item's true count exceeds its
+    /// retained counter by at most this much. Bounded by `n/(k+1)`.
+    pub fn max_error(&self) -> u64 {
+        self.error
+    }
+
+    /// Processes one stream item.
+    pub fn update(&mut self, item: T) {
+        self.update_weighted(item, 1);
+    }
+
+    /// Alias of [`Self::update`] for callers that hand over ownership
+    /// explicitly (documentation nicety used in examples).
+    pub fn update_owned(&mut self, item: T) {
+        self.update(item);
+    }
+
+    /// Processes one stream item with a positive weight.
+    pub fn update_weighted(&mut self, item: T, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.n += weight;
+        if let Some(c) = self.counters.get_mut(&item) {
+            *c += weight;
+            return;
+        }
+        self.counters.insert(item, weight);
+        if self.counters.len() > self.k {
+            self.reduce();
+        }
+    }
+
+    /// The Misra–Gries reduction: subtract the median-ish decrement (the
+    /// minimum counter) from every counter and drop the zeros, restoring
+    /// `≤ k` counters.
+    fn reduce(&mut self) {
+        let min = self
+            .counters
+            .values()
+            .copied()
+            .min()
+            .expect("reduce on non-empty map");
+        self.error += min;
+        self.counters.retain(|_, c| {
+            *c -= min;
+            *c > 0
+        });
+        debug_assert!(self.counters.len() <= self.k);
+    }
+
+    /// Frequency estimate for an item.
+    pub fn estimate(&self, item: &T) -> FrequencyEstimate {
+        let lower = self.counters.get(item).copied().unwrap_or(0);
+        FrequencyEstimate {
+            lower_bound: lower,
+            upper_bound: lower + self.error,
+        }
+    }
+
+    /// All retained items whose *upper* bound exceeds `threshold`
+    /// (no false negatives), sorted by decreasing lower bound.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(T, FrequencyEstimate)> {
+        let mut out: Vec<(T, FrequencyEstimate)> = self
+            .counters
+            .iter()
+            .map(|(item, &c)| {
+                (
+                    item.clone(),
+                    FrequencyEstimate {
+                        lower_bound: c,
+                        upper_bound: c + self.error,
+                    },
+                )
+            })
+            .filter(|(_, e)| e.upper_bound > threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.lower_bound.cmp(&a.1.lower_bound));
+        out
+    }
+
+    /// Merges another summary into this one (counter addition followed by
+    /// a reduction back to `k` counters — the mergeable-summaries
+    /// construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Incompatible`] if the `k` parameters differ.
+    pub fn merge(&mut self, other: &MisraGriesSketch<T>) -> Result<()> {
+        if other.k != self.k {
+            return Err(SketchError::incompatible(format!(
+                "k mismatch: {} vs {}",
+                self.k, other.k
+            )));
+        }
+        self.n += other.n;
+        self.error += other.error;
+        for (item, &c) in &other.counters {
+            *self.counters.entry(item.clone()).or_insert(0) += c;
+        }
+        while self.counters.len() > self.k {
+            self.reduce();
+        }
+        Ok(())
+    }
+
+    /// Resets to the empty state.
+    pub fn clear(&mut self) {
+        self.n = 0;
+        self.error = 0;
+        self.counters.clear();
+    }
+
+    /// Number of retained counters.
+    pub fn retained(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the summary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_k() {
+        assert!(MisraGriesSketch::<u64>::new(0).is_err());
+    }
+
+    #[test]
+    fn exact_below_k_distinct() {
+        let mut mg = MisraGriesSketch::new(16).unwrap();
+        for i in 0..10u64 {
+            for _ in 0..=i {
+                mg.update(i);
+            }
+        }
+        assert_eq!(mg.max_error(), 0);
+        for i in 0..10u64 {
+            assert_eq!(mg.estimate(&i).lower_bound, i + 1);
+        }
+        assert_eq!(mg.estimate(&99).lower_bound, 0);
+    }
+
+    #[test]
+    fn error_bounded_by_n_over_k_plus_1() {
+        let mut mg = MisraGriesSketch::new(9).unwrap();
+        for i in 0..100_000u64 {
+            mg.update(i % 1_000); // uniform: worst case for MG
+        }
+        assert!(mg.max_error() as f64 <= 100_000.0 / 10.0);
+    }
+
+    #[test]
+    fn bounds_bracket_truth() {
+        let mut mg = MisraGriesSketch::new(8).unwrap();
+        // heavy: 10_000 occurrences, light items once each.
+        for _ in 0..10_000 {
+            mg.update(0u64);
+        }
+        for i in 1..5_000u64 {
+            mg.update(i);
+        }
+        let est = mg.estimate(&0);
+        assert!(est.lower_bound <= 10_000);
+        assert!(est.upper_bound >= 10_000);
+        assert!(est.surely_above(5_000));
+    }
+
+    #[test]
+    fn heavy_hitters_no_false_negatives() {
+        let mut mg = MisraGriesSketch::new(16).unwrap();
+        let n = 50_000u64;
+        // Three items above n/(k+1); the rest uniform noise.
+        for _ in 0..10_000 {
+            mg.update(1u64);
+        }
+        for _ in 0..8_000 {
+            mg.update(2u64);
+        }
+        for _ in 0..5_000 {
+            mg.update(3u64);
+        }
+        for i in 0..(n - 23_000) {
+            mg.update(100 + i % 9_000);
+        }
+        let hh = mg.heavy_hitters(n / 17);
+        let ids: Vec<u64> = hh.iter().map(|(i, _)| *i).collect();
+        for heavy in [1u64, 2, 3] {
+            assert!(ids.contains(&heavy), "missing heavy hitter {heavy}");
+        }
+        // Sorted by decreasing lower bound.
+        assert!(hh.windows(2).all(|w| w[0].1.lower_bound >= w[1].1.lower_bound));
+    }
+
+    #[test]
+    fn weighted_updates() {
+        let mut mg = MisraGriesSketch::new(4).unwrap();
+        mg.update_weighted("a", 100);
+        mg.update_weighted("b", 50);
+        mg.update_weighted("c", 0); // no-op
+        assert_eq!(mg.n(), 150);
+        assert_eq!(mg.estimate(&"a").lower_bound, 100);
+    }
+
+    #[test]
+    fn merge_equals_concatenation_bounds() {
+        let mut a = MisraGriesSketch::new(8).unwrap();
+        let mut b = MisraGriesSketch::new(8).unwrap();
+        let mut whole = MisraGriesSketch::new(8).unwrap();
+        for i in 0..30_000u64 {
+            let item = if i % 3 == 0 { 7 } else { i % 500 };
+            whole.update(item);
+            if i % 2 == 0 {
+                a.update(item);
+            } else {
+                b.update(item);
+            }
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.n(), whole.n());
+        // The merged bounds must still bracket the true count of the
+        // heavy item (10k occurrences of 7).
+        let est = a.estimate(&7);
+        let truth = 30_000 / 3;
+        assert!(est.lower_bound <= truth);
+        assert!(est.upper_bound >= truth);
+        // Error stays within the mergeable-summaries bound n/(k+1) plus
+        // slack for the two-phase reduction.
+        assert!(a.max_error() <= 2 * whole.n() / 9 + 1);
+    }
+
+    #[test]
+    fn merge_k_mismatch_rejected() {
+        let mut a = MisraGriesSketch::<u64>::new(4).unwrap();
+        let b = MisraGriesSketch::<u64>::new(8).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut mg = MisraGriesSketch::new(4).unwrap();
+        for i in 0..1_000u64 {
+            mg.update(i);
+        }
+        mg.clear();
+        assert!(mg.is_empty());
+        assert_eq!(mg.max_error(), 0);
+        assert_eq!(mg.estimate(&1).upper_bound, 0);
+    }
+
+    #[test]
+    fn retained_never_exceeds_k() {
+        let mut mg = MisraGriesSketch::new(5).unwrap();
+        for i in 0..10_000u64 {
+            mg.update(i);
+            assert!(mg.retained() <= 5);
+        }
+    }
+}

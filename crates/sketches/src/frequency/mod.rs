@@ -1,0 +1,14 @@
+//! Frequent-items (heavy hitters) sketch: Misra–Gries.
+//!
+//! A fourth sketch family for exercising the concurrent framework's
+//! genericity (§8 of the paper names "other sketches" as future work).
+//! Misra–Gries maintains at most `k` counters; an item's true count `f`
+//! is bracketed by the reported estimate: `est ≤ f ≤ est + error_bound`
+//! where the bound is at most `n/(k+1)` (n = stream length). Crucially
+//! for us it is a *mergeable summary* (Agarwal et al., PODS 2012): two
+//! summaries merge by adding counters and re-applying the k-counter
+//! reduction, which is exactly what the propagator needs.
+
+mod misra_gries;
+
+pub use misra_gries::{FrequencyEstimate, MisraGriesSketch};

@@ -1,0 +1,176 @@
+//! Hashing layer: MurmurHash3 plus the [`Hashable`] abstraction that maps
+//! stream items into the 64-bit hash domain shared by all sketches.
+//!
+//! The paper models the hash function as "a random hash function h whose
+//! outputs are uniformly distributed in the range [0, 1]" (§3). We work in
+//! the integer domain instead: outputs are uniform in `0..=u64::MAX` and
+//! `u64::MAX` plays the role of 1.0. The *seed* of the hash function is the
+//! random choice the de-randomisation oracle of §4 fixes.
+
+pub mod murmur3;
+
+pub use murmur3::{murmur3_64, murmur3_x64_128};
+
+/// The default hash seed, matching Apache DataSketches' update seed
+/// (9001) so that behaviour is recognisable to users of the Java library.
+pub const DEFAULT_SEED: u64 = 9001;
+
+/// Types that can be fed into a sketch.
+///
+/// An implementation must be a *pure function of the value*: two equal
+/// items must produce identical hashes for every seed, and unequal items
+/// should collide only with probability ~2⁻⁶⁴. All implementations below
+/// delegate to MurmurHash3 of a canonical byte encoding.
+///
+/// # Examples
+///
+/// ```
+/// use fcds_sketches::hash::{Hashable, DEFAULT_SEED};
+///
+/// let a = 17u64.hash_with_seed(DEFAULT_SEED);
+/// let b = 17u64.hash_with_seed(DEFAULT_SEED);
+/// assert_eq!(a, b);
+/// ```
+pub trait Hashable {
+    /// Hashes `self` into the 64-bit hash domain under the given seed.
+    fn hash_with_seed(&self, seed: u64) -> u64;
+}
+
+impl Hashable for u64 {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        murmur3_64(&self.to_le_bytes(), seed)
+    }
+}
+
+impl Hashable for i64 {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        murmur3_64(&self.to_le_bytes(), seed)
+    }
+}
+
+impl Hashable for u32 {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        (*self as u64).hash_with_seed(seed)
+    }
+}
+
+impl Hashable for i32 {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        (*self as i64).hash_with_seed(seed)
+    }
+}
+
+impl Hashable for f64 {
+    /// Hashes the canonical bit pattern; `-0.0` is canonicalised to `0.0`
+    /// so that numerically equal keys hash equally.
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        let canonical = if *self == 0.0 { 0.0f64 } else { *self };
+        murmur3_64(&canonical.to_bits().to_le_bytes(), seed)
+    }
+}
+
+impl Hashable for str {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        murmur3_64(self.as_bytes(), seed)
+    }
+}
+
+impl Hashable for String {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        self.as_str().hash_with_seed(seed)
+    }
+}
+
+impl Hashable for [u8] {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        murmur3_64(self, seed)
+    }
+}
+
+impl Hashable for Vec<u8> {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        murmur3_64(self, seed)
+    }
+}
+
+impl<T: Hashable + ?Sized> Hashable for &T {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        (**self).hash_with_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_and_i64_with_same_bits_hash_equal() {
+        // Both encode as the same 8 LE bytes.
+        assert_eq!(
+            5u64.hash_with_seed(DEFAULT_SEED),
+            5i64.hash_with_seed(DEFAULT_SEED)
+        );
+    }
+
+    #[test]
+    fn u32_widens_to_u64() {
+        assert_eq!(
+            7u32.hash_with_seed(DEFAULT_SEED),
+            7u64.hash_with_seed(DEFAULT_SEED)
+        );
+    }
+
+    #[test]
+    fn negative_zero_canonicalised() {
+        assert_eq!(
+            (-0.0f64).hash_with_seed(DEFAULT_SEED),
+            0.0f64.hash_with_seed(DEFAULT_SEED)
+        );
+    }
+
+    #[test]
+    fn str_and_string_agree() {
+        let s = String::from("hello sketch");
+        assert_eq!(
+            s.hash_with_seed(DEFAULT_SEED),
+            "hello sketch".hash_with_seed(DEFAULT_SEED)
+        );
+    }
+
+    #[test]
+    fn reference_delegates() {
+        let v = 99u64;
+        assert_eq!(
+            (&v).hash_with_seed(DEFAULT_SEED),
+            v.hash_with_seed(DEFAULT_SEED)
+        );
+    }
+
+    #[test]
+    fn bytes_and_str_with_same_content_agree() {
+        let b: &[u8] = b"abc";
+        assert_eq!(
+            b.hash_with_seed(DEFAULT_SEED),
+            "abc".hash_with_seed(DEFAULT_SEED)
+        );
+    }
+
+    #[test]
+    fn distinct_items_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100_000u64 {
+            seen.insert(i.hash_with_seed(DEFAULT_SEED));
+        }
+        assert_eq!(seen.len(), 100_000, "64-bit collision in 100k items");
+    }
+}

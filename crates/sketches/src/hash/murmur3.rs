@@ -1,0 +1,214 @@
+//! MurmurHash3 `x64_128`, reimplemented from Austin Appleby's public-domain
+//! reference. This is the hash function Apache DataSketches uses for all of
+//! its sketches, so we use it for hash-compatibility of behaviour (uniform
+//! 64-bit outputs, excellent avalanche) even though any good 64-bit hash
+//! would satisfy the paper's analysis.
+
+const C1: u64 = 0x87c3_7b91_1142_53d5;
+const C2: u64 = 0x4cf5_ad43_2745_937f;
+
+#[inline(always)]
+fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+#[inline(always)]
+fn mix_k1(mut k1: u64) -> u64 {
+    k1 = k1.wrapping_mul(C1);
+    k1 = k1.rotate_left(31);
+    k1.wrapping_mul(C2)
+}
+
+#[inline(always)]
+fn mix_k2(mut k2: u64) -> u64 {
+    k2 = k2.wrapping_mul(C2);
+    k2 = k2.rotate_left(33);
+    k2.wrapping_mul(C1)
+}
+
+/// Computes the 128-bit MurmurHash3 (`x64_128` variant) of `data` with the
+/// given `seed`, returning the two 64-bit halves `(h1, h2)`.
+///
+/// The implementation follows the reference `MurmurHash3_x64_128` exactly:
+/// 16-byte blocks are consumed with the (C1, rot 31, C2) / (C2, rot 33, C1)
+/// mixers, the tail is folded in little-endian order, and both halves go
+/// through the 64-bit finaliser (`fmix64`).
+pub fn murmur3_x64_128(data: &[u8], seed: u64) -> (u64, u64) {
+    let mut h1 = seed;
+    let mut h2 = seed;
+    let n_blocks = data.len() / 16;
+
+    // Body: 16-byte blocks.
+    for i in 0..n_blocks {
+        let b = &data[i * 16..i * 16 + 16];
+        let k1 = u64::from_le_bytes(b[0..8].try_into().expect("8-byte slice"));
+        let k2 = u64::from_le_bytes(b[8..16].try_into().expect("8-byte slice"));
+
+        h1 ^= mix_k1(k1);
+        h1 = h1.rotate_left(27);
+        h1 = h1.wrapping_add(h2);
+        h1 = h1.wrapping_mul(5).wrapping_add(0x52dc_e729);
+
+        h2 ^= mix_k2(k2);
+        h2 = h2.rotate_left(31);
+        h2 = h2.wrapping_add(h1);
+        h2 = h2.wrapping_mul(5).wrapping_add(0x3849_5ab5);
+    }
+
+    // Tail: the remaining 0..=15 bytes.
+    let tail = &data[n_blocks * 16..];
+    let mut k1: u64 = 0;
+    let mut k2: u64 = 0;
+    if tail.len() > 8 {
+        for (i, &b) in tail[8..].iter().enumerate() {
+            k2 ^= (b as u64) << (8 * i);
+        }
+        h2 ^= mix_k2(k2);
+    }
+    if !tail.is_empty() {
+        for (i, &b) in tail.iter().take(8).enumerate() {
+            k1 ^= (b as u64) << (8 * i);
+        }
+        h1 ^= mix_k1(k1);
+    }
+
+    // Finalisation.
+    let len = data.len() as u64;
+    h1 ^= len;
+    h2 ^= len;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    (h1, h2)
+}
+
+/// Convenience wrapper returning only the first 64-bit half, which is what
+/// the sketches use as the item's position in the hash domain.
+#[inline]
+pub fn murmur3_64(data: &[u8], seed: u64) -> u64 {
+    murmur3_x64_128(data, seed).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_seed_zero_is_zero() {
+        // With no blocks, no tail and len = 0, both halves stay 0 through
+        // finalisation: this is the reference implementation's behaviour.
+        assert_eq!(murmur3_x64_128(b"", 0), (0, 0));
+    }
+
+    #[test]
+    fn empty_input_nonzero_seed_is_not_zero() {
+        let (h1, h2) = murmur3_x64_128(b"", 9001);
+        assert_ne!((h1, h2), (0, 0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = murmur3_x64_128(b"fast concurrent data sketches", 42);
+        let b = murmur3_x64_128(b"fast concurrent data sketches", 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        let a = murmur3_x64_128(b"payload", 1);
+        let b = murmur3_x64_128(b"payload", 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_tail_length_is_distinct() {
+        // Exercise all tail lengths 0..=16 and make sure each extra byte
+        // changes the hash (catches tail-handling bugs such as reading the
+        // wrong lane or missing the len XOR).
+        let data: Vec<u8> = (0u8..48).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=data.len() {
+            let h = murmur3_x64_128(&data[..len], 7);
+            assert!(seen.insert(h), "collision at prefix length {len}");
+        }
+    }
+
+    #[test]
+    fn block_boundary_consistency() {
+        // A 16-byte input must go through the block path, not the tail
+        // path; verify it differs from its 15-byte prefix and 17-byte
+        // extension in a non-trivial way.
+        let data = [0xABu8; 17];
+        let h15 = murmur3_x64_128(&data[..15], 0);
+        let h16 = murmur3_x64_128(&data[..16], 0);
+        let h17 = murmur3_x64_128(&data[..17], 0);
+        assert_ne!(h15, h16);
+        assert_ne!(h16, h17);
+    }
+
+    #[test]
+    fn high_bits_are_uniform() {
+        // The top bit of h1 should be set for ~50% of inputs. A grossly
+        // biased implementation (e.g. forgetting fmix64) fails this.
+        let n = 100_000u64;
+        let ones: u64 = (0..n)
+            .filter(|i| murmur3_64(&i.to_le_bytes(), 0) >> 63 == 1)
+            .count() as u64;
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "top-bit frequency {frac}");
+    }
+
+    #[test]
+    fn avalanche_of_single_bit_flips() {
+        // Flipping any single input bit should flip roughly half of the 64
+        // output bits on average.
+        let base = b"avalanche-test-input".to_vec();
+        let h0 = murmur3_64(&base, 0);
+        let mut total_flipped = 0u32;
+        let mut trials = 0u32;
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut m = base.clone();
+                m[byte] ^= 1 << bit;
+                total_flipped += (murmur3_64(&m, 0) ^ h0).count_ones();
+                trials += 1;
+            }
+        }
+        let avg = total_flipped as f64 / trials as f64;
+        assert!(
+            (avg - 32.0).abs() < 3.0,
+            "average flipped output bits {avg}, expected ~32"
+        );
+    }
+
+    #[test]
+    fn bucket_uniformity_chi_square() {
+        // Hash 64k consecutive integers into 64 buckets and check the
+        // chi-square statistic is within a loose bound (df = 63; the 99.9th
+        // percentile is ~107, we allow 150 to keep the test robust).
+        const BUCKETS: usize = 64;
+        const N: u64 = 65_536;
+        let mut counts = [0u64; BUCKETS];
+        for i in 0..N {
+            let h = murmur3_64(&i.to_le_bytes(), 123);
+            counts[(h >> (64 - 6)) as usize] += 1;
+        }
+        let expected = N as f64 / BUCKETS as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 150.0, "chi-square {chi2} too large");
+    }
+}

@@ -1,0 +1,130 @@
+//! Compact wire format for HLL sketches.
+//!
+//! Layout (little-endian):
+//! `magic(u16) | version(u8) | lg_m(u8) | pad(u32) | seed(u64) | registers…`
+//! with exactly `2^lg_m` register bytes.
+
+use super::{HllSketch, MAX_LG_M, MIN_LG_M};
+use crate::error::{Result, SketchError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u16 = 0xFC11;
+const VERSION: u8 = 1;
+
+impl HllSketch {
+    /// Serialises the sketch into its compact wire format.
+    pub fn to_bytes(&self) -> Bytes {
+        let regs = self.registers();
+        let mut buf = BytesMut::with_capacity(16 + regs.len());
+        buf.put_u16_le(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(self.lg_m());
+        buf.put_u32_le(0);
+        buf.put_u64_le(self.seed());
+        buf.put_slice(regs);
+        buf.freeze()
+    }
+
+    /// Deserialises a sketch produced by [`HllSketch::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Corrupt`] on bad magic/version, truncation,
+    /// or register values exceeding the maximum possible rank.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self> {
+        if data.len() < 16 {
+            return Err(SketchError::corrupt("preamble truncated"));
+        }
+        let magic = data.get_u16_le();
+        if magic != MAGIC {
+            return Err(SketchError::corrupt(format!("bad magic {magic:#x}")));
+        }
+        let version = data.get_u8();
+        if version != VERSION {
+            return Err(SketchError::corrupt(format!("unknown version {version}")));
+        }
+        let lg_m = data.get_u8();
+        if !(MIN_LG_M..=MAX_LG_M).contains(&lg_m) {
+            return Err(SketchError::corrupt(format!("lg_m {lg_m} out of range")));
+        }
+        let _pad = data.get_u32_le();
+        let seed = data.get_u64_le();
+        let m = 1usize << lg_m;
+        if data.remaining() < m {
+            return Err(SketchError::corrupt("register array truncated"));
+        }
+        let max_rho = 64 - lg_m + 1;
+        let mut sketch = HllSketch::new(lg_m, seed)?;
+        let regs = sketch.registers_mut();
+        for slot in regs.iter_mut() {
+            let r = data.get_u8();
+            if r > max_rho {
+                return Err(SketchError::corrupt(format!(
+                    "register value {r} exceeds max rank {max_rho}"
+                )));
+            }
+            *slot = r;
+        }
+        Ok(sketch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut h = HllSketch::new(10, 77).unwrap();
+        for i in 0..50_000u64 {
+            h.update(i);
+        }
+        let bytes = h.to_bytes();
+        assert_eq!(bytes.len(), 16 + 1024);
+        let back = HllSketch::from_bytes(&bytes).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.estimate(), h.estimate());
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let h = HllSketch::new(4, 0).unwrap();
+        let back = HllSketch::from_bytes(&h.to_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut b = HllSketch::new(4, 0).unwrap().to_bytes().to_vec();
+        b[0] ^= 0xFF;
+        assert!(HllSketch::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let b = HllSketch::new(6, 0).unwrap().to_bytes();
+        assert!(HllSketch::from_bytes(&b[..b.len() - 1]).is_err());
+        assert!(HllSketch::from_bytes(&b[..8]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_register_rejected() {
+        let mut b = HllSketch::new(4, 0).unwrap().to_bytes().to_vec();
+        b[16] = 62; // max rank for lg_m = 4 is 61
+        assert!(HllSketch::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn deserialised_sketch_keeps_ingesting() {
+        let mut h = HllSketch::new(10, 5).unwrap();
+        for i in 0..10_000u64 {
+            h.update(i);
+        }
+        let mut back = HllSketch::from_bytes(&h.to_bytes()).unwrap();
+        for i in 10_000..20_000u64 {
+            back.update(i);
+            h.update(i);
+        }
+        assert_eq!(back, h);
+    }
+}

@@ -1,0 +1,643 @@
+//! The classic mergeable Quantiles sketch implementation.
+
+use crate::error::{Result, SketchError};
+use crate::oracle::{DeterministicOracle, Oracle};
+use std::fmt;
+
+/// Sequential mergeable Quantiles sketch (Agarwal et al., PODS 2012).
+///
+/// Generic over any totally ordered, cloneable item type; use
+/// [`TotalF64`](super::TotalF64) for floating-point keys.
+///
+/// # Examples
+///
+/// ```
+/// use fcds_sketches::quantiles::QuantilesSketch;
+/// use fcds_sketches::oracle::DeterministicOracle;
+///
+/// let mut q = QuantilesSketch::<u64>::new(128, DeterministicOracle::new(1)).unwrap();
+/// for i in 0..100_000u64 {
+///     q.update(i);
+/// }
+/// let median = q.quantile(0.5).unwrap();
+/// assert!((median as f64 - 50_000.0).abs() < 5_000.0);
+/// ```
+pub struct QuantilesSketch<T: Ord + Clone> {
+    k: usize,
+    n: u64,
+    /// Unsorted incoming items, capacity `2k`.
+    base_buffer: Vec<T>,
+    /// `levels[i]` is either empty or a sorted buffer of exactly `k` items
+    /// of weight `2^(i+1)` (one full base buffer of `2k` weight-1 items
+    /// compacts into `k` items of weight 2 at level 0).
+    levels: Vec<Vec<T>>,
+    /// Exact extrema (compaction can drop them from the buffers).
+    min_item: Option<T>,
+    max_item: Option<T>,
+    oracle: Box<dyn Oracle>,
+}
+
+impl<T: Ord + Clone> fmt::Debug for QuantilesSketch<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QuantilesSketch")
+            .field("k", &self.k)
+            .field("n", &self.n)
+            .field("base_buffer_len", &self.base_buffer.len())
+            .field(
+                "full_levels",
+                &self
+                    .levels
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| !l.is_empty())
+                    .map(|(i, _)| i)
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl<T: Ord + Clone> QuantilesSketch<T> {
+    /// Creates an empty sketch with accuracy parameter `k` and the given
+    /// randomness oracle (one coin flip is consumed per compaction; fixing
+    /// the oracle de-randomises the sketch per §4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `k < 2`.
+    pub fn new(k: usize, oracle: impl Oracle + 'static) -> Result<Self> {
+        if k < 2 {
+            return Err(SketchError::invalid("k", format!("must be ≥ 2, got {k}")));
+        }
+        Ok(QuantilesSketch {
+            k,
+            n: 0,
+            base_buffer: Vec::with_capacity(2 * k),
+            levels: Vec::new(),
+            min_item: None,
+            max_item: None,
+            oracle: Box::new(oracle),
+        })
+    }
+
+    /// Creates a sketch with a deterministic oracle seeded by `seed` —
+    /// convenient for tests and for the relaxation checker.
+    pub fn with_seed(k: usize, seed: u64) -> Result<Self> {
+        Self::new(k, DeterministicOracle::new(seed))
+    }
+
+    /// The accuracy parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of items processed (stream length `n`).
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns `true` if no items have been processed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The exact minimum item seen, if any.
+    pub fn min_item(&self) -> Option<&T> {
+        self.min_item.as_ref()
+    }
+
+    /// The exact maximum item seen, if any.
+    pub fn max_item(&self) -> Option<&T> {
+        self.max_item.as_ref()
+    }
+
+    /// Processes one stream element.
+    pub fn update(&mut self, item: T) {
+        match &mut self.min_item {
+            Some(m) if *m <= item => {}
+            m => *m = Some(item.clone()),
+        }
+        match &mut self.max_item {
+            Some(m) if *m >= item => {}
+            m => *m = Some(item.clone()),
+        }
+        self.base_buffer.push(item);
+        self.n += 1;
+        if self.base_buffer.len() == 2 * self.k {
+            self.process_full_base_buffer();
+        }
+    }
+
+    /// Sorts and compacts the full base buffer into a weight-2 carry and
+    /// propagates it up the level ladder (binary-addition style).
+    fn process_full_base_buffer(&mut self) {
+        debug_assert_eq!(self.base_buffer.len(), 2 * self.k);
+        self.base_buffer.sort();
+        let carry = Self::compact(&self.base_buffer, self.oracle.flip());
+        self.base_buffer.clear();
+        self.promote(carry, 0);
+    }
+
+    /// Keeps every other item of a sorted `2k` buffer: the odd-indexed
+    /// ones when `odd` is true, even-indexed otherwise. This is the
+    /// randomised compaction whose coin §4's oracle provides.
+    fn compact(sorted: &[T], odd: bool) -> Vec<T> {
+        let offset = usize::from(odd);
+        sorted.iter().skip(offset).step_by(2).cloned().collect()
+    }
+
+    /// Merges a sorted `k`-item carry into the ladder starting at `level`.
+    fn promote(&mut self, mut carry: Vec<T>, mut level: usize) {
+        debug_assert_eq!(carry.len(), self.k);
+        loop {
+            if self.levels.len() <= level {
+                self.levels.resize_with(level + 1, Vec::new);
+            }
+            if self.levels[level].is_empty() {
+                self.levels[level] = carry;
+                return;
+            }
+            let resident = std::mem::take(&mut self.levels[level]);
+            let merged = Self::merge_sorted(resident, carry);
+            carry = Self::compact(&merged, self.oracle.flip());
+            level += 1;
+        }
+    }
+
+    /// Merges two sorted vectors into one sorted vector.
+    fn merge_sorted(a: Vec<T>, b: Vec<T>) -> Vec<T> {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+        loop {
+            match (ia.peek(), ib.peek()) {
+                (Some(x), Some(y)) => {
+                    if x <= y {
+                        out.push(ia.next().expect("peeked"));
+                    } else {
+                        out.push(ib.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => out.push(ia.next().expect("peeked")),
+                (None, Some(_)) => out.push(ib.next().expect("peeked")),
+                (None, None) => return out,
+            }
+        }
+    }
+
+    /// Merges another sketch into this one; afterwards `self` summarises
+    /// the concatenation of both streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Incompatible`] if the `k` parameters differ
+    /// (down-sampling merges are not implemented).
+    pub fn merge(&mut self, other: &QuantilesSketch<T>) -> Result<()> {
+        if other.k != self.k {
+            return Err(SketchError::incompatible(format!(
+                "k mismatch: {} vs {}",
+                self.k, other.k
+            )));
+        }
+        for item in &other.base_buffer {
+            self.update(item.clone());
+        }
+        for (level, buf) in other.levels.iter().enumerate() {
+            if !buf.is_empty() {
+                self.promote(buf.clone(), level);
+                self.n += (self.k as u64) << (level + 1);
+            }
+        }
+        if let Some(m) = &other.min_item {
+            if self.min_item.as_ref().map_or(true, |s| m < s) {
+                self.min_item = Some(m.clone());
+            }
+        }
+        if let Some(m) = &other.max_item {
+            if self.max_item.as_ref().map_or(true, |s| m > s) {
+                self.max_item = Some(m.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Resets to the empty state, keeping `k` and the oracle.
+    pub fn clear(&mut self) {
+        self.n = 0;
+        self.base_buffer.clear();
+        self.levels.clear();
+        self.min_item = None;
+        self.max_item = None;
+    }
+
+    /// Decomposes the sketch for serialisation (crate-internal).
+    pub(crate) fn wire_parts(&self) -> (usize, u64, &[T], &[Vec<T>], Option<&T>, Option<&T>) {
+        (
+            self.k,
+            self.n,
+            &self.base_buffer,
+            &self.levels,
+            self.min_item.as_ref(),
+            self.max_item.as_ref(),
+        )
+    }
+
+    /// Rebuilds a sketch from deserialised parts (crate-internal; the
+    /// caller has validated the structural invariants).
+    pub(crate) fn from_wire_parts(
+        k: usize,
+        n: u64,
+        base_buffer: Vec<T>,
+        levels: Vec<Vec<T>>,
+        min_item: Option<T>,
+        max_item: Option<T>,
+        oracle: impl crate::oracle::Oracle + 'static,
+    ) -> crate::error::Result<Self> {
+        let mut sketch = QuantilesSketch::new(k, oracle)?;
+        sketch.n = n;
+        sketch.base_buffer = base_buffer;
+        sketch.levels = levels;
+        sketch.min_item = min_item;
+        sketch.max_item = max_item;
+        Ok(sketch)
+    }
+
+    /// Internal invariant check used by tests: `n` must equal the summed
+    /// weight of all buffers.
+    #[doc(hidden)]
+    pub fn check_weight_invariant(&self) -> bool {
+        let mut total = self.base_buffer.len() as u64;
+        for (level, buf) in self.levels.iter().enumerate() {
+            if !buf.is_empty() {
+                debug_assert_eq!(buf.len(), self.k);
+                total += (buf.len() as u64) << (level + 1);
+            }
+        }
+        total == self.n
+    }
+
+    /// Collects all retained `(item, weight)` pairs sorted by item.
+    fn weighted_items(&self) -> Vec<(T, u64)> {
+        let mut out: Vec<(T, u64)> = Vec::new();
+        let mut bb = self.base_buffer.clone();
+        bb.sort();
+        out.extend(bb.into_iter().map(|v| (v, 1u64)));
+        for (level, buf) in self.levels.iter().enumerate() {
+            let w = 1u64 << (level + 1);
+            out.extend(buf.iter().cloned().map(|v| (v, w)));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Freezes the retained items into a cheap reusable reader for batch
+    /// queries.
+    pub fn reader(&self) -> QuantilesReader<T> {
+        QuantilesReader {
+            items: self.weighted_items(),
+            n: self.n,
+            min_item: self.min_item.clone(),
+            max_item: self.max_item.clone(),
+        }
+    }
+
+    /// Returns an element whose rank approximates `phi·n` (φ ∈ [0, 1]).
+    ///
+    /// Returns `None` on an empty sketch. `phi = 0` returns the exact
+    /// minimum and `phi = 1` the exact maximum.
+    pub fn quantile(&self, phi: f64) -> Option<T> {
+        self.reader().quantile(phi)
+    }
+
+    /// The approximate normalised rank of `item`: the fraction of stream
+    /// elements strictly smaller than it.
+    pub fn rank(&self, item: &T) -> f64 {
+        self.reader().rank(item)
+    }
+}
+
+/// An immutable snapshot of a quantiles sketch's retained items, suitable
+/// for answering many queries without re-collecting the buffers.
+#[derive(Debug, Clone)]
+pub struct QuantilesReader<T: Ord + Clone> {
+    /// Sorted `(item, weight)` pairs.
+    items: Vec<(T, u64)>,
+    n: u64,
+    min_item: Option<T>,
+    max_item: Option<T>,
+}
+
+impl<T: Ord + Clone> QuantilesReader<T> {
+    /// Total stream length this snapshot summarises.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns `true` if the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// See [`QuantilesSketch::quantile`].
+    pub fn quantile(&self, phi: f64) -> Option<T> {
+        if self.n == 0 {
+            return None;
+        }
+        let phi = phi.clamp(0.0, 1.0);
+        if phi == 0.0 {
+            return self.min_item.clone();
+        }
+        if phi == 1.0 {
+            return self.max_item.clone();
+        }
+        let target = (phi * self.n as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (item, w) in &self.items {
+            cum += w;
+            if cum >= target {
+                return Some(item.clone());
+            }
+        }
+        self.max_item.clone()
+    }
+
+    /// See [`QuantilesSketch::rank`].
+    pub fn rank(&self, item: &T) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let below: u64 = self
+            .items
+            .iter()
+            .take_while(|(v, _)| v < item)
+            .map(|(_, w)| w)
+            .sum();
+        below as f64 / self.n as f64
+    }
+
+    /// Batch quantile query.
+    pub fn quantiles(&self, phis: &[f64]) -> Vec<Option<T>> {
+        phis.iter().map(|&p| self.quantile(p)).collect()
+    }
+
+    /// Cumulative distribution at the given split points: element `i` of
+    /// the result is the approximate fraction of the stream `< splits[i]`,
+    /// with a trailing 1.0.
+    pub fn cdf(&self, splits: &[T]) -> Vec<f64> {
+        let mut out: Vec<f64> = splits.iter().map(|s| self.rank(s)).collect();
+        out.push(1.0);
+        out
+    }
+
+    /// Probability mass between consecutive split points (complement of
+    /// [`Self::cdf`]).
+    pub fn pmf(&self, splits: &[T]) -> Vec<f64> {
+        let cdf = self.cdf(splits);
+        let mut out = Vec::with_capacity(cdf.len());
+        let mut prev = 0.0;
+        for c in cdf {
+            out.push(c - prev);
+            prev = c;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantiles::epsilon_for_k;
+
+    fn filled(k: usize, seed: u64, n: u64) -> QuantilesSketch<u64> {
+        let mut q = QuantilesSketch::with_seed(k, seed).unwrap();
+        for i in 0..n {
+            q.update(i);
+        }
+        q
+    }
+
+    #[test]
+    fn rejects_tiny_k() {
+        assert!(QuantilesSketch::<u64>::with_seed(1, 0).is_err());
+        assert!(QuantilesSketch::<u64>::with_seed(2, 0).is_ok());
+    }
+
+    #[test]
+    fn empty_sketch_queries() {
+        let q = QuantilesSketch::<u64>::with_seed(16, 0).unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.quantile(0.5), None);
+        assert_eq!(q.rank(&5), 0.0);
+    }
+
+    #[test]
+    fn small_stream_is_exact() {
+        // Fewer than 2k items: everything lives in the base buffer.
+        let q = filled(64, 1, 100);
+        for phi in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let v = q.quantile(phi).unwrap();
+            let expected = (phi * 100.0).ceil() as u64 - 1;
+            assert_eq!(v, expected, "phi={phi}");
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let q = filled(32, 1, 500_000);
+        assert_eq!(q.quantile(0.0), Some(0));
+        assert_eq!(q.quantile(1.0), Some(499_999));
+        assert_eq!(q.min_item(), Some(&0));
+        assert_eq!(q.max_item(), Some(&499_999));
+    }
+
+    #[test]
+    fn weight_invariant_holds_throughout() {
+        let mut q = QuantilesSketch::<u64>::with_seed(8, 3).unwrap();
+        for i in 0..10_000 {
+            q.update(i);
+            if i % 97 == 0 {
+                assert!(q.check_weight_invariant(), "broken at n={}", i + 1);
+            }
+        }
+        assert!(q.check_weight_invariant());
+    }
+
+    #[test]
+    fn rank_error_within_epsilon_sorted_stream() {
+        let k = 128;
+        let n = 200_000u64;
+        let q = filled(k, 7, n);
+        let eps = epsilon_for_k(k);
+        for phi in [0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let v = q.quantile(phi).unwrap();
+            let true_rank = v as f64 / n as f64; // stream is 0..n
+            assert!(
+                (true_rank - phi).abs() <= 3.0 * eps,
+                "phi={phi} got rank {true_rank} (eps={eps})"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_error_within_epsilon_shuffled_stream() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let k = 128;
+        let n = 100_000u64;
+        let mut items: Vec<u64> = (0..n).collect();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        items.shuffle(&mut rng);
+        let mut q = QuantilesSketch::with_seed(k, 5).unwrap();
+        for &i in &items {
+            q.update(i);
+        }
+        let eps = epsilon_for_k(k);
+        for phi in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            let v = q.quantile(phi).unwrap();
+            let true_rank = v as f64 / n as f64;
+            assert!(
+                (true_rank - phi).abs() <= 3.0 * eps,
+                "phi={phi} got rank {true_rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_is_monotone() {
+        let q = filled(64, 11, 50_000);
+        let r1 = q.rank(&10_000);
+        let r2 = q.rank(&20_000);
+        let r3 = q.rank(&40_000);
+        assert!(r1 <= r2 && r2 <= r3);
+        assert!((r2 - 0.4).abs() < 0.05);
+    }
+
+    #[test]
+    fn quantile_of_rank_round_trip() {
+        let q = filled(128, 13, 100_000);
+        for phi in [0.2, 0.5, 0.8] {
+            let v = q.quantile(phi).unwrap();
+            let r = q.rank(&v);
+            assert!((r - phi).abs() < 0.05, "phi={phi} rank={r}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenation_in_distribution() {
+        let k = 128;
+        let mut a = QuantilesSketch::<u64>::with_seed(k, 1).unwrap();
+        let mut b = QuantilesSketch::<u64>::with_seed(k, 2).unwrap();
+        // a gets the low half, b the high half.
+        for i in 0..50_000 {
+            a.update(i);
+        }
+        for i in 50_000..100_000 {
+            b.update(i);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.n(), 100_000);
+        assert!(a.check_weight_invariant());
+        let eps = epsilon_for_k(k);
+        for phi in [0.1, 0.5, 0.9] {
+            let v = a.quantile(phi).unwrap();
+            let true_rank = v as f64 / 100_000.0;
+            assert!(
+                (true_rank - phi).abs() <= 3.0 * eps,
+                "phi={phi} rank={true_rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_with_partial_base_buffer() {
+        let k = 16;
+        let mut a = filled(k, 1, 1000);
+        let b = filled(k, 2, 37); // only a partial base buffer
+        a.merge(&b).unwrap();
+        assert_eq!(a.n(), 1037);
+        assert!(a.check_weight_invariant());
+    }
+
+    #[test]
+    fn merge_k_mismatch_rejected() {
+        let mut a = filled(16, 1, 10);
+        let b = filled(32, 1, 10);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn merge_updates_extrema() {
+        let mut a = filled(16, 1, 100); // 0..100
+        let mut b = QuantilesSketch::<u64>::with_seed(16, 2).unwrap();
+        b.update(1_000_000);
+        a.merge(&b).unwrap();
+        assert_eq!(a.max_item(), Some(&1_000_000));
+        assert_eq!(a.min_item(), Some(&0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut q = filled(16, 1, 10_000);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.quantile(0.5), None);
+        q.update(7);
+        assert_eq!(q.quantile(0.5), Some(7));
+    }
+
+    #[test]
+    fn duplicate_heavy_stream() {
+        // 90% of the stream is the value 42; its rank interval must
+        // contain the median.
+        let mut q = QuantilesSketch::<u64>::with_seed(64, 17).unwrap();
+        for i in 0..10_000u64 {
+            q.update(if i % 10 == 0 { i } else { 42 });
+        }
+        assert_eq!(q.quantile(0.5), Some(42));
+    }
+
+    #[test]
+    fn reader_batch_queries() {
+        let q = filled(64, 1, 10_000);
+        let r = q.reader();
+        let qs = r.quantiles(&[0.25, 0.5, 0.75]);
+        assert_eq!(qs.len(), 3);
+        assert!(qs.iter().all(|x| x.is_some()));
+        let cdf = r.cdf(&[2_500, 5_000, 7_500]);
+        assert_eq!(cdf.len(), 4);
+        assert!((cdf[1] - 0.5).abs() < 0.1);
+        assert_eq!(*cdf.last().unwrap(), 1.0);
+        let pmf = r.pmf(&[2_500, 5_000, 7_500]);
+        let total: f64 = pmf.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_oracle_seed() {
+        let a = filled(32, 123, 50_000);
+        let b = filled(32, 123, 50_000);
+        for phi in [0.1, 0.5, 0.9] {
+            assert_eq!(a.quantile(phi), b.quantile(phi));
+        }
+    }
+
+    #[test]
+    fn different_oracle_seeds_may_differ_but_stay_accurate() {
+        let a = filled(32, 1, 50_000);
+        let b = filled(32, 2, 50_000);
+        let (va, vb) = (a.quantile(0.5).unwrap(), b.quantile(0.5).unwrap());
+        for v in [va, vb] {
+            assert!((v as f64 / 50_000.0 - 0.5).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn works_with_total_f64() {
+        use crate::quantiles::TotalF64;
+        let mut q = QuantilesSketch::<TotalF64>::with_seed(64, 1).unwrap();
+        for i in 0..10_000 {
+            q.update(TotalF64(i as f64 / 100.0));
+        }
+        let med = q.quantile(0.5).unwrap().0;
+        assert!((med - 50.0).abs() < 5.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Compact wire format for Quantiles sketches over fixed-width items.
+//!
+//! Layout (little-endian):
+//! `magic(u16) | version(u8) | flags(u8) | k(u32) | n(u64) |
+//!  level_bitmap(u64) | base_len(u32) | pad(u32) |
+//!  min | max | base items… | full-level buffers (ascending level)…`
+//!
+//! `flags` bit 0 is set when the sketch is non-empty (min/max present).
+
+use super::sketch::QuantilesSketch;
+use super::TotalF64;
+use crate::error::{Result, SketchError};
+use crate::oracle::Oracle;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u16 = 0xFC0A;
+const VERSION: u8 = 1;
+
+/// Items serialisable into a fixed-width little-endian encoding.
+pub trait WireItem: Sized {
+    /// Encoded width in bytes.
+    const WIDTH: usize;
+    /// Appends the encoding of `self`.
+    fn write_to(&self, buf: &mut BytesMut);
+    /// Decodes one item (the caller guarantees `WIDTH` bytes remain).
+    fn read_from(buf: &mut &[u8]) -> Self;
+}
+
+impl WireItem for u64 {
+    const WIDTH: usize = 8;
+    fn write_to(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self);
+    }
+    fn read_from(buf: &mut &[u8]) -> Self {
+        buf.get_u64_le()
+    }
+}
+
+impl WireItem for i64 {
+    const WIDTH: usize = 8;
+    fn write_to(&self, buf: &mut BytesMut) {
+        buf.put_i64_le(*self);
+    }
+    fn read_from(buf: &mut &[u8]) -> Self {
+        buf.get_i64_le()
+    }
+}
+
+impl WireItem for TotalF64 {
+    const WIDTH: usize = 8;
+    fn write_to(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.0.to_bits());
+    }
+    fn read_from(buf: &mut &[u8]) -> Self {
+        TotalF64(f64::from_bits(buf.get_u64_le()))
+    }
+}
+
+impl<T: Ord + Clone + WireItem> QuantilesSketch<T> {
+    /// Serialises the sketch into its compact wire format.
+    pub fn to_bytes(&self) -> Bytes {
+        let (k, n, base, levels, min, max) = self.wire_parts();
+        let retained: usize = base.len() + levels.iter().map(|l| l.len()).sum::<usize>();
+        let mut buf = BytesMut::with_capacity(48 + T::WIDTH * (retained + 2));
+        buf.put_u16_le(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(u8::from(n > 0));
+        buf.put_u32_le(k as u32);
+        buf.put_u64_le(n);
+        let mut bitmap = 0u64;
+        for (i, level) in levels.iter().enumerate() {
+            if !level.is_empty() {
+                bitmap |= 1 << i;
+            }
+        }
+        buf.put_u64_le(bitmap);
+        buf.put_u32_le(base.len() as u32);
+        buf.put_u32_le(0);
+        if n > 0 {
+            min.expect("non-empty sketch has min").write_to(&mut buf);
+            max.expect("non-empty sketch has max").write_to(&mut buf);
+        }
+        for item in base {
+            item.write_to(&mut buf);
+        }
+        for level in levels.iter().filter(|l| !l.is_empty()) {
+            for item in level {
+                item.write_to(&mut buf);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserialises a sketch produced by [`Self::to_bytes`], attaching a
+    /// fresh oracle for future compactions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Corrupt`] on structural damage (bad magic,
+    /// truncation, level buffers of the wrong size, or a weight
+    /// mismatch against `n`).
+    pub fn from_bytes(mut data: &[u8], oracle: impl Oracle + 'static) -> Result<Self> {
+        if data.len() < 32 {
+            return Err(SketchError::corrupt("preamble truncated"));
+        }
+        let magic = data.get_u16_le();
+        if magic != MAGIC {
+            return Err(SketchError::corrupt(format!("bad magic {magic:#x}")));
+        }
+        let version = data.get_u8();
+        if version != VERSION {
+            return Err(SketchError::corrupt(format!("unknown version {version}")));
+        }
+        let flags = data.get_u8();
+        let k = data.get_u32_le() as usize;
+        if k < 2 {
+            return Err(SketchError::corrupt("k < 2"));
+        }
+        let n = data.get_u64_le();
+        let bitmap = data.get_u64_le();
+        let base_len = data.get_u32_le() as usize;
+        let _pad = data.get_u32_le();
+        if base_len >= 2 * k {
+            return Err(SketchError::corrupt("base buffer too large"));
+        }
+        let non_empty = flags & 1 == 1;
+        if non_empty != (n > 0) {
+            return Err(SketchError::corrupt("flags inconsistent with n"));
+        }
+
+        let mut need = base_len;
+        let levels_count = 64 - bitmap.leading_zeros() as usize;
+        for i in 0..levels_count {
+            if bitmap & (1 << i) != 0 {
+                need += k;
+            }
+        }
+        let need_items = need + if non_empty { 2 } else { 0 };
+        if data.remaining() < need_items * T::WIDTH {
+            return Err(SketchError::corrupt("item payload truncated"));
+        }
+
+        let (min, max) = if non_empty {
+            (Some(T::read_from(&mut data)), Some(T::read_from(&mut data)))
+        } else {
+            (None, None)
+        };
+        let base: Vec<T> = (0..base_len).map(|_| T::read_from(&mut data)).collect();
+        let mut levels: Vec<Vec<T>> = Vec::with_capacity(levels_count);
+        for i in 0..levels_count {
+            if bitmap & (1 << i) != 0 {
+                let buf: Vec<T> = (0..k).map(|_| T::read_from(&mut data)).collect();
+                if buf.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(SketchError::corrupt(format!("level {i} not sorted")));
+                }
+                levels.push(buf);
+            } else {
+                levels.push(Vec::new());
+            }
+        }
+
+        // Weight invariant: n must equal the summed buffer weight.
+        let mut total = base_len as u64;
+        for (i, level) in levels.iter().enumerate() {
+            total += (level.len() as u64) << (i + 1);
+        }
+        if total != n {
+            return Err(SketchError::corrupt(format!(
+                "weight mismatch: buffers carry {total}, header says {n}"
+            )));
+        }
+
+        QuantilesSketch::from_wire_parts(k, n, base, levels, min, max, oracle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::DeterministicOracle;
+
+    fn filled(k: usize, n: u64) -> QuantilesSketch<u64> {
+        let mut q = QuantilesSketch::with_seed(k, 9).unwrap();
+        for i in 0..n {
+            q.update(i);
+        }
+        q
+    }
+
+    #[test]
+    fn round_trip_preserves_queries() {
+        for n in [0u64, 1, 100, 255, 256, 10_000] {
+            let q = filled(128, n);
+            let bytes = q.to_bytes();
+            let back =
+                QuantilesSketch::<u64>::from_bytes(&bytes, DeterministicOracle::new(1)).unwrap();
+            assert_eq!(back.n(), n);
+            assert!(back.check_weight_invariant());
+            for phi in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                assert_eq!(back.quantile(phi), q.quantile(phi), "n={n} phi={phi}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_total_f64() {
+        let mut q = QuantilesSketch::<TotalF64>::with_seed(64, 3).unwrap();
+        for i in 0..5_000 {
+            q.update(TotalF64(i as f64 * 0.5));
+        }
+        let back =
+            QuantilesSketch::<TotalF64>::from_bytes(&q.to_bytes(), DeterministicOracle::new(2))
+                .unwrap();
+        assert_eq!(back.quantile(0.5), q.quantile(0.5));
+        assert_eq!(back.min_item(), q.min_item());
+        assert_eq!(back.max_item(), q.max_item());
+    }
+
+    #[test]
+    fn deserialised_sketch_keeps_ingesting() {
+        let q = filled(32, 1_000);
+        let mut back =
+            QuantilesSketch::<u64>::from_bytes(&q.to_bytes(), DeterministicOracle::new(5)).unwrap();
+        for i in 1_000..20_000 {
+            back.update(i);
+        }
+        assert!(back.check_weight_invariant());
+        let med = back.quantile(0.5).unwrap();
+        assert!((med as f64 - 10_000.0).abs() < 2_000.0, "median {med}");
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut b = filled(16, 100).to_bytes().to_vec();
+        b[0] ^= 0xFF;
+        assert!(QuantilesSketch::<u64>::from_bytes(&b, DeterministicOracle::new(0)).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let b = filled(16, 1_000).to_bytes();
+        assert!(
+            QuantilesSketch::<u64>::from_bytes(&b[..b.len() - 3], DeterministicOracle::new(0))
+                .is_err()
+        );
+        assert!(QuantilesSketch::<u64>::from_bytes(&b[..10], DeterministicOracle::new(0)).is_err());
+    }
+
+    #[test]
+    fn weight_mismatch_rejected() {
+        let mut b = filled(16, 1_000).to_bytes().to_vec();
+        // Corrupt n (offset 8..16).
+        b[8] ^= 0x01;
+        assert!(QuantilesSketch::<u64>::from_bytes(&b, DeterministicOracle::new(0)).is_err());
+    }
+
+    #[test]
+    fn unsorted_level_rejected() {
+        let q = filled(16, 1_000); // guarantees at least one full level
+        let mut b = q.to_bytes().to_vec();
+        // Base items start at 48 + 16 (min/max); levels follow the base
+        // buffer. Swap two adjacent items in the *last* 2 entries of the
+        // payload, which belong to the highest level and are sorted.
+        let len = b.len();
+        for i in 0..8 {
+            b.swap(len - 16 + i, len - 8 + i);
+        }
+        assert!(QuantilesSketch::<u64>::from_bytes(&b, DeterministicOracle::new(0)).is_err());
+    }
+}

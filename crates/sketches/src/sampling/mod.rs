@@ -1,0 +1,263 @@
+//! Reservoir sampling (Vitter's Algorithm R).
+//!
+//! §5.1 names reservoir sampling as the second example of a sketch whose
+//! pre-filtering hint pays off: once the reservoir is full, an update is
+//! accepted only with probability `k/n`, so threads sharing an (upper
+//! bound on) `n` can discard most updates locally before touching shared
+//! state. The concurrent framework exercises exactly that through
+//! `shouldAdd`.
+
+use crate::error::{Result, SketchError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Uniform random sample of up to `k` items from a stream of unknown
+/// length (Vitter's Algorithm R).
+///
+/// # Examples
+///
+/// ```
+/// use fcds_sketches::sampling::ReservoirSampler;
+///
+/// let mut r = ReservoirSampler::<u64>::new(100, 42).unwrap();
+/// for i in 0..100_000u64 {
+///     r.update(i);
+/// }
+/// assert_eq!(r.sample().len(), 100);
+/// assert_eq!(r.n(), 100_000);
+/// ```
+pub struct ReservoirSampler<T> {
+    k: usize,
+    n: u64,
+    reservoir: Vec<T>,
+    rng: SmallRng,
+}
+
+impl<T: fmt::Debug> fmt::Debug for ReservoirSampler<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReservoirSampler")
+            .field("k", &self.k)
+            .field("n", &self.n)
+            .field("len", &self.reservoir.len())
+            .finish()
+    }
+}
+
+impl<T> ReservoirSampler<T> {
+    /// Creates an empty reservoir of capacity `k`, seeded deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Result<Self> {
+        if k == 0 {
+            return Err(SketchError::invalid("k", "must be ≥ 1"));
+        }
+        Ok(ReservoirSampler {
+            k,
+            n: 0,
+            reservoir: Vec::with_capacity(k),
+            rng: SmallRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Reservoir capacity.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stream items processed so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The current sample (uniform over the first `n` items).
+    pub fn sample(&self) -> &[T] {
+        &self.reservoir
+    }
+
+    /// Processes one stream item.
+    pub fn update(&mut self, item: T) {
+        self.n += 1;
+        if self.reservoir.len() < self.k {
+            self.reservoir.push(item);
+        } else {
+            let j = self.rng.random_range(0..self.n);
+            if (j as usize) < self.k {
+                self.reservoir[j as usize] = item;
+            }
+        }
+    }
+
+    /// The probability that the *next* update enters the reservoir —
+    /// this is the quantity a `shouldAdd` pre-filter can exploit.
+    pub fn acceptance_probability(&self) -> f64 {
+        if self.n < self.k as u64 {
+            1.0
+        } else {
+            self.k as f64 / (self.n + 1) as f64
+        }
+    }
+}
+
+impl<T: Clone> ReservoirSampler<T> {
+    /// Merges another reservoir into this one, producing a uniform sample
+    /// of the combined stream: each slot of the result draws from `self`'s
+    /// or `other`'s sample in proportion to their stream lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Incompatible`] if capacities differ.
+    pub fn merge(&mut self, other: &ReservoirSampler<T>) -> Result<()> {
+        if other.k != self.k {
+            return Err(SketchError::incompatible(format!(
+                "capacity mismatch: {} vs {}",
+                self.k, other.k
+            )));
+        }
+        if other.n == 0 {
+            return Ok(());
+        }
+        if self.n == 0 {
+            self.n = other.n;
+            self.reservoir = other.reservoir.clone();
+            return Ok(());
+        }
+        let total = self.n + other.n;
+        let mut merged: Vec<T> = Vec::with_capacity(self.k);
+        let take = self.k.min(total as usize);
+        for _ in 0..take {
+            let from_self = self.rng.random_range(0..total) < self.n;
+            let src = if from_self { &self.reservoir } else { &other.reservoir };
+            let idx = self.rng.random_range(0..src.len());
+            merged.push(src[idx].clone());
+        }
+        self.reservoir = merged;
+        self.n = total;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_capacity() {
+        assert!(ReservoirSampler::<u64>::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn keeps_everything_below_capacity() {
+        let mut r = ReservoirSampler::new(100, 1).unwrap();
+        for i in 0..50u64 {
+            r.update(i);
+        }
+        assert_eq!(r.sample(), (0..50).collect::<Vec<_>>().as_slice());
+        assert_eq!(r.acceptance_probability(), 1.0);
+    }
+
+    #[test]
+    fn caps_at_capacity() {
+        let mut r = ReservoirSampler::new(10, 1).unwrap();
+        for i in 0..10_000u64 {
+            r.update(i);
+        }
+        assert_eq!(r.sample().len(), 10);
+        assert_eq!(r.n(), 10_000);
+    }
+
+    #[test]
+    fn acceptance_probability_decays() {
+        let mut r = ReservoirSampler::new(10, 1).unwrap();
+        for i in 0..1_000u64 {
+            r.update(i);
+        }
+        let p = r.acceptance_probability();
+        assert!((p - 10.0 / 1_001.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        // Run many independent reservoirs; each item of 0..100 should be
+        // sampled into a k=10 reservoir with probability ~0.1.
+        let trials = 2_000;
+        let mut hits = vec![0u32; 100];
+        for t in 0..trials {
+            let mut r = ReservoirSampler::new(10, t as u64).unwrap();
+            for i in 0..100u64 {
+                r.update(i);
+            }
+            for &v in r.sample() {
+                hits[v as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * 0.1;
+        for (i, &h) in hits.iter().enumerate() {
+            let rel = (h as f64 - expected).abs() / expected;
+            assert!(rel < 0.35, "item {i} sampled {h} times (expected ~{expected})");
+        }
+    }
+
+    #[test]
+    fn merge_capacity_mismatch_rejected() {
+        let mut a = ReservoirSampler::<u64>::new(10, 1).unwrap();
+        let b = ReservoirSampler::<u64>::new(20, 1).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn merge_tracks_total_n() {
+        let mut a = ReservoirSampler::new(10, 1).unwrap();
+        let mut b = ReservoirSampler::new(10, 2).unwrap();
+        for i in 0..500u64 {
+            a.update(i);
+        }
+        for i in 500..2_000u64 {
+            b.update(i);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.n(), 2_000);
+        assert_eq!(a.sample().len(), 10);
+    }
+
+    #[test]
+    fn merge_into_empty_copies() {
+        let mut a = ReservoirSampler::<u64>::new(5, 1).unwrap();
+        let mut b = ReservoirSampler::<u64>::new(5, 2).unwrap();
+        for i in 0..100u64 {
+            b.update(i);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.n(), 100);
+        assert_eq!(a.sample().len(), 5);
+    }
+
+    #[test]
+    fn merge_respects_stream_proportions() {
+        // Merge a 9:1 pair many times; items from the large stream should
+        // dominate the merged sample roughly 9:1.
+        let mut large_hits = 0u32;
+        let mut total = 0u32;
+        for t in 0..500 {
+            let mut a = ReservoirSampler::new(20, t).unwrap();
+            let mut b = ReservoirSampler::new(20, t + 10_000).unwrap();
+            for i in 0..9_000u64 {
+                a.update(i); // marker: < 9_000
+            }
+            for i in 9_000..10_000u64 {
+                b.update(i);
+            }
+            a.merge(&b).unwrap();
+            for &v in a.sample() {
+                total += 1;
+                if v < 9_000 {
+                    large_hits += 1;
+                }
+            }
+        }
+        let frac = large_hits as f64 / total as f64;
+        assert!((frac - 0.9).abs() < 0.05, "large-stream fraction {frac}");
+    }
+}

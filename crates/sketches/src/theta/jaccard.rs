@@ -1,0 +1,213 @@
+//! Jaccard similarity estimation on Θ sketches.
+//!
+//! The Jaccard index `J(A, B) = |A∩B| / |A∪B|` falls out of the Θ set
+//! algebra: intersect and union the sketches, divide the estimates. As in
+//! Apache DataSketches, the ratio estimator is computed against the joint
+//! Θ so that numerator and denominator are measured on the same sample.
+
+use super::{CompactThetaSketch, ThetaIntersection, ThetaRead, ThetaUnion};
+use crate::error::{Result, SketchError};
+use std::collections::HashSet;
+
+/// A Jaccard similarity estimate with crude confidence bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JaccardEstimate {
+    /// Point estimate of `|A∩B| / |A∪B|`.
+    pub estimate: f64,
+    /// Lower bound (2 standard errors on the sampled ratio).
+    pub lower_bound: f64,
+    /// Upper bound (2 standard errors on the sampled ratio).
+    pub upper_bound: f64,
+    /// Number of union samples the ratio was measured on.
+    pub union_retained: usize,
+}
+
+/// Estimates the Jaccard similarity of the streams summarised by two Θ
+/// sketches.
+///
+/// Both sketches must share a hash seed. The computation samples both
+/// retained sets below the joint Θ, so the ratio is a binomial proportion
+/// over the union's retained samples; bounds use the normal
+/// approximation `p ± 2√(p(1−p)/m)`.
+///
+/// # Errors
+///
+/// Returns [`SketchError::Incompatible`] on hash-seed mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use fcds_sketches::theta::{jaccard, QuickSelectThetaSketch};
+///
+/// let mut a = QuickSelectThetaSketch::new(12, 9001).unwrap();
+/// let mut b = QuickSelectThetaSketch::new(12, 9001).unwrap();
+/// for i in 0..100_000u64 { a.update(i); }
+/// for i in 50_000..150_000u64 { b.update(i); }
+/// let j = jaccard(&a, &b).unwrap();
+/// // True Jaccard: 50k / 150k = 1/3.
+/// assert!((j.estimate - 1.0 / 3.0).abs() < 0.05);
+/// ```
+pub fn jaccard<A, B>(a: &A, b: &B) -> Result<JaccardEstimate>
+where
+    A: ThetaRead + ?Sized,
+    B: ThetaRead + ?Sized,
+{
+    if a.seed() != b.seed() {
+        return Err(SketchError::incompatible(format!(
+            "hash seed mismatch: {} vs {}",
+            a.seed(),
+            b.seed()
+        )));
+    }
+    // Sample both retained sets below the joint Θ — an unbiased uniform
+    // sample of A∪B on which membership in A∩B is exact.
+    let theta = a.theta().min(b.theta());
+    let a_set: HashSet<u64> = a.hashes().filter(|&h| h < theta).collect();
+    let mut union_count = a_set.len();
+    let mut inter_count = 0usize;
+    let mut b_seen = HashSet::with_capacity(b.retained());
+    for h in b.hashes().filter(|&h| h < theta) {
+        if !b_seen.insert(h) {
+            continue;
+        }
+        if a_set.contains(&h) {
+            inter_count += 1;
+        } else {
+            union_count += 1;
+        }
+    }
+    if union_count == 0 {
+        // Both empty below Θ: identical (empty) streams.
+        return Ok(JaccardEstimate {
+            estimate: 1.0,
+            lower_bound: 1.0,
+            upper_bound: 1.0,
+            union_retained: 0,
+        });
+    }
+    let p = inter_count as f64 / union_count as f64;
+    let se = (p * (1.0 - p) / union_count as f64).sqrt();
+    Ok(JaccardEstimate {
+        estimate: p,
+        lower_bound: (p - 2.0 * se).max(0.0),
+        upper_bound: (p + 2.0 * se).min(1.0),
+        union_retained: union_count,
+    })
+}
+
+/// Convenience: Jaccard via explicit set-operation gadgets (identical
+/// semantics to [`jaccard`], exercised for cross-validation and useful
+/// when the intermediate sketches are wanted too).
+pub fn jaccard_via_setops<A, B>(
+    lg_k: u8,
+    a: &A,
+    b: &B,
+) -> Result<(JaccardEstimate, CompactThetaSketch, CompactThetaSketch)>
+where
+    A: ThetaRead + ?Sized,
+    B: ThetaRead + ?Sized,
+{
+    let mut u = ThetaUnion::new(lg_k, a.seed())?;
+    u.update(a)?;
+    u.update(b)?;
+    let union = u.result();
+    let mut ix = ThetaIntersection::new(a.seed());
+    ix.update(a)?;
+    ix.update(b)?;
+    let inter = ix.result()?;
+    let est = if union.estimate() == 0.0 {
+        1.0
+    } else {
+        inter.estimate() / union.estimate()
+    };
+    let j = JaccardEstimate {
+        estimate: est,
+        lower_bound: (est - 0.1).max(0.0),
+        upper_bound: (est + 0.1).min(1.0),
+        union_retained: union.retained(),
+    };
+    Ok((j, union, inter))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theta::QuickSelectThetaSketch;
+
+    fn filled(range: std::ops::Range<u64>) -> QuickSelectThetaSketch {
+        let mut s = QuickSelectThetaSketch::new(11, 1).unwrap();
+        for i in range {
+            s.update(i);
+        }
+        s
+    }
+
+    #[test]
+    fn identical_streams_have_jaccard_one() {
+        let a = filled(0..100_000);
+        let b = filled(0..100_000);
+        let j = jaccard(&a, &b).unwrap();
+        assert!((j.estimate - 1.0).abs() < 1e-9, "estimate {}", j.estimate);
+    }
+
+    #[test]
+    fn disjoint_streams_have_jaccard_zero() {
+        let a = filled(0..80_000);
+        let b = filled(80_000..160_000);
+        let j = jaccard(&a, &b).unwrap();
+        assert!(j.estimate < 0.01, "estimate {}", j.estimate);
+    }
+
+    #[test]
+    fn half_overlap() {
+        // |A∩B| = 50k, |A∪B| = 150k ⇒ J = 1/3.
+        let a = filled(0..100_000);
+        let b = filled(50_000..150_000);
+        let j = jaccard(&a, &b).unwrap();
+        assert!((j.estimate - 1.0 / 3.0).abs() < 0.05, "estimate {}", j.estimate);
+        assert!(j.lower_bound <= j.estimate && j.estimate <= j.upper_bound);
+    }
+
+    #[test]
+    fn exact_mode_is_exact() {
+        let a = filled(0..600);
+        let b = filled(300..900);
+        let j = jaccard(&a, &b).unwrap();
+        assert!((j.estimate - 300.0 / 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seed_mismatch_rejected() {
+        let a = filled(0..100);
+        let mut b = QuickSelectThetaSketch::new(11, 2).unwrap();
+        b.update(1u64);
+        assert!(jaccard(&a, &b).is_err());
+    }
+
+    #[test]
+    fn empty_sketches_are_identical() {
+        let a = QuickSelectThetaSketch::new(11, 1).unwrap();
+        let b = QuickSelectThetaSketch::new(11, 1).unwrap();
+        let j = jaccard(&a, &b).unwrap();
+        assert_eq!(j.estimate, 1.0);
+    }
+
+    #[test]
+    fn setops_variant_agrees() {
+        let a = filled(0..100_000);
+        let b = filled(50_000..150_000);
+        let direct = jaccard(&a, &b).unwrap();
+        let (via, union, inter) = jaccard_via_setops(11, &a, &b).unwrap();
+        assert!((direct.estimate - via.estimate).abs() < 0.05);
+        assert!(union.estimate() > inter.estimate());
+    }
+
+    #[test]
+    fn asymmetric_sizes() {
+        // Small A inside big B: J = |A|/|B| = 0.1.
+        let a = filled(0..20_000);
+        let b = filled(0..200_000);
+        let j = jaccard(&a, &b).unwrap();
+        assert!((j.estimate - 0.1).abs() < 0.03, "estimate {}", j.estimate);
+    }
+}

@@ -1,0 +1,393 @@
+//! The K-Minimum-Values Θ sketch — the paper's Algorithm 1.
+//!
+//! The sketch keeps the `k` smallest distinct hashes seen so far in a
+//! max-heap (`sampleSet`), with Θ equal to the largest retained hash once
+//! the heap is full. An update whose hash is ≥ Θ is ignored; otherwise it
+//! enters the sample set and the largest sample is evicted, which
+//! monotonically lowers Θ. The estimate is `(k−1)/Θ` (unbiased, RSE ≤
+//! `1/√(k−2)`).
+//!
+//! ## Threshold convention
+//!
+//! Algorithm 1's Θ is *inclusive*: `Θ = max(sampleSet)` is itself a
+//! retained sample. The [`ThetaRead`] contract (shared with the
+//! quick-select family and the set operations) is *strict*: every
+//! reported hash is `< theta()`. Working in the integer hash domain makes
+//! the two views interchangeable — the inclusive threshold `m` equals the
+//! exclusive bound `m + 1` — so this implementation stores the exclusive
+//! bound internally. This is what makes cross-family merges exact: a KMV
+//! boundary sample is never silently dropped by a strict `< Θ` filter.
+
+use super::{theta_to_fraction, ThetaRead, THETA_MAX};
+use crate::error::{Result, SketchError};
+use crate::hash::Hashable;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Sequential KMV Θ sketch (Algorithm 1 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use fcds_sketches::theta::{KmvThetaSketch, ThetaRead};
+///
+/// let mut sketch = KmvThetaSketch::new(1024, 9001).unwrap();
+/// for i in 0..100_000u64 {
+///     sketch.update(i);
+/// }
+/// let est = sketch.estimate();
+/// assert!((est - 100_000.0).abs() / 100_000.0 < 0.15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KmvThetaSketch {
+    k: usize,
+    seed: u64,
+    /// Max-heap of the retained hashes; `heap.peek()` is the largest
+    /// retained sample — Algorithm 1's inclusive Θ once the sketch is
+    /// full.
+    heap: BinaryHeap<u64>,
+    /// Mirror of `heap` for O(1) duplicate detection.
+    set: HashSet<u64>,
+    /// The *exclusive* retention bound: every retained hash is `< theta`
+    /// and no future hash `≥ theta` can be retained. Equals
+    /// `max(sampleSet) + 1` once the sample set is full (Algorithm 1's
+    /// inclusive Θ plus one), or the adopted joint bound after a merge.
+    theta: u64,
+}
+
+impl KmvThetaSketch {
+    /// Creates an empty sketch retaining the `k` minimum hash values,
+    /// using `seed` to select the hash function (the oracle's coin flips,
+    /// §4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `k < 3` (the estimator
+    /// `(k−1)/Θ` and its RSE bound `1/√(k−2)` need `k ≥ 3`).
+    pub fn new(k: usize, seed: u64) -> Result<Self> {
+        if k < 3 {
+            return Err(SketchError::invalid("k", format!("must be ≥ 3, got {k}")));
+        }
+        Ok(KmvThetaSketch {
+            k,
+            seed,
+            heap: BinaryHeap::with_capacity(k + 1),
+            set: HashSet::with_capacity(k * 2),
+            theta: THETA_MAX,
+        })
+    }
+
+    /// The configured number of minimum values retained.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Processes one stream item (`S.update(a)` of §3).
+    pub fn update<T: Hashable>(&mut self, item: T) {
+        self.update_hash(super::normalize_hash(item.hash_with_seed(self.seed)));
+    }
+
+    /// Processes a pre-hashed item. Returns `true` iff the sketch state
+    /// changed (the hash was below Θ and not a duplicate).
+    ///
+    /// This is the entry point used by merges and by the concurrent
+    /// framework, where hashing happens once on the local thread.
+    pub fn update_hash(&mut self, hash: u64) -> bool {
+        if hash >= self.theta {
+            return false;
+        }
+        if !self.set.insert(hash) {
+            return false;
+        }
+        self.heap.push(hash);
+        if self.heap.len() > self.k {
+            let evicted = self.heap.pop().expect("heap non-empty");
+            self.set.remove(&evicted);
+            // Θ ← max(sampleSet) (line 12), stored as the exclusive
+            // bound max + 1 (saturating: a retained hash of u64::MAX has
+            // probability 2⁻⁶⁴ and would merely pin the sketch in exact
+            // mode).
+            let max = *self.heap.peek().expect("heap holds k ≥ 1 items");
+            self.theta = max.saturating_add(1).min(self.theta);
+        }
+        true
+    }
+
+    /// Merges another Θ sketch into this one (`S.merge(S')` of §3): after
+    /// the call, `self` summarises the concatenation of both streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Incompatible`] if the hash seeds differ —
+    /// hashes from different hash functions cannot be mixed.
+    pub fn merge<S: ThetaRead + ?Sized>(&mut self, other: &S) -> Result<()> {
+        if other.seed() != self.seed {
+            return Err(SketchError::incompatible(format!(
+                "hash seed mismatch: {} vs {}",
+                self.seed,
+                other.seed()
+            )));
+        }
+        // Θ is the minimum of both thresholds; prune our samples first so
+        // that `update_hash`'s filter is applied against the joint Θ.
+        if other.theta() < self.theta {
+            self.theta = other.theta();
+            self.prune_to_theta();
+        }
+        for h in other.hashes() {
+            self.update_hash(h);
+        }
+        Ok(())
+    }
+
+    /// Drops retained samples that are no longer below Θ (after a merge
+    /// lowered it).
+    fn prune_to_theta(&mut self) {
+        let theta = self.theta;
+        if self.heap.iter().all(|&h| h < theta) {
+            return;
+        }
+        let survivors: Vec<u64> = self.heap.iter().copied().filter(|&h| h < theta).collect();
+        self.set.retain(|&h| h < theta);
+        self.heap = BinaryHeap::from(survivors);
+    }
+
+    /// Resets the sketch to the empty state, keeping `k` and the seed.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.set.clear();
+        self.theta = THETA_MAX;
+    }
+
+    /// Returns `true` if no items have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Freezes the sketch into an immutable compact form.
+    pub fn compact(&self) -> super::CompactThetaSketch {
+        super::CompactThetaSketch::from_read(self)
+    }
+}
+
+impl ThetaRead for KmvThetaSketch {
+    fn theta(&self) -> u64 {
+        self.theta
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn retained(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn hashes(&self) -> Box<dyn Iterator<Item = u64> + '_> {
+        Box::new(self.heap.iter().copied())
+    }
+
+    /// Algorithm 1's estimator: `est ← (|sampleSet|−1)/Θ` once in
+    /// estimation mode (Θ being the inclusive threshold, i.e. the largest
+    /// retained sample); the exact distinct count before that.
+    ///
+    /// When a merge has left fewer than `k` samples under a lowered Θ, the
+    /// unbiased `retained/Θ` estimator is used instead (the `(k−1)/Θ` form
+    /// assumes a full sample set).
+    fn estimate(&self) -> f64 {
+        if !self.is_estimation_mode() {
+            return self.heap.len() as f64;
+        }
+        if self.heap.len() == self.k {
+            let inclusive = *self.heap.peek().expect("full heap");
+            (self.k as f64 - 1.0) / theta_to_fraction(inclusive)
+        } else {
+            self.heap.len() as f64 / theta_to_fraction(self.theta)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theta::rse;
+
+    #[test]
+    fn rejects_tiny_k() {
+        assert!(KmvThetaSketch::new(2, 0).is_err());
+        assert!(KmvThetaSketch::new(3, 0).is_ok());
+    }
+
+    #[test]
+    fn exact_below_k() {
+        let mut s = KmvThetaSketch::new(64, 1).unwrap();
+        for i in 0..50u64 {
+            s.update(i);
+        }
+        assert!(!s.is_estimation_mode());
+        assert_eq!(s.estimate(), 50.0);
+        assert_eq!(s.retained(), 50);
+    }
+
+    #[test]
+    fn duplicates_do_not_count() {
+        let mut s = KmvThetaSketch::new(64, 1).unwrap();
+        for _ in 0..10 {
+            for i in 0..30u64 {
+                s.update(i);
+            }
+        }
+        assert_eq!(s.estimate(), 30.0);
+    }
+
+    #[test]
+    fn theta_is_exclusive_bound_above_largest_sample_once_full() {
+        let mut s = KmvThetaSketch::new(16, 7).unwrap();
+        for i in 0..1000u64 {
+            s.update(i);
+        }
+        assert!(s.is_estimation_mode());
+        let max_retained = s.hashes().max().unwrap();
+        // Exclusive convention: Θ = max(sampleSet) + 1, all hashes < Θ.
+        assert_eq!(s.theta(), max_retained + 1);
+        assert!(s.hashes().all(|h| h < s.theta()));
+        assert_eq!(s.retained(), 16);
+    }
+
+    #[test]
+    fn theta_monotonically_decreases() {
+        let mut s = KmvThetaSketch::new(32, 7).unwrap();
+        let mut last = s.theta();
+        for i in 0..10_000u64 {
+            s.update(i);
+            assert!(s.theta() <= last);
+            last = s.theta();
+        }
+    }
+
+    #[test]
+    fn retains_exactly_the_k_smallest_hashes() {
+        use crate::hash::Hashable;
+        let k = 32;
+        let seed = 99;
+        let mut s = KmvThetaSketch::new(k, seed).unwrap();
+        let n = 5_000u64;
+        let mut all: Vec<u64> = (0..n)
+            .map(|i| crate::theta::normalize_hash(i.hash_with_seed(seed)))
+            .collect();
+        for i in 0..n {
+            s.update(i);
+        }
+        all.sort_unstable();
+        all.dedup();
+        let mut got: Vec<u64> = s.hashes().collect();
+        got.sort_unstable();
+        assert_eq!(got, all[..k].to_vec());
+    }
+
+    #[test]
+    fn estimate_within_rse_bounds() {
+        // With k = 1024 the RSE is ~3.1%; 5 standard errors is a
+        // comfortably non-flaky bound.
+        let k = 1024;
+        let n = 200_000u64;
+        let mut s = KmvThetaSketch::new(k, 42).unwrap();
+        for i in 0..n {
+            s.update(i);
+        }
+        let est = s.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 5.0 * rse(k), "relative error {rel}");
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let k = 256;
+        let seed = 5;
+        let mut a = KmvThetaSketch::new(k, seed).unwrap();
+        let mut b = KmvThetaSketch::new(k, seed).unwrap();
+        let mut whole = KmvThetaSketch::new(k, seed).unwrap();
+        for i in 0..30_000u64 {
+            whole.update(i);
+            if i % 2 == 0 {
+                a.update(i);
+            } else {
+                b.update(i);
+            }
+        }
+        a.merge(&b).unwrap();
+        // Same k smallest hashes → identical state and estimate.
+        let mut ha: Vec<u64> = a.hashes().collect();
+        let mut hw: Vec<u64> = whole.hashes().collect();
+        ha.sort_unstable();
+        hw.sort_unstable();
+        assert_eq!(ha, hw);
+        assert_eq!(a.theta(), whole.theta());
+        assert_eq!(a.estimate(), whole.estimate());
+    }
+
+    #[test]
+    fn merge_rejects_seed_mismatch() {
+        let mut a = KmvThetaSketch::new(16, 1).unwrap();
+        let b = KmvThetaSketch::new(16, 2).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = KmvThetaSketch::new(16, 1).unwrap();
+        for i in 0..100u64 {
+            a.update(i);
+        }
+        let est = a.estimate();
+        let b = KmvThetaSketch::new(16, 1).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate(), est);
+    }
+
+    #[test]
+    fn merge_into_empty_copies() {
+        let mut a = KmvThetaSketch::new(16, 1).unwrap();
+        let mut b = KmvThetaSketch::new(16, 1).unwrap();
+        for i in 0..5_000u64 {
+            b.update(i);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.theta(), b.theta());
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = KmvThetaSketch::new(16, 1).unwrap();
+        for i in 0..1_000u64 {
+            s.update(i);
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.theta(), THETA_MAX);
+        assert_eq!(s.estimate(), 0.0);
+    }
+
+    #[test]
+    fn bounds_bracket_estimate() {
+        let mut s = KmvThetaSketch::new(128, 3).unwrap();
+        for i in 0..50_000u64 {
+            s.update(i);
+        }
+        let est = s.estimate();
+        assert!(s.lower_bound(2.0) <= est);
+        assert!(s.upper_bound(2.0) >= est);
+        assert!(s.lower_bound(2.0) <= 50_000.0);
+        assert!(s.upper_bound(2.0) >= 50_000.0 * 0.8);
+    }
+
+    #[test]
+    fn exact_mode_bounds_are_exact() {
+        let mut s = KmvThetaSketch::new(128, 3).unwrap();
+        for i in 0..10u64 {
+            s.update(i);
+        }
+        assert_eq!(s.lower_bound(3.0), 10.0);
+        assert_eq!(s.upper_bound(3.0), 10.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Θ sketches for distinct counting.
+//!
+//! A Θ sketch summarises a stream by retaining the hashes that fall below a
+//! threshold Θ. Because hashes are uniform in the hash domain, the number
+//! of distinct items is estimated as `retained / Θ` (with Θ expressed as a
+//! fraction of the domain). Two families are provided:
+//!
+//! * [`KmvThetaSketch`] — the K-Minimum-Values sketch of Bar-Yossef et al.,
+//!   exactly the running example of the paper's Algorithm 1: keep the `k`
+//!   smallest hashes, let Θ be the largest retained one, and estimate
+//!   `(k−1)/Θ`.
+//! * [`QuickSelectThetaSketch`] — the `HeapQuickSelectSketch` family of
+//!   Apache DataSketches, which the paper's evaluation actually measures
+//!   (§7.1): a hash table holding between `k` and ~`2k` hashes, pruned by
+//!   quick-select when full, with the unbiased estimator `retained/Θ`.
+//!
+//! Both expose the same read interface ([`ThetaRead`]) and can be frozen
+//! into an immutable, sorted [`CompactThetaSketch`] that the set operations
+//! in [`setops`] consume.
+//!
+//! ## Hash domain
+//!
+//! Θ lives in the unsigned 64-bit domain: `u64::MAX` plays the role of the
+//! real value 1.0 and a hash is retained iff `hash < Θ`. The hash value `0`
+//! is reserved as the hash-table empty marker, so item hashes are
+//! normalised with [`normalize_hash`] (the induced bias is 2⁻⁶⁴ and is
+//! ignored, as in DataSketches).
+
+pub mod compact;
+pub mod jaccard;
+pub mod kmv;
+pub mod quickselect;
+pub mod setops;
+
+pub use compact::CompactThetaSketch;
+pub use jaccard::{jaccard, jaccard_via_setops, JaccardEstimate};
+pub use kmv::KmvThetaSketch;
+pub use quickselect::QuickSelectThetaSketch;
+pub use setops::{ThetaANotB, ThetaIntersection, ThetaUnion};
+
+/// Θ value representing 1.0: nothing is filtered, the sketch is exact.
+pub const THETA_MAX: u64 = u64::MAX;
+
+/// Converts an integer Θ into the fraction of the hash domain it covers,
+/// i.e., the real-valued Θ ∈ (0, 1] used throughout the paper's analysis.
+#[inline]
+pub fn theta_to_fraction(theta: u64) -> f64 {
+    theta as f64 / 18_446_744_073_709_551_616.0 // 2^64
+}
+
+/// Converts a fraction in `(0, 1]` into the integer hash-domain threshold.
+///
+/// Values outside the range are clamped.
+#[inline]
+pub fn fraction_to_theta(fraction: f64) -> u64 {
+    if fraction >= 1.0 {
+        THETA_MAX
+    } else if fraction <= 0.0 {
+        1
+    } else {
+        (fraction * 18_446_744_073_709_551_616.0) as u64
+    }
+}
+
+/// Normalises a raw 64-bit hash into the sketch hash domain: the value `0`
+/// is reserved as the empty-slot marker of open-addressed tables, so it is
+/// mapped to `1`.
+#[inline]
+pub fn normalize_hash(h: u64) -> u64 {
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// Read-side interface shared by every Θ sketch variant.
+///
+/// The trait captures exactly the state the paper's analysis talks about:
+/// the threshold Θ, the set of retained hashes below it, and the induced
+/// estimate. Set operations and the concurrent framework are generic over
+/// it.
+pub trait ThetaRead {
+    /// The current threshold Θ in the integer hash domain.
+    fn theta(&self) -> u64;
+
+    /// The hash seed selecting the hash function (drawn from the oracle).
+    fn seed(&self) -> u64;
+
+    /// Number of retained hashes (all strictly below Θ).
+    fn retained(&self) -> usize;
+
+    /// Iterates over the retained hashes in unspecified order.
+    fn hashes(&self) -> Box<dyn Iterator<Item = u64> + '_>;
+
+    /// `true` once the sketch is in estimation mode (Θ < 1), `false` while
+    /// it still holds the exact distinct set.
+    fn is_estimation_mode(&self) -> bool {
+        self.theta() != THETA_MAX
+    }
+
+    /// The distinct-count estimate. The default is the unbiased
+    /// quick-select estimator `retained / Θ`; the KMV sketch overrides it
+    /// with `(k−1)/Θ` per Algorithm 1.
+    fn estimate(&self) -> f64 {
+        if self.is_estimation_mode() {
+            self.retained() as f64 / theta_to_fraction(self.theta())
+        } else {
+            self.retained() as f64
+        }
+    }
+
+    /// An upper confidence bound on the distinct count at `num_std`
+    /// standard deviations (Gaussian approximation; see [`rse`]).
+    fn upper_bound(&self, num_std: f64) -> f64 {
+        if !self.is_estimation_mode() {
+            return self.retained() as f64;
+        }
+        let est = self.estimate();
+        est * (1.0 + num_std * rse_for_retained(self.retained()))
+    }
+
+    /// A lower confidence bound on the distinct count at `num_std`
+    /// standard deviations (Gaussian approximation; see [`rse`]).
+    fn lower_bound(&self, num_std: f64) -> f64 {
+        if !self.is_estimation_mode() {
+            return self.retained() as f64;
+        }
+        let est = self.estimate();
+        (est * (1.0 - num_std * rse_for_retained(self.retained()))).max(0.0)
+    }
+}
+
+/// The Relative Standard Error bound of a KMV Θ sketch with `k` samples:
+/// `RSE ≤ 1/√(k−2)` (§3, citing Bar-Yossef et al.).
+///
+/// # Panics
+///
+/// Panics if `k <= 2`.
+#[inline]
+pub fn rse(k: usize) -> f64 {
+    assert!(k > 2, "RSE bound requires k > 2");
+    1.0 / ((k - 2) as f64).sqrt()
+}
+
+/// RSE approximation used for confidence bounds when the number of
+/// retained samples is not exactly `k` (e.g., after set operations):
+/// `1/√(retained−2)`, clamped for tiny sketches.
+#[inline]
+pub fn rse_for_retained(retained: usize) -> f64 {
+    if retained <= 3 {
+        1.0
+    } else {
+        1.0 / ((retained - 2) as f64).sqrt()
+    }
+}
+
+/// The relaxation-aware RSE bound of the *concurrent* Θ sketch under the
+/// weak adversary (§6.1): `√(1/(k−2)) + r/(k−2)`; whenever `r ≤ √(k−2)`
+/// this is at most twice the sequential bound [`rse`].
+#[inline]
+pub fn relaxed_rse(k: usize, r: usize) -> f64 {
+    assert!(k > 2, "RSE bound requires k > 2");
+    let km2 = (k - 2) as f64;
+    (1.0 / km2).sqrt() + r as f64 / km2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_round_trip() {
+        for &t in &[1u64, 1 << 20, 1 << 40, 1 << 62, THETA_MAX / 2] {
+            let f = theta_to_fraction(t);
+            let back = fraction_to_theta(f);
+            // f64 has 53 bits of mantissa; allow proportional slack.
+            let err = (back as f64 - t as f64).abs() / (t as f64).max(1.0);
+            assert!(err < 1e-9, "t={t} back={back}");
+        }
+    }
+
+    #[test]
+    fn theta_max_is_fraction_one() {
+        assert!((theta_to_fraction(THETA_MAX) - 1.0).abs() < 1e-15);
+        assert_eq!(fraction_to_theta(1.0), THETA_MAX);
+        assert_eq!(fraction_to_theta(2.0), THETA_MAX);
+    }
+
+    #[test]
+    fn fraction_to_theta_clamps_low() {
+        assert_eq!(fraction_to_theta(0.0), 1);
+        assert_eq!(fraction_to_theta(-1.0), 1);
+    }
+
+    #[test]
+    fn normalize_hash_reserves_zero() {
+        assert_eq!(normalize_hash(0), 1);
+        assert_eq!(normalize_hash(1), 1);
+        assert_eq!(normalize_hash(42), 42);
+        assert_eq!(normalize_hash(THETA_MAX), THETA_MAX);
+    }
+
+    #[test]
+    fn rse_matches_paper_table1() {
+        // Table 1 uses k = 2^10: sequential RSE ≤ 1/√1022 ≈ 3.13%.
+        let bound = rse(1 << 10);
+        assert!((bound - 0.03128).abs() < 1e-4, "bound = {bound}");
+    }
+
+    #[test]
+    fn relaxed_rse_at_most_twice_sequential_when_r_small() {
+        // §6.1: whenever r ≤ √(k−2), relaxed RSE ≤ 2 · sequential RSE.
+        for &(k, r) in &[(1024usize, 8usize), (4096, 16), (256, 15)] {
+            assert!(r as f64 <= ((k - 2) as f64).sqrt());
+            assert!(relaxed_rse(k, r) <= 2.0 * rse(k) + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 2")]
+    fn rse_panics_on_tiny_k() {
+        let _ = rse(2);
+    }
+}

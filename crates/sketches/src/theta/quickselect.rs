@@ -1,0 +1,507 @@
+//! The quick-select Θ sketch — the `HeapQuickSelectSketch` family of
+//! Apache DataSketches, which is both the sequential baseline and the
+//! global-sketch core of the paper's evaluation (§7.1).
+//!
+//! Instead of evicting one sample per update like KMV, the sketch buffers
+//! hashes in an open-addressed table of capacity `2k`. When the table
+//! passes its fill threshold it is *rebuilt*: quick-select finds the
+//! `(k+1)`-th smallest hash, Θ drops to it, and only the `k` smaller
+//! hashes survive. Updates therefore cost O(1) amortised with no per-update
+//! heap maintenance, which is why the Java library uses this family as its
+//! default. The estimator is the unbiased `retained/Θ`.
+
+use super::{ThetaRead, THETA_MAX};
+use crate::error::{Result, SketchError};
+use crate::hash::Hashable;
+
+/// Minimum `lg_k` accepted (k = 16): below this the estimator variance is
+/// useless and the table degenerates.
+pub const MIN_LG_K: u8 = 4;
+/// Maximum `lg_k` accepted (k = 2²⁶ ≈ 64M samples).
+pub const MAX_LG_K: u8 = 26;
+
+/// Sequential quick-select Θ sketch (DataSketches' default family).
+///
+/// # Examples
+///
+/// ```
+/// use fcds_sketches::theta::{QuickSelectThetaSketch, ThetaRead};
+///
+/// let mut sketch = QuickSelectThetaSketch::new(12, 9001).unwrap(); // k = 4096
+/// for i in 0..1_000_000u64 {
+///     sketch.update(i);
+/// }
+/// let est = sketch.estimate();
+/// assert!((est - 1.0e6).abs() / 1.0e6 < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuickSelectThetaSketch {
+    lg_k: u8,
+    seed: u64,
+    /// Open-addressed table, capacity `2k`, `0` = empty slot.
+    table: Vec<u64>,
+    /// Bit mask for table indexing (`capacity − 1`).
+    mask: usize,
+    /// Number of occupied slots; all values are `< theta`.
+    count: usize,
+    theta: u64,
+    /// Rebuild when `count` reaches this (15/16 of capacity, as in the
+    /// Java implementation, keeping probe sequences short).
+    rebuild_threshold: usize,
+}
+
+impl QuickSelectThetaSketch {
+    /// Creates an empty sketch with nominal sample size `k = 2^lg_k`,
+    /// using `seed` to select the hash function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `lg_k` is outside
+    /// `MIN_LG_K..=MAX_LG_K`.
+    pub fn new(lg_k: u8, seed: u64) -> Result<Self> {
+        if !(MIN_LG_K..=MAX_LG_K).contains(&lg_k) {
+            return Err(SketchError::invalid(
+                "lg_k",
+                format!("must be in {MIN_LG_K}..={MAX_LG_K}, got {lg_k}"),
+            ));
+        }
+        let capacity = 1usize << (lg_k + 1); // 2k slots
+        Ok(QuickSelectThetaSketch {
+            lg_k,
+            seed,
+            table: vec![0; capacity],
+            mask: capacity - 1,
+            count: 0,
+            theta: THETA_MAX,
+            rebuild_threshold: capacity / 16 * 15,
+        })
+    }
+
+    /// Convenience constructor taking `k` directly; `k` must be a power of
+    /// two in range.
+    pub fn with_k(k: usize, seed: u64) -> Result<Self> {
+        if !k.is_power_of_two() {
+            return Err(SketchError::invalid(
+                "k",
+                format!("must be a power of two, got {k}"),
+            ));
+        }
+        Self::new(k.trailing_zeros() as u8, seed)
+    }
+
+    /// Creates a sketch with an *initial sampling probability* `p ∈ (0, 1]`
+    /// (DataSketches' `p`-sampling): Θ starts at `p` instead of 1, so
+    /// even the early stream is uniformly subsampled. The estimator is
+    /// unchanged (`retained/Θ` remains unbiased); exact-mode answers are
+    /// traded away for bounded memory on duplicate-heavy streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `lg_k` is out of range
+    /// or `p` is outside `(0, 1]`.
+    pub fn with_sampling(lg_k: u8, seed: u64, p: f64) -> Result<Self> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(SketchError::invalid(
+                "p",
+                format!("sampling probability must be in (0, 1], got {p}"),
+            ));
+        }
+        let mut sketch = Self::new(lg_k, seed)?;
+        sketch.theta = super::fraction_to_theta(p);
+        Ok(sketch)
+    }
+
+    /// The nominal sample size `k = 2^lg_k`.
+    pub fn k(&self) -> usize {
+        1 << self.lg_k
+    }
+
+    /// The configured `lg_k`.
+    pub fn lg_k(&self) -> u8 {
+        self.lg_k
+    }
+
+    /// Processes one stream item.
+    #[inline]
+    pub fn update<T: Hashable>(&mut self, item: T) {
+        self.update_hash(super::normalize_hash(item.hash_with_seed(self.seed)));
+    }
+
+    /// Processes a pre-hashed item; returns `true` iff the sketch retained
+    /// it (below Θ and not a duplicate).
+    #[inline]
+    pub fn update_hash(&mut self, hash: u64) -> bool {
+        debug_assert_ne!(hash, 0, "hash 0 is the empty marker; normalize first");
+        if hash >= self.theta {
+            return false;
+        }
+        if !self.insert(hash) {
+            return false;
+        }
+        self.count += 1;
+        if self.count >= self.rebuild_threshold {
+            self.rebuild();
+        }
+        true
+    }
+
+    /// Linear-probe insert; returns `false` on duplicate.
+    #[inline]
+    fn insert(&mut self, hash: u64) -> bool {
+        let mut idx = (hash as usize) & self.mask;
+        loop {
+            let slot = self.table[idx];
+            if slot == 0 {
+                self.table[idx] = hash;
+                return true;
+            }
+            if slot == hash {
+                return false;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Quick-select rebuild: drop Θ to the `(k+1)`-th smallest retained
+    /// hash and keep only the `k` hashes below it.
+    fn rebuild(&mut self) {
+        let k = self.k();
+        debug_assert!(self.count > k, "rebuild requires more than k samples");
+        let mut values: Vec<u64> = self.table.iter().copied().filter(|&v| v != 0).collect();
+        debug_assert_eq!(values.len(), self.count);
+        // After select_nth_unstable(k), values[k] is the (k+1)-th smallest
+        // (0-indexed k-th order statistic) and everything before it is
+        // smaller. Hashes are distinct, so exactly k survive.
+        let (_, &mut pivot, _) = values.select_nth_unstable(k);
+        self.theta = pivot;
+        self.table.iter_mut().for_each(|s| *s = 0);
+        self.count = 0;
+        for &v in values.iter() {
+            if v < pivot {
+                let inserted = self.insert(v);
+                debug_assert!(inserted, "rebuild re-inserts distinct values");
+                self.count += 1;
+            }
+        }
+        debug_assert_eq!(self.count, k);
+    }
+
+    /// Forces a rebuild so that at most `k` samples are retained; used to
+    /// produce tight compact images. No-op while in exact mode or when
+    /// already at ≤ k samples.
+    pub fn trim(&mut self) {
+        if self.count > self.k() && self.is_estimation_mode() {
+            self.rebuild();
+        } else if self.count > self.k() {
+            // Exact mode with more than k retained cannot happen: the
+            // threshold 15/16·2k > k triggers only via update, which flips
+            // the sketch to estimation mode. Guard anyway.
+            self.rebuild();
+        }
+    }
+
+    /// Merges another Θ sketch into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Incompatible`] on hash-seed mismatch.
+    pub fn merge<S: ThetaRead + ?Sized>(&mut self, other: &S) -> Result<()> {
+        if other.seed() != self.seed {
+            return Err(SketchError::incompatible(format!(
+                "hash seed mismatch: {} vs {}",
+                self.seed,
+                other.seed()
+            )));
+        }
+        if other.theta() < self.theta {
+            self.theta = other.theta();
+            self.prune_to_theta();
+        }
+        for h in other.hashes() {
+            self.update_hash(h);
+        }
+        Ok(())
+    }
+
+    /// Drops retained samples that are no longer below Θ.
+    fn prune_to_theta(&mut self) {
+        let theta = self.theta;
+        let survivors: Vec<u64> = self
+            .table
+            .iter()
+            .copied()
+            .filter(|&v| v != 0 && v < theta)
+            .collect();
+        self.table.iter_mut().for_each(|s| *s = 0);
+        self.count = survivors.len();
+        for v in survivors {
+            let inserted = self.insert(v);
+            debug_assert!(inserted);
+        }
+    }
+
+    /// Resets to the empty state, keeping configuration.
+    pub fn clear(&mut self) {
+        self.table.iter_mut().for_each(|s| *s = 0);
+        self.count = 0;
+        self.theta = THETA_MAX;
+    }
+
+    /// Returns `true` if no items have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Freezes the sketch into an immutable compact form (sorted hashes).
+    pub fn compact(&self) -> super::CompactThetaSketch {
+        super::CompactThetaSketch::from_read(self)
+    }
+}
+
+impl ThetaRead for QuickSelectThetaSketch {
+    fn theta(&self) -> u64 {
+        self.theta
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn retained(&self) -> usize {
+        self.count
+    }
+
+    fn hashes(&self) -> Box<dyn Iterator<Item = u64> + '_> {
+        Box::new(self.table.iter().copied().filter(|&v| v != 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theta::rse;
+
+    #[test]
+    fn rejects_out_of_range_lg_k() {
+        assert!(QuickSelectThetaSketch::new(3, 0).is_err());
+        assert!(QuickSelectThetaSketch::new(27, 0).is_err());
+        assert!(QuickSelectThetaSketch::new(4, 0).is_ok());
+    }
+
+    #[test]
+    fn with_k_requires_power_of_two() {
+        assert!(QuickSelectThetaSketch::with_k(1000, 0).is_err());
+        let s = QuickSelectThetaSketch::with_k(1024, 0).unwrap();
+        assert_eq!(s.k(), 1024);
+        assert_eq!(s.lg_k(), 10);
+    }
+
+    #[test]
+    fn exact_mode_below_threshold() {
+        let mut s = QuickSelectThetaSketch::new(8, 1).unwrap(); // k = 256
+        for i in 0..200u64 {
+            s.update(i);
+        }
+        assert!(!s.is_estimation_mode());
+        assert_eq!(s.estimate(), 200.0);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut s = QuickSelectThetaSketch::new(8, 1).unwrap();
+        for _ in 0..5 {
+            for i in 0..100u64 {
+                s.update(i);
+            }
+        }
+        assert_eq!(s.estimate(), 100.0);
+    }
+
+    #[test]
+    fn retained_between_k_and_2k_in_estimation_mode() {
+        let mut s = QuickSelectThetaSketch::new(6, 1).unwrap(); // k = 64
+        for i in 0..100_000u64 {
+            s.update(i);
+            if s.is_estimation_mode() {
+                assert!(s.retained() >= s.k(), "retained {} < k", s.retained());
+                assert!(s.retained() < 2 * s.k(), "retained {} ≥ 2k", s.retained());
+            }
+        }
+    }
+
+    #[test]
+    fn all_retained_below_theta() {
+        let mut s = QuickSelectThetaSketch::new(6, 3).unwrap();
+        for i in 0..50_000u64 {
+            s.update(i);
+        }
+        let theta = s.theta();
+        assert!(s.hashes().all(|h| h < theta));
+    }
+
+    #[test]
+    fn rebuild_keeps_exactly_k_smallest() {
+        use crate::hash::Hashable;
+        let lg_k = 5; // k = 32
+        let seed = 77;
+        let mut s = QuickSelectThetaSketch::new(lg_k, seed).unwrap();
+        let n = 10_000u64;
+        for i in 0..n {
+            s.update(i);
+        }
+        s.trim();
+        assert_eq!(s.retained(), s.k());
+        // The retained set must be exactly the k smallest normalised
+        // hashes of the stream.
+        let mut all: Vec<u64> = (0..n)
+            .map(|i| crate::theta::normalize_hash(i.hash_with_seed(seed)))
+            .collect();
+        all.sort_unstable();
+        let mut got: Vec<u64> = s.hashes().collect();
+        got.sort_unstable();
+        assert_eq!(got, all[..s.k()].to_vec());
+    }
+
+    #[test]
+    fn estimate_within_rse_bounds() {
+        let mut s = QuickSelectThetaSketch::new(12, 42).unwrap(); // k = 4096
+        let n = 1_000_000u64;
+        for i in 0..n {
+            s.update(i);
+        }
+        let est = s.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 5.0 * rse(4096), "relative error {rel}");
+    }
+
+    #[test]
+    fn theta_monotonically_decreases() {
+        let mut s = QuickSelectThetaSketch::new(5, 9).unwrap();
+        let mut last = s.theta();
+        for i in 0..20_000u64 {
+            s.update(i);
+            assert!(s.theta() <= last);
+            last = s.theta();
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenation_estimate() {
+        let seed = 11;
+        let mut a = QuickSelectThetaSketch::new(9, seed).unwrap();
+        let mut b = QuickSelectThetaSketch::new(9, seed).unwrap();
+        let mut whole = QuickSelectThetaSketch::new(9, seed).unwrap();
+        for i in 0..200_000u64 {
+            whole.update(i);
+            if i % 3 == 0 {
+                a.update(i);
+            } else {
+                b.update(i);
+            }
+        }
+        a.merge(&b).unwrap();
+        let rel = (a.estimate() - 200_000.0).abs() / 200_000.0;
+        assert!(rel < 5.0 * rse(512), "merged relative error {rel}");
+        // Disjoint inputs: merged estimate should be close to whole-stream
+        // estimate (not identical: Θ trajectories differ).
+        let rel2 = (a.estimate() - whole.estimate()).abs() / whole.estimate();
+        assert!(rel2 < 0.1, "merge vs whole diverged by {rel2}");
+    }
+
+    #[test]
+    fn merge_seed_mismatch_rejected() {
+        let mut a = QuickSelectThetaSketch::new(5, 1).unwrap();
+        let b = QuickSelectThetaSketch::new(5, 2).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn merge_overlapping_counts_once() {
+        let seed = 4;
+        let mut a = QuickSelectThetaSketch::new(10, seed).unwrap();
+        let mut b = QuickSelectThetaSketch::new(10, seed).unwrap();
+        for i in 0..60_000u64 {
+            a.update(i);
+        }
+        for i in 30_000..90_000u64 {
+            b.update(i);
+        }
+        a.merge(&b).unwrap();
+        let est = a.estimate();
+        let rel = (est - 90_000.0).abs() / 90_000.0;
+        assert!(rel < 5.0 * rse(1024), "relative error {rel}");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = QuickSelectThetaSketch::new(5, 1).unwrap();
+        for i in 0..10_000u64 {
+            s.update(i);
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.theta(), THETA_MAX);
+        assert_eq!(s.retained(), 0);
+        assert_eq!(s.estimate(), 0.0);
+        // Sketch is reusable after clear (stay below the k=32 sketch's
+        // rebuild threshold to remain in exact mode).
+        for i in 0..40u64 {
+            s.update(i);
+        }
+        assert_eq!(s.estimate(), 40.0);
+    }
+
+    #[test]
+    fn sampling_probability_validated() {
+        assert!(QuickSelectThetaSketch::with_sampling(8, 1, 0.0).is_err());
+        assert!(QuickSelectThetaSketch::with_sampling(8, 1, 1.5).is_err());
+        assert!(QuickSelectThetaSketch::with_sampling(8, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn p_sampling_subsamples_immediately() {
+        let mut s = QuickSelectThetaSketch::with_sampling(10, 3, 0.25).unwrap();
+        assert!(s.is_estimation_mode(), "p < 1 starts in estimation mode");
+        for i in 0..10_000u64 {
+            s.update(i);
+        }
+        // Roughly a quarter retained pre-rebuild; the estimate stays
+        // unbiased.
+        let rel = (s.estimate() - 10_000.0).abs() / 10_000.0;
+        assert!(rel < 0.1, "relative error {rel}");
+    }
+
+    #[test]
+    fn p_sampling_estimate_unbiased_small_stream() {
+        // Average over independent seeds: E[est] ≈ n even when n is far
+        // below k (every update is subsampled at probability p).
+        let n = 2_000u64;
+        let trials = 200;
+        let mut sum = 0.0;
+        for seed in 0..trials {
+            let mut s = QuickSelectThetaSketch::with_sampling(10, seed, 0.1).unwrap();
+            for i in 0..n {
+                s.update(i);
+            }
+            sum += s.estimate();
+        }
+        let mean = sum / trials as f64;
+        let rel = (mean - n as f64).abs() / n as f64;
+        assert!(rel < 0.1, "mean estimate {mean} vs {n}");
+    }
+
+    #[test]
+    fn kmv_and_quickselect_agree_on_large_streams() {
+        let seed = 21;
+        let n = 300_000u64;
+        let mut kmv = crate::theta::KmvThetaSketch::new(1024, seed).unwrap();
+        let mut qs = QuickSelectThetaSketch::new(10, seed).unwrap();
+        for i in 0..n {
+            kmv.update(i);
+            qs.update(i);
+        }
+        let (ek, eq) = (kmv.estimate(), qs.estimate());
+        let rel = (ek - eq).abs() / n as f64;
+        assert!(rel < 0.1, "KMV {ek} vs QS {eq}");
+    }
+}

@@ -1,0 +1,365 @@
+//! Θ sketch set operations: union, intersection, and A-not-B.
+//!
+//! These are what make Θ sketches *mergeable summaries* (§3): the union of
+//! sketches over sub-streams summarises the concatenated stream, which is
+//! the property both the distributed-processing prior art and the paper's
+//! concurrent framework build on. Intersection and A-not-B extend the
+//! algebra to general set expressions, as in Apache DataSketches.
+
+use super::{CompactThetaSketch, QuickSelectThetaSketch, ThetaRead};
+use crate::error::{Result, SketchError};
+use std::collections::HashSet;
+
+/// Streaming union gadget with its own nominal size `k`.
+///
+/// Feed any number of sketches with [`ThetaUnion::update`]; the running
+/// result is a quick-select sketch and can be frozen at any time.
+///
+/// # Examples
+///
+/// ```
+/// use fcds_sketches::theta::{QuickSelectThetaSketch, ThetaUnion, ThetaRead};
+///
+/// let mut a = QuickSelectThetaSketch::new(8, 9001).unwrap();
+/// let mut b = QuickSelectThetaSketch::new(8, 9001).unwrap();
+/// for i in 0..50_000u64 { a.update(i); }
+/// for i in 25_000..75_000u64 { b.update(i); }
+///
+/// let mut u = ThetaUnion::new(8, 9001).unwrap();
+/// u.update(&a).unwrap();
+/// u.update(&b).unwrap();
+/// let est = u.result().estimate();
+/// assert!((est - 75_000.0).abs() / 75_000.0 < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThetaUnion {
+    gadget: QuickSelectThetaSketch,
+}
+
+impl ThetaUnion {
+    /// Creates a union gadget with nominal size `k = 2^lg_k` and the given
+    /// hash seed.
+    pub fn new(lg_k: u8, seed: u64) -> Result<Self> {
+        Ok(ThetaUnion {
+            gadget: QuickSelectThetaSketch::new(lg_k, seed)?,
+        })
+    }
+
+    /// Adds a sketch to the union.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Incompatible`] on hash-seed mismatch.
+    pub fn update<S: ThetaRead + ?Sized>(&mut self, sketch: &S) -> Result<()> {
+        self.gadget.merge(sketch)
+    }
+
+    /// Freezes the current union result (trimmed to at most `k` samples).
+    pub fn result(&self) -> CompactThetaSketch {
+        let mut g = self.gadget.clone();
+        g.trim();
+        g.compact()
+    }
+
+    /// Resets the union to empty.
+    pub fn reset(&mut self) {
+        self.gadget.clear();
+    }
+}
+
+/// Streaming intersection gadget.
+///
+/// The intersection of Θ sketches: Θ is the minimum of all input Θs and
+/// the retained set is the intersection of the inputs' retained sets
+/// (filtered by the joint Θ). The estimator `retained/Θ` stays unbiased.
+/// Note the well-known caveat: intersections of nearly-disjoint sets can
+/// retain very few samples and so carry high relative error.
+#[derive(Debug, Clone)]
+pub struct ThetaIntersection {
+    seed: u64,
+    /// `None` until the first update (the identity of intersection — the
+    /// "universe" — is not representable).
+    state: Option<(u64, HashSet<u64>)>,
+}
+
+impl ThetaIntersection {
+    /// Creates an intersection gadget bound to a hash seed.
+    pub fn new(seed: u64) -> Self {
+        ThetaIntersection { seed, state: None }
+    }
+
+    /// Intersects another sketch into the running result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Incompatible`] on hash-seed mismatch.
+    pub fn update<S: ThetaRead + ?Sized>(&mut self, sketch: &S) -> Result<()> {
+        if sketch.seed() != self.seed {
+            return Err(SketchError::incompatible(format!(
+                "hash seed mismatch: {} vs {}",
+                self.seed,
+                sketch.seed()
+            )));
+        }
+        match &mut self.state {
+            None => {
+                let theta = sketch.theta();
+                let set: HashSet<u64> = sketch.hashes().collect();
+                self.state = Some((theta, set));
+            }
+            Some((theta, set)) => {
+                let new_theta = (*theta).min(sketch.theta());
+                let other: HashSet<u64> =
+                    sketch.hashes().filter(|&h| h < new_theta).collect();
+                set.retain(|h| *h < new_theta && other.contains(h));
+                *theta = new_theta;
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if no sketch has been intersected yet.
+    pub fn is_identity(&self) -> bool {
+        self.state.is_none()
+    }
+
+    /// Freezes the current intersection result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if called before any
+    /// update (the universe cannot be represented as a sketch).
+    pub fn result(&self) -> Result<CompactThetaSketch> {
+        match &self.state {
+            None => Err(SketchError::invalid(
+                "intersection",
+                "result() before first update: the identity is not a sketch",
+            )),
+            Some((theta, set)) => {
+                let hashes: Vec<u64> = set.iter().copied().collect();
+                CompactThetaSketch::from_parts(*theta, self.seed, hashes)
+            }
+        }
+    }
+}
+
+/// Computes `A \ B` (elements in `A`'s stream but not in `B`'s) as a
+/// compact Θ sketch.
+///
+/// Θ is the minimum of the two input Θs; `A`'s retained hashes below it
+/// that are absent from `B` survive.
+///
+/// # Errors
+///
+/// Returns [`SketchError::Incompatible`] on hash-seed mismatch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThetaANotB;
+
+impl ThetaANotB {
+    /// Creates the gadget (stateless; provided for API symmetry with the
+    /// Java library).
+    pub fn new() -> Self {
+        ThetaANotB
+    }
+
+    /// Computes the A-not-B result.
+    pub fn compute<A, B>(&self, a: &A, b: &B) -> Result<CompactThetaSketch>
+    where
+        A: ThetaRead + ?Sized,
+        B: ThetaRead + ?Sized,
+    {
+        if a.seed() != b.seed() {
+            return Err(SketchError::incompatible(format!(
+                "hash seed mismatch: {} vs {}",
+                a.seed(),
+                b.seed()
+            )));
+        }
+        let theta = a.theta().min(b.theta());
+        let b_set: HashSet<u64> = b.hashes().filter(|&h| h < theta).collect();
+        let hashes: Vec<u64> = a
+            .hashes()
+            .filter(|&h| h < theta && !b_set.contains(&h))
+            .collect();
+        CompactThetaSketch::from_parts(theta, a.seed(), hashes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theta::rse;
+
+    fn filled(lg_k: u8, seed: u64, range: std::ops::Range<u64>) -> QuickSelectThetaSketch {
+        let mut s = QuickSelectThetaSketch::new(lg_k, seed).unwrap();
+        for i in range {
+            s.update(i);
+        }
+        s
+    }
+
+    #[test]
+    fn union_of_disjoint_streams() {
+        let a = filled(10, 1, 0..100_000);
+        let b = filled(10, 1, 100_000..250_000);
+        let mut u = ThetaUnion::new(10, 1).unwrap();
+        u.update(&a).unwrap();
+        u.update(&b).unwrap();
+        let est = u.result().estimate();
+        let rel = (est - 250_000.0).abs() / 250_000.0;
+        assert!(rel < 5.0 * rse(1024), "relative error {rel}");
+    }
+
+    #[test]
+    fn union_of_identical_streams_counts_once() {
+        let a = filled(10, 1, 0..80_000);
+        let b = filled(10, 1, 0..80_000);
+        let mut u = ThetaUnion::new(10, 1).unwrap();
+        u.update(&a).unwrap();
+        u.update(&b).unwrap();
+        let est = u.result().estimate();
+        let rel = (est - 80_000.0).abs() / 80_000.0;
+        assert!(rel < 5.0 * rse(1024), "relative error {rel}");
+    }
+
+    #[test]
+    fn union_result_trimmed_to_k() {
+        let a = filled(6, 1, 0..50_000);
+        let b = filled(6, 1, 50_000..100_000);
+        let mut u = ThetaUnion::new(6, 1).unwrap();
+        u.update(&a).unwrap();
+        u.update(&b).unwrap();
+        assert!(u.result().retained() <= 64);
+    }
+
+    #[test]
+    fn union_seed_mismatch_rejected() {
+        let a = filled(6, 2, 0..1000);
+        let mut u = ThetaUnion::new(6, 1).unwrap();
+        assert!(u.update(&a).is_err());
+    }
+
+    #[test]
+    fn union_reset() {
+        let a = filled(6, 1, 0..50_000);
+        let mut u = ThetaUnion::new(6, 1).unwrap();
+        u.update(&a).unwrap();
+        u.reset();
+        assert_eq!(u.result().estimate(), 0.0);
+    }
+
+    #[test]
+    fn union_is_commutative_in_estimate() {
+        let a = filled(9, 1, 0..60_000);
+        let b = filled(9, 1, 40_000..120_000);
+        let mut u1 = ThetaUnion::new(9, 1).unwrap();
+        u1.update(&a).unwrap();
+        u1.update(&b).unwrap();
+        let mut u2 = ThetaUnion::new(9, 1).unwrap();
+        u2.update(&b).unwrap();
+        u2.update(&a).unwrap();
+        let (e1, e2) = (u1.result().estimate(), u2.result().estimate());
+        let rel = (e1 - e2).abs() / e1;
+        assert!(rel < 0.05, "union not commutative: {e1} vs {e2}");
+    }
+
+    #[test]
+    fn intersection_of_overlapping_streams() {
+        // |A| = 100k (0..100k), |B| = 100k (50k..150k), |A∩B| = 50k.
+        let a = filled(11, 1, 0..100_000);
+        let b = filled(11, 1, 50_000..150_000);
+        let mut ix = ThetaIntersection::new(1);
+        ix.update(&a).unwrap();
+        ix.update(&b).unwrap();
+        let est = ix.result().unwrap().estimate();
+        let rel = (est - 50_000.0).abs() / 50_000.0;
+        // Intersection error grows with the Jaccard ratio; allow 10%.
+        assert!(rel < 0.1, "relative error {rel}");
+    }
+
+    #[test]
+    fn intersection_of_disjoint_streams_is_empty_estimate() {
+        let a = filled(10, 1, 0..50_000);
+        let b = filled(10, 1, 50_000..100_000);
+        let mut ix = ThetaIntersection::new(1);
+        ix.update(&a).unwrap();
+        ix.update(&b).unwrap();
+        let est = ix.result().unwrap().estimate();
+        assert!(est < 2_000.0, "disjoint intersection estimated {est}");
+    }
+
+    #[test]
+    fn intersection_identity_errors() {
+        let ix = ThetaIntersection::new(1);
+        assert!(ix.is_identity());
+        assert!(ix.result().is_err());
+    }
+
+    #[test]
+    fn intersection_with_exact_sketches_is_exact() {
+        let a = filled(10, 1, 0..500); // exact mode
+        let b = filled(10, 1, 250..750);
+        let mut ix = ThetaIntersection::new(1);
+        ix.update(&a).unwrap();
+        ix.update(&b).unwrap();
+        assert_eq!(ix.result().unwrap().estimate(), 250.0);
+    }
+
+    #[test]
+    fn intersection_seed_mismatch_rejected() {
+        let a = filled(6, 2, 0..1000);
+        let mut ix = ThetaIntersection::new(1);
+        assert!(ix.update(&a).is_err());
+    }
+
+    #[test]
+    fn a_not_b_exact() {
+        let a = filled(10, 1, 0..600);
+        let b = filled(10, 1, 400..1000);
+        let d = ThetaANotB::new().compute(&a, &b).unwrap();
+        assert_eq!(d.estimate(), 400.0);
+    }
+
+    #[test]
+    fn a_not_b_estimation_mode() {
+        // |A| = 200k, |B| = upper half + 100k more → |A\B| = 100k.
+        let a = filled(11, 1, 0..200_000);
+        let b = filled(11, 1, 100_000..300_000);
+        let d = ThetaANotB::new().compute(&a, &b).unwrap();
+        let rel = (d.estimate() - 100_000.0).abs() / 100_000.0;
+        assert!(rel < 0.1, "relative error {rel}");
+    }
+
+    #[test]
+    fn a_not_b_with_self_is_empty() {
+        let a = filled(10, 1, 0..50_000);
+        let d = ThetaANotB::new().compute(&a, &a).unwrap();
+        assert_eq!(d.retained(), 0);
+    }
+
+    #[test]
+    fn a_not_b_seed_mismatch_rejected() {
+        let a = filled(6, 1, 0..100);
+        let b = filled(6, 2, 0..100);
+        assert!(ThetaANotB::new().compute(&a, &b).is_err());
+    }
+
+    #[test]
+    fn inclusion_exclusion_consistency() {
+        // est(A∪B) ≈ est(A∩B) + est(A\B) + est(B\A).
+        let a = filled(11, 1, 0..120_000);
+        let b = filled(11, 1, 60_000..180_000);
+        let mut u = ThetaUnion::new(11, 1).unwrap();
+        u.update(&a).unwrap();
+        u.update(&b).unwrap();
+        let mut ix = ThetaIntersection::new(1);
+        ix.update(&a).unwrap();
+        ix.update(&b).unwrap();
+        let anb = ThetaANotB::new().compute(&a, &b).unwrap();
+        let bna = ThetaANotB::new().compute(&b, &a).unwrap();
+        let lhs = u.result().estimate();
+        let rhs = ix.result().unwrap().estimate() + anb.estimate() + bna.estimate();
+        let rel = (lhs - rhs).abs() / lhs;
+        assert!(rel < 0.1, "inclusion–exclusion violated: {lhs} vs {rhs}");
+    }
+}

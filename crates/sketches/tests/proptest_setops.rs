@@ -1,0 +1,120 @@
+//! Property tests: the Θ set-operation algebra on arbitrary interval
+//! streams (where ground truth is computable in closed form).
+
+use fcds_sketches::theta::{
+    jaccard, QuickSelectThetaSketch, ThetaANotB, ThetaIntersection, ThetaRead, ThetaUnion,
+};
+use proptest::prelude::*;
+
+fn filled(lg_k: u8, seed: u64, lo: u64, len: u64) -> QuickSelectThetaSketch {
+    let mut s = QuickSelectThetaSketch::new(lg_k, seed).unwrap();
+    for i in lo..lo + len {
+        s.update(i);
+    }
+    s
+}
+
+fn overlap(a0: u64, a1: u64, b0: u64, b1: u64) -> u64 {
+    a1.min(b1).saturating_sub(a0.max(b0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Union is commutative up to estimator noise, and its estimate
+    /// tracks the true union cardinality.
+    #[test]
+    fn union_commutative_and_accurate(
+        a0 in 0u64..30_000, alen in 1_000u64..60_000,
+        b0 in 0u64..30_000, blen in 1_000u64..60_000,
+    ) {
+        let seed = 5;
+        let a = filled(10, seed, a0, alen);
+        let b = filled(10, seed, b0, blen);
+        let run = |x: &QuickSelectThetaSketch, y: &QuickSelectThetaSketch| {
+            let mut u = ThetaUnion::new(10, seed).unwrap();
+            u.update(x).unwrap();
+            u.update(y).unwrap();
+            u.result().estimate()
+        };
+        let (e1, e2) = (run(&a, &b), run(&b, &a));
+        let truth = (alen + blen - overlap(a0, a0 + alen, b0, b0 + blen)) as f64;
+        prop_assert!((e1 - truth).abs() / truth < 0.2, "union {e1} vs {truth}");
+        prop_assert!((e1 - e2).abs() / truth < 0.2, "not commutative: {e1} vs {e2}");
+    }
+
+    /// Intersection estimate tracks the true overlap (when the overlap is
+    /// large enough to be sampled meaningfully).
+    #[test]
+    fn intersection_accurate_on_large_overlaps(
+        a0 in 0u64..10_000, alen in 40_000u64..80_000,
+        shift in 0u64..20_000,
+    ) {
+        let seed = 7;
+        let b0 = a0 + shift;
+        let blen = alen;
+        let a = filled(11, seed, a0, alen);
+        let b = filled(11, seed, b0, blen);
+        let mut ix = ThetaIntersection::new(seed);
+        ix.update(&a).unwrap();
+        ix.update(&b).unwrap();
+        let est = ix.result().unwrap().estimate();
+        let truth = overlap(a0, a0 + alen, b0, b0 + blen) as f64;
+        prop_assert!(truth > 0.0);
+        prop_assert!((est - truth).abs() / truth < 0.25, "intersection {est} vs {truth}");
+    }
+
+    /// A = (A∩B) ⊎ (A\B): the estimates must add up.
+    #[test]
+    fn partition_identity(
+        a0 in 0u64..10_000, alen in 20_000u64..60_000,
+        b0 in 0u64..40_000, blen in 20_000u64..60_000,
+    ) {
+        let seed = 9;
+        let a = filled(11, seed, a0, alen);
+        let b = filled(11, seed, b0, blen);
+        let mut ix = ThetaIntersection::new(seed);
+        ix.update(&a).unwrap();
+        ix.update(&b).unwrap();
+        let inter = ix.result().unwrap().estimate();
+        let diff = ThetaANotB::new().compute(&a, &b).unwrap().estimate();
+        let total = inter + diff;
+        let rel = (total - alen as f64).abs() / alen as f64;
+        prop_assert!(rel < 0.25, "|A∩B| + |A\\B| = {total} vs |A| = {alen}");
+    }
+
+    /// Jaccard estimate tracks the interval ground truth.
+    #[test]
+    fn jaccard_tracks_truth(
+        a0 in 0u64..10_000, alen in 30_000u64..60_000,
+        shift in 0u64..60_000,
+    ) {
+        let seed = 11;
+        let a = filled(11, seed, a0, alen);
+        let b = filled(11, seed, a0 + shift, alen);
+        let j = jaccard(&a, &b).unwrap();
+        let inter = overlap(a0, a0 + alen, a0 + shift, a0 + shift + alen) as f64;
+        let union = 2.0 * alen as f64 - inter;
+        let truth = inter / union;
+        prop_assert!((j.estimate - truth).abs() < 0.08,
+            "jaccard {} vs truth {truth}", j.estimate);
+        prop_assert!(j.lower_bound <= j.upper_bound);
+    }
+
+    /// Unions of many small sketches equal one big sketch, in estimate.
+    #[test]
+    fn union_is_associative_in_estimate(
+        pieces in 2usize..8,
+        per in 5_000u64..20_000,
+    ) {
+        let seed = 13;
+        let mut u = ThetaUnion::new(10, seed).unwrap();
+        for p in 0..pieces as u64 {
+            let s = filled(10, seed, p * per, per);
+            u.update(&s).unwrap();
+        }
+        let truth = (pieces as u64 * per) as f64;
+        let est = u.result().estimate();
+        prop_assert!((est - truth).abs() / truth < 0.2, "union {est} vs {truth}");
+    }
+}

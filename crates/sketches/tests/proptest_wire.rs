@@ -1,0 +1,123 @@
+//! Property tests: every wire format round-trips arbitrary sketch states
+//! bit-exactly, and rejects random corruption without panicking.
+
+use fcds_sketches::hll::HllSketch;
+use fcds_sketches::oracle::DeterministicOracle;
+use fcds_sketches::quantiles::QuantilesSketch;
+use fcds_sketches::theta::{CompactThetaSketch, QuickSelectThetaSketch, ThetaRead};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compact_theta_round_trips(
+        n in 0u64..50_000,
+        lg_k in 4u8..10,
+        seed in 0u64..1_000,
+    ) {
+        let mut s = QuickSelectThetaSketch::new(lg_k, seed).unwrap();
+        for i in 0..n {
+            s.update(i);
+        }
+        let c = s.compact();
+        let back = CompactThetaSketch::from_bytes(&c.to_bytes()).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn hll_round_trips(
+        n in 0u64..30_000,
+        lg_m in 4u8..12,
+        seed in 0u64..1_000,
+    ) {
+        let mut h = HllSketch::new(lg_m, seed).unwrap();
+        for i in 0..n {
+            h.update(i);
+        }
+        let back = HllSketch::from_bytes(&h.to_bytes()).unwrap();
+        prop_assert_eq!(back, h);
+    }
+
+    #[test]
+    fn quantiles_round_trips(
+        n in 0u64..20_000,
+        k in 2usize..128,
+        seed in 0u64..1_000,
+    ) {
+        let mut q = QuantilesSketch::<u64>::with_seed(k, seed).unwrap();
+        for i in 0..n {
+            q.update(i.wrapping_mul(0x9E37_79B9) % 10_000);
+        }
+        let bytes = q.to_bytes();
+        let back = QuantilesSketch::<u64>::from_bytes(&bytes, DeterministicOracle::new(0)).unwrap();
+        prop_assert_eq!(back.n(), q.n());
+        prop_assert!(back.check_weight_invariant());
+        for phi in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            prop_assert_eq!(back.quantile(phi), q.quantile(phi));
+        }
+    }
+
+    /// Random single-byte corruption either fails decoding or decodes to
+    /// a structurally valid sketch — never panics.
+    #[test]
+    fn corrupted_theta_never_panics(
+        n in 100u64..5_000,
+        flip_at in 0usize..10_000,
+        flip_bit in 0u8..8,
+    ) {
+        let mut s = QuickSelectThetaSketch::new(5, 1).unwrap();
+        for i in 0..n {
+            s.update(i);
+        }
+        let mut bytes = s.compact().to_bytes().to_vec();
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= 1 << flip_bit;
+        match CompactThetaSketch::from_bytes(&bytes) {
+            Err(_) => {}
+            Ok(c) => {
+                // If it decodes, its invariants must hold.
+                let hashes = c.sorted_hashes();
+                prop_assert!(hashes.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(hashes.iter().all(|&h| h < c.theta()));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_quantiles_never_panics(
+        n in 100u64..5_000,
+        flip_at in 0usize..100_000,
+        flip_bit in 0u8..8,
+    ) {
+        let mut q = QuantilesSketch::<u64>::with_seed(16, 1).unwrap();
+        for i in 0..n {
+            q.update(i);
+        }
+        let mut bytes = q.to_bytes().to_vec();
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= 1 << flip_bit;
+        match QuantilesSketch::<u64>::from_bytes(&bytes, DeterministicOracle::new(0)) {
+            Err(_) => {}
+            Ok(back) => {
+                prop_assert!(back.check_weight_invariant());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_hll_never_panics(
+        n in 100u64..5_000,
+        flip_at in 0usize..10_000,
+        flip_bit in 0u8..8,
+    ) {
+        let mut h = HllSketch::new(6, 1).unwrap();
+        for i in 0..n {
+            h.update(i);
+        }
+        let mut bytes = h.to_bytes().to_vec();
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= 1 << flip_bit;
+        let _ = HllSketch::from_bytes(&bytes); // must not panic
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: count distinct items from multiple threads and query in
+//! real time.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fcds::core::theta::ConcurrentThetaBuilder;
+use std::time::Instant;
+
+fn main() {
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 2_000_000;
+
+    // k = 4096, e = 0.04: the paper's default configuration. The builder
+    // derives the eager-propagation limit (2/e² = 1250) and the local
+    // buffer size b from these.
+    let sketch = ConcurrentThetaBuilder::new()
+        .lg_k(12)
+        .writers(WRITERS as usize)
+        .max_concurrency_error(0.04)
+        .build()
+        .expect("valid configuration");
+
+    println!(
+        "concurrent Θ sketch: k = {}, relaxation r = 2Nb = {}",
+        sketch.k(),
+        sketch.relaxation()
+    );
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        // One writer handle per ingestion thread.
+        for t in 0..WRITERS {
+            let mut w = sketch.writer();
+            s.spawn(move || {
+                for i in 0..PER_WRITER {
+                    w.update(t * PER_WRITER + i); // disjoint ranges: all distinct
+                }
+            });
+        }
+        // Queries run concurrently with ingestion — no locks, no waiting.
+        s.spawn(|| {
+            for _ in 0..10 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                println!("  live estimate: {:>12.0}", sketch.estimate());
+            }
+        });
+    });
+
+    let elapsed = start.elapsed();
+    sketch.quiesce();
+    let total = (WRITERS * PER_WRITER) as f64;
+    let est = sketch.estimate();
+    println!("\ningested {total:.0} distinct items in {elapsed:.2?}");
+    println!(
+        "throughput: {:.1} M updates/s",
+        total / elapsed.as_secs_f64() / 1e6
+    );
+    println!(
+        "final estimate: {est:.0} (true {total:.0}, error {:+.2}%)",
+        (est / total - 1.0) * 100.0
+    );
+    println!("configured error bound: ±{:.2}%", sketch.error_bound() * 100.0);
+}

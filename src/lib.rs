@@ -1,0 +1,61 @@
+//! # fcds — Fast Concurrent Data Sketches
+//!
+//! A Rust reproduction of *Fast Concurrent Data Sketches* (Rinberg,
+//! Spiegelman, Bortnikov, Hillel, Keidar, Rhodes, Serviansky; PODC 2019,
+//! arXiv:1902.10995).
+//!
+//! This facade crate re-exports the three library crates of the workspace:
+//!
+//! * [`sketches`] — sequential sketch substrate: Θ sketches (KMV and
+//!   quick-select), the Quantiles sketch, HLL, reservoir sampling, and the
+//!   MurmurHash3 hash the sketches are built on.
+//! * [`core`] — the paper's contribution: the generic strongly-linearisable
+//!   concurrent sketch framework (`ParSketch`/`OptParSketch`), its Θ,
+//!   Quantiles and HLL instantiations, and the lock-based baseline.
+//! * [`relaxation`] — the relaxed-consistency framework: operation
+//!   histories, the r-relaxation checker (Definition 2), and the
+//!   strong/weak adversary error analysis of Section 6.
+//!
+//! ## Examples
+//!
+//! Seven runnable examples live in `examples/`:
+//! `quickstart` (multi-writer distinct counting), `unique_users`
+//! (web analytics with Θ set algebra), `latency_quantiles` (live
+//! percentile dashboard), `network_monitor` (concurrent HLL),
+//! `trending_topics` (concurrent Misra–Gries heavy hitters),
+//! `custom_sketch` (parallelising your own sketch through the
+//! composable interface), and `relaxation_demo` (Definition 2 and
+//! Theorem 1, validated live).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fcds::core::theta::ConcurrentThetaBuilder;
+//!
+//! let sketch = ConcurrentThetaBuilder::new()
+//!     .lg_k(12)
+//!     .writers(2)
+//!     .max_concurrency_error(0.04)
+//!     .build()
+//!     .unwrap();
+//!
+//! let handles: Vec<_> = (0..2)
+//!     .map(|t| {
+//!         let mut w = sketch.writer();
+//!         std::thread::spawn(move || {
+//!             for i in 0..100_000u64 {
+//!                 w.update(i * 2 + t);
+//!             }
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! let est = sketch.estimate();
+//! assert!((est - 200_000.0).abs() / 200_000.0 < 0.1);
+//! ```
+
+pub use fcds_core as core;
+pub use fcds_relaxation as relaxation;
+pub use fcds_sketches as sketches;
