@@ -1,0 +1,262 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Keeps the six fcds benches compiling and runnable without crates.io:
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`/`bench_with_input`, `Throughput`, `BenchmarkId`, and
+//! `Bencher::iter`. Each benchmark runs a short warm-up followed by a
+//! fixed number of timed iterations and prints the mean wall-clock time
+//! (plus throughput when declared) — honest numbers, none of criterion's
+//! statistics, outlier rejection, plots, or baseline comparisons.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations timed per benchmark (after warm-up).
+const MEASURE_ITERS: u32 = 10;
+const WARMUP_ITERS: u32 = 2;
+
+/// Declared work-per-iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark's name, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group supplies the function name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Names accepted wherever criterion takes `impl Into<BenchmarkId>`.
+pub trait IntoBenchmarkId {
+    /// Converts to the canonical id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over the shim's fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = MEASURE_ITERS;
+    }
+}
+
+fn report(id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("{id:<50} (no measurement)");
+        return;
+    }
+    let per_iter = b.elapsed / b.iters;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / per_iter.as_secs_f64();
+            format!("  {:>12.2} Melem/s", per_sec / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / per_iter.as_secs_f64();
+            format!("  {:>12.2} MiB/s", per_sec / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{id:<50} {per_iter:>12.2?}/iter{rate}");
+}
+
+/// A named set of related benchmarks sharing a throughput declaration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work one iteration performs (reported as a rate).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Ignored by the shim (kept for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored by the shim (kept for API compatibility).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Ignored by the shim (kept for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.into_id()),
+            &b,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.into_id()),
+            &b,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (a no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&id.into_id(), &b, None);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a function bundling benchmark functions, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` the harness passes flags like `--test`;
+            // the shim has no filtering, so arguments are ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &k| {
+            b.iter(|| (0..1000u64 * k).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_and_bencher_run() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_timing() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(21u64 * 2));
+        assert!(b.iters > 0);
+    }
+}

@@ -1,0 +1,15 @@
+//! Minimal offline stand-in for the `crossbeam` facade crate.
+//!
+//! Provides the two pieces the workspace uses:
+//!
+//! * [`utils::Backoff`] — exponential spin/yield backoff.
+//! * [`epoch`] — a small but *real* epoch-based reclamation scheme behind
+//!   the `crossbeam-epoch` API (`pin`, `Atomic`, `Owned`, `Shared`,
+//!   `Guard::defer_destroy`). `EpochCell`'s lock-free readers rely on it
+//!   for memory safety, so this is not a leak-or-crash stub: deferred
+//!   destructions are only executed once the global epoch has advanced
+//!   two steps past the retirement epoch, which (as in crossbeam) proves
+//!   no pinned reader can still hold the pointer.
+
+pub mod epoch;
+pub mod utils;

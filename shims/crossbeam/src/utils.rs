@@ -1,0 +1,52 @@
+//! Busy-wait backoff, mirroring `crossbeam_utils::Backoff`.
+
+use std::cell::Cell;
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff for spin loops: a few rounds of `spin_loop` hints,
+/// then yields to the OS scheduler.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: Cell<u32>,
+}
+
+impl Backoff {
+    /// Creates a backoff in its initial (hot-spin) state.
+    pub fn new() -> Self {
+        Backoff { step: Cell::new(0) }
+    }
+
+    /// Resets to the hot-spin state (call after making progress).
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Backs off without yielding the thread: `2^step` spin hints.
+    pub fn spin(&self) {
+        for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Backs off, yielding the thread once spinning has been exhausted.
+    pub fn snooze(&self) {
+        if self.step.get() <= SPIN_LIMIT {
+            self.spin();
+        } else {
+            std::thread::yield_now();
+            if self.step.get() <= YIELD_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+    }
+
+    /// Whether the caller should switch to real blocking (parking).
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}

@@ -1,0 +1,130 @@
+//! Minimal offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync::Mutex` / `std::sync::RwLock` behind the
+//! non-poisoning `parking_lot` API the workspace uses (`lock()`,
+//! `read()`, `write()`, `try_lock()` returning guards directly, no
+//! `Result`). Poisoning is translated into a panic propagation: if a
+//! thread panicked while holding the lock the next locker panics too,
+//! which is the behaviour the lock-free tests expect anyway.
+
+use std::sync::{self, TryLockError};
+
+/// Non-poisoning mutual-exclusion lock.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// RAII guard for [`Mutex::lock`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|_| panic!("lock holder panicked"))
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::WouldBlock) => None,
+            Err(TryLockError::Poisoned(_)) => panic!("lock holder panicked"),
+        }
+    }
+
+    /// Mutable access without locking (the borrow proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|_| panic!("lock holder panicked"))
+    }
+}
+
+/// Non-poisoning readers-writer lock.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+/// RAII guard for [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// RAII guard for [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|_| panic!("lock holder panicked"))
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|_| panic!("lock holder panicked"))
+    }
+
+    /// Mutable access without locking (the borrow proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|_| panic!("lock holder panicked"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guards_exclusive_counter() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 40_000);
+    }
+
+    #[test]
+    fn rwlock_readers_see_writes() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        assert_eq!(l.read().len(), 3);
+        l.write().push(4);
+        assert_eq!(*l.read(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_lock_contended_returns_none() {
+        let m = Mutex::new(());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+}

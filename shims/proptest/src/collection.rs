@@ -1,0 +1,55 @@
+//! Collection strategies: only `vec` is provided.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Strategy for `Vec`s with element strategy `S` and length drawn from a
+/// range, mirroring `proptest::collection::vec`.
+#[derive(Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Length specifications accepted by [`vec()`]: a range or an exact size
+/// (mirroring `proptest::collection::SizeRange` conversions).
+pub trait IntoSizeRange {
+    /// The half-open range of admissible lengths.
+    fn into_range(self) -> Range<usize>;
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn into_range(self) -> Range<usize> {
+        self
+    }
+}
+
+impl IntoSizeRange for usize {
+    fn into_range(self) -> Range<usize> {
+        self..self + 1
+    }
+}
+
+/// Creates a strategy producing vectors whose length is drawn from `len`
+/// and whose elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        len: len.into_range(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        let n = if self.len.is_empty() {
+            self.len.start
+        } else {
+            rng.random_range(self.len.start..self.len.end)
+        };
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}

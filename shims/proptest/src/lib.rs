@@ -1,0 +1,181 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the fcds test suites use:
+//!
+//! * the [`proptest!`] macro over functions whose arguments are drawn
+//!   `name in strategy` pairs, with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! * range strategies (`0u64..100`, `1u32..=64`), [`any::<bool>()`](any),
+//!   and [`prop::collection::vec`](collection::vec);
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! seeds: cases are generated from a deterministic per-test seed (the hash
+//! of the test name), so failures reproduce on re-run. On failure the
+//! failing case index is printed before the panic propagates.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Prelude mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop` path alias (`prop::collection::vec(..)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Returns the standard strategy for `T` (only `bool` and the primitive
+/// integer/float full-domain draws are provided).
+pub fn any<T: strategy::ArbitraryValue>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// Deterministic per-test RNG: seeded from the test's name so failures
+/// reproduce, while distinct tests explore distinct streams.
+#[doc(hidden)]
+pub fn rng_for_test(test_name: &str) -> SmallRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// Runs `cases` samples of `body`, printing the failing case index if one
+/// panics. The machinery behind [`proptest!`]; not public API.
+#[doc(hidden)]
+pub fn run_cases(test_name: &str, cases: u32, mut body: impl FnMut(&mut SmallRng)) {
+    let mut rng = rng_for_test(test_name);
+    for case in 0..cases {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest shim: test `{test_name}` failed at case {case} of {cases} \
+                 (deterministic seed; re-running reproduces it)"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The `proptest!` macro: expands each `fn name(arg in strategy, ..) {..}`
+/// into a plain test function that samples the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::run_cases(stringify!($name), cfg.cases, |rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10u64..20, y in 1u8..=3, z in 0usize..5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+            prop_assert!(z < 5);
+        }
+
+        #[test]
+        fn vec_strategy_length_and_elements(v in prop::collection::vec(0u32..100, 2..10)) {
+            prop_assert!((2..10).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn any_bool_draws(b in any::<bool>()) {
+            prop_assert!(b || !b);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_test() {
+        let mut a = crate::rng_for_test("some_test");
+        let mut b = crate::rng_for_test("some_test");
+        let mut c = crate::rng_for_test("other_test");
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| c.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn failing_case_reports_index() {
+        let err = std::panic::catch_unwind(|| {
+            crate::run_cases("always_fails", 8, |_| panic!("boom"));
+        });
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Value-generation strategies (no shrinking).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleUniform, Standard};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random values of one type; the shim's `proptest::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        rng.random_range(*self.start()..=*self.end())
+    }
+}
+
+/// Strategy produced by [`any`](crate::any): the type's full standard
+/// distribution.
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Any<T> {
+    pub(crate) fn new() -> Self {
+        Any(PhantomData)
+    }
+}
+
+/// Types `any::<T>()` can produce (the shim's `Arbitrary`).
+pub trait ArbitraryValue: Standard {}
+impl<T: Standard> ArbitraryValue for T {}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        rng.random()
+    }
+}

@@ -1,0 +1,22 @@
+//! Test-runner configuration.
+
+/// Run configuration; only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Real proptest defaults to 256; the shim keeps that.
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}

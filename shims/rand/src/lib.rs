@@ -1,0 +1,278 @@
+//! Minimal offline stand-in for the `rand` crate (0.9 API).
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! exactly the surface the workspace uses: [`rngs::SmallRng`] (a
+//! xoshiro256++ generator seeded with SplitMix64), the [`Rng`] extension
+//! methods `random`, `random_range`, `random_bool` and `random_ratio`,
+//! [`SeedableRng::seed_from_u64`], and [`seq::SliceRandom::shuffle`].
+//! Swap the `rand` entry in the workspace `Cargo.toml` to the real crate
+//! when network access is available; no call site needs to change.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core generator interface: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from `state`.
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Creates a generator from system entropy (`std`'s per-process
+    /// random hasher keys mixed with a monotonically bumped counter, so
+    /// repeated calls in one process also diverge).
+    fn from_os_rng() -> Self {
+        use std::hash::{BuildHasher, Hasher};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let mut hasher = std::collections::hash_map::RandomState::new().build_hasher();
+        hasher.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+        Self::seed_from_u64(hasher.finish())
+    }
+}
+
+/// Types samplable uniformly from their full domain by [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types usable as [`Rng::random_range`] endpoints.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`; `hi > lo` is the caller's obligation.
+    fn sample_below<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_below<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo < hi, "random_range called with empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                // Unbiased-enough widening multiply (Lemire); spans here are
+                // far below 2^64 so the residual bias is negligible.
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo.wrapping_add(draw as $t)
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                if hi == <$t>::MAX {
+                    // Widen so the +1 on the span cannot wrap. Bit-width of
+                    // usize is platform-dependent but never above 64.
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    let draw = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                    return lo.wrapping_add(draw as $t);
+                }
+                Self::sample_below(rng, lo, hi.wrapping_add(1))
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_below<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        debug_assert!(lo < hi, "random_range called with empty range");
+        let unit: f64 = Standard::sample(rng);
+        let v = lo + unit * (hi - lo);
+        // lo + unit*(hi-lo) can round up to exactly hi; keep the range
+        // half-open like the real crate does.
+        if v >= hi {
+            hi.next_down().max(lo)
+        } else {
+            v
+        }
+    }
+    #[inline]
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        // The closed upper endpoint has measure zero; sampling the
+        // half-open interval is indistinguishable for test purposes.
+        if lo == hi {
+            return lo;
+        }
+        Self::sample_below(rng, lo, hi)
+    }
+}
+
+/// Range arguments accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_below(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform draw from the type's standard distribution
+    /// (full integer domain, `[0, 1)` for floats, fair coin for `bool`).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform draw from `range`.
+    #[inline]
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.random::<f64>() < p
+    }
+
+    /// Bernoulli draw: `true` with probability `numerator / denominator`.
+    #[inline]
+    fn random_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        debug_assert!(denominator > 0 && numerator <= denominator);
+        self.random_range(0..denominator) < numerator
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_stays_in_bounds_and_hits_all() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = rng.random_range(3usize..13);
+            assert!((3..13).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+        for _ in 0..1_000 {
+            let v = rng.random_range(1u32..=100);
+            assert!((1..=100).contains(&v));
+        }
+        // Inclusive ranges ending at MAX must not wrap the span.
+        for _ in 0..1_000 {
+            let v = rng.random_range(250u8..=u8::MAX);
+            assert!(v >= 250);
+        }
+    }
+
+    #[test]
+    fn f64_range_excludes_upper_endpoint() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let (lo, hi) = (1.0f64, 1.0 + 2.0 * f64::EPSILON);
+        for _ in 0..10_000 {
+            let v = rng.random_range(lo..hi);
+            assert!(v >= lo && v < hi, "f64 draw {v} escaped [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn bool_roughly_fair() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let heads = (0..100_000).filter(|_| rng.random::<bool>()).count();
+        assert!((40_000..60_000).contains(&heads));
+        let biased = (0..100_000).filter(|_| rng.random_bool(0.1)).count();
+        assert!((7_000..13_000).contains(&biased));
+        let ratio = (0..100_000).filter(|_| rng.random_ratio(1, 4)).count();
+        assert!((20_000..30_000).contains(&ratio));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle of 100 items left them sorted");
+    }
+}

@@ -1,0 +1,18 @@
+//! Sequence helpers. Only [`SliceRandom::shuffle`] is provided.
+
+use crate::{Rng, RngCore};
+
+/// Extension trait adding random reordering to slices.
+pub trait SliceRandom {
+    /// Shuffles the slice in place (Fisher–Yates, uniform over permutations).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
