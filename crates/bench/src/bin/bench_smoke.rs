@@ -1,0 +1,76 @@
+//! CI perf smoke: a seconds-long measurement emitting machine-readable
+//! `BENCH_smoke.json` so the throughput trajectory accumulates run over
+//! run (absolute numbers are host-bound; the file records the host's
+//! parallelism so trends are comparable like-for-like).
+//!
+//! Two numbers are tracked:
+//! * `quickstart` — the README workload: multi-writer distinct counting
+//!   through the default engine (K = 1, dedicated propagator);
+//! * `shard_scaling` — update-only throughput for K ∈ {1, max} under both
+//!   propagation backends.
+//!
+//! Usage: `cargo run --release -p fcds-bench --bin bench_smoke [--out=DIR]`
+//! (writes `<out>/BENCH_smoke.json`, default `BENCH_smoke.json` in the
+//! working directory).
+
+use fcds_bench::drivers::{self, ThetaImpl};
+use fcds_bench::report::HarnessArgs;
+use fcds_core::PropagationBackendKind;
+use std::fmt::Write as _;
+
+fn throughput(impl_: ThetaImpl, uniques: u64, trials: u64) -> f64 {
+    let total_nanos: u128 = (0..trials)
+        .map(|n| drivers::time_write_only(impl_, 12, uniques, n).as_nanos())
+        .sum();
+    (trials * uniques) as f64 / (total_nanos as f64 / 1e9)
+}
+
+fn main() {
+    let mut args = HarnessArgs::parse();
+    if !std::env::args().any(|a| a.starts_with("--out=")) {
+        // Unlike the figure binaries, the smoke artefact defaults to the
+        // working directory so CI can pick it up without extra flags; an
+        // explicit --out= (even --out=results) is honoured as given.
+        args.out_dir = ".".to_string();
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let writers = cores.clamp(2, 8);
+    let uniques: u64 = 1 << 20;
+    let trials: u64 = 3;
+
+    let quickstart = throughput(ThetaImpl::concurrent(writers), uniques, trials);
+
+    let mut shard_rows = String::new();
+    let shard_counts = if writers > 1 { vec![1, writers] } else { vec![1] };
+    for (i, &k) in shard_counts.iter().enumerate() {
+        for (j, (backend, name)) in [
+            (PropagationBackendKind::DedicatedThread, "dedicated"),
+            (PropagationBackendKind::WriterAssisted, "writer_assisted"),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let ups = throughput(ThetaImpl::sharded(writers, k, backend), uniques, trials);
+            if i > 0 || j > 0 {
+                shard_rows.push_str(",\n");
+            }
+            let _ = write!(
+                shard_rows,
+                "    {{\"shards\": {k}, \"backend\": \"{name}\", \"updates_per_sec\": {ups:.0}}}"
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"fcds-bench-smoke-v1\",\n  \"cores\": {cores},\n  \
+         \"writers\": {writers},\n  \"stream_uniques\": {uniques},\n  \
+         \"trials\": {trials},\n  \"quickstart_updates_per_sec\": {quickstart:.0},\n  \
+         \"shard_scaling\": [\n{shard_rows}\n  ]\n}}\n"
+    );
+
+    let path = format!("{}/BENCH_smoke.json", args.out_dir);
+    std::fs::create_dir_all(&args.out_dir).expect("create out dir");
+    std::fs::write(&path, &json).expect("write BENCH_smoke.json");
+    print!("{json}");
+    eprintln!("wrote {path}");
+}

@@ -3,7 +3,8 @@
 
 use crate::workload::UniqueStream;
 use fcds_core::lock_based::LockBasedTheta;
-use fcds_core::theta::ConcurrentThetaBuilder;
+use fcds_core::theta::{ConcurrentThetaBuilder, ConcurrentThetaSketch};
+use fcds_core::PropagationBackendKind;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -19,6 +20,17 @@ pub enum ThetaImpl {
         e: f64,
         /// Optional explicit cap on the buffer size `b`.
         max_b: Option<u64>,
+    },
+    /// The K-way sharded engine (no eager phase, default `b`): writers
+    /// round-robined onto `shards` independent globals, propagation per
+    /// the selected backend.
+    Sharded {
+        /// Number of writer threads.
+        writers: usize,
+        /// Number of shards `K`.
+        shards: usize,
+        /// Propagation backend.
+        backend: PropagationBackendKind,
     },
     /// The lock-based baseline with `threads` updating threads.
     LockBased {
@@ -46,6 +58,15 @@ impl ThetaImpl {
         }
     }
 
+    /// A K-way sharded configuration.
+    pub fn sharded(writers: usize, shards: usize, backend: PropagationBackendKind) -> Self {
+        ThetaImpl::Sharded {
+            writers,
+            shards,
+            backend,
+        }
+    }
+
     /// Human-readable label for reports.
     pub fn label(&self) -> String {
         match self {
@@ -53,6 +74,17 @@ impl ThetaImpl {
                 Some(b) => format!("concurrent({writers}w,e={e},b={b})"),
                 None => format!("concurrent({writers}w,e={e})"),
             },
+            ThetaImpl::Sharded {
+                writers,
+                shards,
+                backend,
+            } => {
+                let bk = match backend {
+                    PropagationBackendKind::DedicatedThread => "dedicated",
+                    PropagationBackendKind::WriterAssisted => "assisted",
+                };
+                format!("sharded({writers}w,{shards}K,{bk})")
+            }
             ThetaImpl::LockBased { threads } => format!("lock-based({threads}t)"),
         }
     }
@@ -61,7 +93,41 @@ impl ThetaImpl {
     pub fn threads(&self) -> usize {
         match self {
             ThetaImpl::Concurrent { writers, .. } => *writers,
+            ThetaImpl::Sharded { writers, .. } => *writers,
             ThetaImpl::LockBased { threads } => *threads,
+        }
+    }
+
+    /// Builds the concurrent sketch for the non-lock-based variants.
+    fn build_concurrent(&self, lg_k: u8) -> Option<ConcurrentThetaSketch> {
+        match *self {
+            ThetaImpl::Concurrent { writers, e, max_b } => {
+                let mut builder = ConcurrentThetaBuilder::new()
+                    .lg_k(lg_k)
+                    .seed(9001)
+                    .writers(writers)
+                    .max_concurrency_error(e);
+                if let Some(mb) = max_b {
+                    builder = builder.max_buffer_size(mb);
+                }
+                Some(builder.build().expect("build concurrent sketch"))
+            }
+            ThetaImpl::Sharded {
+                writers,
+                shards,
+                backend,
+            } => Some(
+                ConcurrentThetaBuilder::new()
+                    .lg_k(lg_k)
+                    .seed(9001)
+                    .writers(writers)
+                    .shards(shards)
+                    .max_concurrency_error(1.0)
+                    .backend(backend)
+                    .build()
+                    .expect("build sharded sketch"),
+            ),
+            ThetaImpl::LockBased { .. } => None,
         }
     }
 }
@@ -71,16 +137,9 @@ impl ThetaImpl {
 /// phase (§7.1's write-only workload). `nonce` de-correlates trials.
 pub fn time_write_only(impl_: ThetaImpl, lg_k: u8, uniques: u64, nonce: u64) -> Duration {
     match impl_ {
-        ThetaImpl::Concurrent { writers, e, max_b } => {
-            let mut builder = ConcurrentThetaBuilder::new()
-                .lg_k(lg_k)
-                .seed(9001)
-                .writers(writers)
-                .max_concurrency_error(e);
-            if let Some(mb) = max_b {
-                builder = builder.max_buffer_size(mb);
-            }
-            let sketch = builder.build().expect("build concurrent sketch");
+        ThetaImpl::Concurrent { .. } | ThetaImpl::Sharded { .. } => {
+            let writers = impl_.threads();
+            let sketch = impl_.build_concurrent(lg_k).expect("concurrent variant");
             if writers == 1 {
                 // Feed inline: thread-spawn latency would otherwise
                 // dominate small-stream measurements (§7.1 measures feed
@@ -157,16 +216,9 @@ pub fn time_mixed(
     let stop = AtomicBool::new(false);
     let queries = AtomicU64::new(0);
     let write_duration = match impl_ {
-        ThetaImpl::Concurrent { writers, e, max_b } => {
-            let mut builder = ConcurrentThetaBuilder::new()
-                .lg_k(lg_k)
-                .seed(9001)
-                .writers(writers)
-                .max_concurrency_error(e);
-            if let Some(mb) = max_b {
-                builder = builder.max_buffer_size(mb);
-            }
-            let sketch = builder.build().expect("build concurrent sketch");
+        ThetaImpl::Concurrent { .. } | ThetaImpl::Sharded { .. } => {
+            let writers = impl_.threads();
+            let sketch = impl_.build_concurrent(lg_k).expect("concurrent variant");
             let start = Instant::now();
             std::thread::scope(|s| {
                 for _ in 0..readers {
@@ -269,11 +321,19 @@ mod tests {
         for impl_ in [
             ThetaImpl::concurrent(2),
             ThetaImpl::concurrent_b1(2),
+            ThetaImpl::sharded(2, 2, PropagationBackendKind::DedicatedThread),
+            ThetaImpl::sharded(2, 2, PropagationBackendKind::WriterAssisted),
             ThetaImpl::LockBased { threads: 2 },
         ] {
             let d = time_write_only(impl_, 9, 10_000, 1);
             assert!(d.as_nanos() > 0, "{} produced zero duration", impl_.label());
         }
+    }
+
+    #[test]
+    fn sharded_labels_are_informative() {
+        let l = ThetaImpl::sharded(8, 4, PropagationBackendKind::WriterAssisted).label();
+        assert!(l.contains("8w") && l.contains("4K") && l.contains("assisted"), "{l}");
     }
 
     #[test]

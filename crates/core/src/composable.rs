@@ -130,6 +130,51 @@ pub trait GlobalSketch: Send + 'static {
     /// Number of stream items this sketch has ingested (used by the
     /// adaptation logic of §5.3 to decide when to leave the eager phase).
     fn stream_len(&self) -> u64;
+
+    // ------------------- sharding hooks -------------------
+    //
+    // The sharded engine splits the global sketch into K independent
+    // instances and merges their published views at query time. The three
+    // hooks below have K = 1 compatible defaults, so single-shard sketches
+    // need not implement them; running with `shards > 1` requires all
+    // three (the defaults panic with a description of what is missing).
+
+    /// Creates an empty sketch configured like `self` to back one shard
+    /// of a sharded engine (same accuracy parameters, same hash seed —
+    /// shard merges require identical hashing).
+    ///
+    /// Required when `ConcurrencyConfig::shards > 1`; the default panics.
+    fn new_shard(&self) -> Self
+    where
+        Self: Sized,
+    {
+        unimplemented!("GlobalSketch::new_shard is required for shards > 1")
+    }
+
+    /// Publishes the current state into the view *including* whatever
+    /// mergeable image [`Self::merge_shard_views`] needs. Called instead
+    /// of [`Self::publish`] whenever the engine runs more than one shard,
+    /// so single-shard deployments never pay for the image.
+    fn publish_sharded(&self, view: &Self::View) {
+        self.publish(view);
+    }
+
+    /// Produces one engine-level query snapshot from the published views
+    /// of all shards. Sketch mergeability (Θ unions, HLL register max,
+    /// Quantiles sample union, counter addition) makes this lossless: the
+    /// merged snapshot reflects the concatenation of the shard streams.
+    ///
+    /// Called with `views.len() >= 2` only when sharded; the default
+    /// handles the single-view case by delegating to [`Self::snapshot`]
+    /// and panics otherwise.
+    fn merge_shard_views(views: &[&Self::View]) -> Self::Snapshot {
+        assert_eq!(
+            views.len(),
+            1,
+            "GlobalSketch::merge_shard_views is required for shards > 1"
+        );
+        Self::snapshot(views[0])
+    }
 }
 
 #[cfg(test)]

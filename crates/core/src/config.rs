@@ -7,6 +7,25 @@ use fcds_sketches::error::{Result, SketchError};
 /// `b = 16`; see Figure 8's discussion).
 pub const DEFAULT_MAX_BUFFER: u64 = 16;
 
+/// How merged local buffers reach the shards' global sketches.
+///
+/// The paper dedicates a background thread (`t0` of Algorithm 2) to
+/// propagation. That is the default, generalised to one thread per shard.
+/// The writer-assisted backend removes the background thread entirely:
+/// the writer that hands a buffer off (or any writer waiting on its own
+/// hand-off) merges pending buffers into the shard under a try-lock.
+/// Embedders that cannot spawn threads get the same `r = 2Nb` relaxation
+/// guarantee, trading propagation latency for writer cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PropagationBackendKind {
+    /// One dedicated propagator thread per shard (the paper's `t0`).
+    #[default]
+    DedicatedThread,
+    /// Threadless: flushing writers propagate into their shard under a
+    /// try-lock; `quiesce` drives any leftovers.
+    WriterAssisted,
+}
+
 /// Configuration of the generic concurrent algorithm.
 ///
 /// `max_concurrency_error` is the `e` parameter of §7.1: the maximum
@@ -31,6 +50,14 @@ pub struct ConcurrencyConfig {
     /// which is exactly the design the paper's filter avoids — useful
     /// for measuring the filter's contribution, never for production.
     pub disable_prefilter: bool,
+    /// Number of shards `K` the global sketch is split into (writers are
+    /// round-robined onto shards; queries merge all shard views). `K = 1`
+    /// is the paper's single-global layout. Sharding lifts the
+    /// serial-propagation ceiling of §7 without changing the relaxation
+    /// bound: `r = 2Nb` counts writers, not shards.
+    pub shards: usize,
+    /// How buffers are propagated into the shards' globals.
+    pub backend: PropagationBackendKind,
 }
 
 impl Default for ConcurrencyConfig {
@@ -41,6 +68,8 @@ impl Default for ConcurrencyConfig {
             max_buffer_size: DEFAULT_MAX_BUFFER,
             double_buffering: true,
             disable_prefilter: false,
+            shards: 1,
+            backend: PropagationBackendKind::default(),
         }
     }
 }
@@ -59,6 +88,19 @@ impl ConcurrencyConfig {
         }
         if self.max_buffer_size == 0 {
             return Err(SketchError::invalid("max_buffer_size", "must be ≥ 1"));
+        }
+        if self.shards == 0 {
+            return Err(SketchError::invalid("shards", "must be ≥ 1"));
+        }
+        if self.shards > self.writers {
+            return Err(SketchError::invalid(
+                "shards",
+                format!(
+                    "{} shards but only {} writers: extra shards would sit idle \
+                     while still paying the per-shard query-merge cost",
+                    self.shards, self.writers
+                ),
+            ));
         }
         Ok(())
     }
@@ -92,6 +134,12 @@ impl ConcurrencyConfig {
 
     /// The relaxation bound `r` induced by this configuration: `2Nb` with
     /// double buffering (Theorem 1), `Nb` without (Lemma 1).
+    ///
+    /// Deliberately independent of [`shards`](Self::shards): writers, not
+    /// shards, carry the relaxation. Each writer has at most one full
+    /// buffer in flight plus one partial buffer regardless of which shard
+    /// it is keyed onto, so splitting the global sketch `K` ways leaves
+    /// the query staleness bound at `2Nb`.
     pub fn relaxation(&self) -> u64 {
         let factor = if self.double_buffering { 2 } else { 1 };
         factor * self.writers as u64 * self.buffer_size()
@@ -176,6 +224,37 @@ mod tests {
         c = ConcurrencyConfig::default();
         c.max_buffer_size = 0;
         assert!(c.validate().is_err());
+        c = ConcurrencyConfig::default();
+        c.shards = 0;
+        assert!(c.validate().is_err());
+        c = ConcurrencyConfig {
+            writers: 2,
+            shards: 4,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err(), "more shards than writers");
+    }
+
+    #[test]
+    fn relaxation_is_independent_of_shard_count() {
+        let base = ConcurrencyConfig {
+            writers: 8,
+            ..Default::default()
+        };
+        let r1 = base.relaxation();
+        for shards in [2usize, 4, 8] {
+            let c = ConcurrencyConfig { shards, ..base.clone() };
+            assert!(c.validate().is_ok());
+            assert_eq!(c.relaxation(), r1, "r must not depend on K");
+        }
+    }
+
+    #[test]
+    fn backend_default_is_dedicated_thread() {
+        assert_eq!(
+            ConcurrencyConfig::default().backend,
+            PropagationBackendKind::DedicatedThread
+        );
     }
 
     #[test]

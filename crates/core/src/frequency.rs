@@ -13,7 +13,7 @@
 //! epoch pointer, like the Quantiles instantiation.
 
 use crate::composable::{GlobalSketch, LocalSketch};
-use crate::config::ConcurrencyConfig;
+use crate::config::{ConcurrencyConfig, PropagationBackendKind};
 use crate::runtime::{ConcurrentSketch, SketchWriter};
 use crate::sync::EpochCell;
 use fcds_sketches::error::Result;
@@ -39,6 +39,32 @@ impl<T: Eq + Hash + Clone> FrequencySnapshot<T> {
         FrequencyEstimate {
             lower_bound: lower,
             upper_bound: lower + self.max_error,
+        }
+    }
+
+    /// Merges per-shard snapshots into one summary of the concatenated
+    /// streams: counters add (an item's occurrences split across shards),
+    /// and so do the error slacks — an estimate's true frequency lies in
+    /// `[Σ lowerᵢ, Σ (lowerᵢ + errᵢ)]`. No counter is ever reduced away
+    /// during the merge, so the combined table retains up to `K·k` keys.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a Self>) -> Self
+    where
+        T: 'a,
+    {
+        let mut counters: HashMap<T, u64> = HashMap::new();
+        let mut max_error = 0u64;
+        let mut n = 0u64;
+        for p in parts {
+            for (item, &c) in &p.counters {
+                *counters.entry(item.clone()).or_insert(0) += c;
+            }
+            max_error += p.max_error;
+            n += p.n;
+        }
+        FrequencySnapshot {
+            counters,
+            max_error,
+            n,
         }
     }
 
@@ -150,6 +176,18 @@ impl<T: Eq + Hash + Clone + Send + Sync + 'static> GlobalSketch for FrequencyGlo
         view.load()
     }
 
+    fn merge_shard_views(views: &[&Self::View]) -> Arc<FrequencySnapshot<T>> {
+        let parts: Vec<_> = views.iter().map(|v| v.load()).collect();
+        Arc::new(FrequencySnapshot::merged(parts.iter().map(|a| a.as_ref())))
+    }
+
+    fn new_shard(&self) -> Self {
+        FrequencyGlobal {
+            sketch: MisraGriesSketch::new(self.sketch.k())
+                .expect("shard parameters were already validated"),
+        }
+    }
+
     fn calc_hint(&self) {}
 
     fn stream_len(&self) -> u64 {
@@ -210,6 +248,19 @@ impl ConcurrentFrequencyBuilder {
     /// Sets the maximum relative error attributable to concurrency.
     pub fn max_concurrency_error(mut self, e: f64) -> Self {
         self.config.max_concurrency_error = e;
+        self
+    }
+
+    /// Splits the summary into `K` shards (writers round-robined, queries
+    /// sum the shards' counter tables).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Selects the propagation backend.
+    pub fn backend(mut self, backend: PropagationBackendKind) -> Self {
+        self.config.backend = backend;
         self
     }
 
@@ -324,7 +375,7 @@ mod tests {
             .writers(4)
             .build::<u64>()
             .unwrap();
-        let per = 50_000u64;
+        let per = crate::test_support::scaled(50_000);
         std::thread::scope(|s| {
             for t in 0..4u64 {
                 let mut w = sketch.writer();
@@ -394,6 +445,47 @@ mod tests {
         assert_eq!(snap.n, 100);
         assert_eq!(snap.estimate(&3).lower_bound, 10);
         assert_eq!(snap.max_error, 0);
+    }
+
+    #[test]
+    fn sharded_exact_counts_for_distinct_keys() {
+        // Fewer hot keys than counters per shard ⇒ no reductions anywhere
+        // and the merged table must be exact, for both backends.
+        for backend in [
+            PropagationBackendKind::DedicatedThread,
+            PropagationBackendKind::WriterAssisted,
+        ] {
+            let sketch = ConcurrentFrequencyBuilder::new()
+                .k(16)
+                .writers(4)
+                .shards(2)
+                .max_concurrency_error(1.0)
+                .backend(backend)
+                .build::<u64>()
+                .unwrap();
+            // Multiple of 8 so every key gets exactly per/8 occurrences.
+            let per = crate::test_support::scaled(10_000) / 8 * 8;
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let mut w = sketch.writer();
+                    s.spawn(move || {
+                        for i in 0..per {
+                            w.update(i % 8);
+                        }
+                        w.flush();
+                    });
+                }
+            });
+            sketch.quiesce();
+            let snap = sketch.snapshot();
+            assert_eq!(snap.n, 4 * per, "{backend:?}");
+            assert_eq!(snap.max_error, 0, "{backend:?}");
+            assert_eq!(
+                snap.estimate(&3).lower_bound,
+                4 * per / 8,
+                "{backend:?}"
+            );
+        }
     }
 
     #[test]

@@ -12,9 +12,9 @@
 //! as the stream grows, exactly like the Θ filter.
 
 use crate::composable::{GlobalSketch, HintCodec, LocalSketch};
-use crate::config::ConcurrencyConfig;
+use crate::config::{ConcurrencyConfig, PropagationBackendKind};
 use crate::runtime::{ConcurrentSketch, SketchWriter};
-use crate::sync::AtomicF64;
+use crate::sync::{AtomicF64, EpochCell};
 use fcds_sketches::error::Result;
 use fcds_sketches::hash::{Hashable, DEFAULT_SEED};
 use fcds_sketches::hll::HllSketch;
@@ -63,6 +63,17 @@ pub struct HllGlobal {
     ingested: u64,
 }
 
+/// The published view of one HLL shard: the atomic estimate for
+/// single-shard fast-path queries, plus a register image written only by
+/// [`GlobalSketch::publish_sharded`] (i.e., when `K > 1`). Register-wise
+/// max across shard images is exactly the sketch a single HLL would hold
+/// on the concatenated stream, so the sharded merge is lossless.
+#[derive(Debug)]
+pub struct HllView {
+    est: AtomicF64,
+    image: EpochCell<HllSketch>,
+}
+
 /// The local side: a buffer of pre-hashed, pre-filtered updates.
 #[derive(Debug, Default)]
 pub struct HllLocal {
@@ -94,15 +105,18 @@ impl LocalSketch for HllLocal {
 
 impl GlobalSketch for HllGlobal {
     type Local = HllLocal;
-    type View = AtomicF64;
+    type View = HllView;
     type Snapshot = f64;
 
     fn new_local(&self) -> HllLocal {
         HllLocal::default()
     }
 
-    fn new_view(&self) -> AtomicF64 {
-        AtomicF64::new(self.sketch.estimate())
+    fn new_view(&self) -> HllView {
+        HllView {
+            est: AtomicF64::new(self.sketch.estimate()),
+            image: EpochCell::new(self.sketch.clone()),
+        }
     }
 
     fn merge(&mut self, local: &mut HllLocal) {
@@ -117,12 +131,35 @@ impl GlobalSketch for HllGlobal {
         self.ingested += 1;
     }
 
-    fn publish(&self, view: &AtomicF64) {
-        view.store(self.sketch.estimate());
+    fn publish(&self, view: &HllView) {
+        view.est.store(self.sketch.estimate());
     }
 
-    fn snapshot(view: &AtomicF64) -> f64 {
-        view.load()
+    fn publish_sharded(&self, view: &HllView) {
+        view.est.store(self.sketch.estimate());
+        view.image.store(self.sketch.clone());
+    }
+
+    fn snapshot(view: &HllView) -> f64 {
+        view.est.load()
+    }
+
+    fn merge_shard_views(views: &[&HllView]) -> f64 {
+        let images: Vec<_> = views.iter().map(|v| v.image.load()).collect();
+        let (first, rest) = images.split_first().expect("at least one shard");
+        let mut merged = (**first).clone();
+        for img in rest {
+            merged.merge(img).expect("shards share lg_m and seed");
+        }
+        merged.estimate()
+    }
+
+    fn new_shard(&self) -> Self {
+        HllGlobal {
+            sketch: HllSketch::new(self.sketch.lg_m(), self.sketch.seed())
+                .expect("shard parameters were already validated"),
+            ingested: 0,
+        }
     }
 
     fn calc_hint(&self) -> HllHint {
@@ -186,6 +223,19 @@ impl ConcurrentHllBuilder {
         self
     }
 
+    /// Splits the registers into `K` shards (writers round-robined,
+    /// queries take the register-wise max across shards).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Selects the propagation backend.
+    pub fn backend(mut self, backend: PropagationBackendKind) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
     /// Overrides the full concurrency configuration.
     pub fn config(mut self, config: ConcurrencyConfig) -> Self {
         self.config = config;
@@ -245,10 +295,16 @@ impl ConcurrentHllSketch {
         self.inner.snapshot()
     }
 
-    /// A copy of the current global registers (takes the global lock; not
-    /// a hot-path operation). Useful for off-line unions.
+    /// A copy of the current global registers, merged across shards
+    /// (takes the shard locks in turn; not a hot-path operation). Useful
+    /// for off-line unions.
     pub fn registers(&self) -> HllSketch {
-        self.inner.with_global(|g| g.sketch.clone())
+        let mut parts = self.inner.with_globals(|g| g.sketch.clone());
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p).expect("shards share lg_m and seed");
+        }
+        merged
     }
 
     /// The relaxation bound `r = 2Nb`.
@@ -332,7 +388,7 @@ mod tests {
             .writers(4)
             .build()
             .unwrap();
-        let n_per = 100_000u64;
+        let n_per = crate::test_support::scaled(100_000);
         std::thread::scope(|sc| {
             for t in 0..4u64 {
                 let mut w = s.writer();
@@ -352,6 +408,7 @@ mod tests {
 
     #[test]
     fn registers_equal_sequential_union_after_quiesce() {
+        let n = crate::test_support::scaled(50_000);
         let s = ConcurrentHllBuilder::new()
             .lg_m(10)
             .seed(5)
@@ -360,14 +417,14 @@ mod tests {
             .build()
             .unwrap();
         let mut reference = HllSketch::new(10, 5).unwrap();
-        for i in 0..50_000u64 {
+        for i in 0..n {
             reference.update(i);
         }
         std::thread::scope(|sc| {
             for t in 0..2u64 {
                 let mut w = s.writer();
                 sc.spawn(move || {
-                    for i in (t..50_000).step_by(2) {
+                    for i in (t..n).step_by(2) {
                         w.update(i);
                     }
                     w.flush();
@@ -378,6 +435,48 @@ mod tests {
         // Register-wise max is order-independent, so after quiescence the
         // concurrent registers must exactly equal the sequential ones.
         assert_eq!(s.registers(), reference);
+    }
+
+    #[test]
+    fn sharded_registers_equal_sequential_after_quiesce() {
+        // Register max is partition-insensitive: a K-shard run must land
+        // on exactly the registers of a single sequential sketch, and the
+        // merged query estimate must match it — the "error-free merge"
+        // property, exercised end-to-end for both backends.
+        use crate::config::PropagationBackendKind;
+        let n = crate::test_support::scaled(40_000);
+        for backend in [
+            PropagationBackendKind::DedicatedThread,
+            PropagationBackendKind::WriterAssisted,
+        ] {
+            let s = ConcurrentHllBuilder::new()
+                .lg_m(10)
+                .seed(5)
+                .writers(4)
+                .shards(4)
+                .max_concurrency_error(1.0)
+                .backend(backend)
+                .build()
+                .unwrap();
+            let mut reference = HllSketch::new(10, 5).unwrap();
+            for i in 0..n {
+                reference.update(i);
+            }
+            std::thread::scope(|sc| {
+                for t in 0..4u64 {
+                    let mut w = s.writer();
+                    sc.spawn(move || {
+                        for i in (t..n).step_by(4) {
+                            w.update(i);
+                        }
+                        w.flush();
+                    });
+                }
+            });
+            s.quiesce();
+            assert_eq!(s.registers(), reference, "{backend:?}");
+            assert_eq!(s.estimate(), reference.estimate(), "{backend:?}");
+        }
     }
 
     #[test]

@@ -9,24 +9,34 @@
 //! *r-relaxation* of the sequential sketch, `r = 2Nb` for `N` update
 //! threads with local buffers of size `b` (Theorem 1).
 //!
-//! ## Architecture (Algorithm 2)
+//! ## Architecture (Algorithm 2, sharded)
 //!
 //! ```text
-//!  update threads t1..tN                    propagator t0         queries
-//!  ┌───────────────────┐   prop_i (atomic)  ┌─────────────┐   ┌──────────┐
-//!  │ shouldAdd(hint,a)?│──────hand-off─────▶│ merge local │   │ snapshot │
-//!  │ localS_i[cur_i]   │◀────hint (Θ)───────│ into global │──▶│ from view│
-//!  └───────────────────┘                    │ publish est │   └──────────┘
-//!                                           └─────────────┘
+//!  update threads t1..tN            K shards                    queries
+//!  ┌───────────────────┐  prop_i  ┌──────────────────────┐  ┌───────────┐
+//!  │ shouldAdd(hint,a)?│──hand-off──▶ shard 0: global+view │  │ merge all │
+//!  │ localS_i[cur_i]   │◀──hint───│ shard 1: global+view ─┼─▶│ shard     │
+//!  └───────────────────┘          │   …                   │  │ views     │
+//!     (round-robined onto shards) │ shard K−1             │  └───────────┘
+//!                                 └──────────────────────┘
+//!                  propagation backend: one dedicated thread per shard
+//!                  (the paper's t0), or writer-assisted (threadless)
 //! ```
 //!
 //! * Each update thread buffers into a local sketch and hands it off via
 //!   a single atomic (`prop_i`) every `b` updates — one memory fence per
 //!   batch ([`sync::PropSlot`]).
-//! * A dedicated propagator merges local buffers into the global sketch
-//!   and *publishes* a snapshot through an atomic view (Θ: a seqlock
-//!   triple; Quantiles: an epoch-managed pointer) — queries never touch
-//!   the global sketch and never block.
+//! * A [`runtime::PropagationBackend`] merges local buffers into the
+//!   writer's shard and *publishes* a snapshot through an atomic view
+//!   (Θ: a seqlock triple; Quantiles: an epoch-managed pointer) —
+//!   queries never touch the global sketches and never block. The
+//!   default is the paper's dedicated thread, one per shard; the
+//!   writer-assisted backend removes the background thread entirely.
+//! * Queries merge the `K` shard views losslessly
+//!   ([`composable::GlobalSketch::merge_shard_views`]): Θ unions, HLL
+//!   register max, Quantiles sample union, Misra–Gries counter addition.
+//!   The relaxation bound stays `r = 2Nb` for any `K` — writers, not
+//!   shards, carry the relaxation.
 //! * The hint piggy-backed on `prop_i` (Θ itself for the Θ sketch) lets
 //!   update threads pre-filter doomed updates (`shouldAdd`), which is
 //!   what makes the design scale (Figure 1).
@@ -63,5 +73,26 @@ pub mod runtime;
 pub mod sync;
 pub mod theta;
 
-pub use config::ConcurrencyConfig;
-pub use runtime::{ConcurrentSketch, SketchWriter};
+pub use config::{ConcurrencyConfig, PropagationBackendKind};
+pub use runtime::{
+    ConcurrentSketch, DedicatedThreadBackend, PropagationBackend, SketchWriter,
+    WriterAssistedBackend,
+};
+
+/// Test-only helpers shared by this crate's heavy suites and the facade
+/// integration tests. Not part of the public API.
+#[doc(hidden)]
+pub mod test_support {
+    /// Scales a stream size to the host's parallelism: the heavy
+    /// multi-threaded suites are latency-bound on propagation hand-off
+    /// when writers and propagators time-slice on few cores, so running
+    /// quarter-size streams on a 1-CPU CI container keeps the same
+    /// coverage at a quarter of the wall clock. Full size from 4 cores
+    /// up; never scales below `n / 4`.
+    pub fn scaled(n: u64) -> u64 {
+        let par = std::thread::available_parallelism()
+            .map(|p| p.get() as u64)
+            .unwrap_or(1);
+        (n * par.min(4) / 4).max(1)
+    }
+}

@@ -20,18 +20,25 @@
 //! the stream grows.
 
 use crate::composable::{GlobalSketch, LocalSketch};
-use crate::config::ConcurrencyConfig;
+use crate::config::{ConcurrencyConfig, PropagationBackendKind};
 use crate::runtime::{ConcurrentSketch, SketchWriter};
 use crate::sync::EpochCell;
 use fcds_sketches::error::Result;
 use fcds_sketches::oracle::{DeterministicOracle, Oracle};
 use fcds_sketches::quantiles::{QuantilesReader, QuantilesSketch};
+use std::cell::Cell;
 use std::sync::Arc;
 
 /// The global side: the sequential mergeable Quantiles sketch plus its
 /// published reader.
 pub struct QuantilesGlobal<T: Ord + Clone + Send + Sync + 'static> {
     sketch: QuantilesSketch<T>,
+    /// Seed for sibling shards' deterministic oracles (§4): `None` when
+    /// built around a custom oracle, which rules out `shards > 1`.
+    oracle_seed: Option<u64>,
+    /// Counts shards spawned off this global so each sibling gets a
+    /// distinct oracle stream.
+    shards_spawned: Cell<u64>,
 }
 
 impl<T: Ord + Clone + Send + Sync + 'static> std::fmt::Debug for QuantilesGlobal<T> {
@@ -108,6 +115,29 @@ impl<T: Ord + Clone + Send + Sync + 'static> GlobalSketch for QuantilesGlobal<T>
         view.load()
     }
 
+    fn merge_shard_views(views: &[&Self::View]) -> Arc<QuantilesReader<T>> {
+        let readers: Vec<_> = views.iter().map(|v| v.load()).collect();
+        Arc::new(QuantilesReader::merged(readers.iter().map(|a| a.as_ref())))
+    }
+
+    fn new_shard(&self) -> Self {
+        let seed = self
+            .oracle_seed
+            .expect("sharded quantiles require a seedable oracle (ConcurrentQuantilesBuilder::oracle_seed)");
+        let idx = self.shards_spawned.get() + 1;
+        self.shards_spawned.set(idx);
+        // Distinct oracle stream per shard: mix the shard index into the
+        // seed (splitmix64 constant) so sibling compaction coin flips are
+        // not correlated.
+        let shard_seed = seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        QuantilesGlobal {
+            sketch: QuantilesSketch::new(self.sketch.k(), DeterministicOracle::new(shard_seed))
+                .expect("shard parameters were already validated"),
+            oracle_seed: self.oracle_seed,
+            shards_spawned: Cell::new(0),
+        }
+    }
+
     fn calc_hint(&self) {}
 
     fn stream_len(&self) -> u64 {
@@ -164,6 +194,19 @@ impl ConcurrentQuantilesBuilder {
         self
     }
 
+    /// Splits the sketch into `K` shards (writers round-robined, queries
+    /// merge the shards' retained samples).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Selects the propagation backend.
+    pub fn backend(mut self, backend: PropagationBackendKind) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
     /// Overrides the full concurrency configuration.
     pub fn config(mut self, config: ConcurrencyConfig) -> Self {
         self.config = config;
@@ -175,17 +218,36 @@ impl ConcurrentQuantilesBuilder {
         self,
     ) -> Result<ConcurrentQuantilesSketch<T>> {
         let sketch = QuantilesSketch::new(self.k, DeterministicOracle::new(self.oracle_seed))?;
-        let inner = ConcurrentSketch::start(QuantilesGlobal { sketch }, self.config)?;
+        let global = QuantilesGlobal {
+            sketch,
+            oracle_seed: Some(self.oracle_seed),
+            shards_spawned: Cell::new(0),
+        };
+        let inner = ConcurrentSketch::start(global, self.config)?;
         Ok(ConcurrentQuantilesSketch { inner, k: self.k })
     }
 
-    /// Builds around an explicit oracle.
+    /// Builds around an explicit oracle. Incompatible with `shards > 1`
+    /// (sibling shards need seedable oracles); use
+    /// [`Self::oracle_seed`] for sharded deployments.
     pub fn build_with_oracle<T: Ord + Clone + Send + Sync + 'static>(
         self,
         oracle: impl Oracle + 'static,
     ) -> Result<ConcurrentQuantilesSketch<T>> {
+        if self.config.shards > 1 {
+            return Err(fcds_sketches::error::SketchError::invalid(
+                "shards",
+                "a custom oracle cannot seed sibling shards; use oracle_seed \
+                 (build) for shards > 1",
+            ));
+        }
         let sketch = QuantilesSketch::new(self.k, oracle)?;
-        let inner = ConcurrentSketch::start(QuantilesGlobal { sketch }, self.config)?;
+        let global = QuantilesGlobal {
+            sketch,
+            oracle_seed: None,
+            shards_spawned: Cell::new(0),
+        };
+        let inner = ConcurrentSketch::start(global, self.config)?;
         Ok(ConcurrentQuantilesSketch { inner, k: self.k })
     }
 }
@@ -343,7 +405,7 @@ mod tests {
             .writers(4)
             .build::<u64>()
             .unwrap();
-        let n_per = 50_000u64;
+        let n_per = crate::test_support::scaled(50_000);
         std::thread::scope(|sc| {
             for t in 0..4u64 {
                 let mut w = s.writer();
@@ -377,11 +439,12 @@ mod tests {
             .max_concurrency_error(1.0)
             .build::<u64>()
             .unwrap();
+        let n = crate::test_support::scaled(100_000);
         std::thread::scope(|sc| {
             for _ in 0..2 {
                 let mut w = s.writer();
                 sc.spawn(move || {
-                    for i in 0..100_000u64 {
+                    for i in 0..n {
                         w.update(i);
                     }
                 });
@@ -441,7 +504,7 @@ mod tests {
         w.flush();
         s.quiesce();
         let eps_small = s.relaxed_epsilon();
-        for i in 2_000..200_000u64 {
+        for i in 2_000..crate::test_support::scaled(200_000) {
             w.update(i);
         }
         w.flush();
@@ -449,6 +512,60 @@ mod tests {
         let eps_large = s.relaxed_epsilon();
         assert!(eps_large < eps_small);
         assert!(eps_large < epsilon_for_k(128) + 1e-3);
+    }
+
+    #[test]
+    fn sharded_rank_accuracy_and_exact_n() {
+        let k = 128;
+        for backend in [
+            PropagationBackendKind::DedicatedThread,
+            PropagationBackendKind::WriterAssisted,
+        ] {
+            let s = ConcurrentQuantilesBuilder::new()
+                .k(k)
+                .writers(4)
+                .shards(2)
+                .max_concurrency_error(1.0)
+                .backend(backend)
+                .build::<u64>()
+                .unwrap();
+            let n_per = crate::test_support::scaled(25_000);
+            std::thread::scope(|sc| {
+                for t in 0..4u64 {
+                    let mut w = s.writer();
+                    sc.spawn(move || {
+                        for i in 0..n_per {
+                            w.update(t * n_per + i);
+                        }
+                        w.flush();
+                    });
+                }
+            });
+            s.quiesce();
+            let n = 4 * n_per;
+            // Sample-union merge is lossless in n, and the merged reader
+            // keeps the per-shard epsilon.
+            assert_eq!(s.visible_n(), n);
+            let eps = epsilon_for_k(k);
+            for phi in [0.1, 0.5, 0.9] {
+                let v = s.quantile(phi).unwrap();
+                let true_rank = v as f64 / n as f64;
+                assert!(
+                    (true_rank - phi).abs() <= 4.0 * eps,
+                    "phi={phi} rank={true_rank}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn custom_oracle_rejects_sharding() {
+        use fcds_sketches::oracle::DeterministicOracle;
+        let err = ConcurrentQuantilesBuilder::new()
+            .shards(2)
+            .writers(2)
+            .build_with_oracle::<u64>(DeterministicOracle::new(1));
+        assert!(err.is_err(), "custom oracle + shards > 1 must be an Err");
     }
 
     #[test]

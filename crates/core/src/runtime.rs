@@ -1,31 +1,41 @@
-//! The generic concurrent sketch engine — Algorithm 2 of the paper.
+//! The generic concurrent sketch engine — Algorithm 2 of the paper,
+//! generalised to a K-way sharded global with pluggable propagation.
 //!
 //! [`ConcurrentSketch`] wires together:
 //!
 //! * `N` update threads, each owning a [`SketchWriter`] with a
-//!   double-buffered local sketch (`localS_i[2]`, `cur_i`);
-//! * one background **propagator** thread (`t0`) that merges local
-//!   sketches into the shared global sketch and piggy-backs hints on the
-//!   `prop_i` atomics (lines 110–115);
-//! * any number of query threads reading snapshots from the global
-//!   sketch's published view (lines 116–118), never blocking on and never
+//!   double-buffered local sketch (`localS_i[2]`, `cur_i`), round-robined
+//!   onto `K` **shards** (independent global sketches with their own
+//!   views and worker registries);
+//! * a [`PropagationBackend`] that merges handed-off local buffers into
+//!   their shard and piggy-backs hints on the `prop_i` atomics
+//!   (lines 110–115). Two backends ship: [`DedicatedThreadBackend`] — the
+//!   paper's background thread `t0`, one per shard — and
+//!   [`WriterAssistedBackend`], which has no threads at all: the flushing
+//!   writer drains its shard under a try-lock;
+//! * any number of query threads reading snapshots from the shards'
+//!   published views (lines 116–118), merged losslessly across shards
+//!   ([`GlobalSketch::merge_shard_views`]), never blocking on and never
 //!   blocked by ingestion;
-//! * the adaptive eager phase of §5.3: while the stream is shorter than
-//!   `2/e²`, update threads write straight into the global sketch
-//!   (serialised by a lock, exactly as in the paper's implementation) so
-//!   that small streams suffer no relaxation error.
+//! * the adaptive eager phase of §5.3: while the total stream is shorter
+//!   than `2/e²`, update threads write straight into their shard's global
+//!   (serialised by the shard lock) so small streams suffer no relaxation
+//!   error.
 //!
 //! With double buffering enabled (the default) this is `OptParSketch` and
 //! a query may miss at most `r = 2Nb` preceding updates (Theorem 1); with
 //! it disabled it is the unoptimised `ParSketch` with `r = Nb` (Lemma 1).
+//! Sharding does not change either bound: the relaxation is carried by
+//! the writers' in-flight buffers, of which there are at most two per
+//! writer regardless of which shard the writer is keyed onto.
 
 use crate::composable::{GlobalSketch, HintCodec, LocalSketch};
-use crate::config::ConcurrencyConfig;
+use crate::config::{ConcurrencyConfig, PropagationBackendKind};
 use crate::sync::PropSlot;
 use fcds_sketches::error::Result;
 use parking_lot::Mutex;
 use std::num::NonZeroU64;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -44,7 +54,7 @@ struct Counters {
 /// A point-in-time copy of the engine's diagnostic counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Local buffers merged by the propagator (lines 113–115 executions).
+    /// Local buffers merged into some shard (lines 113–115 executions).
     pub merges: u64,
     /// Updates applied directly during the eager phase (§5.3).
     pub eager_updates: u64,
@@ -52,16 +62,32 @@ pub struct EngineStats {
     pub handoffs: u64,
 }
 
-/// State shared between the main handle, writers, the propagator, and
-/// query threads.
-struct Shared<G: GlobalSketch> {
-    /// The global composable sketch. Owned by the propagator in the lazy
-    /// phase; briefly locked by update threads during the eager phase —
-    /// the lock is uncontended once lazy (only the propagator takes it),
-    /// so its cost is amortised over `b` updates.
+/// One shard: an independent global sketch with its own published view
+/// and worker registry. Writers are assigned to exactly one shard;
+/// queries merge all shard views.
+struct ShardState<G: GlobalSketch> {
+    /// The shard's composable sketch. Held by whichever thread is
+    /// propagating into this shard (its dedicated propagator, an
+    /// assisting writer, or an eager-phase updater) — *all* propagator-
+    /// side buffer accesses happen under this lock.
     global: Mutex<G>,
     /// Concurrently readable snapshot state.
     view: G::View,
+    /// Registered worker slots keyed onto this shard.
+    slots: Mutex<Vec<Arc<PropSlot<G::Local>>>>,
+    /// Bumped on registry changes so a dedicated propagator reloads its
+    /// local copy.
+    slots_version: AtomicU64,
+}
+
+/// Engine state shared between the main handle, writers, propagation
+/// backends, and query threads. Backends receive `&EngineCore` and drive
+/// propagation through [`EngineCore::drain_shard`] /
+/// [`EngineCore::try_drain_shard`].
+pub struct EngineCore<G: GlobalSketch> {
+    shards: Vec<ShardState<G>>,
+    /// `shards.len() > 1`; selects `publish_sharded` over `publish`.
+    sharded: bool,
     /// [`PHASE_EAGER`] or [`PHASE_LAZY`]; flips exactly once.
     phase: AtomicU8,
     /// Current local-buffer size `b` (1 during eager, raised at the
@@ -70,94 +96,368 @@ struct Shared<G: GlobalSketch> {
     config: ConcurrencyConfig,
     eager_limit: u64,
     lazy_b: u64,
-    /// Registered worker slots.
-    slots: Mutex<Vec<Arc<PropSlot<G::Local>>>>,
-    /// Bumped on registry changes so the propagator reloads its local copy.
-    slots_version: AtomicU64,
+    /// Total items ingested across all shards while eager (drives the
+    /// §5.3 transition; seeded with the initial globals' stream length).
+    eager_ingested: AtomicU64,
+    /// Round-robin cursor for writer→shard assignment.
+    next_shard: AtomicUsize,
     shutdown: AtomicBool,
     counters: Counters,
 }
 
+impl<G: GlobalSketch> std::fmt::Debug for EngineCore<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCore")
+            .field("shards", &self.shards.len())
+            .field("config", &self.config)
+            .field("phase", &self.phase.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<G: GlobalSketch> EngineCore<G> {
+    /// Number of shards `K`.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the engine handle has been dropped (backend service
+    /// threads should exit once this is set and their shard is drained).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Merges every pending hand-off of `shard` into its global sketch,
+    /// blocking on the shard lock. Returns `true` if any buffer was
+    /// merged.
+    pub fn drain_shard(&self, shard: usize) -> bool {
+        let sh = &self.shards[shard];
+        let mut g = sh.global.lock();
+        self.drain_shard_locked(&mut g, sh)
+    }
+
+    /// Like [`Self::drain_shard`] but gives up (returning `false`) if
+    /// another thread currently holds the shard lock — that thread is
+    /// propagating already.
+    pub fn try_drain_shard(&self, shard: usize) -> bool {
+        let sh = &self.shards[shard];
+        match sh.global.try_lock() {
+            Some(mut g) => self.drain_shard_locked(&mut g, sh),
+            None => false,
+        }
+    }
+
+    /// Publishes `g`'s state into the shard's view, including the
+    /// mergeable image when the engine is sharded.
+    fn publish_view(&self, g: &G, shard: &ShardState<G>) {
+        if self.sharded {
+            g.publish_sharded(&shard.view);
+        } else {
+            g.publish(&shard.view);
+        }
+    }
+
+    /// Merges one pending local buffer of `slot` (if any), publishes, and
+    /// returns buffer ownership with the fresh hint. The caller must hold
+    /// the shard's global lock (`g`): the lock plus the pending re-check
+    /// below make the propagator side single-owner even when several
+    /// threads race to drain the same shard (writer-assisted backend).
+    fn propagate_slot_locked(
+        &self,
+        g: &mut G,
+        shard: &ShardState<G>,
+        slot: &PropSlot<G::Local>,
+    ) -> bool {
+        let Some(idx) = slot.pending_buffer() else {
+            return false;
+        };
+        // SAFETY: `idx` comes from `pending_buffer` under the shard's
+        // global lock, and every propagator-side access in the engine
+        // goes through this function — we are the unique propagator for
+        // this buffer until `complete_propagation`.
+        unsafe {
+            slot.with_propagator_buffer(idx, |buf| {
+                g.merge(buf);
+                debug_assert!(buf.is_empty(), "merge must clear the local buffer");
+            });
+        }
+        self.publish_view(g, shard);
+        let hint = g.calc_hint();
+        slot.complete_propagation(hint.encode().get());
+        self.counters.merges.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Propagates every pending slot of a shard and prunes drained
+    /// retired slots. Caller holds the shard's global lock.
+    fn drain_shard_locked(&self, g: &mut G, shard: &ShardState<G>) -> bool {
+        // Scan under the registry lock and collect only slots that need
+        // work: the writer-assisted wait loop calls this on every spin
+        // iteration, so the common nothing-pending case must not
+        // allocate.
+        let (pending, saw_retired) = {
+            let reg = shard.slots.lock();
+            let mut pending: Vec<Arc<PropSlot<G::Local>>> = Vec::new();
+            let mut saw_retired = false;
+            for slot in reg.iter() {
+                if slot.pending_buffer().is_some() {
+                    pending.push(Arc::clone(slot));
+                }
+                saw_retired |= slot.is_retired();
+            }
+            (pending, saw_retired)
+        };
+        let mut did_work = false;
+        for slot in &pending {
+            did_work |= self.propagate_slot_locked(g, shard, slot);
+        }
+        if saw_retired {
+            self.prune_retired(shard);
+        }
+        did_work
+    }
+
+    /// Drops fully drained retired slots from a shard's registry, bumping
+    /// the version so dedicated propagators reload. Returns `true` if the
+    /// registry changed.
+    fn prune_retired(&self, shard: &ShardState<G>) -> bool {
+        let mut reg = shard.slots.lock();
+        let before = reg.len();
+        reg.retain(|s| !(s.is_retired() && s.pending_buffer().is_none()));
+        let changed = reg.len() != before;
+        if changed {
+            shard.slots_version.fetch_add(1, Ordering::Release);
+        }
+        changed
+    }
+
+    /// Fast-path single-slot propagation for the dedicated propagator:
+    /// checks `pending` before taking the shard lock so an idle scan costs
+    /// one atomic load per slot.
+    fn try_propagate(&self, shard: &ShardState<G>, slot: &PropSlot<G::Local>) -> bool {
+        if slot.pending_buffer().is_none() {
+            return false;
+        }
+        let mut g = shard.global.lock();
+        self.propagate_slot_locked(&mut g, shard, slot)
+    }
+}
+
+/// How merged buffers travel from writers into the shards' globals.
+///
+/// The engine calls these hooks at the marked points; all propagation
+/// work must go through [`EngineCore::drain_shard`] /
+/// [`EngineCore::try_drain_shard`] (or, for service threads spawned by
+/// [`Self::spawn`], the same primitives in a loop), which serialise the
+/// propagator side on the shard lock. Implement this trait to plug a
+/// custom policy (e.g., an async-runtime task per shard) into
+/// [`ConcurrentSketch::start_with_backend`].
+pub trait PropagationBackend<G: GlobalSketch>: Send + Sync + 'static {
+    /// Called once at engine start; spawns any service threads. The
+    /// engine sets the shutdown flag and joins the returned handles on
+    /// drop.
+    fn spawn(&self, core: &Arc<EngineCore<G>>) -> Vec<JoinHandle<()>> {
+        let _ = core;
+        Vec::new()
+    }
+
+    /// Called by a writer immediately after it hands a full buffer off on
+    /// `shard`.
+    fn after_handoff(&self, core: &EngineCore<G>, shard: usize) {
+        let _ = (core, shard);
+    }
+
+    /// Called on every iteration of a writer's wait-for-merge loop
+    /// (line 125); a threadless backend must make progress here or the
+    /// writer would spin forever.
+    fn while_waiting(&self, core: &EngineCore<G>, shard: usize) {
+        let _ = (core, shard);
+    }
+
+    /// Called by [`ConcurrentSketch::quiesce`] while hand-offs are
+    /// pending anywhere.
+    fn drive(&self, core: &EngineCore<G>) {
+        let _ = core;
+    }
+}
+
+/// The paper's propagation scheme: one dedicated background thread per
+/// shard (`t0` of Algorithm 2) spins over its shard's slots and merges
+/// hand-offs as they appear. Writers and queries never propagate.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DedicatedThreadBackend;
+
+impl<G: GlobalSketch> PropagationBackend<G> for DedicatedThreadBackend {
+    fn spawn(&self, core: &Arc<EngineCore<G>>) -> Vec<JoinHandle<()>> {
+        (0..core.shard_count())
+            .map(|shard| {
+                let core = Arc::clone(core);
+                std::thread::Builder::new()
+                    .name(format!("fcds-propagator-{shard}"))
+                    .spawn(move || propagator_loop(core, shard))
+                    .expect("spawn propagator thread")
+            })
+            .collect()
+    }
+}
+
+/// Threadless propagation for embedders that cannot (or do not want to)
+/// give the sketch a background thread: the writer that hands a buffer
+/// off — or any writer waiting for its own merge — drains its shard under
+/// a try-lock, so exactly one thread propagates into a shard at a time
+/// and nobody blocks behind a peer that is already doing the work.
+///
+/// Trade-off vs [`DedicatedThreadBackend`]: hand-offs are merged with the
+/// writer's own cycles (slightly lower ingest throughput per writer, one
+/// fewer hot core), and a partial [`SketchWriter::flush`] only becomes
+/// visible once some writer flushes again or
+/// [`ConcurrentSketch::quiesce`] runs. The relaxation bound is unchanged.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WriterAssistedBackend;
+
+impl<G: GlobalSketch> PropagationBackend<G> for WriterAssistedBackend {
+    fn after_handoff(&self, core: &EngineCore<G>, shard: usize) {
+        core.try_drain_shard(shard);
+    }
+
+    fn while_waiting(&self, core: &EngineCore<G>, shard: usize) {
+        core.try_drain_shard(shard);
+    }
+
+    fn drive(&self, core: &EngineCore<G>) {
+        for shard in 0..core.shard_count() {
+            core.drain_shard(shard);
+        }
+    }
+}
+
 /// A concurrent sketch: the paper's `OptParSketch` (or `ParSketch` when
 /// double buffering is disabled) instantiated with a composable sketch
-/// `G`.
+/// `G`, sharded `K` ways.
 ///
 /// Create writers with [`ConcurrentSketch::writer`] (one per update
 /// thread; writers are `Send` but not `Sync`), query from any thread with
-/// [`ConcurrentSketch::snapshot`], and drop the handle to stop the
-/// propagator.
+/// [`ConcurrentSketch::snapshot`], and drop the handle to stop any
+/// backend service threads.
 pub struct ConcurrentSketch<G: GlobalSketch> {
-    shared: Arc<Shared<G>>,
-    propagator: Option<JoinHandle<()>>,
+    shared: Arc<EngineCore<G>>,
+    backend: Arc<dyn PropagationBackend<G>>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 impl<G: GlobalSketch> std::fmt::Debug for ConcurrentSketch<G> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ConcurrentSketch")
             .field("config", &self.shared.config)
+            .field("shards", &self.shared.shards.len())
             .field("phase", &self.shared.phase.load(Ordering::Relaxed))
             .finish()
     }
 }
 
 impl<G: GlobalSketch> ConcurrentSketch<G> {
-    /// Starts the engine around an (typically empty) global sketch.
+    /// Starts the engine around an (typically empty) global sketch, with
+    /// the propagation backend selected by `config.backend`.
+    ///
+    /// With `config.shards > 1` the passed sketch seeds shard 0 and
+    /// `G::new_shard` creates the remaining K−1 empty shards.
     ///
     /// # Errors
     ///
     /// Returns an error if the configuration is invalid.
     pub fn start(global: G, config: ConcurrencyConfig) -> Result<Self> {
+        let backend: Arc<dyn PropagationBackend<G>> = match config.backend {
+            PropagationBackendKind::DedicatedThread => Arc::new(DedicatedThreadBackend),
+            PropagationBackendKind::WriterAssisted => Arc::new(WriterAssistedBackend),
+        };
+        Self::start_with_backend(global, config, backend)
+    }
+
+    /// Starts the engine with an explicit (possibly custom) propagation
+    /// backend; `config.backend` is ignored in favour of `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn start_with_backend(
+        global: G,
+        config: ConcurrencyConfig,
+        backend: Arc<dyn PropagationBackend<G>>,
+    ) -> Result<Self> {
         config.validate()?;
-        let view = global.new_view();
-        global.publish(&view);
         let eager_limit = config.eager_limit();
         let lazy_b = config.buffer_size();
-        let start_eager = eager_limit > 0 && global.stream_len() < eager_limit;
-        let shared = Arc::new(Shared {
-            global: Mutex::new(global),
-            view,
+        let sharded = config.shards > 1;
+        let mut globals = Vec::with_capacity(config.shards);
+        for _ in 1..config.shards {
+            globals.push(global.new_shard());
+        }
+        globals.insert(0, global);
+        let initial_len: u64 = globals.iter().map(|g| g.stream_len()).sum();
+        let start_eager = eager_limit > 0 && initial_len < eager_limit;
+        let shards: Vec<ShardState<G>> = globals
+            .into_iter()
+            .map(|g| {
+                let view = g.new_view();
+                if sharded {
+                    g.publish_sharded(&view);
+                } else {
+                    g.publish(&view);
+                }
+                ShardState {
+                    global: Mutex::new(g),
+                    view,
+                    slots: Mutex::new(Vec::new()),
+                    slots_version: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        let shared = Arc::new(EngineCore {
+            shards,
+            sharded,
             phase: AtomicU8::new(if start_eager { PHASE_EAGER } else { PHASE_LAZY }),
             buffer_size: AtomicU64::new(if start_eager { 1 } else { lazy_b }),
             config,
             eager_limit,
             lazy_b,
-            slots: Mutex::new(Vec::new()),
-            slots_version: AtomicU64::new(0),
+            eager_ingested: AtomicU64::new(initial_len),
+            next_shard: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
         });
-        let propagator = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("fcds-propagator".into())
-                .spawn(move || propagator_loop(shared))
-                .expect("spawn propagator thread")
-        };
+        let handles = backend.spawn(&shared);
         Ok(ConcurrentSketch {
             shared,
-            propagator: Some(propagator),
+            backend,
+            handles,
         })
     }
 
-    /// Registers a new update thread and returns its writer handle.
+    /// Registers a new update thread, assigning it to the next shard
+    /// round-robin, and returns its writer handle.
     ///
     /// The relaxation bound `r = 2Nb` assumes at most `config.writers`
     /// concurrently active writers; registering more still yields correct
     /// relaxed behaviour, but with `N` equal to the actual writer count.
     pub fn writer(&self) -> SketchWriter<G> {
+        let shard_idx =
+            self.shared.next_shard.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len();
+        let shard = &self.shared.shards[shard_idx];
         let (local_a, local_b, hint) = {
-            let g = self.shared.global.lock();
+            let g = shard.global.lock();
             (g.new_local(), g.new_local(), g.calc_hint())
         };
         let slot = Arc::new(PropSlot::new(local_a, local_b, hint.encode().get()));
         {
-            let mut reg = self.shared.slots.lock();
+            let mut reg = shard.slots.lock();
             reg.push(Arc::clone(&slot));
         }
-        self.shared.slots_version.fetch_add(1, Ordering::Release);
+        shard.slots_version.fetch_add(1, Ordering::Release);
         SketchWriter {
             shared: Arc::clone(&self.shared),
+            backend: Arc::clone(&self.backend),
             slot,
+            shard: shard_idx,
             cur: 0,
             counter: 0,
             b: self.shared.buffer_size.load(Ordering::Relaxed),
@@ -166,17 +466,38 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
         }
     }
 
-    /// Takes a query snapshot from the published view. Runs concurrently
-    /// with ingestion; freshness is governed by the `r = 2Nb` relaxation
-    /// (Theorem 1).
+    /// Takes a query snapshot. With one shard this reads the published
+    /// view; with `K > 1` it merges all shard views losslessly
+    /// ([`GlobalSketch::merge_shard_views`]). Runs concurrently with
+    /// ingestion; freshness is governed by the `r = 2Nb` relaxation
+    /// (Theorem 1), independent of `K`.
     pub fn snapshot(&self) -> G::Snapshot {
-        G::snapshot(&self.shared.view)
+        if !self.shared.sharded {
+            return G::snapshot(&self.shared.shards[0].view);
+        }
+        let views: Vec<&G::View> = self.shared.shards.iter().map(|s| &s.view).collect();
+        G::merge_shard_views(&views)
     }
 
-    /// Read-only access to the shared view (for sketch-specific fast-path
-    /// queries).
+    /// Read-only access to shard 0's view (for sketch-specific fast-path
+    /// queries on single-shard engines).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic on a sharded engine: shard 0's view covers only
+    /// a fraction of the stream there — use [`Self::snapshot`] (merged)
+    /// or [`Self::shard_views`] instead.
     pub fn view(&self) -> &G::View {
-        &self.shared.view
+        debug_assert!(
+            !self.shared.sharded,
+            "view() on a sharded engine reads only shard 0; use snapshot() or shard_views()"
+        );
+        &self.shared.shards[0].view
+    }
+
+    /// The published views of every shard, in shard order.
+    pub fn shard_views(&self) -> impl Iterator<Item = &G::View> {
+        self.shared.shards.iter().map(|s| &s.view)
     }
 
     /// The active configuration.
@@ -184,8 +505,14 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
         &self.shared.config
     }
 
+    /// Number of shards `K`.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
     /// The current relaxation bound `r` (see
-    /// [`ConcurrencyConfig::relaxation`]).
+    /// [`ConcurrencyConfig::relaxation`]); independent of the shard
+    /// count.
     pub fn relaxation(&self) -> u64 {
         self.shared.config.relaxation()
     }
@@ -195,26 +522,33 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
         self.shared.phase.load(Ordering::Acquire) == PHASE_EAGER
     }
 
-    /// Number of items the global sketch has ingested (buffered local
-    /// updates are not included — that is the point of the relaxation).
+    /// Number of items the shards' global sketches have ingested in total
+    /// (buffered local updates are not included — that is the point of
+    /// the relaxation).
     pub fn global_stream_len(&self) -> u64 {
-        self.shared.global.lock().stream_len()
+        self.shared
+            .shards
+            .iter()
+            .map(|s| s.global.lock().stream_len())
+            .sum()
     }
 
     /// Blocks until every pending hand-off has been merged and published.
     ///
     /// Writers must have been flushed (or dropped) first for this to
     /// capture all their updates; afterwards a snapshot reflects every
-    /// update that preceded the flushes.
+    /// update that preceded the flushes. Under the writer-assisted
+    /// backend this call performs the outstanding merges itself.
     pub fn quiesce(&self) {
         loop {
-            let pending = {
-                let reg = self.shared.slots.lock();
+            let pending = self.shared.shards.iter().any(|sh| {
+                let reg = sh.slots.lock();
                 reg.iter().any(|s| s.pending_buffer().is_some())
-            };
+            });
             if !pending {
                 return;
             }
+            self.backend.drive(&self.shared);
             std::thread::yield_now();
         }
     }
@@ -228,64 +562,70 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
         }
     }
 
-    /// Runs a closure against the global sketch under its lock. Intended
-    /// for result extraction after ingestion (e.g., obtaining a compact
-    /// image); taking this lock on the hot path would serialise against
-    /// the propagator.
-    pub fn with_global<R>(&self, f: impl FnOnce(&G) -> R) -> R {
-        let g = self.shared.global.lock();
-        f(&g)
+    /// Runs a closure against each shard's global sketch under its lock
+    /// (in shard order), collecting the results. Intended for result
+    /// extraction after ingestion (e.g., merging per-shard compact
+    /// images); taking shard locks on the hot path would serialise
+    /// against propagation.
+    pub fn with_globals<R>(&self, mut f: impl FnMut(&G) -> R) -> Vec<R> {
+        self.shared
+            .shards
+            .iter()
+            .map(|s| {
+                let g = s.global.lock();
+                f(&g)
+            })
+            .collect()
     }
 }
 
 impl<G: GlobalSketch> Drop for ConcurrentSketch<G> {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        if let Some(h) = self.propagator.take() {
+        for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+        // Final drain so post-shutdown snapshots reflect every completed
+        // hand-off; service threads (if any) are joined, so this handle
+        // owns propagation now. Also what makes the writer-assisted
+        // backend's teardown deterministic.
+        for shard in 0..self.shared.shards.len() {
+            self.shared.drain_shard(shard);
         }
     }
 }
 
-/// The propagator thread `t0` (Algorithm 2, lines 110–115).
-fn propagator_loop<G: GlobalSketch>(shared: Arc<Shared<G>>) {
+/// The dedicated propagator servicing one shard (Algorithm 2,
+/// lines 110–115, run by [`DedicatedThreadBackend`]).
+fn propagator_loop<G: GlobalSketch>(core: Arc<EngineCore<G>>, shard_idx: usize) {
+    let shard = &core.shards[shard_idx];
     let mut local_slots: Vec<Arc<PropSlot<G::Local>>> = Vec::new();
     let mut seen_version = u64::MAX;
     let backoff = crossbeam::utils::Backoff::new();
     loop {
-        let version = shared.slots_version.load(Ordering::Acquire);
+        let version = shard.slots_version.load(Ordering::Acquire);
         if version != seen_version {
-            local_slots = shared.slots.lock().clone();
+            local_slots = shard.slots.lock().clone();
             seen_version = version;
         }
 
         let mut did_work = false;
         let mut saw_retired = false;
         for slot in &local_slots {
-            did_work |= try_propagate(&shared, slot);
+            did_work |= core.try_propagate(shard, slot);
             saw_retired |= slot.is_retired();
         }
 
         if saw_retired {
-            // Drop fully drained retired slots from the registry.
-            let mut reg = shared.slots.lock();
-            let before = reg.len();
-            reg.retain(|s| !(s.is_retired() && s.pending_buffer().is_none()));
-            if reg.len() != before {
-                shared.slots_version.fetch_add(1, Ordering::Release);
-            }
-            local_slots = reg.clone();
-            drop(reg);
-            seen_version = shared.slots_version.load(Ordering::Acquire);
+            core.prune_retired(shard);
+            local_slots = shard.slots.lock().clone();
+            seen_version = shard.slots_version.load(Ordering::Acquire);
         }
 
-        if shared.shutdown.load(Ordering::Acquire) {
+        if core.is_shutting_down() {
             // Final drain so that post-shutdown snapshots reflect every
             // completed hand-off.
-            let reg = shared.slots.lock().clone();
-            for slot in &reg {
-                try_propagate(&shared, slot);
-            }
+            core.drain_shard(shard_idx);
             return;
         }
 
@@ -299,38 +639,17 @@ fn propagator_loop<G: GlobalSketch>(shared: Arc<Shared<G>>) {
     }
 }
 
-/// Merges one pending local buffer, publishes, and returns ownership with
-/// the fresh hint. Returns `true` if a merge happened.
-fn try_propagate<G: GlobalSketch>(shared: &Shared<G>, slot: &PropSlot<G::Local>) -> bool {
-    let Some(idx) = slot.pending_buffer() else {
-        return false;
-    };
-    let hint = {
-        let mut g = shared.global.lock();
-        // SAFETY: `idx` comes from `pending_buffer`; this function is
-        // called only from the unique propagator thread.
-        unsafe {
-            slot.with_propagator_buffer(idx, |buf| {
-                g.merge(buf);
-                debug_assert!(buf.is_empty(), "merge must clear the local buffer");
-            });
-        }
-        g.publish(&shared.view);
-        g.calc_hint()
-    };
-    slot.complete_propagation(hint.encode().get());
-    shared.counters.merges.fetch_add(1, Ordering::Relaxed);
-    true
-}
-
-/// Per-thread writer handle (update thread `t_i`, lines 119–129).
+/// Per-thread writer handle (update thread `t_i`, lines 119–129), bound
+/// to one shard.
 ///
 /// `Send` but not `Sync`: exactly one thread drives a writer. Dropping a
-/// writer flushes its partial buffer (blocking briefly on the propagator)
+/// writer flushes its partial buffer (blocking briefly on propagation)
 /// and retires its slot.
 pub struct SketchWriter<G: GlobalSketch> {
-    shared: Arc<Shared<G>>,
+    shared: Arc<EngineCore<G>>,
+    backend: Arc<dyn PropagationBackend<G>>,
     slot: Arc<PropSlot<G::Local>>,
+    shard: usize,
     cur: usize,
     counter: u64,
     b: u64,
@@ -341,6 +660,7 @@ pub struct SketchWriter<G: GlobalSketch> {
 impl<G: GlobalSketch> std::fmt::Debug for SketchWriter<G> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SketchWriter")
+            .field("shard", &self.shard)
             .field("cur", &self.cur)
             .field("counter", &self.counter)
             .field("b", &self.b)
@@ -353,9 +673,9 @@ impl<G: GlobalSketch> SketchWriter<G> {
     #[inline]
     pub fn update(&mut self, item: <G::Local as LocalSketch>::Item) {
         let item = if self.shared.phase.load(Ordering::Acquire) == PHASE_EAGER {
-            // Eager phase (§5.3): propagate directly, serialised by the
-            // global lock; re-check the phase under the lock because the
-            // transition happens there.
+            // Eager phase (§5.3): propagate directly into our shard,
+            // serialised by its lock; re-check the phase under the lock
+            // because the transition may happen while we wait for it.
             match self.try_eager(item) {
                 None => return,
                 Some(item) => item, // phase flipped while we waited
@@ -385,24 +705,40 @@ impl<G: GlobalSketch> SketchWriter<G> {
         }
     }
 
-    /// Eager-phase direct update. Returns the item back if the phase
-    /// turned lazy before we acquired the lock.
+    /// The index of the shard this writer is keyed onto.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Eager-phase direct update into the writer's shard. Returns the
+    /// item back if the phase turned lazy before we acquired the lock.
+    ///
+    /// When sharded, every eager update republishes the shard's full
+    /// mergeable image (O(retained) for Θ, O(m) for HLL): the eager
+    /// phase's contract is *zero* relaxation error, so sharded queries
+    /// must see each direct update immediately. The cost is bounded by
+    /// the eager limit `2/e²` (1250 updates at the default `e = 0.04`)
+    /// and single-shard engines publish only the cheap view.
     fn try_eager(
         &mut self,
         item: <G::Local as LocalSketch>::Item,
     ) -> Option<<G::Local as LocalSketch>::Item> {
-        let mut g = self.shared.global.lock();
+        let shard = &self.shared.shards[self.shard];
+        let mut g = shard.global.lock();
         if self.shared.phase.load(Ordering::Relaxed) != PHASE_EAGER {
             return Some(item);
         }
+        let before = g.stream_len();
         g.update_direct(item);
-        g.publish(&self.shared.view);
+        let delta = g.stream_len() - before;
+        self.shared.publish_view(&g, shard);
         self.shared
             .counters
             .eager_updates
             .fetch_add(1, Ordering::Relaxed);
         self.hint = g.calc_hint();
-        if g.stream_len() >= self.shared.eager_limit {
+        let total = self.shared.eager_ingested.fetch_add(delta, Ordering::Relaxed) + delta;
+        if total >= self.shared.eager_limit {
             // §5.3: raise b to the lazy buffer size and leave the eager
             // phase. The store order (b first) means a worker that sees
             // LAZY also sees the raised b at its next flush.
@@ -414,8 +750,8 @@ impl<G: GlobalSketch> SketchWriter<G> {
         None
     }
 
-    /// Hands the filled buffer to the propagator (lines 125–129) and, in
-    /// `ParSketch` mode (no double buffering), waits for the merge.
+    /// Hands the filled buffer over for propagation (lines 125–129) and,
+    /// in `ParSketch` mode (no double buffering), waits for the merge.
     fn flush_inner(&mut self) {
         // Line 125: wait until prop_i ≠ 0.
         if !self.wait_merged() {
@@ -428,6 +764,7 @@ impl<G: GlobalSketch> SketchWriter<G> {
         // SAFETY: wait_merged ensured the propagator released the buffers.
         unsafe { self.slot.hand_off(self.cur) };
         self.shared.counters.handoffs.fetch_add(1, Ordering::Relaxed);
+        self.backend.after_handoff(&self.shared, self.shard);
 
         if !self.shared.config.double_buffering {
             // Unoptimised ParSketch: the update thread idles until its
@@ -436,8 +773,11 @@ impl<G: GlobalSketch> SketchWriter<G> {
         }
     }
 
-    /// Spins until the propagator has returned buffer ownership, updating
-    /// the hint from the piggy-backed value. Returns `false` on shutdown.
+    /// Spins until the pending propagation (if any) has returned buffer
+    /// ownership, updating the hint from the piggy-backed value. Under
+    /// the writer-assisted backend the wait loop itself drains the shard,
+    /// so progress never depends on another thread. Returns `false` on
+    /// shutdown.
     fn wait_merged(&mut self) -> bool {
         let backoff = crossbeam::utils::Backoff::new();
         loop {
@@ -447,22 +787,25 @@ impl<G: GlobalSketch> SketchWriter<G> {
                 return true;
             }
             if self.shared.shutdown.load(Ordering::Acquire) {
-                // SAFETY: the propagator has exited (or is exiting and no
-                // longer owns our buffers once prop ≠ 0 fails to arrive);
-                // clearing our own buffer is safe because the propagator's
-                // final drain only touches buffers with prop == 0, and
-                // losing buffered updates on teardown is the documented
-                // semantics.
+                // SAFETY: no propagator owns our buffers once prop ≠ 0
+                // fails to arrive after shutdown; clearing our own
+                // counter is safe because the final drain only touches
+                // buffers with prop == 0, and losing buffered updates on
+                // teardown is the documented semantics.
                 self.counter = 0;
                 return false;
             }
+            self.backend.while_waiting(&self.shared, self.shard);
             backoff.snooze();
         }
     }
 
     /// Flushes the partially filled buffer so that its updates become
-    /// visible to queries once the propagator merges them. Blocks until
-    /// the previous propagation (if any) completes.
+    /// visible to queries once propagated. Blocks until the previous
+    /// propagation (if any) completes. Under the writer-assisted backend
+    /// the hand-off is usually merged inline; if the shard is busy it
+    /// stays pending until the next flush or a
+    /// [`ConcurrentSketch::quiesce`].
     pub fn flush(&mut self) {
         if self.counter > 0 {
             self.flush_inner();
@@ -490,17 +833,22 @@ impl<G: GlobalSketch> Drop for SketchWriter<G> {
     fn drop(&mut self) {
         self.flush();
         self.slot.retire();
-        // Nudge the propagator's registry scan.
-        self.shared.slots_version.fetch_add(1, Ordering::Release);
+        // Nudge the shard's registry scan.
+        self.shared.shards[self.shard]
+            .slots_version
+            .fetch_add(1, Ordering::Release);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_support::scaled;
 
     /// A toy "sum sketch": exact, so the engine must not lose or duplicate
-    /// a single update. Uses the trivial hint.
+    /// a single update. Uses the trivial hint. Implements the sharding
+    /// hooks (sums are trivially mergeable) so the engine tests below can
+    /// exercise K > 1.
     #[derive(Debug, Default)]
     struct SumGlobal {
         total: u64,
@@ -560,6 +908,12 @@ mod tests {
         fn stream_len(&self) -> u64 {
             self.n
         }
+        fn new_shard(&self) -> Self {
+            SumGlobal::default()
+        }
+        fn merge_shard_views(views: &[&Self::View]) -> f64 {
+            views.iter().map(|v| v.load()).sum()
+        }
     }
 
     fn run_sum(writers: usize, per_writer: u64, config: ConcurrencyConfig) -> f64 {
@@ -602,7 +956,8 @@ mod tests {
             max_concurrency_error: 1.0,
             ..Default::default()
         };
-        assert_eq!(run_sum(4, 25_000, cfg), expected_sum(4, 25_000));
+        let n = scaled(25_000);
+        assert_eq!(run_sum(4, n, cfg), expected_sum(4, n));
     }
 
     #[test]
@@ -634,7 +989,90 @@ mod tests {
             double_buffering: false,
             ..Default::default()
         };
-        assert_eq!(run_sum(3, 10_000, cfg), expected_sum(3, 10_000));
+        let n = scaled(10_000);
+        assert_eq!(run_sum(3, n, cfg), expected_sum(3, n));
+    }
+
+    #[test]
+    fn exact_sum_sharded_dedicated() {
+        for shards in [1usize, 2, 4] {
+            let cfg = ConcurrencyConfig {
+                writers: 4,
+                shards,
+                max_concurrency_error: 1.0,
+                ..Default::default()
+            };
+            let n = scaled(10_000);
+            assert_eq!(
+                run_sum(4, n, cfg),
+                expected_sum(4, n),
+                "lost updates with K = {shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_sum_writer_assisted() {
+        for shards in [1usize, 2, 4] {
+            let cfg = ConcurrencyConfig {
+                writers: 4,
+                shards,
+                backend: PropagationBackendKind::WriterAssisted,
+                max_concurrency_error: 1.0,
+                ..Default::default()
+            };
+            let n = scaled(10_000);
+            assert_eq!(
+                run_sum(4, n, cfg),
+                expected_sum(4, n),
+                "lost updates with K = {shards} (writer-assisted)"
+            );
+        }
+    }
+
+    #[test]
+    fn writer_assisted_with_eager_phase() {
+        let cfg = ConcurrencyConfig {
+            writers: 4,
+            shards: 2,
+            backend: PropagationBackendKind::WriterAssisted,
+            max_concurrency_error: 0.04,
+            ..Default::default()
+        };
+        assert_eq!(run_sum(4, 5_000, cfg), expected_sum(4, 5_000));
+    }
+
+    #[test]
+    fn writer_assisted_spawns_no_threads() {
+        let cfg = ConcurrencyConfig {
+            writers: 1,
+            backend: PropagationBackendKind::WriterAssisted,
+            max_concurrency_error: 1.0,
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        assert!(sketch.handles.is_empty(), "threadless backend spawned threads");
+        let mut w = sketch.writer();
+        for i in 0..10_000u64 {
+            w.update(i);
+        }
+        w.flush();
+        sketch.quiesce();
+        assert_eq!(sketch.snapshot(), (9_999 * 10_000 / 2) as f64);
+    }
+
+    #[test]
+    fn writers_round_robin_over_shards() {
+        let cfg = ConcurrencyConfig {
+            writers: 4,
+            shards: 2,
+            max_concurrency_error: 1.0,
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        let writers: Vec<_> = (0..4).map(|_| sketch.writer()).collect();
+        let assigned: Vec<usize> = writers.iter().map(|w| w.shard()).collect();
+        assert_eq!(assigned, vec![0, 1, 0, 1]);
     }
 
     #[test]
@@ -664,11 +1102,12 @@ mod tests {
             ..Default::default()
         };
         let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        let n = scaled(200_000);
         std::thread::scope(|s| {
             for _ in 0..2 {
                 let mut wr = sketch.writer();
                 s.spawn(move || {
-                    for i in 0..200_000u64 {
+                    for i in 0..n {
                         wr.update(i % 7);
                     }
                 });
@@ -677,6 +1116,34 @@ mod tests {
             for _ in 0..10_000 {
                 let v = sketch.snapshot();
                 assert!(v >= last, "sum went backwards: {v} < {last}");
+                last = v;
+            }
+        });
+    }
+
+    #[test]
+    fn sharded_snapshot_is_monotone_under_concurrent_ingestion() {
+        let cfg = ConcurrencyConfig {
+            writers: 2,
+            shards: 2,
+            max_concurrency_error: 1.0,
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        let n = scaled(100_000);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let mut wr = sketch.writer();
+                s.spawn(move || {
+                    for i in 0..n {
+                        wr.update(i % 7);
+                    }
+                });
+            }
+            let mut last = 0.0;
+            for _ in 0..5_000 {
+                let v = sketch.snapshot();
+                assert!(v >= last, "merged sum went backwards: {v} < {last}");
                 last = v;
             }
         });
@@ -734,6 +1201,28 @@ mod tests {
     }
 
     #[test]
+    fn drop_drains_pending_handoffs_writer_assisted() {
+        // A hand-off left pending (no quiesce) must still be merged by
+        // the engine's final drain before the handle drop completes.
+        let cfg = ConcurrencyConfig {
+            writers: 1,
+            backend: PropagationBackendKind::WriterAssisted,
+            max_concurrency_error: 1.0,
+            max_buffer_size: 8,
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        {
+            let mut w = sketch.writer();
+            for _ in 0..100u64 {
+                w.update(1);
+            }
+        }
+        sketch.quiesce();
+        assert_eq!(sketch.snapshot(), 100.0);
+    }
+
+    #[test]
     fn relaxation_accessor() {
         let cfg = ConcurrencyConfig {
             writers: 4,
@@ -743,5 +1232,14 @@ mod tests {
         let r = cfg.relaxation();
         let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
         assert_eq!(sketch.relaxation(), r);
+        let sharded = ConcurrencyConfig {
+            writers: 4,
+            shards: 4,
+            max_concurrency_error: 1.0,
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), sharded).unwrap();
+        assert_eq!(sketch.relaxation(), r, "r must not depend on K");
+        assert_eq!(sketch.shard_count(), 4);
     }
 }

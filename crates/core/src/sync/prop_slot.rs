@@ -163,6 +163,11 @@ mod tests {
     /// `b` through a `Vec<u64>` double buffer while a propagator drains
     /// them. Every item must arrive exactly once, in batches that respect
     /// the buffer bound.
+    ///
+    /// The wait loops use a yielding `Backoff` (as the real engine does):
+    /// a raw `spin_loop` burns a full scheduler quantum per hand-off when
+    /// the two threads time-slice on one core, which turns these tests
+    /// into minutes of wall clock on a 1-CPU CI container.
     fn run_protocol(n: u64, b: usize) {
         let slot = Arc::new(PropSlot::new(Vec::<u64>::new(), Vec::new(), u64::MAX));
         let done = Arc::new(AtomicBool::new(false));
@@ -172,6 +177,7 @@ mod tests {
             let done = Arc::clone(&done);
             std::thread::spawn(move || {
                 let mut received: Vec<u64> = Vec::new();
+                let backoff = crossbeam::utils::Backoff::new();
                 loop {
                     if let Some(idx) = slot.pending_buffer() {
                         // SAFETY: idx from pending_buffer; single propagator.
@@ -182,14 +188,22 @@ mod tests {
                             });
                         }
                         slot.complete_propagation(u64::MAX);
+                        backoff.reset();
                     } else if done.load(Ordering::Acquire) && slot.pending_buffer().is_none() {
                         break;
                     } else {
-                        std::hint::spin_loop();
+                        backoff.snooze();
                     }
                 }
                 received
             })
+        };
+
+        let await_returned = |slot: &PropSlot<Vec<u64>>| {
+            let backoff = crossbeam::utils::Backoff::new();
+            while slot.propagation_result().is_none() {
+                backoff.snooze();
+            }
         };
 
         // Worker.
@@ -202,9 +216,7 @@ mod tests {
             }
             counter += 1;
             if counter == b {
-                while slot.propagation_result().is_none() {
-                    std::hint::spin_loop();
-                }
+                await_returned(&slot);
                 cur = 1 - cur;
                 counter = 0;
                 // SAFETY: propagation_result returned Some.
@@ -213,17 +225,13 @@ mod tests {
         }
         // Final flush of the partial buffer.
         if counter > 0 {
-            while slot.propagation_result().is_none() {
-                std::hint::spin_loop();
-            }
+            await_returned(&slot);
             cur = 1 - cur;
             // SAFETY: as above.
             unsafe { slot.hand_off(cur) };
         }
         // Wait for the last hand-off to be consumed before signalling done.
-        while slot.propagation_result().is_none() {
-            std::hint::spin_loop();
-        }
+        await_returned(&slot);
         done.store(true, Ordering::Release);
 
         let received = propagator.join().unwrap();
@@ -233,12 +241,12 @@ mod tests {
 
     #[test]
     fn protocol_delivers_every_item_exactly_once_b1() {
-        run_protocol(10_000, 1);
+        run_protocol(crate::test_support::scaled(10_000), 1);
     }
 
     #[test]
     fn protocol_delivers_every_item_exactly_once_b16() {
-        run_protocol(100_000, 16);
+        run_protocol(crate::test_support::scaled(100_000), 16);
     }
 
     #[test]

@@ -18,14 +18,15 @@
 //! without any synchronisation.
 
 use crate::composable::{GlobalSketch, LocalSketch};
-use crate::config::ConcurrencyConfig;
+use crate::config::{ConcurrencyConfig, PropagationBackendKind};
 use crate::runtime::{ConcurrentSketch, SketchWriter};
-use crate::sync::SeqSnapshot;
+use crate::sync::{EpochCell, SeqSnapshot};
 use fcds_sketches::error::Result;
 use fcds_sketches::hash::{Hashable, DEFAULT_SEED};
 use fcds_sketches::oracle::Oracle;
 use fcds_sketches::theta::{
-    normalize_hash, theta_to_fraction, CompactThetaSketch, QuickSelectThetaSketch, ThetaRead,
+    normalize_hash, theta_to_fraction, untrimmed_union, CompactThetaSketch,
+    QuickSelectThetaSketch, ThetaRead,
 };
 
 /// A consistent query snapshot of the concurrent Θ sketch.
@@ -64,6 +65,14 @@ impl ThetaGlobal {
         })
     }
 
+    fn image_now(&self) -> ThetaShardImage {
+        ThetaShardImage {
+            theta: self.sketch.theta(),
+            seed: self.sketch.seed(),
+            hashes: self.sketch.hashes().collect(),
+        }
+    }
+
     fn snapshot_now(&self) -> ThetaSnapshot {
         ThetaSnapshot {
             estimate: self.sketch.estimate(),
@@ -71,6 +80,34 @@ impl ThetaGlobal {
             retained: self.sketch.retained() as u64,
         }
     }
+}
+
+/// An unsorted point-in-time image of one Θ shard: the threshold plus the
+/// retained hashes, in whatever order the sketch stores them.
+///
+/// Publishing happens on the propagation path once per merge, so the
+/// image deliberately skips the O(retained·log retained) sort a
+/// [`CompactThetaSketch`] would do — queries are the rare side, and the
+/// shard merge sorts the union once.
+#[derive(Debug, Clone)]
+pub struct ThetaShardImage {
+    theta: u64,
+    seed: u64,
+    hashes: Vec<u64>,
+}
+
+/// The published view of one Θ shard.
+///
+/// The seqlock triple serves single-shard fast-path queries exactly as
+/// before; the shard image is only written by
+/// [`GlobalSketch::publish_sharded`] — i.e., when the engine actually
+/// runs `K > 1` shards — and is what the query-time shard union
+/// consumes. Single-shard deployments never pay the O(retained) image
+/// copy.
+#[derive(Debug)]
+pub struct ThetaView {
+    triple: SeqSnapshot<ThetaSnapshot>,
+    image: EpochCell<ThetaShardImage>,
 }
 
 /// The local side: a buffer of pre-hashed, pre-filtered updates.
@@ -108,7 +145,7 @@ impl LocalSketch for ThetaLocal {
 
 impl GlobalSketch for ThetaGlobal {
     type Local = ThetaLocal;
-    type View = SeqSnapshot<ThetaSnapshot>;
+    type View = ThetaView;
     type Snapshot = ThetaSnapshot;
 
     fn new_local(&self) -> ThetaLocal {
@@ -116,7 +153,10 @@ impl GlobalSketch for ThetaGlobal {
     }
 
     fn new_view(&self) -> Self::View {
-        SeqSnapshot::new(self.snapshot_now())
+        ThetaView {
+            triple: SeqSnapshot::new(self.snapshot_now()),
+            image: EpochCell::new(self.image_now()),
+        }
     }
 
     fn merge(&mut self, local: &mut ThetaLocal) {
@@ -134,11 +174,41 @@ impl GlobalSketch for ThetaGlobal {
     }
 
     fn publish(&self, view: &Self::View) {
-        view.write(self.snapshot_now());
+        view.triple.write(self.snapshot_now());
+    }
+
+    fn publish_sharded(&self, view: &Self::View) {
+        view.triple.write(self.snapshot_now());
+        view.image.store(self.image_now());
     }
 
     fn snapshot(view: &Self::View) -> ThetaSnapshot {
-        view.read()
+        view.triple.read()
+    }
+
+    fn merge_shard_views(views: &[&Self::View]) -> ThetaSnapshot {
+        // The untrimmed union of the shard images (the reference
+        // implementation lives in `fcds_relaxation::sharded`): joint
+        // Θ = min Θᵢ, retained = every distinct hash below it. Sorting
+        // happens here, once per query, not on the propagation path.
+        let images: Vec<_> = views.iter().map(|v| v.image.load()).collect();
+        let theta = images.iter().map(|i| i.theta).min().expect("≥ 1 shard");
+        let hashes: Vec<u64> = images
+            .iter()
+            .flat_map(|i| i.hashes.iter().copied().filter(|&h| h < theta))
+            .collect();
+        let union = CompactThetaSketch::from_parts(theta, images[0].seed, hashes)
+            .expect("shard hashes are below their own theta");
+        ThetaSnapshot {
+            estimate: union.estimate(),
+            theta: union.theta(),
+            retained: union.retained() as u64,
+        }
+    }
+
+    fn new_shard(&self) -> Self {
+        ThetaGlobal::new(self.sketch.lg_k(), self.sketch.seed())
+            .expect("shard parameters were already validated")
     }
 
     fn calc_hint(&self) -> u64 {
@@ -239,6 +309,20 @@ impl ConcurrentThetaBuilder {
         self
     }
 
+    /// Splits the global sketch into `K` shards (writers round-robined,
+    /// queries merged via an untrimmed Θ union). `r = 2Nb` is unchanged.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Selects the propagation backend (dedicated thread per shard by
+    /// default; writer-assisted for threadless embedding).
+    pub fn backend(mut self, backend: PropagationBackendKind) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
     /// Ablation: disables the Θ hint pre-filter (`shouldAdd`), shipping
     /// every update through the hand-off protocol. Benchmarking only.
     pub fn disable_prefilter(mut self, disabled: bool) -> Self {
@@ -327,10 +411,15 @@ impl ConcurrentThetaSketch {
     }
 
     /// Freezes the current global state into an immutable compact sketch
-    /// (for set operations or serialisation). Takes the global lock; not
-    /// a hot-path operation.
+    /// (for set operations or serialisation). With `K > 1` shards this is
+    /// the untrimmed union of the shard images. Takes the shard locks in
+    /// turn; not a hot-path operation.
     pub fn compact(&self) -> CompactThetaSketch {
-        self.inner.with_global(|g| g.sketch.compact())
+        let mut parts = self.inner.with_globals(|g| g.sketch.compact());
+        if parts.len() == 1 {
+            return parts.pop().expect("at least one shard");
+        }
+        untrimmed_union(parts.iter()).expect("shards share one hash seed")
     }
 
     /// The configured error bound `max{e + 1/√k, 2/√k}` (§7.1).
@@ -386,6 +475,7 @@ impl ThetaWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_support::scaled;
     use fcds_sketches::theta::{rse, THETA_MAX};
 
     fn build(lg_k: u8, writers: usize, e: f64) -> ConcurrentThetaSketch {
@@ -423,7 +513,7 @@ mod tests {
     #[test]
     fn single_writer_large_stream_accuracy() {
         let s = build(12, 1, 0.04);
-        let n = 500_000u64;
+        let n = scaled(500_000);
         let mut w = s.writer();
         for i in 0..n {
             w.update(i);
@@ -437,7 +527,7 @@ mod tests {
     #[test]
     fn multi_writer_disjoint_streams_accuracy() {
         let s = build(12, 4, 0.04);
-        let n_per = 250_000u64;
+        let n_per = scaled(250_000);
         std::thread::scope(|sc| {
             for t in 0..4u64 {
                 let mut w = s.writer();
@@ -457,18 +547,19 @@ mod tests {
     #[test]
     fn multi_writer_overlapping_streams_count_once() {
         let s = build(11, 4, 0.04);
+        let n = scaled(200_000);
         std::thread::scope(|sc| {
             for _ in 0..4 {
                 let mut w = s.writer();
                 sc.spawn(move || {
-                    for i in 0..200_000u64 {
+                    for i in 0..n {
                         w.update(i); // all writers feed the same items
                     }
                 });
             }
         });
         s.quiesce();
-        let rel = (s.estimate() - 200_000.0).abs() / 200_000.0;
+        let rel = (s.estimate() - n as f64).abs() / n as f64;
         assert!(rel < 5.0 * rse(2048) + 0.01, "relative error {rel}");
     }
 
@@ -478,12 +569,13 @@ mod tests {
         // non-monotonicity within the estimator noise is allowed, so we
         // only check it never collapses.
         let s = build(12, 2, 0.04);
+        let n = scaled(300_000);
         std::thread::scope(|sc| {
             for t in 0..2u64 {
                 let mut w = s.writer();
                 sc.spawn(move || {
-                    for i in 0..300_000u64 {
-                        w.update(t * 300_000 + i);
+                    for i in 0..n {
+                        w.update(t * n + i);
                     }
                 });
             }
@@ -502,7 +594,7 @@ mod tests {
         // After all writers flush and the engine quiesces, the snapshot
         // must reflect *every* update (staleness 0 at quiescence).
         let s = build(10, 3, 1.0); // no eager: pure relaxed mode
-        let n_per = 50_000u64;
+        let n_per = scaled(50_000);
         std::thread::scope(|sc| {
             for t in 0..3u64 {
                 let mut w = s.writer();
@@ -540,12 +632,13 @@ mod tests {
         use fcds_sketches::theta::ThetaUnion;
         let s1 = build(10, 1, 0.04);
         let s2 = build(10, 1, 0.04);
+        let n = scaled(80_000);
         {
             let mut w1 = s1.writer();
             let mut w2 = s2.writer();
-            for i in 0..80_000u64 {
+            for i in 0..n {
                 w1.update(i);
-                w2.update(i + 40_000);
+                w2.update(i + n / 2);
             }
         }
         s1.quiesce();
@@ -554,7 +647,8 @@ mod tests {
         u.update(&s1.compact()).unwrap();
         u.update(&s2.compact()).unwrap();
         let est = u.result().estimate();
-        let rel = (est - 120_000.0).abs() / 120_000.0;
+        let truth = 1.5 * n as f64;
+        let rel = (est - truth).abs() / truth;
         assert!(rel < 0.1, "union relative error {rel}");
     }
 
@@ -569,19 +663,21 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(s.relaxation(), 2 * s.inner.config().buffer_size());
+        let n = scaled(100_000);
         std::thread::scope(|sc| {
             for t in 0..2u64 {
                 let mut w = s.writer();
                 sc.spawn(move || {
-                    for i in 0..100_000u64 {
-                        w.update(t * 100_000 + i);
+                    for i in 0..n {
+                        w.update(t * n + i);
                     }
                     w.flush();
                 });
             }
         });
         s.quiesce();
-        let rel = (s.estimate() - 200_000.0).abs() / 200_000.0;
+        let truth = 2.0 * n as f64;
+        let rel = (s.estimate() - truth).abs() / truth;
         assert!(rel < 5.0 * rse(1024), "relative error {rel}");
     }
 
@@ -590,16 +686,17 @@ mod tests {
         // Once Θ is small, almost every update dies at shouldAdd: the
         // writer's buffered count must stay far below the stream length.
         let s = build(8, 1, 1.0);
+        let n = scaled(1_000_000);
         let mut w = s.writer();
-        for i in 0..1_000_000u64 {
+        for i in 0..n {
             w.update(i);
         }
-        // Θ after 1M distinct with k=256 is ≈ 256/1M; the local buffer
+        // Θ after n distinct with k=256 is ≈ 256/n; the local buffer
         // can only ever hold b items, so just assert the writer made
         // progress without error and the estimate is sane.
         w.flush();
         s.quiesce();
-        let rel = (s.estimate() - 1.0e6).abs() / 1.0e6;
+        let rel = (s.estimate() - n as f64).abs() / n as f64;
         assert!(rel < 5.0 * rse(256), "relative error {rel}");
     }
 
@@ -616,7 +713,7 @@ mod tests {
         // overwhelming majority of updates must die at shouldAdd, and the
         // hand-off/merge counters must stay tiny relative to the stream.
         let s = build(6, 1, 1.0); // k = 64
-        let n = 500_000u64;
+        let n = scaled(500_000);
         let mut w = s.writer();
         for i in 0..n {
             w.update(i);
@@ -670,7 +767,113 @@ mod tests {
         });
         s.quiesce();
         let snap = s.snapshot();
-        let global_est = s.inner.with_global(|g| g.sketch.estimate());
-        assert_eq!(snap.estimate, global_est);
+        let global_est = s.inner.with_globals(|g| g.sketch.estimate());
+        assert_eq!(global_est.len(), 1);
+        assert_eq!(snap.estimate, global_est[0]);
+    }
+
+    fn build_sharded(
+        lg_k: u8,
+        writers: usize,
+        shards: usize,
+        e: f64,
+        backend: PropagationBackendKind,
+    ) -> ConcurrentThetaSketch {
+        ConcurrentThetaBuilder::new()
+            .lg_k(lg_k)
+            .seed(42)
+            .writers(writers)
+            .shards(shards)
+            .max_concurrency_error(e)
+            .backend(backend)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sharded_disjoint_streams_accuracy() {
+        for backend in [
+            PropagationBackendKind::DedicatedThread,
+            PropagationBackendKind::WriterAssisted,
+        ] {
+            let s = build_sharded(12, 4, 4, 1.0, backend);
+            let n_per = scaled(100_000);
+            std::thread::scope(|sc| {
+                for t in 0..4u64 {
+                    let mut w = s.writer();
+                    sc.spawn(move || {
+                        for i in 0..n_per {
+                            w.update(t * n_per + i);
+                        }
+                        w.flush();
+                    });
+                }
+            });
+            s.quiesce();
+            let n = 4.0 * n_per as f64;
+            let rel = (s.estimate() - n).abs() / n;
+            // Each shard has k = 4096 samples of its sub-stream; the
+            // merged union retains up to 4k samples, so the estimator is
+            // at least as tight as a single k = 4096 sketch.
+            assert!(rel < 5.0 * rse(4096), "{backend:?}: relative error {rel}");
+        }
+    }
+
+    #[test]
+    fn sharded_overlapping_streams_count_once() {
+        // The same items through different writers land in different
+        // shards; the query-time union must dedupe across shards.
+        let s = build_sharded(11, 2, 2, 1.0, PropagationBackendKind::DedicatedThread);
+        let n = scaled(100_000);
+        std::thread::scope(|sc| {
+            for _ in 0..2 {
+                let mut w = s.writer();
+                sc.spawn(move || {
+                    for i in 0..n {
+                        w.update(i);
+                    }
+                    w.flush();
+                });
+            }
+        });
+        s.quiesce();
+        let rel = (s.estimate() - n as f64).abs() / n as f64;
+        assert!(rel < 5.0 * rse(2048), "relative error {rel}");
+    }
+
+    #[test]
+    fn sharded_eager_tiny_stream_is_exact() {
+        let s = build_sharded(12, 2, 2, 0.04, PropagationBackendKind::DedicatedThread);
+        let mut w0 = s.writer();
+        let mut w1 = s.writer();
+        for i in 0..500u64 {
+            w0.update(i);
+            w1.update(i + 500);
+        }
+        assert!(s.is_eager());
+        assert_eq!(s.estimate(), 1_000.0, "sharded eager phase must be exact");
+    }
+
+    #[test]
+    fn sharded_compact_agrees_with_merged_snapshot() {
+        let s = build_sharded(10, 4, 2, 1.0, PropagationBackendKind::DedicatedThread);
+        let n_per = scaled(50_000);
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let mut w = s.writer();
+                sc.spawn(move || {
+                    for i in 0..n_per {
+                        w.update(t * n_per + i);
+                    }
+                    w.flush();
+                });
+            }
+        });
+        s.quiesce();
+        let snap = s.snapshot();
+        let compact = s.compact();
+        assert_eq!(compact.theta(), snap.theta);
+        assert_eq!(compact.retained() as u64, snap.retained);
+        assert_eq!(compact.estimate(), snap.estimate);
     }
 }

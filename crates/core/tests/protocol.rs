@@ -107,7 +107,7 @@ proptest! {
             max_concurrency_error: e_pct as f64 / 100.0,
             max_buffer_size: max_b,
             double_buffering,
-            disable_prefilter: false,
+            ..Default::default()
         };
         let sum = run(writers, per_writer, config);
         prop_assert_eq!(sum, expected(writers as u64, per_writer));

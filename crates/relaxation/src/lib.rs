@@ -23,6 +23,10 @@
 //! * [`orderstats`] — the closed-form order-statistics moments behind the
 //!   analysis (`E[M₍ᵢ₎]`, `E[(k−1)/M₍ᵢ₎]`, RSE of the relaxed
 //!   estimator).
+//! * [`sharded`] — the relaxation under the K-way sharded engine: why
+//!   `r = 2Nb` is shard-count independent, and the reference
+//!   implementation of the query-time Θ shard merge the checker
+//!   validates.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -33,3 +37,4 @@ pub mod checker;
 pub mod checker_quantiles;
 pub mod history;
 pub mod orderstats;
+pub mod sharded;

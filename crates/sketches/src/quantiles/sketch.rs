@@ -327,6 +327,44 @@ pub struct QuantilesReader<T: Ord + Clone> {
 }
 
 impl<T: Ord + Clone> QuantilesReader<T> {
+    /// Merges several readers into one summary of the concatenated
+    /// streams — the query-time shard merge of the sharded concurrent
+    /// engine.
+    ///
+    /// The merge is lossless in the PAC sense: each input's retained
+    /// samples carry rank error at most `ε·n_i` on its own sub-stream, so
+    /// the union's error on any item is at most `Σ ε·n_i = ε·n` — the
+    /// same `ε` a single sketch with the same `k` guarantees on the
+    /// concatenated stream.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a Self>) -> Self
+    where
+        T: 'a,
+    {
+        let mut items: Vec<(T, u64)> = Vec::new();
+        let mut n = 0u64;
+        let mut min_item: Option<T> = None;
+        let mut max_item: Option<T> = None;
+        for p in parts {
+            items.extend(p.items.iter().cloned());
+            n += p.n;
+            min_item = match (min_item.take(), p.min_item.clone()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            max_item = match (max_item.take(), p.max_item.clone()) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        items.sort_by(|a, b| a.0.cmp(&b.0));
+        QuantilesReader {
+            items,
+            n,
+            min_item,
+            max_item,
+        }
+    }
+
     /// Total stream length this snapshot summarises.
     pub fn n(&self) -> u64 {
         self.n
@@ -413,6 +451,39 @@ mod tests {
             q.update(i);
         }
         q
+    }
+
+    #[test]
+    fn merged_readers_summarise_concatenated_stream() {
+        let k = 64;
+        let mut parts = Vec::new();
+        for shard in 0..4u64 {
+            let mut q = QuantilesSketch::with_seed(k, shard).unwrap();
+            for i in (shard..200_000).step_by(4) {
+                q.update(i);
+            }
+            parts.push(q.reader());
+        }
+        let merged = QuantilesReader::merged(parts.iter());
+        assert_eq!(merged.n(), 200_000);
+        assert_eq!(merged.quantile(0.0), Some(0));
+        assert_eq!(merged.quantile(1.0), Some(199_999));
+        let eps = epsilon_for_k(k);
+        for phi in [0.25, 0.5, 0.75] {
+            let v = merged.quantile(phi).unwrap() as f64 / 200_000.0;
+            assert!((v - phi).abs() <= 4.0 * eps, "phi={phi} got rank {v}");
+        }
+    }
+
+    #[test]
+    fn merged_reader_of_one_part_is_identity() {
+        let q = filled(32, 3, 10_000);
+        let r = q.reader();
+        let m = QuantilesReader::merged([&r]);
+        assert_eq!(m.n(), r.n());
+        for phi in [0.0, 0.3, 0.9, 1.0] {
+            assert_eq!(m.quantile(phi), r.quantile(phi));
+        }
     }
 
     #[test]

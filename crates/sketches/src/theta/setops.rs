@@ -67,6 +67,51 @@ impl ThetaUnion {
     }
 }
 
+/// Unions compact Θ images **without trimming to a nominal `k`**: the
+/// result keeps every retained hash below the joint Θ (`min` of the
+/// inputs' Θs).
+///
+/// This is the query-time shard merge of the sharded concurrent engine.
+/// Each input summarises one shard's sub-stream; because every retained
+/// set is exactly `{h ∈ seen : h < Θ_i}` and the joint Θ is the minimum,
+/// the union's retained set is exactly `{h ∈ ∪ seen : h < Θ}` — the state
+/// a single sketch with threshold Θ would hold on the concatenated
+/// stream. Keeping all samples (up to `K·k`) instead of trimming to `k`
+/// only *lowers* the estimator's variance, and it is what makes the merge
+/// lossless for the r-relaxation checker.
+///
+/// # Errors
+///
+/// Returns [`SketchError::Incompatible`] on hash-seed mismatch and
+/// [`SketchError::InvalidParameter`] for an empty input.
+pub fn untrimmed_union<'a>(
+    parts: impl IntoIterator<Item = &'a CompactThetaSketch>,
+) -> Result<CompactThetaSketch> {
+    let parts: Vec<&CompactThetaSketch> = parts.into_iter().collect();
+    let first = parts
+        .first()
+        .ok_or_else(|| SketchError::invalid("parts", "union of zero sketches"))?;
+    let seed = first.seed();
+    let mut theta = super::THETA_MAX;
+    for p in &parts {
+        if p.seed() != seed {
+            return Err(SketchError::incompatible(format!(
+                "hash seed mismatch: {} vs {}",
+                p.seed(),
+                seed
+            )));
+        }
+        theta = theta.min(p.theta());
+    }
+    let mut hashes: Vec<u64> = Vec::new();
+    for p in &parts {
+        // Inputs are sorted, so everything below the joint Θ is a prefix.
+        let below = p.sorted_hashes().partition_point(|&h| h < theta);
+        hashes.extend_from_slice(&p.sorted_hashes()[..below]);
+    }
+    CompactThetaSketch::from_parts(theta, seed, hashes)
+}
+
 /// Streaming intersection gadget.
 ///
 /// The intersection of Θ sketches: Θ is the minimum of all input Θs and
@@ -342,6 +387,47 @@ mod tests {
         let a = filled(6, 1, 0..100);
         let b = filled(6, 2, 0..100);
         assert!(ThetaANotB::new().compute(&a, &b).is_err());
+    }
+
+    #[test]
+    fn untrimmed_union_keeps_all_samples_below_joint_theta() {
+        let a = filled(8, 1, 0..100_000);
+        let b = filled(10, 1, 50_000..200_000);
+        let (ca, cb) = (a.compact(), b.compact());
+        let u = untrimmed_union([&ca, &cb]).unwrap();
+        let theta = ca.theta().min(cb.theta());
+        assert_eq!(u.theta(), theta);
+        let mut expected: Vec<u64> = ca
+            .sorted_hashes()
+            .iter()
+            .chain(cb.sorted_hashes())
+            .copied()
+            .filter(|&h| h < theta)
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(u.sorted_hashes(), &expected[..]);
+        let est = u.estimate();
+        let rel = (est - 200_000.0).abs() / 200_000.0;
+        // Joint Θ comes from the k = 256 input, but the retained count is
+        // larger than 256 — the estimator still applies.
+        assert!(rel < 5.0 * rse(256), "relative error {rel}");
+    }
+
+    #[test]
+    fn untrimmed_union_rejects_seed_mismatch_and_empty() {
+        let a = filled(8, 1, 0..1_000).compact();
+        let b = filled(8, 2, 0..1_000).compact();
+        assert!(untrimmed_union([&a, &b]).is_err());
+        assert!(untrimmed_union(std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn untrimmed_union_of_exact_mode_sketches_is_exact() {
+        let a = filled(12, 7, 0..1_000).compact();
+        let b = filled(12, 7, 500..1_500).compact();
+        let u = untrimmed_union([&a, &b]).unwrap();
+        assert_eq!(u.estimate(), 1_500.0);
     }
 
     #[test]

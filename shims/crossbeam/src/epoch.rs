@@ -13,13 +13,24 @@
 //! `< current` blocks `try_advance`), so garbage retired at `e` is freed
 //! once the global epoch reaches `e + 2`.
 //!
-//! Unlike crossbeam there are no thread-local garbage bags or lock-free
-//! participant lists — registration, retirement, and collection go through
-//! plain mutexes. Pinning itself (the hot path) is two atomic stores and a
-//! fence. That is slower than crossbeam but semantically equivalent, which
-//! is what the concurrency tests need.
+//! Unlike crossbeam there is no lock-free participant list — registration
+//! goes through a plain mutex (once per thread). Garbage, however, is
+//! **per-thread**: `defer_destroy` pushes into the calling thread's local
+//! bag without touching any lock, and every `PINS_BETWEEN_COLLECT` pins
+//! (or when the bag grows past `LOCAL_GARBAGE_THRESHOLD`) the thread
+//! amortises a collection — a `try_lock`ed scan of the participant list
+//! to advance the epoch, then lock-free frees from its own bag. Threads
+//! therefore never serialise on a global garbage mutex; the only
+//! cross-thread hand-off is the *orphan* bag a dying thread leaves
+//! behind, adopted opportunistically by later collections.
+//!
+//! Like real crossbeam's thread-local bags, this trades reclamation
+//! locality for a bounded hold: a thread that stays alive but stops
+//! pinning keeps at most `LOCAL_GARBAGE_THRESHOLD` cooling retirees (its
+//! last partial bag) unreclaimable until it pins again or exits. Size
+//! the threshold, not correctness, bounds that hold.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -30,6 +41,9 @@ const INACTIVE: u64 = 0;
 
 /// How many pins a thread performs between collection attempts.
 const PINS_BETWEEN_COLLECT: usize = 64;
+
+/// Local-bag size that triggers an immediate collection attempt.
+const LOCAL_GARBAGE_THRESHOLD: usize = 64;
 
 struct Participant {
     /// `INACTIVE`, or the epoch this thread pinned at, tagged with `ACTIVE`.
@@ -49,7 +63,10 @@ unsafe impl Send for Deferred {}
 struct Global {
     epoch: AtomicU64,
     participants: Mutex<Vec<&'static Participant>>,
-    garbage: Mutex<Vec<(u64, Deferred)>>,
+    /// Garbage bequeathed by exited threads; `orphan_count` lets live
+    /// threads skip the lock entirely when there is nothing to adopt.
+    orphans: Mutex<Vec<(u64, Deferred)>>,
+    orphan_count: AtomicUsize,
 }
 
 fn global() -> &'static Global {
@@ -57,21 +74,24 @@ fn global() -> &'static Global {
     GLOBAL.get_or_init(|| Global {
         epoch: AtomicU64::new(0),
         participants: Mutex::new(Vec::new()),
-        garbage: Mutex::new(Vec::new()),
+        orphans: Mutex::new(Vec::new()),
+        orphan_count: AtomicUsize::new(0),
     })
 }
 
 impl Global {
     /// Advances the global epoch if every active participant has been
-    /// observed at the current one, then frees sufficiently old garbage.
-    fn collect(&self) {
+    /// observed at the current one. Never blocks: if another thread holds
+    /// the participant lock it is registering or collecting, and its
+    /// progress serves ours.
+    fn try_advance(&self) {
         let epoch = self.epoch.load(Ordering::SeqCst);
-        let all_current = {
-            let participants = self.participants.lock().unwrap();
-            participants.iter().all(|p| {
+        let all_current = match self.participants.try_lock() {
+            Ok(participants) => participants.iter().all(|p| {
                 let s = p.state.load(Ordering::SeqCst);
                 s & ACTIVE == 0 || s & !ACTIVE == epoch
-            })
+            }),
+            Err(_) => return,
         };
         if all_current {
             // A failed CAS means another thread advanced; that is progress too.
@@ -82,29 +102,29 @@ impl Global {
                 Ordering::SeqCst,
             );
         }
-        let now = self.epoch.load(Ordering::SeqCst);
-        let ripe: Vec<Deferred> = {
-            let mut garbage = self.garbage.lock().unwrap();
-            let mut ripe = Vec::new();
-            garbage.retain_mut(|(retired, d)| {
-                if now >= *retired + 2 {
-                    ripe.push(Deferred {
-                        ptr: d.ptr,
-                        drop_fn: d.drop_fn,
-                    });
-                    false
-                } else {
-                    true
-                }
+    }
+}
+
+/// Splits `bag` into (ripe, still-cooling) halves at epoch `now` and runs
+/// the ripe destructors. The bag must not be borrowed while destructors
+/// run — they are arbitrary user code and may pin or defer again.
+fn free_ripe(bag: &mut Vec<(u64, Deferred)>, now: u64) {
+    let mut ripe: Vec<Deferred> = Vec::new();
+    bag.retain_mut(|(retired, d)| {
+        if now >= *retired + 2 {
+            ripe.push(Deferred {
+                ptr: d.ptr,
+                drop_fn: d.drop_fn,
             });
-            ripe
-        };
-        // Run destructors outside the lock: they may be arbitrary user code.
-        for d in ripe {
-            // SAFETY: the epoch has advanced two steps past retirement, so
-            // no pinned thread can still hold this pointer (see module docs).
-            unsafe { (d.drop_fn)(d.ptr) };
+            false
+        } else {
+            true
         }
+    });
+    for d in ripe {
+        // SAFETY: the epoch has advanced two steps past retirement, so
+        // no pinned thread can still hold this pointer (see module docs).
+        unsafe { (d.drop_fn)(d.ptr) };
     }
 }
 
@@ -114,19 +134,68 @@ struct LocalHandle {
     depth: Cell<usize>,
     /// Pins since the last collection attempt.
     pin_count: Cell<usize>,
+    /// This thread's garbage bag: (retirement epoch, deferred destructor).
+    garbage: RefCell<Vec<(u64, Deferred)>>,
+}
+
+impl LocalHandle {
+    /// The per-thread amortised collection: try to advance the epoch,
+    /// free the ripe part of our own bag (no locks), and opportunistically
+    /// adopt orphans left by exited threads.
+    fn collect(&self) {
+        let g = global();
+        g.try_advance();
+        let now = g.epoch.load(Ordering::SeqCst);
+        // Take the ripe entries out under the borrow, run destructors
+        // after releasing it: a destructor may legitimately pin or defer
+        // (nested `EpochCell`s), which would otherwise re-borrow.
+        if let Ok(mut bag) = self.garbage.try_borrow_mut() {
+            let mut taken = std::mem::take(&mut *bag);
+            drop(bag);
+            free_ripe(&mut taken, now);
+            if !taken.is_empty() {
+                self.garbage.borrow_mut().append(&mut taken);
+            }
+        }
+        if g.orphan_count.load(Ordering::Relaxed) > 0 {
+            if let Ok(mut orphans) = g.orphans.try_lock() {
+                let mut taken = std::mem::take(&mut *orphans);
+                g.orphan_count.store(0, Ordering::Relaxed);
+                drop(orphans);
+                free_ripe(&mut taken, now);
+                if !taken.is_empty() {
+                    let mut orphans = g.orphans.lock().unwrap();
+                    g.orphan_count
+                        .fetch_add(taken.len(), Ordering::Relaxed);
+                    orphans.append(&mut taken);
+                }
+            }
+        }
+    }
 }
 
 impl Drop for LocalHandle {
     fn drop(&mut self) {
-        let mut participants = global().participants.lock().unwrap();
-        if let Some(i) = participants
-            .iter()
-            .position(|p| std::ptr::eq(*p, self.participant))
         {
-            participants.swap_remove(i);
+            let mut participants = global().participants.lock().unwrap();
+            if let Some(i) = participants
+                .iter()
+                .position(|p| std::ptr::eq(*p, self.participant))
+            {
+                participants.swap_remove(i);
+            }
+        }
+        // Bequeath whatever is still cooling to the orphan bag; surviving
+        // threads free it during their amortised collections.
+        let mut bag = std::mem::take(&mut *self.garbage.borrow_mut());
+        if !bag.is_empty() {
+            let g = global();
+            let mut orphans = g.orphans.lock().unwrap();
+            g.orphan_count.fetch_add(bag.len(), Ordering::Relaxed);
+            orphans.append(&mut bag);
         }
         // The participant's leaked allocation is intentionally small and
-        // per-thread; reclaiming it would race with `collect`'s iteration.
+        // per-thread; reclaiming it would race with `try_advance`'s scan.
     }
 }
 
@@ -140,6 +209,7 @@ thread_local! {
             participant,
             depth: Cell::new(0),
             pin_count: Cell::new(0),
+            garbage: RefCell::new(Vec::new()),
         }
     };
 }
@@ -171,13 +241,21 @@ pub fn pin() -> Guard {
             let pins = local.pin_count.get() + 1;
             local.pin_count.set(pins);
             if pins % PINS_BETWEEN_COLLECT == 0 {
-                global().collect();
+                local.collect();
             }
         }
     });
     Guard {
         _not_send: PhantomData,
     }
+}
+
+/// Runs one amortised collection on the calling thread: a non-blocking
+/// epoch-advance attempt plus a sweep of the thread's own garbage bag and
+/// any orphans. Exposed for tests and for embedders that want
+/// deterministic reclamation points; never required for correctness.
+pub fn flush() {
+    LOCAL.with(|local| local.collect());
 }
 
 impl Guard {
@@ -199,17 +277,22 @@ impl Guard {
         // monotonicity then guarantees every reader that could hold the
         // pointer pinned at an epoch <= this one.
         let retired = global().epoch.load(Ordering::SeqCst);
-        global()
-            .garbage
-            .lock()
-            .unwrap()
-            .push((
-                retired,
-                Deferred {
-                    ptr: shared.ptr as *mut u8,
-                    drop_fn: drop_box::<T>,
-                },
-            ));
+        let deferred = Deferred {
+            ptr: shared.ptr as *mut u8,
+            drop_fn: drop_box::<T>,
+        };
+        // Lock-free hot path: retire into the calling thread's own bag
+        // (the guard is thread-bound, so LOCAL is the retiring thread's).
+        LOCAL.with(|local| {
+            let len = {
+                let mut bag = local.garbage.borrow_mut();
+                bag.push((retired, deferred));
+                bag.len()
+            };
+            if len >= LOCAL_GARBAGE_THRESHOLD {
+                local.collect();
+            }
+        });
     }
 }
 
@@ -375,11 +458,12 @@ mod tests {
             let old = a.swap(Owned::new(CountsDrop), Ordering::AcqRel, &g);
             unsafe { g.defer_destroy(old) };
         }
-        // Unpinned and with plenty of pins behind us, collection must have
-        // freed almost everything (everything but the freshest epochs).
-        global().collect();
-        global().collect();
-        global().collect();
+        // Unpinned and with plenty of amortised collections behind us,
+        // only the freshest epochs may still be cooling; a few explicit
+        // flushes advance past them.
+        flush();
+        flush();
+        flush();
         let freed = TEST_DROPS.load(SeqCst) - before;
         assert!(freed > 9_000, "only {freed} of 10000 retirees freed");
     }
@@ -397,7 +481,7 @@ mod tests {
             unsafe { g.defer_destroy(old) };
         }
         for _ in 0..10 {
-            global().collect();
+            flush();
         }
         // The reader is still pinned at the retirement epoch, so the Arc
         // must not have been dropped: strong count still 2.
@@ -406,9 +490,51 @@ mod tests {
         assert_eq!(**seen, 42);
         drop(g_reader);
         for _ in 0..10 {
-            global().collect();
+            flush();
         }
         assert_eq!(Arc::strong_count(&val), 1);
+    }
+
+    #[test]
+    fn orphaned_garbage_is_adopted_from_exited_threads() {
+        let _serial = SERIAL.lock().unwrap();
+        let val = Arc::new(7u64);
+        let a = Arc::new(Atomic::new(Arc::clone(&val)));
+        {
+            let a = Arc::clone(&a);
+            std::thread::spawn(move || {
+                let g = pin();
+                let old = a.swap(Owned::new(Arc::new(0u64)), Ordering::AcqRel, &g);
+                unsafe { g.defer_destroy(old) };
+                // Thread exits with the retiree still cooling in its bag.
+            })
+            .join()
+            .unwrap();
+        }
+        // The dead thread can no longer collect; the main thread's
+        // amortised collections must adopt and free its orphans.
+        for _ in 0..10 {
+            flush();
+        }
+        assert_eq!(Arc::strong_count(&val), 1, "orphan never reclaimed");
+    }
+
+    #[test]
+    fn retirement_and_collection_never_block_on_the_participant_lock() {
+        // The scalability property the per-thread bags buy: a registered
+        // thread can pin, retire, and run amortised collections while
+        // another thread sits on the participant lock — collection only
+        // try_locks it (the epoch simply doesn't advance meanwhile).
+        let _serial = SERIAL.lock().unwrap();
+        let _ = pin(); // ensure this thread is registered before jamming
+        let _jam = global().participants.lock().unwrap();
+        let a = Atomic::new(CountsDrop);
+        for _ in 0..1_000 {
+            let g = pin();
+            let old = a.swap(Owned::new(CountsDrop), Ordering::AcqRel, &g);
+            unsafe { g.defer_destroy(old) };
+        }
+        flush(); // must return without touching the jammed lock
     }
 
     #[test]

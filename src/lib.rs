@@ -10,8 +10,11 @@
 //!   quick-select), the Quantiles sketch, HLL, reservoir sampling, and the
 //!   MurmurHash3 hash the sketches are built on.
 //! * [`core`] — the paper's contribution: the generic strongly-linearisable
-//!   concurrent sketch framework (`ParSketch`/`OptParSketch`), its Θ,
-//!   Quantiles and HLL instantiations, and the lock-based baseline.
+//!   concurrent sketch framework (`ParSketch`/`OptParSketch`), generalised
+//!   to a K-way sharded engine with pluggable propagation backends
+//!   (dedicated thread per shard, or threadless writer-assisted); its Θ,
+//!   Quantiles, HLL and frequency instantiations; and the lock-based
+//!   baseline.
 //! * [`relaxation`] — the relaxed-consistency framework: operation
 //!   histories, the r-relaxation checker (Definition 2), and the
 //!   strong/weak adversary error analysis of Section 6.
@@ -59,3 +62,11 @@
 pub use fcds_core as core;
 pub use fcds_relaxation as relaxation;
 pub use fcds_sketches as sketches;
+
+// The engine-level configuration surface, re-exported flat: these are
+// the types every embedder touches regardless of which sketch they
+// instantiate (shard count, propagation backend, error budget).
+pub use fcds_core::{
+    ConcurrencyConfig, DedicatedThreadBackend, PropagationBackend, PropagationBackendKind,
+    WriterAssistedBackend,
+};

@@ -1,0 +1,162 @@
+//! Cross-crate properties of the K-way sharded engine: sharded histories
+//! stay within the `r = 2Nb` relaxation (shard-count independent, both
+//! propagation backends), and merged queries are lossless against a
+//! sequential oracle fed the same stream.
+
+use fcds::core::hll::ConcurrentHllBuilder;
+use fcds::core::theta::ConcurrentThetaBuilder;
+use fcds::core::PropagationBackendKind;
+use fcds::relaxation::checker::{ThetaChecker, ThetaObservation};
+use fcds::sketches::hash::Hashable;
+use fcds::sketches::hll::HllSketch;
+use fcds::sketches::theta::normalize_hash;
+use proptest::prelude::*;
+
+const SEED: u64 = 9001;
+
+fn backends() -> [PropagationBackendKind; 2] {
+    [
+        PropagationBackendKind::DedicatedThread,
+        PropagationBackendKind::WriterAssisted,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Theorem 1 on sharded executions: with 4 writers' partial buffers
+    /// still in flight (writers alive, nothing flushed), the merged query
+    /// must be admissible for the full issued prefix under r = 2Nb — for
+    /// K ∈ {1, 2, 4} and both backends. After flush + quiesce the same
+    /// query must be admissible with r = 0: the shard merge itself adds
+    /// no relaxation.
+    #[test]
+    fn sharded_histories_pass_the_r_2nb_checker(
+        per_writer in 2_000u64..6_000,
+        lg_k in 6u8..=12,
+        shard_sel in 0usize..3,
+        writer_assisted in any::<bool>(),
+    ) {
+        let shards = [1usize, 2, 4][shard_sel];
+        let writers = 4usize;
+        let backend = backends()[writer_assisted as usize];
+        let sketch = ConcurrentThetaBuilder::new()
+            .lg_k(lg_k)
+            .seed(SEED)
+            .writers(writers)
+            .shards(shards)
+            .max_concurrency_error(1.0) // no eager: buffers from the start
+            .backend(backend)
+            .build()
+            .unwrap();
+        let r = sketch.relaxation();
+        let checker = ThetaChecker::new(sketch.k(), r);
+
+        let mut handles: Vec<_> = (0..writers).map(|_| sketch.writer()).collect();
+        let mut stream: Vec<u64> = Vec::new();
+        for i in 0..writers as u64 * per_writer {
+            let w = (i % writers as u64) as usize;
+            handles[w].update(i);
+            stream.push(normalize_hash(i.hash_with_seed(SEED)));
+        }
+
+        // Writers alive, partial buffers unflushed: the snapshot may miss
+        // up to 2b updates per writer and no more.
+        let snap = sketch.snapshot();
+        let obs = ThetaObservation {
+            theta: snap.theta,
+            retained: snap.retained,
+            estimate: snap.estimate,
+        };
+        checker
+            .check_at(&stream, stream.len(), &obs)
+            .unwrap_or_else(|v| panic!("K={shards} {backend:?} r={r}: {v}"));
+
+        // Flushed and quiesced: zero staleness, even across the merge.
+        for w in &mut handles {
+            w.flush();
+        }
+        sketch.quiesce();
+        let snap = sketch.snapshot();
+        let obs = ThetaObservation {
+            theta: snap.theta,
+            retained: snap.retained,
+            estimate: snap.estimate,
+        };
+        ThetaChecker::new(sketch.k(), 0)
+            .check_at(&stream, stream.len(), &obs)
+            .unwrap_or_else(|v| panic!("K={shards} {backend:?} quiesced: {v}"));
+    }
+
+    /// Lossless merge: a K-shard HLL run must land on exactly the
+    /// registers (and estimate) of one sequential sketch fed the same
+    /// stream — register-wise max is partition- and order-insensitive.
+    #[test]
+    fn merged_query_equals_sequential_oracle(
+        n in 5_000u64..30_000,
+        modulus in 500u64..20_000, // duplicate ratio varies
+        shard_sel in 0usize..3,
+        writer_assisted in any::<bool>(),
+    ) {
+        let shards = [1usize, 2, 4][shard_sel];
+        let backend = backends()[writer_assisted as usize];
+        let sketch = ConcurrentHllBuilder::new()
+            .lg_m(10)
+            .seed(SEED)
+            .writers(4)
+            .shards(shards)
+            .max_concurrency_error(1.0)
+            .backend(backend)
+            .build()
+            .unwrap();
+        let mut oracle = HllSketch::new(10, SEED).unwrap();
+        {
+            let mut handles: Vec<_> = (0..4).map(|_| sketch.writer()).collect();
+            for i in 0..n {
+                let item = i % modulus;
+                oracle.update(item);
+                handles[(i % 4) as usize].update(item);
+            }
+        } // writers drop: partial buffers flushed
+        sketch.quiesce();
+        prop_assert_eq!(sketch.registers(), oracle.clone());
+        prop_assert_eq!(sketch.estimate(), oracle.estimate());
+    }
+}
+
+#[test]
+fn sharded_compact_union_matches_oracle_estimate() {
+    // The compact() of a sharded Θ run is the untrimmed union of the
+    // shard images; its estimate must track a sequential oracle on the
+    // same stream within estimator noise.
+    use fcds::sketches::theta::{QuickSelectThetaSketch, ThetaRead};
+    let n = 200_000u64;
+    let mut oracle = QuickSelectThetaSketch::new(11, SEED).unwrap();
+    for i in 0..n {
+        oracle.update(i);
+    }
+    let sketch = ConcurrentThetaBuilder::new()
+        .lg_k(11)
+        .seed(SEED)
+        .writers(4)
+        .shards(4)
+        .max_concurrency_error(1.0)
+        .build()
+        .unwrap();
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let mut w = sketch.writer();
+            s.spawn(move || {
+                for i in (t..n).step_by(4) {
+                    w.update(i);
+                }
+                w.flush();
+            });
+        }
+    });
+    sketch.quiesce();
+    let merged = sketch.compact();
+    let rel = (merged.estimate() - oracle.estimate()).abs() / oracle.estimate();
+    assert!(rel < 0.05, "merged {} vs oracle {}", merged.estimate(), oracle.estimate());
+    assert_eq!(merged.estimate(), sketch.snapshot().estimate);
+}
