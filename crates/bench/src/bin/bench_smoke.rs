@@ -26,13 +26,7 @@ fn throughput(impl_: ThetaImpl, uniques: u64, trials: u64) -> f64 {
 }
 
 fn main() {
-    let mut args = HarnessArgs::parse();
-    if !std::env::args().any(|a| a.starts_with("--out=")) {
-        // Unlike the figure binaries, the smoke artefact defaults to the
-        // working directory so CI can pick it up without extra flags; an
-        // explicit --out= (even --out=results) is honoured as given.
-        args.out_dir = ".".to_string();
-    }
+    let args = HarnessArgs::parse_with_out_default(".");
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let writers = cores.clamp(2, 8);
     let uniques: u64 = 1 << 20;

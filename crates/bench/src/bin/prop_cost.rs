@@ -1,0 +1,175 @@
+//! Per-merge propagation-cost measurement emitting `BENCH_prop_cost.json`.
+//!
+//! The paper's scalability argument needs the propagation path to stay
+//! O(b) per merge. This bench pins that down for the sharded Θ engine by
+//! timing one propagation step — merge a pre-filtered local buffer of
+//! `b` updates into a *full* global sketch, then publish — under the
+//! publication strategies the engine can run:
+//!
+//! * `k = 1, image = none` — the single-shard path (seqlock triple only);
+//! * `k = 4, image = delta` — chunked copy-on-write block images, the
+//!   sharded path after this optimisation (`image_every` ∈ {1, 4});
+//! * `k = 4, image = whole_copy` — the pre-block behaviour (re-collect
+//!   all retained hashes per publication), kept reachable as the
+//!   `publish_sharded`-without-`prepare_sharded` fallback.
+//!
+//! Publication cost is retained-independent when the delta rows stay
+//! within a small factor of the no-image row while the whole-copy row
+//! grows with `retained` — the two acceptance ratios are recorded in the
+//! JSON (`delta_vs_no_image_ratio`, `whole_copy_vs_delta_ratio`).
+//!
+//! Usage: `cargo run --release -p fcds-bench --bin prop_cost [--out=DIR]`
+//! (writes `<out>/BENCH_prop_cost.json`, default the working directory,
+//! like `bench_smoke`).
+
+use fcds_bench::report::HarnessArgs;
+use fcds_core::composable::{GlobalSketch, LocalSketch};
+use fcds_core::theta::ThetaGlobal;
+use fcds_sketches::theta::THETA_BLOCK_CAPACITY;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0xB10C;
+/// Updates per merge: the engine's default lazy buffer cap `b`.
+const B: u64 = 16;
+/// Merges per timing batch (the clock is read between batches only, so
+/// `Instant::now` overhead never pollutes the cheap variants).
+const BATCH: u64 = 64;
+const MAX_MERGES: u64 = 16_384;
+const BUDGET: Duration = Duration::from_millis(250);
+
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Image {
+    /// `publish` only — the K = 1 path.
+    None,
+    /// Block images via the propagator's mirror, published every `m`-th
+    /// merge.
+    Delta { m: u64 },
+    /// The pre-block fallback: `publish_sharded` without the mirror
+    /// re-collects all retained hashes on every publication.
+    WholeCopy,
+}
+
+/// A Θ global saturated with distinct uniform hashes (estimation mode,
+/// retained fluctuating in `[k, ~1.9k)`).
+fn filled_global(lg_k: u8) -> ThetaGlobal {
+    let mut g = ThetaGlobal::new(lg_k, SEED).expect("valid lg_k");
+    let mut rng = SplitMix(SEED);
+    for _ in 0..(32u64 << lg_k) {
+        g.update_direct(rng.next() | 1);
+    }
+    g
+}
+
+/// Times `merge(b pre-filtered updates) + publish` in steady state and
+/// returns (ns per merge, merges measured, retained at the end).
+fn measure(lg_k: u8, image: Image) -> (f64, u64, usize) {
+    let mut g = filled_global(lg_k);
+    if let Image::Delta { .. } = image {
+        g.prepare_sharded();
+    }
+    let view = g.new_view();
+    if image != Image::None {
+        g.publish_sharded(&view);
+    }
+    let mut local = g.new_local();
+    let mut rng = SplitMix(SEED ^ 0x5EED);
+    let mut merge_idx = 0u64;
+    let mut one_batch = |g: &mut ThetaGlobal, merge_idx: &mut u64| {
+        for _ in 0..BATCH {
+            // The writers' shouldAdd filter only ships hashes below the
+            // hint, so feed uniform hashes below Θ — the stream the
+            // propagator actually sees.
+            let theta = g.calc_hint();
+            for _ in 0..B {
+                local.update(1 + rng.next() % (theta - 1));
+            }
+            g.merge(&mut local);
+            *merge_idx += 1;
+            match image {
+                Image::None => g.publish(&view),
+                Image::Delta { m } if *merge_idx % m != 0 => g.publish(&view),
+                Image::Delta { .. } | Image::WholeCopy => g.publish_sharded(&view),
+            }
+        }
+    };
+    // Warm-up: two batches reach steady state (mirror populated, first
+    // post-publish copy-on-write behind us).
+    one_batch(&mut g, &mut merge_idx);
+    one_batch(&mut g, &mut merge_idx);
+
+    let mut merges = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < BUDGET && merges < MAX_MERGES {
+        one_batch(&mut g, &mut merge_idx);
+        merges += BATCH;
+    }
+    let per_merge_ns = start.elapsed().as_nanos() as f64 / merges as f64;
+    g.publish(&view);
+    let retained = ThetaGlobal::snapshot(&view).retained as usize;
+    (per_merge_ns, merges, retained)
+}
+
+fn main() {
+    let args = HarnessArgs::parse_with_out_default(".");
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+
+    let variants: [(usize, Image, &str, u64); 4] = [
+        (1, Image::None, "none", 1),
+        (4, Image::Delta { m: 1 }, "delta", 1),
+        (4, Image::Delta { m: 4 }, "delta", 4),
+        (4, Image::WholeCopy, "whole_copy", 1),
+    ];
+
+    let mut rows = String::new();
+    let mut per_ns = std::collections::HashMap::new();
+    for (i, lg_k) in [12u8, 16].into_iter().enumerate() {
+        for (j, &(k, image, label, m)) in variants.iter().enumerate() {
+            let (ns, merges, retained) = measure(lg_k, image);
+            per_ns.insert((lg_k, label, m), ns);
+            if i > 0 || j > 0 {
+                rows.push_str(",\n");
+            }
+            let _ = write!(
+                rows,
+                "    {{\"lg_k\": {lg_k}, \"retained\": {retained}, \"shards\": {k}, \
+                 \"image\": \"{label}\", \"image_every\": {m}, \
+                 \"per_merge_ns\": {ns:.1}, \"merges\": {merges}}}"
+            );
+            eprintln!(
+                "lg_k={lg_k} image={label} M={m}: {ns:.0} ns/merge ({merges} merges, retained {retained})"
+            );
+        }
+    }
+
+    let delta16 = per_ns[&(16u8, "delta", 1u64)];
+    let delta_vs_none = delta16 / per_ns[&(16u8, "none", 1u64)];
+    let whole_vs_delta = per_ns[&(16u8, "whole_copy", 1u64)] / delta16;
+
+    let json = format!(
+        "{{\n  \"schema\": \"fcds-bench-prop-cost-v1\",\n  \"cores\": {cores},\n  \
+         \"buffer_updates_per_merge\": {B},\n  \"block_capacity\": {THETA_BLOCK_CAPACITY},\n  \
+         \"rows\": [\n{rows}\n  ],\n  \
+         \"acceptance\": {{\n    \
+         \"lg_k16_delta_vs_no_image_ratio\": {delta_vs_none:.2},\n    \
+         \"lg_k16_whole_copy_vs_delta_ratio\": {whole_vs_delta:.1}\n  }}\n}}\n"
+    );
+
+    let path = format!("{}/BENCH_prop_cost.json", args.out_dir);
+    std::fs::create_dir_all(&args.out_dir).expect("create out dir");
+    std::fs::write(&path, &json).expect("write BENCH_prop_cost.json");
+    print!("{json}");
+    eprintln!("wrote {path}");
+}

@@ -104,6 +104,19 @@ impl HarnessArgs {
         Self::from_iter(std::env::args().skip(1))
     }
 
+    /// Like [`Self::parse`], but with `out_dir` defaulting to `default`
+    /// when the caller passed no `--out=` flag. The CI JSON emitters
+    /// (`bench_smoke`, `prop_cost`) use `"."` so their artefacts land in
+    /// the working directory without extra flags, unlike the figure
+    /// binaries' `results/` default.
+    pub fn parse_with_out_default(default: &str) -> Self {
+        let mut out = Self::parse();
+        if !std::env::args().any(|a| a.starts_with("--out=")) {
+            out.out_dir = default.to_string();
+        }
+        out
+    }
+
     /// Parses from an explicit iterator (testable).
     pub fn from_iter(args: impl Iterator<Item = String>) -> Self {
         let mut out = HarnessArgs {

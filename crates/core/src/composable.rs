@@ -151,6 +151,13 @@ pub trait GlobalSketch: Send + 'static {
         unimplemented!("GlobalSketch::new_shard is required for shards > 1")
     }
 
+    /// Called once per shard (including shard 0) when the engine starts
+    /// with `shards > 1`, before the first publication. Lets the sketch
+    /// set up state it only needs for sharded publication — e.g. the Θ
+    /// sketch's chunked copy-on-write hash mirror — so single-shard
+    /// deployments pay nothing for it. Default: no-op.
+    fn prepare_sharded(&mut self) {}
+
     /// Publishes the current state into the view *including* whatever
     /// mergeable image [`Self::merge_shard_views`] needs. Called instead
     /// of [`Self::publish`] whenever the engine runs more than one shard,

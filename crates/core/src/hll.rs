@@ -236,6 +236,18 @@ impl ConcurrentHllBuilder {
         self
     }
 
+    /// Publishes each shard's register image only on every `m`-th merge
+    /// (default 1): skipped merges avoid the full register-array clone
+    /// (O(2^lg_m) bytes, independent of this knob). The
+    /// atomic estimate still publishes per merge; merged queries may lag
+    /// by up to `(m − 1)·b` updates per shard
+    /// ([`ConcurrencyConfig::query_relaxation`]), and `quiesce` restores
+    /// full freshness.
+    pub fn image_every(mut self, m: u64) -> Self {
+        self.config.image_every = m;
+        self
+    }
+
     /// Overrides the full concurrency configuration.
     pub fn config(mut self, config: ConcurrencyConfig) -> Self {
         self.config = config;

@@ -36,7 +36,11 @@
 //!   ([`composable::GlobalSketch::merge_shard_views`]): Θ unions, HLL
 //!   register max, Quantiles sample union, Misra–Gries counter addition.
 //!   The relaxation bound stays `r = 2Nb` for any `K` — writers, not
-//!   shards, carry the relaxation.
+//!   shards, carry the relaxation. Θ's shard image is published as
+//!   chunked copy-on-write blocks (O(1) per publication, not
+//!   O(retained)), and `ConcurrencyConfig::image_every` can throttle
+//!   image publication to every M-th merge for a checker-verified
+//!   bounded-staleness trade (`query_relaxation() = 2Nb + K·(M−1)·b`).
 //! * The hint piggy-backed on `prop_i` (Θ itself for the Θ sketch) lets
 //!   update threads pre-filter doomed updates (`shouldAdd`), which is
 //!   what makes the design scale (Figure 1).

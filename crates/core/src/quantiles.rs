@@ -13,6 +13,10 @@
 //! amortised over the `b` updates of each merge. (A copy-on-write level
 //! ladder would reduce it; the paper's evaluation only measures Θ
 //! throughput, so we keep the simple, obviously-correct publication.)
+//! Sharded *queries*, however, no longer pay a merge-of-readers rebuild
+//! per call: each shard view carries a publication version and the
+//! engine memoises the merged reader until some shard republishes
+//! ([`ConcurrentQuantilesSketch::snapshot`]).
 //!
 //! By Theorem 1 plus the analysis of §6.2, a query misses at most
 //! `r = 2Nb` updates and therefore returns an element whose rank error is
@@ -27,6 +31,7 @@ use fcds_sketches::error::Result;
 use fcds_sketches::oracle::{DeterministicOracle, Oracle};
 use fcds_sketches::quantiles::{QuantilesReader, QuantilesSketch};
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The global side: the sequential mergeable Quantiles sketch plus its
@@ -84,9 +89,37 @@ impl<T: Ord + Clone + Send + 'static> LocalSketch for QuantilesLocal<T> {
     }
 }
 
+/// The published view of one Quantiles shard: the epoch-managed reader
+/// plus a monotone *publication version*.
+///
+/// The version is what makes the engine-level merged-reader cache cheap
+/// and correct: a query compares the shards' versions against the cached
+/// merge's key and rebuilds the O(retained · log retained) merged reader
+/// only when some shard actually republished — instead of on every call.
+/// The publisher stores the reader *before* bumping the version
+/// (release), so a reader loaded after an observed version is at least
+/// as fresh as that version.
+#[derive(Debug)]
+pub struct QuantilesView<T: Ord + Clone + Send + Sync + 'static> {
+    reader: EpochCell<QuantilesReader<T>>,
+    version: AtomicU64,
+}
+
+impl<T: Ord + Clone + Send + Sync + 'static> QuantilesView<T> {
+    /// The current publication version (bumped on every reader store).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// The currently published reader.
+    pub fn reader(&self) -> Arc<QuantilesReader<T>> {
+        self.reader.load()
+    }
+}
+
 impl<T: Ord + Clone + Send + Sync + 'static> GlobalSketch for QuantilesGlobal<T> {
     type Local = QuantilesLocal<T>;
-    type View = EpochCell<QuantilesReader<T>>;
+    type View = QuantilesView<T>;
     type Snapshot = Arc<QuantilesReader<T>>;
 
     fn new_local(&self) -> QuantilesLocal<T> {
@@ -94,7 +127,10 @@ impl<T: Ord + Clone + Send + Sync + 'static> GlobalSketch for QuantilesGlobal<T>
     }
 
     fn new_view(&self) -> Self::View {
-        EpochCell::new(self.sketch.reader())
+        QuantilesView {
+            reader: EpochCell::new(self.sketch.reader()),
+            version: AtomicU64::new(0),
+        }
     }
 
     fn merge(&mut self, local: &mut QuantilesLocal<T>) {
@@ -108,15 +144,16 @@ impl<T: Ord + Clone + Send + Sync + 'static> GlobalSketch for QuantilesGlobal<T>
     }
 
     fn publish(&self, view: &Self::View) {
-        view.store(self.sketch.reader());
+        view.reader.store(self.sketch.reader());
+        view.version.fetch_add(1, Ordering::Release);
     }
 
     fn snapshot(view: &Self::View) -> Arc<QuantilesReader<T>> {
-        view.load()
+        view.reader.load()
     }
 
     fn merge_shard_views(views: &[&Self::View]) -> Arc<QuantilesReader<T>> {
-        let readers: Vec<_> = views.iter().map(|v| v.load()).collect();
+        let readers: Vec<_> = views.iter().map(|v| v.reader.load()).collect();
         Arc::new(QuantilesReader::merged(readers.iter().map(|a| a.as_ref())))
     }
 
@@ -224,7 +261,7 @@ impl ConcurrentQuantilesBuilder {
             shards_spawned: Cell::new(0),
         };
         let inner = ConcurrentSketch::start(global, self.config)?;
-        Ok(ConcurrentQuantilesSketch { inner, k: self.k })
+        Ok(ConcurrentQuantilesSketch::wrap(inner, self.k))
     }
 
     /// Builds around an explicit oracle. Incompatible with `shards > 1`
@@ -248,7 +285,7 @@ impl ConcurrentQuantilesBuilder {
             shards_spawned: Cell::new(0),
         };
         let inner = ConcurrentSketch::start(global, self.config)?;
-        Ok(ConcurrentQuantilesSketch { inner, k: self.k })
+        Ok(ConcurrentQuantilesSketch::wrap(inner, self.k))
     }
 }
 
@@ -276,6 +313,19 @@ impl ConcurrentQuantilesBuilder {
 pub struct ConcurrentQuantilesSketch<T: Ord + Clone + Send + Sync + 'static> {
     inner: ConcurrentSketch<QuantilesGlobal<T>>,
     k: usize,
+    /// Memoised merged reader for sharded queries, keyed by the shards'
+    /// publication versions at build time. Rebuilt only when some shard
+    /// republished; any thread may refresh it (EpochCell stores are
+    /// swap-based, so concurrent refreshes are safe — last writer wins
+    /// and a stale key only causes one redundant rebuild).
+    merged_cache: EpochCell<MergedQuantiles<T>>,
+}
+
+/// A cached merged reader tagged with the per-shard publication versions
+/// it was built from.
+struct MergedQuantiles<T: Ord + Clone> {
+    versions: Vec<u64>,
+    reader: Arc<QuantilesReader<T>>,
 }
 
 impl<T: Ord + Clone + Send + Sync + 'static> std::fmt::Debug for ConcurrentQuantilesSketch<T> {
@@ -287,6 +337,19 @@ impl<T: Ord + Clone + Send + Sync + 'static> std::fmt::Debug for ConcurrentQuant
 }
 
 impl<T: Ord + Clone + Send + Sync + 'static> ConcurrentQuantilesSketch<T> {
+    fn wrap(inner: ConcurrentSketch<QuantilesGlobal<T>>, k: usize) -> Self {
+        ConcurrentQuantilesSketch {
+            inner,
+            k,
+            // The empty version key never matches a real K ≥ 1 version
+            // vector, so the first sharded query builds the cache.
+            merged_cache: EpochCell::new(MergedQuantiles {
+                versions: Vec::new(),
+                reader: Arc::new(QuantilesReader::merged(std::iter::empty())),
+            }),
+        }
+    }
+
     /// Shorthand for [`ConcurrentQuantilesBuilder::new`].
     pub fn builder() -> ConcurrentQuantilesBuilder {
         ConcurrentQuantilesBuilder::new()
@@ -301,8 +364,29 @@ impl<T: Ord + Clone + Send + Sync + 'static> ConcurrentQuantilesSketch<T> {
 
     /// Takes a wait-free snapshot of the current state; all queries on it
     /// are mutually consistent.
+    ///
+    /// With `K > 1` shards the merged reader is memoised per publication
+    /// version: the O(retained · log retained) rebuild runs only when
+    /// some shard republished since the last query, not on every call.
     pub fn snapshot(&self) -> Arc<QuantilesReader<T>> {
-        self.inner.snapshot()
+        if self.inner.shard_count() == 1 {
+            return self.inner.snapshot();
+        }
+        // Versions first (acquire), then readers: the readers are then at
+        // least as fresh as the key, so a cache hit can never serve data
+        // older than the key promises.
+        let versions: Vec<u64> = self.inner.shard_views().map(|v| v.version()).collect();
+        let cached = self.merged_cache.load();
+        if cached.versions == versions {
+            return Arc::clone(&cached.reader);
+        }
+        let readers: Vec<_> = self.inner.shard_views().map(|v| v.reader()).collect();
+        let reader = Arc::new(QuantilesReader::merged(readers.iter().map(|a| a.as_ref())));
+        self.merged_cache.store(MergedQuantiles {
+            versions,
+            reader: Arc::clone(&reader),
+        });
+        reader
     }
 
     /// Approximate φ-quantile of the stream so far (`None` if empty).
@@ -556,6 +640,38 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sharded_snapshot_is_cached_until_a_shard_republishes() {
+        let s = ConcurrentQuantilesBuilder::new()
+            .k(64)
+            .writers(2)
+            .shards(2)
+            .max_concurrency_error(1.0)
+            .backend(PropagationBackendKind::WriterAssisted)
+            .build::<u64>()
+            .unwrap();
+        let mut w = s.writer();
+        for i in 0..10_000u64 {
+            w.update(i);
+        }
+        w.flush();
+        s.quiesce();
+        // No shard republishes between these queries: the merged reader
+        // must be the same allocation, not a fresh O(n log n) rebuild.
+        let a = s.snapshot();
+        let b = s.snapshot();
+        assert!(Arc::ptr_eq(&a, &b), "merged reader rebuilt without republication");
+        // After more updates are propagated, queries must see fresh data.
+        for i in 10_000..20_000u64 {
+            w.update(i);
+        }
+        w.flush();
+        s.quiesce();
+        let c = s.snapshot();
+        assert!(!Arc::ptr_eq(&a, &c), "cache failed to invalidate");
+        assert_eq!(c.n(), 20_000);
     }
 
     #[test]

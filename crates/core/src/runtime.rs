@@ -49,6 +49,7 @@ struct Counters {
     merges: AtomicU64,
     eager_updates: AtomicU64,
     handoffs: AtomicU64,
+    image_publications: AtomicU64,
 }
 
 /// A point-in-time copy of the engine's diagnostic counters.
@@ -60,6 +61,14 @@ pub struct EngineStats {
     pub eager_updates: u64,
     /// Buffer hand-offs performed by writers (`prop_i ← 0` stores).
     pub handoffs: u64,
+    /// Shard-image publications (`publish_sharded` calls) since the
+    /// engine started serving. Always 0 on a single-shard engine; with
+    /// `image_every = M > 1`, roughly `merges / M` plus the forced
+    /// publications during the eager phase and at
+    /// [`ConcurrentSketch::quiesce`]. The initial per-shard publication
+    /// at engine start happens before the counters exist and is not
+    /// included.
+    pub image_publications: u64,
 }
 
 /// One shard: an independent global sketch with its own published view
@@ -78,6 +87,10 @@ struct ShardState<G: GlobalSketch> {
     /// Bumped on registry changes so a dedicated propagator reloads its
     /// local copy.
     slots_version: AtomicU64,
+    /// Merges since the last image publication; drives the
+    /// `image_every` throttle. Only written under the shard's global
+    /// lock, so the atomic is for `&self` access, not for contention.
+    merges_since_image: AtomicU64,
 }
 
 /// Engine state shared between the main handle, writers, propagation
@@ -147,11 +160,27 @@ impl<G: GlobalSketch> EngineCore<G> {
         }
     }
 
-    /// Publishes `g`'s state into the shard's view, including the
-    /// mergeable image when the engine is sharded.
-    fn publish_view(&self, g: &G, shard: &ShardState<G>) {
-        if self.sharded {
+    /// Publishes `g`'s state into the shard's view. When the engine is
+    /// sharded this includes the mergeable image — on every `image_every`-th
+    /// merge, or unconditionally when `force_image` is set (engine start,
+    /// eager phase, quiesce); skipped merges still publish the cheap
+    /// per-merge state (`G::publish`), so e.g. Θ's seqlock triple keeps
+    /// single-shard-equivalent freshness regardless of the throttle.
+    fn publish_view(&self, g: &G, shard: &ShardState<G>, force_image: bool) {
+        if !self.sharded {
+            g.publish(&shard.view);
+            return;
+        }
+        let image_due = force_image || {
+            let since = shard.merges_since_image.fetch_add(1, Ordering::Relaxed) + 1;
+            since >= self.config.image_every
+        };
+        if image_due {
+            shard.merges_since_image.store(0, Ordering::Relaxed);
             g.publish_sharded(&shard.view);
+            self.counters
+                .image_publications
+                .fetch_add(1, Ordering::Relaxed);
         } else {
             g.publish(&shard.view);
         }
@@ -181,7 +210,7 @@ impl<G: GlobalSketch> EngineCore<G> {
                 debug_assert!(buf.is_empty(), "merge must clear the local buffer");
             });
         }
-        self.publish_view(g, shard);
+        self.publish_view(g, shard, false);
         let hint = g.calc_hint();
         slot.complete_propagation(hint.encode().get());
         self.counters.merges.fetch_add(1, Ordering::Relaxed);
@@ -393,6 +422,11 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
             globals.push(global.new_shard());
         }
         globals.insert(0, global);
+        if sharded {
+            for g in &mut globals {
+                g.prepare_sharded();
+            }
+        }
         let initial_len: u64 = globals.iter().map(|g| g.stream_len()).sum();
         let start_eager = eager_limit > 0 && initial_len < eager_limit;
         let shards: Vec<ShardState<G>> = globals
@@ -409,6 +443,7 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
                     view,
                     slots: Mutex::new(Vec::new()),
                     slots_version: AtomicU64::new(0),
+                    merges_since_image: AtomicU64::new(0),
                 }
             })
             .collect();
@@ -517,6 +552,14 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
         self.shared.config.relaxation()
     }
 
+    /// The staleness bound of a *merged query*
+    /// ([`ConcurrencyConfig::query_relaxation`]): equals
+    /// [`Self::relaxation`] unless image publication is throttled
+    /// (`image_every > 1` on a sharded engine).
+    pub fn query_relaxation(&self) -> u64 {
+        self.shared.config.query_relaxation()
+    }
+
     /// Whether the sketch is still in the eager phase of §5.3.
     pub fn is_eager(&self) -> bool {
         self.shared.phase.load(Ordering::Acquire) == PHASE_EAGER
@@ -546,10 +589,20 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
                 reg.iter().any(|s| s.pending_buffer().is_some())
             });
             if !pending {
-                return;
+                break;
             }
             self.backend.drive(&self.shared);
             std::thread::yield_now();
+        }
+        // Republish any image the `image_every` throttle skipped, so a
+        // quiesced engine is fully fresh regardless of M.
+        if self.shared.sharded && self.shared.config.image_every > 1 {
+            for sh in &self.shared.shards {
+                if sh.merges_since_image.load(Ordering::Relaxed) != 0 {
+                    let g = sh.global.lock();
+                    self.shared.publish_view(&g, sh, true);
+                }
+            }
         }
     }
 
@@ -559,6 +612,11 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
             merges: self.shared.counters.merges.load(Ordering::Relaxed),
             eager_updates: self.shared.counters.eager_updates.load(Ordering::Relaxed),
             handoffs: self.shared.counters.handoffs.load(Ordering::Relaxed),
+            image_publications: self
+                .shared
+                .counters
+                .image_publications
+                .load(Ordering::Relaxed),
         }
     }
 
@@ -731,7 +789,9 @@ impl<G: GlobalSketch> SketchWriter<G> {
         let before = g.stream_len();
         g.update_direct(item);
         let delta = g.stream_len() - before;
-        self.shared.publish_view(&g, shard);
+        // Force the image past any `image_every` throttle: the eager
+        // phase's contract is zero relaxation error.
+        self.shared.publish_view(&g, shard, true);
         self.shared
             .counters
             .eager_updates
@@ -1220,6 +1280,63 @@ mod tests {
         }
         sketch.quiesce();
         assert_eq!(sketch.snapshot(), 100.0);
+    }
+
+    #[test]
+    fn image_every_throttles_image_publications() {
+        // Writer-assisted so every merge happens on this thread
+        // (deterministic counts), M = 4, no eager phase.
+        let cfg = ConcurrencyConfig {
+            writers: 2,
+            shards: 2,
+            backend: PropagationBackendKind::WriterAssisted,
+            max_concurrency_error: 1.0,
+            max_buffer_size: 8,
+            image_every: 4,
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        {
+            let mut w0 = sketch.writer();
+            let mut w1 = sketch.writer();
+            for i in 0..1_000u64 {
+                w0.update(i);
+                w1.update(i);
+            }
+        }
+        sketch.quiesce();
+        let stats = sketch.stats();
+        assert!(stats.merges >= 100, "merges = {}", stats.merges);
+        // ~merges/4 + ≤ 2 forced at quiesce (start-time publications are
+        // not counted): far below 1:1.
+        assert!(
+            stats.image_publications <= stats.merges / 4 + 8,
+            "throttle ineffective: {} images for {} merges",
+            stats.image_publications,
+            stats.merges
+        );
+        assert!(stats.image_publications >= 1);
+        // Quiesce restored full freshness (SumGlobal's image is its view,
+        // but the engine-level contract is exactness after quiesce).
+        assert_eq!(sketch.snapshot(), 2.0 * (999.0 * 1000.0 / 2.0));
+        assert_eq!(sketch.query_relaxation(), sketch.relaxation() + 2 * 3 * 8);
+    }
+
+    #[test]
+    fn single_shard_publishes_no_images() {
+        let cfg = ConcurrencyConfig {
+            writers: 1,
+            max_concurrency_error: 1.0,
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        let mut w = sketch.writer();
+        for i in 0..10_000u64 {
+            w.update(i);
+        }
+        w.flush();
+        sketch.quiesce();
+        assert_eq!(sketch.stats().image_publications, 0);
     }
 
     #[test]

@@ -25,8 +25,8 @@ use fcds_sketches::error::Result;
 use fcds_sketches::hash::{Hashable, DEFAULT_SEED};
 use fcds_sketches::oracle::Oracle;
 use fcds_sketches::theta::{
-    normalize_hash, theta_to_fraction, untrimmed_union, CompactThetaSketch,
-    QuickSelectThetaSketch, ThetaRead,
+    normalize_hash, theta_to_fraction, untrimmed_union, untrimmed_union_unsorted,
+    BlockSnapshot, CompactThetaSketch, HashBlocks, QuickSelectThetaSketch, ThetaRead,
 };
 
 /// A consistent query snapshot of the concurrent Θ sketch.
@@ -54,6 +54,11 @@ pub struct ThetaGlobal {
     sketch: QuickSelectThetaSketch,
     /// Distinct hashes accepted so far; drives the §5.3 adaptation.
     ingested: u64,
+    /// Chunked copy-on-write mirror of the retained set, maintained only
+    /// once [`GlobalSketch::prepare_sharded`] enabled it (i.e. on sharded
+    /// engines). `None` on single-shard deployments, which therefore pay
+    /// nothing for image publication — neither maintenance nor memory.
+    blocks: Option<HashBlocks>,
 }
 
 impl ThetaGlobal {
@@ -62,14 +67,27 @@ impl ThetaGlobal {
         Ok(ThetaGlobal {
             sketch: QuickSelectThetaSketch::new(lg_k, seed)?,
             ingested: 0,
+            blocks: None,
         })
     }
 
     fn image_now(&self) -> ThetaShardImage {
+        let blocks = match &self.blocks {
+            // Steady state: O(1) — two `Arc` clones of blocks the merge
+            // path already maintained incrementally.
+            Some(b) => b.snapshot(),
+            // Fallback for publish_sharded without prepare_sharded
+            // (custom embeddings): the pre-block O(retained) collect.
+            None => {
+                let mut b = HashBlocks::new();
+                b.rebuild(self.sketch.hashes());
+                b.snapshot()
+            }
+        };
         ThetaShardImage {
             theta: self.sketch.theta(),
             seed: self.sketch.seed(),
-            hashes: self.sketch.hashes().collect(),
+            blocks,
         }
     }
 
@@ -80,20 +98,55 @@ impl ThetaGlobal {
             retained: self.sketch.retained() as u64,
         }
     }
+
+    /// Folds a newly *retained* hash into the block mirror, rebuilding it
+    /// wholesale when Θ moved (the sketch evicted samples). The rebuild is
+    /// O(retained) but the quick-select sketch only drops Θ once per
+    /// ~0.875k accepted hashes, so the mirror stays O(1) amortised per
+    /// accepted update.
+    #[inline]
+    fn mirror_retained(&mut self, hash: u64, theta_before: u64) {
+        if let Some(blocks) = self.blocks.as_mut() {
+            if self.sketch.theta() < theta_before {
+                blocks.rebuild(self.sketch.hashes());
+            } else {
+                blocks.push(hash);
+            }
+        }
+    }
 }
 
 /// An unsorted point-in-time image of one Θ shard: the threshold plus the
-/// retained hashes, in whatever order the sketch stores them.
+/// retained hashes, in whatever order they were accepted, chunked into
+/// copy-on-write blocks ([`fcds_sketches::theta::blocks`]).
 ///
 /// Publishing happens on the propagation path once per merge, so the
-/// image deliberately skips the O(retained·log retained) sort a
-/// [`CompactThetaSketch`] would do — queries are the rare side, and the
-/// shard merge sorts the union once.
+/// image is built to be O(1) to take: the blocks are shared with the
+/// propagator's mirror, no hash is copied and no sort runs — queries are
+/// the rare side, and the shard merge sorts the union once.
 #[derive(Debug, Clone)]
 pub struct ThetaShardImage {
     theta: u64,
     seed: u64,
-    hashes: Vec<u64>,
+    blocks: BlockSnapshot,
+}
+
+impl ThetaRead for ThetaShardImage {
+    fn theta(&self) -> u64 {
+        self.theta
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn retained(&self) -> usize {
+        self.blocks.len() as usize
+    }
+
+    fn hashes(&self) -> Box<dyn Iterator<Item = u64> + '_> {
+        Box::new(self.blocks.iter())
+    }
 }
 
 /// The published view of one Θ shard.
@@ -102,8 +155,10 @@ pub struct ThetaShardImage {
 /// before; the shard image is only written by
 /// [`GlobalSketch::publish_sharded`] — i.e., when the engine actually
 /// runs `K > 1` shards — and is what the query-time shard union
-/// consumes. Single-shard deployments never pay the O(retained) image
-/// copy.
+/// consumes. Single-shard deployments never touch the image (it starts
+/// empty and lazy), and sharded publication shares the propagator's
+/// copy-on-write block mirror, so no publication copies the retained
+/// set.
 #[derive(Debug)]
 pub struct ThetaView {
     triple: SeqSnapshot<ThetaSnapshot>,
@@ -153,23 +208,36 @@ impl GlobalSketch for ThetaGlobal {
     }
 
     fn new_view(&self) -> Self::View {
+        // The image starts *empty* (not a materialised copy of the
+        // retained set): single-shard deployments never publish or read
+        // it, and the sharded engine publishes a real image before the
+        // view becomes reachable, so eagerly collecting O(retained)
+        // hashes here would be pure waste.
         ThetaView {
             triple: SeqSnapshot::new(self.snapshot_now()),
-            image: EpochCell::new(self.image_now()),
+            image: EpochCell::new(ThetaShardImage {
+                theta: self.sketch.theta(),
+                seed: self.sketch.seed(),
+                blocks: BlockSnapshot::empty(),
+            }),
         }
     }
 
     fn merge(&mut self, local: &mut ThetaLocal) {
         for h in local.hashes.drain(..) {
+            let theta_before = self.sketch.theta();
             if self.sketch.update_hash(h) {
                 self.ingested += 1;
+                self.mirror_retained(h, theta_before);
             }
         }
     }
 
     fn update_direct(&mut self, hash: u64) {
+        let theta_before = self.sketch.theta();
         if self.sketch.update_hash(hash) {
             self.ingested += 1;
+            self.mirror_retained(hash, theta_before);
         }
     }
 
@@ -187,18 +255,14 @@ impl GlobalSketch for ThetaGlobal {
     }
 
     fn merge_shard_views(views: &[&Self::View]) -> ThetaSnapshot {
-        // The untrimmed union of the shard images (the reference
-        // implementation lives in `fcds_relaxation::sharded`): joint
-        // Θ = min Θᵢ, retained = every distinct hash below it. Sorting
-        // happens here, once per query, not on the propagation path.
+        // The block-aware untrimmed union of the shard images (the
+        // reference implementation lives in `fcds_relaxation::sharded`):
+        // joint Θ = min Θᵢ, retained = every distinct hash below it.
+        // Sorting happens here, once per query, not on the propagation
+        // path.
         let images: Vec<_> = views.iter().map(|v| v.image.load()).collect();
-        let theta = images.iter().map(|i| i.theta).min().expect("≥ 1 shard");
-        let hashes: Vec<u64> = images
-            .iter()
-            .flat_map(|i| i.hashes.iter().copied().filter(|&h| h < theta))
-            .collect();
-        let union = CompactThetaSketch::from_parts(theta, images[0].seed, hashes)
-            .expect("shard hashes are below their own theta");
+        let union = untrimmed_union_unsorted(images.iter().map(|i| i.as_ref()))
+            .expect("shard images share one hash seed");
         ThetaSnapshot {
             estimate: union.estimate(),
             theta: union.theta(),
@@ -209,6 +273,12 @@ impl GlobalSketch for ThetaGlobal {
     fn new_shard(&self) -> Self {
         ThetaGlobal::new(self.sketch.lg_k(), self.sketch.seed())
             .expect("shard parameters were already validated")
+    }
+
+    fn prepare_sharded(&mut self) {
+        let mut blocks = HashBlocks::new();
+        blocks.rebuild(self.sketch.hashes());
+        self.blocks = Some(blocks);
     }
 
     fn calc_hint(&self) -> u64 {
@@ -323,6 +393,17 @@ impl ConcurrentThetaBuilder {
         self
     }
 
+    /// Publishes each shard's mergeable image only on every `m`-th merge
+    /// (default 1). The seqlock triple still publishes on every merge;
+    /// merged queries may additionally miss up to `(m − 1)·b` updates per
+    /// shard (see [`ConcurrencyConfig::query_relaxation`]), and
+    /// [`ConcurrentThetaSketch::quiesce`] restores full freshness. Only
+    /// meaningful with [`Self::shards`] > 1.
+    pub fn image_every(mut self, m: u64) -> Self {
+        self.config.image_every = m;
+        self
+    }
+
     /// Ablation: disables the Θ hint pre-filter (`shouldAdd`), shipping
     /// every update through the hand-off protocol. Benchmarking only.
     pub fn disable_prefilter(mut self, disabled: bool) -> Self {
@@ -397,6 +478,13 @@ impl ConcurrentThetaSketch {
     /// The relaxation bound `r = 2Nb` (or `Nb` without double buffering).
     pub fn relaxation(&self) -> u64 {
         self.inner.relaxation()
+    }
+
+    /// The merged-query staleness bound: [`Self::relaxation`] plus
+    /// `K·(M − 1)·b` when image publication is throttled
+    /// (`image_every = M > 1` on a sharded engine).
+    pub fn query_relaxation(&self) -> u64 {
+        self.inner.query_relaxation()
     }
 
     /// Whether the sketch is still in the eager phase (§5.3).
@@ -852,6 +940,105 @@ mod tests {
         }
         assert!(s.is_eager());
         assert_eq!(s.estimate(), 1_000.0, "sharded eager phase must be exact");
+    }
+
+    #[test]
+    fn new_view_starts_with_an_empty_lazy_image() {
+        // Satellite: single-shard deployments must not materialise an
+        // O(retained) image they never read.
+        let mut g = ThetaGlobal::new(8, 42).unwrap();
+        for i in 0..50_000u64 {
+            g.update_direct(normalize_hash(i.hash_with_seed(42)));
+        }
+        let view = g.new_view();
+        let image = view.image.load();
+        assert_eq!(image.retained(), 0, "initial image must be empty");
+        assert!(g.blocks.is_none(), "mirror must stay off until prepare_sharded");
+        // The triple is fully initialised regardless.
+        assert_eq!(ThetaGlobal::snapshot(&view).retained, g.sketch.retained() as u64);
+    }
+
+    #[test]
+    fn block_mirror_tracks_the_retained_set_across_rebuilds() {
+        // Push enough distinct hashes through a small sketch that Θ drops
+        // many times; the mirror must equal the sketch's retained set at
+        // every publication point.
+        let mut g = ThetaGlobal::new(6, 7).unwrap(); // k = 64
+        g.prepare_sharded();
+        let mut local = g.new_local();
+        for chunk in 0..200u64 {
+            for i in 0..100u64 {
+                local.update(normalize_hash((chunk * 100 + i).hash_with_seed(7)));
+            }
+            g.merge(&mut local);
+            let image = g.image_now();
+            let mut mirror: Vec<u64> = image.hashes().collect();
+            mirror.sort_unstable();
+            let mut real: Vec<u64> = g.sketch.hashes().collect();
+            real.sort_unstable();
+            assert_eq!(mirror, real, "mirror diverged after chunk {chunk}");
+            assert_eq!(image.theta(), g.sketch.theta());
+        }
+    }
+
+    #[test]
+    fn publish_sharded_without_prepare_falls_back_to_a_full_copy() {
+        let mut g = ThetaGlobal::new(6, 7).unwrap();
+        for i in 0..20_000u64 {
+            g.update_direct(normalize_hash(i.hash_with_seed(7)));
+        }
+        let view = g.new_view();
+        g.publish_sharded(&view);
+        let image = view.image.load();
+        assert_eq!(image.retained(), g.sketch.retained());
+        assert_eq!(image.theta(), g.sketch.theta());
+    }
+
+    #[test]
+    fn image_every_keeps_quiesced_queries_fresh_and_triple_per_merge() {
+        for m in [1u64, 4] {
+            let s = ConcurrentThetaBuilder::new()
+                .lg_k(10)
+                .seed(42)
+                .writers(4)
+                .shards(2)
+                .max_concurrency_error(1.0)
+                .image_every(m)
+                .backend(PropagationBackendKind::WriterAssisted)
+                .build()
+                .unwrap();
+            let n_per = scaled(50_000);
+            std::thread::scope(|sc| {
+                for t in 0..4u64 {
+                    let mut w = s.writer();
+                    sc.spawn(move || {
+                        for i in 0..n_per {
+                            w.update(t * n_per + i);
+                        }
+                        w.flush();
+                    });
+                }
+            });
+            s.quiesce();
+            // Quiesce republishes skipped images: the merged snapshot must
+            // agree exactly with the untrimmed union of the globals.
+            let snap = s.snapshot();
+            let compact = s.compact();
+            assert_eq!(compact.theta(), snap.theta, "M = {m}");
+            assert_eq!(compact.retained() as u64, snap.retained, "M = {m}");
+            assert_eq!(compact.estimate(), snap.estimate, "M = {m}");
+            if m > 1 {
+                let stats = s.stats();
+                assert!(
+                    stats.image_publications < stats.merges,
+                    "M = {m}: {} images for {} merges",
+                    stats.image_publications,
+                    stats.merges
+                );
+                // e = 1.0 ⇒ b = max_buffer_size = 16; K = 2 shards.
+                assert_eq!(s.query_relaxation(), s.relaxation() + 2 * (m - 1) * 16);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! Chunked copy-on-write storage for Θ retained-hash images.
+//!
+//! The sharded concurrent engine publishes a point-in-time image of each
+//! shard's retained set on the propagation path, once per merge. Copying
+//! the whole set costs O(retained) per merge (~`retained` u64s every `b`
+//! updates), which breaks the paper's O(b)-amortised propagation bound as
+//! soon as the sketch saturates. [`HashBlocks`] removes that copy: the
+//! retained hashes live in fixed-size blocks behind `Arc`s, a snapshot is
+//! two `Arc` clones (O(1)), and mutation copies only what a snapshot
+//! actually shares — at most the partial tail block plus, every
+//! [`THETA_BLOCK_CAPACITY`] accepted hashes, one spine of block pointers.
+//! Steady-state publication therefore costs O(b/chunk) amortised, plus a
+//! full [`HashBlocks::rebuild`] whenever the sketch itself rebuilds
+//! (Θ drops and evicts), which the quick-select sketch already amortises
+//! to O(1) per accepted update.
+//!
+//! The store is deliberately dumb: it mirrors whatever hash set its owner
+//! maintains, in insertion order, with no dedup or Θ-filtering of its
+//! own. The owner pushes exactly the newly-retained hashes and calls
+//! `rebuild` from the sketch's survivor set whenever Θ moved.
+
+use std::sync::Arc;
+
+/// Hashes per block. 256 u64s = 2 KiB: big enough that the sealed spine
+/// stays short (≤ 2k/256 pointers), small enough that the one
+/// copy-on-write tail clone per publication is cheap.
+pub const THETA_BLOCK_CAPACITY: usize = 256;
+
+type Block = Vec<u64>;
+
+/// Mutable chunked hash store with O(1) copy-on-write snapshots.
+///
+/// Owned by a single writer (the propagator side of a shard); snapshots
+/// ([`HashBlocks::snapshot`]) are immutable and may be shipped to any
+/// number of concurrent readers.
+///
+/// # Examples
+///
+/// ```
+/// use fcds_sketches::theta::HashBlocks;
+///
+/// let mut store = HashBlocks::new();
+/// for h in 1..=1000u64 {
+///     store.push(h);
+/// }
+/// let snap = store.snapshot(); // O(1): shares the blocks
+/// store.push(1001);            // copies only the shared tail block
+/// assert_eq!(snap.len(), 1000);
+/// assert_eq!(store.len(), 1001);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HashBlocks {
+    /// Full blocks of exactly [`THETA_BLOCK_CAPACITY`] hashes. The outer
+    /// `Arc` makes sealing (which mutates the spine) copy the pointer
+    /// vector at most once per outstanding snapshot.
+    sealed: Arc<Vec<Arc<Block>>>,
+    /// The partial block currently being filled.
+    tail: Arc<Block>,
+}
+
+impl HashBlocks {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        HashBlocks {
+            sealed: Arc::new(Vec::new()),
+            tail: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Number of stored hashes.
+    pub fn len(&self) -> u64 {
+        (self.sealed.len() * THETA_BLOCK_CAPACITY + self.tail.len()) as u64
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty() && self.tail.is_empty()
+    }
+
+    /// Appends one hash. Copies the tail block iff a snapshot still
+    /// shares it; seals the tail into the spine when it reaches
+    /// [`THETA_BLOCK_CAPACITY`] (copying the spine iff shared).
+    pub fn push(&mut self, hash: u64) {
+        if self.tail.len() == THETA_BLOCK_CAPACITY {
+            let full = std::mem::replace(
+                &mut self.tail,
+                Arc::new(Vec::with_capacity(THETA_BLOCK_CAPACITY)),
+            );
+            Arc::make_mut(&mut self.sealed).push(full);
+        }
+        // Hand-rolled copy-on-write (instead of `Arc::make_mut`) so the
+        // fresh tail keeps a full block's capacity.
+        if Arc::get_mut(&mut self.tail).is_none() {
+            let mut fresh = Vec::with_capacity(THETA_BLOCK_CAPACITY);
+            fresh.extend_from_slice(&self.tail);
+            self.tail = Arc::new(fresh);
+        }
+        Arc::get_mut(&mut self.tail)
+            .expect("tail is uniquely owned after the copy-on-write check")
+            .push(hash);
+    }
+
+    /// Replaces the contents with `hashes`, in fresh blocks. O(n) — the
+    /// owner calls this when its retained set changed wholesale (a Θ
+    /// rebuild evicted hashes), never on the plain append path.
+    pub fn rebuild(&mut self, hashes: impl IntoIterator<Item = u64>) {
+        let mut sealed: Vec<Arc<Block>> = Vec::new();
+        let mut tail: Block = Vec::with_capacity(THETA_BLOCK_CAPACITY);
+        for h in hashes {
+            if tail.len() == THETA_BLOCK_CAPACITY {
+                let full = std::mem::replace(&mut tail, Vec::with_capacity(THETA_BLOCK_CAPACITY));
+                sealed.push(Arc::new(full));
+            }
+            tail.push(h);
+        }
+        self.sealed = Arc::new(sealed);
+        self.tail = Arc::new(tail);
+    }
+
+    /// Empties the store (fresh blocks; outstanding snapshots are
+    /// unaffected).
+    pub fn clear(&mut self) {
+        self.sealed = Arc::new(Vec::new());
+        self.tail = Arc::new(Vec::new());
+    }
+
+    /// An immutable O(1) snapshot sharing the current blocks: two `Arc`
+    /// clones, no hash is copied.
+    pub fn snapshot(&self) -> BlockSnapshot {
+        BlockSnapshot {
+            sealed: Arc::clone(&self.sealed),
+            tail: Arc::clone(&self.tail),
+        }
+    }
+}
+
+/// An immutable point-in-time view of a [`HashBlocks`] store.
+///
+/// Cheap to clone and `Send + Sync`; later mutations of the owning store
+/// copy-on-write around it and are never observed.
+#[derive(Debug, Clone, Default)]
+pub struct BlockSnapshot {
+    sealed: Arc<Vec<Arc<Block>>>,
+    tail: Arc<Block>,
+}
+
+impl BlockSnapshot {
+    /// The empty snapshot.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of hashes in the snapshot.
+    pub fn len(&self) -> u64 {
+        (self.sealed.len() * THETA_BLOCK_CAPACITY + self.tail.len()) as u64
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty() && self.tail.is_empty()
+    }
+
+    /// Number of blocks (sealed plus the partial tail, if non-empty).
+    pub fn block_count(&self) -> usize {
+        self.sealed.len() + usize::from(!self.tail.is_empty())
+    }
+
+    /// Iterates over the stored hashes in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.sealed
+            .iter()
+            .flat_map(|b| b.iter().copied())
+            .chain(self.tail.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate_across_block_boundaries() {
+        let mut store = HashBlocks::new();
+        let n = THETA_BLOCK_CAPACITY as u64 * 3 + 17;
+        for h in 1..=n {
+            store.push(h);
+        }
+        assert_eq!(store.len(), n);
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), n);
+        assert_eq!(snap.block_count(), 4);
+        let got: Vec<u64> = snap.iter().collect();
+        let want: Vec<u64> = (1..=n).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_later_pushes() {
+        let mut store = HashBlocks::new();
+        for h in 1..=100u64 {
+            store.push(h);
+        }
+        let snap = store.snapshot();
+        for h in 101..=5_000u64 {
+            store.push(h);
+        }
+        assert_eq!(snap.len(), 100);
+        assert_eq!(snap.iter().max(), Some(100));
+        assert_eq!(store.len(), 5_000);
+    }
+
+    #[test]
+    fn snapshot_shares_sealed_blocks() {
+        let mut store = HashBlocks::new();
+        // One sealed block plus a *partial* tail: pushes below won't seal.
+        for h in 1..=(THETA_BLOCK_CAPACITY as u64 + 10) {
+            store.push(h);
+        }
+        let a = store.snapshot();
+        let b = store.snapshot();
+        // Same spine allocation: snapshots are O(1), not copies.
+        assert!(Arc::ptr_eq(&a.sealed, &b.sealed));
+        // A push into a partial tail never touches the sealed spine.
+        store.push(99_999);
+        let c = store.snapshot();
+        assert!(Arc::ptr_eq(&a.sealed, &c.sealed));
+    }
+
+    #[test]
+    fn push_after_snapshot_copies_only_the_tail_block() {
+        let mut store = HashBlocks::new();
+        for h in 1..=10u64 {
+            store.push(h);
+        }
+        let snap = store.snapshot();
+        assert!(Arc::ptr_eq(&snap.tail, &store.tail));
+        store.push(11);
+        // The tail was shared with the snapshot, so the push re-allocated
+        // it (compare raw pointers only — holding an `Arc` clone would
+        // itself force the next copy-on-write)…
+        assert!(!Arc::ptr_eq(&snap.tail, &store.tail));
+        let old_tail = Arc::as_ptr(&store.tail);
+        store.push(12);
+        // …and an unshared tail is mutated in place.
+        assert_eq!(old_tail, Arc::as_ptr(&store.tail));
+    }
+
+    #[test]
+    fn rebuild_replaces_contents() {
+        let mut store = HashBlocks::new();
+        for h in 1..=1_000u64 {
+            store.push(h);
+        }
+        let snap = store.snapshot();
+        store.rebuild((1..=300u64).map(|h| h * 2));
+        assert_eq!(store.len(), 300);
+        let mut got: Vec<u64> = store.snapshot().iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (1..=300u64).map(|h| h * 2).collect::<Vec<_>>());
+        // The pre-rebuild snapshot still reads the old contents.
+        assert_eq!(snap.len(), 1_000);
+    }
+
+    #[test]
+    fn clear_and_empty_snapshot() {
+        let mut store = HashBlocks::new();
+        assert!(store.is_empty());
+        store.push(7);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.len(), 0);
+        let snap = BlockSnapshot::empty();
+        assert!(snap.is_empty());
+        assert_eq!(snap.block_count(), 0);
+        assert_eq!(snap.iter().count(), 0);
+    }
+
+    #[test]
+    fn sealed_blocks_are_always_full() {
+        let mut store = HashBlocks::new();
+        store.rebuild(1..=(THETA_BLOCK_CAPACITY as u64 * 2 + 5));
+        assert_eq!(store.sealed.len(), 2);
+        assert!(store.sealed.iter().all(|b| b.len() == THETA_BLOCK_CAPACITY));
+        assert_eq!(store.tail.len(), 5);
+    }
+}

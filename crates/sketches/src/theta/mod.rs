@@ -26,17 +26,19 @@
 //! normalised with [`normalize_hash`] (the induced bias is 2⁻⁶⁴ and is
 //! ignored, as in DataSketches).
 
+pub mod blocks;
 pub mod compact;
 pub mod jaccard;
 pub mod kmv;
 pub mod quickselect;
 pub mod setops;
 
+pub use blocks::{BlockSnapshot, HashBlocks, THETA_BLOCK_CAPACITY};
 pub use compact::CompactThetaSketch;
 pub use jaccard::{jaccard, jaccard_via_setops, JaccardEstimate};
 pub use kmv::KmvThetaSketch;
 pub use quickselect::QuickSelectThetaSketch;
-pub use setops::{untrimmed_union, ThetaANotB, ThetaIntersection, ThetaUnion};
+pub use setops::{untrimmed_union, untrimmed_union_unsorted, ThetaANotB, ThetaIntersection, ThetaUnion};
 
 /// Θ value representing 1.0: nothing is filtered, the sketch is exact.
 pub const THETA_MAX: u64 = u64::MAX;

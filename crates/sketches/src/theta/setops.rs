@@ -112,6 +112,46 @@ pub fn untrimmed_union<'a>(
     CompactThetaSketch::from_parts(theta, seed, hashes)
 }
 
+/// [`untrimmed_union`] over *unsorted* Θ images — the block-aware shard
+/// merge of the sharded concurrent engine.
+///
+/// The engine's per-shard images are chunked, insertion-ordered hash
+/// blocks (see [`super::blocks`]): sorting them on the propagation path
+/// would defeat the point of publishing them cheaply, so this union
+/// accepts any [`ThetaRead`] and filters by the joint Θ with a linear
+/// scan, sorting the union once (inside
+/// [`CompactThetaSketch::from_parts`]) on the query side.
+///
+/// # Errors
+///
+/// Returns [`SketchError::Incompatible`] on hash-seed mismatch and
+/// [`SketchError::InvalidParameter`] for an empty input.
+pub fn untrimmed_union_unsorted<'a, S: ThetaRead + ?Sized + 'a>(
+    parts: impl IntoIterator<Item = &'a S>,
+) -> Result<CompactThetaSketch> {
+    let parts: Vec<&S> = parts.into_iter().collect();
+    let first = parts
+        .first()
+        .ok_or_else(|| SketchError::invalid("parts", "union of zero sketches"))?;
+    let seed = first.seed();
+    let mut theta = super::THETA_MAX;
+    for p in &parts {
+        if p.seed() != seed {
+            return Err(SketchError::incompatible(format!(
+                "hash seed mismatch: {} vs {}",
+                p.seed(),
+                seed
+            )));
+        }
+        theta = theta.min(p.theta());
+    }
+    let mut hashes: Vec<u64> = Vec::with_capacity(parts.iter().map(|p| p.retained()).sum());
+    for p in &parts {
+        hashes.extend(p.hashes().filter(|&h| h < theta));
+    }
+    CompactThetaSketch::from_parts(theta, seed, hashes)
+}
+
 /// Streaming intersection gadget.
 ///
 /// The intersection of Θ sketches: Θ is the minimum of all input Θs and
@@ -447,5 +487,29 @@ mod tests {
         let rhs = ix.result().unwrap().estimate() + anb.estimate() + bna.estimate();
         let rel = (lhs - rhs).abs() / lhs;
         assert!(rel < 0.1, "inclusion–exclusion violated: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn unsorted_union_matches_sorted_union() {
+        // The block-aware union must produce exactly the same compact
+        // sketch as the sorted-prefix union over the same inputs — the
+        // quick-select sketches iterate their hashes in table order,
+        // which is the unsorted case the engine's images present.
+        let a = filled(8, 3, 0..40_000);
+        let b = filled(8, 3, 20_000..60_000);
+        let sorted = untrimmed_union([&a.compact(), &b.compact()]).unwrap();
+        let unsorted = untrimmed_union_unsorted([&a, &b] as [&QuickSelectThetaSketch; 2]).unwrap();
+        assert_eq!(sorted.theta(), unsorted.theta());
+        assert_eq!(sorted.sorted_hashes(), unsorted.sorted_hashes());
+        assert_eq!(sorted.estimate(), unsorted.estimate());
+    }
+
+    #[test]
+    fn unsorted_union_rejects_seed_mismatch_and_empty() {
+        let a = filled(8, 1, 0..1_000);
+        let b = filled(8, 2, 0..1_000);
+        assert!(untrimmed_union_unsorted([&a, &b] as [&QuickSelectThetaSketch; 2]).is_err());
+        let none: [&QuickSelectThetaSketch; 0] = [];
+        assert!(untrimmed_union_unsorted(none).is_err());
     }
 }

@@ -4,9 +4,11 @@
 //! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
 //! `bench_function`/`bench_with_input`, `Throughput`, `BenchmarkId`, and
 //! `Bencher::iter`. Each benchmark runs a short warm-up followed by a
-//! fixed number of timed iterations and prints the mean wall-clock time
-//! (plus throughput when declared) — honest numbers, none of criterion's
-//! statistics, outlier rejection, plots, or baseline comparisons.
+//! fixed number of individually timed iterations and prints the mean,
+//! median, and p95 wall-clock time (plus throughput when declared) —
+//! honest numbers with just enough order statistics to read results on a
+//! noisy shared-CPU CI host; none of criterion's outlier rejection,
+//! plots, or baseline comparisons.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -75,43 +77,71 @@ impl IntoBenchmarkId for String {
 /// Passed to benchmark closures; [`Bencher::iter`] does the timing.
 #[derive(Debug, Default)]
 pub struct Bencher {
-    elapsed: Duration,
-    iters: u32,
+    /// Per-iteration wall-clock samples (empty until `iter` runs).
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Times `routine` over the shim's fixed iteration count.
+    /// Times `routine` over the shim's fixed iteration count, recording
+    /// each iteration individually so the report can show order
+    /// statistics, not just the mean.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         for _ in 0..WARMUP_ITERS {
             black_box(routine());
         }
-        let start = Instant::now();
-        for _ in 0..MEASURE_ITERS {
-            black_box(routine());
+        self.samples = (0..MEASURE_ITERS)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+    }
+
+    /// Mean duration per iteration.
+    pub fn mean(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
         }
-        self.elapsed = start.elapsed();
-        self.iters = MEASURE_ITERS;
+        Some(self.samples.iter().sum::<Duration>() / self.samples.len() as u32)
+    }
+
+    /// The q-th quantile (0 ≤ q ≤ 1) of the per-iteration samples, by the
+    /// nearest-rank method.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
     }
 }
 
 fn report(id: &str, b: &Bencher, throughput: Option<Throughput>) {
-    if b.iters == 0 {
+    let (Some(mean), Some(median), Some(p95)) = (b.mean(), b.quantile(0.5), b.quantile(0.95))
+    else {
         println!("{id:<50} (no measurement)");
         return;
-    }
-    let per_iter = b.elapsed / b.iters;
+    };
+    // Throughput from the median: on a noisy 1-CPU host a single
+    // preempted iteration skews the mean, while the median stays
+    // representative of the steady state.
     let rate = match throughput {
         Some(Throughput::Elements(n)) => {
-            let per_sec = n as f64 / per_iter.as_secs_f64();
+            let per_sec = n as f64 / median.as_secs_f64();
             format!("  {:>12.2} Melem/s", per_sec / 1e6)
         }
         Some(Throughput::Bytes(n)) => {
-            let per_sec = n as f64 / per_iter.as_secs_f64();
+            let per_sec = n as f64 / median.as_secs_f64();
             format!("  {:>12.2} MiB/s", per_sec / (1024.0 * 1024.0))
         }
         None => String::new(),
     };
-    println!("{id:<50} {per_iter:>12.2?}/iter{rate}");
+    println!(
+        "{id:<50} mean {mean:>10.2?}  med {median:>10.2?}  p95 {p95:>10.2?}/iter{rate}"
+    );
 }
 
 /// A named set of related benchmarks sharing a throughput declaration.
@@ -257,6 +287,30 @@ mod tests {
     fn bencher_records_timing() {
         let mut b = Bencher::default();
         b.iter(|| black_box(21u64 * 2));
-        assert!(b.iters > 0);
+        assert_eq!(b.samples.len(), MEASURE_ITERS as usize);
+        assert!(b.mean().is_some());
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics_of_the_samples() {
+        let mut b = Bencher::default();
+        b.samples = (1..=10u64).map(Duration::from_millis).collect();
+        assert_eq!(b.quantile(0.5), Some(Duration::from_millis(5)));
+        assert_eq!(b.quantile(0.95), Some(Duration::from_millis(10)));
+        assert_eq!(b.quantile(0.0), Some(Duration::from_millis(1)));
+        assert_eq!(b.quantile(1.0), Some(Duration::from_millis(10)));
+        assert_eq!(b.mean(), Some(Duration::from_micros(5_500)));
+        // Median is robust to one outlier; the mean is not.
+        b.samples[9] = Duration::from_secs(10);
+        assert_eq!(b.quantile(0.5), Some(Duration::from_millis(5)));
+        assert!(b.mean().unwrap() > Duration::from_millis(500));
+    }
+
+    #[test]
+    fn empty_bencher_reports_no_measurement() {
+        let b = Bencher::default();
+        assert_eq!(b.mean(), None);
+        assert_eq!(b.quantile(0.5), None);
+        report("empty", &b, None); // must not panic
     }
 }

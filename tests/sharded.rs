@@ -1,12 +1,15 @@
 //! Cross-crate properties of the K-way sharded engine: sharded histories
-//! stay within the `r = 2Nb` relaxation (shard-count independent, both
-//! propagation backends), and merged queries are lossless against a
-//! sequential oracle fed the same stream.
+//! stay within the `r = 2Nb` relaxation — widened to
+//! `r + K·(M − 1)·b` when image publication is throttled to every M-th
+//! merge — shard-count independent, both propagation backends; and
+//! merged queries are lossless against a sequential oracle fed the same
+//! stream (M = 1).
 
 use fcds::core::hll::ConcurrentHllBuilder;
 use fcds::core::theta::ConcurrentThetaBuilder;
 use fcds::core::PropagationBackendKind;
 use fcds::relaxation::checker::{ThetaChecker, ThetaObservation};
+use fcds::relaxation::sharded::sharded_query_relaxation;
 use fcds::sketches::hash::Hashable;
 use fcds::sketches::hll::HllSketch;
 use fcds::sketches::theta::normalize_hash;
@@ -26,18 +29,22 @@ proptest! {
 
     /// Theorem 1 on sharded executions: with 4 writers' partial buffers
     /// still in flight (writers alive, nothing flushed), the merged query
-    /// must be admissible for the full issued prefix under r = 2Nb — for
-    /// K ∈ {1, 2, 4} and both backends. After flush + quiesce the same
-    /// query must be admissible with r = 0: the shard merge itself adds
-    /// no relaxation.
+    /// must be admissible for the full issued prefix under the adjusted
+    /// bound r_query = 2Nb + K·(M − 1)·b — for K ∈ {1, 2, 4},
+    /// image_every M ∈ {1, 4}, and both backends (M = 1 makes r_query the
+    /// plain r = 2Nb). After flush + quiesce the same query must be
+    /// admissible with r = 0 for any M: quiesce republishes skipped
+    /// images, and the shard merge itself adds no relaxation.
     #[test]
-    fn sharded_histories_pass_the_r_2nb_checker(
+    fn sharded_histories_pass_the_adjusted_checker(
         per_writer in 2_000u64..6_000,
         lg_k in 6u8..=12,
         shard_sel in 0usize..3,
+        image_m in 0usize..2,
         writer_assisted in any::<bool>(),
     ) {
         let shards = [1usize, 2, 4][shard_sel];
+        let m = [1u64, 4][image_m];
         let writers = 4usize;
         let backend = backends()[writer_assisted as usize];
         let sketch = ConcurrentThetaBuilder::new()
@@ -47,10 +54,18 @@ proptest! {
             .shards(shards)
             .max_concurrency_error(1.0) // no eager: buffers from the start
             .backend(backend)
+            .image_every(m)
             .build()
             .unwrap();
-        let r = sketch.relaxation();
-        let checker = ThetaChecker::new(sketch.k(), r);
+        let b = sketch.relaxation() / (2 * writers as u64);
+        let r_query = sketch.query_relaxation();
+        // The engine's bound must agree with fcds-relaxation's
+        // executable reference for the same parameters.
+        prop_assert_eq!(
+            r_query,
+            sharded_query_relaxation(sketch.relaxation(), shards, m, b)
+        );
+        let checker = ThetaChecker::new(sketch.k(), r_query);
 
         let mut handles: Vec<_> = (0..writers).map(|_| sketch.writer()).collect();
         let mut stream: Vec<u64> = Vec::new();
@@ -61,7 +76,7 @@ proptest! {
         }
 
         // Writers alive, partial buffers unflushed: the snapshot may miss
-        // up to 2b updates per writer and no more.
+        // up to 2b updates per writer plus (M − 1)·b per shard, no more.
         let snap = sketch.snapshot();
         let obs = ThetaObservation {
             theta: snap.theta,
@@ -70,9 +85,10 @@ proptest! {
         };
         checker
             .check_at(&stream, stream.len(), &obs)
-            .unwrap_or_else(|v| panic!("K={shards} {backend:?} r={r}: {v}"));
+            .unwrap_or_else(|v| panic!("K={shards} M={m} {backend:?} r={r_query}: {v}"));
 
-        // Flushed and quiesced: zero staleness, even across the merge.
+        // Flushed and quiesced: zero staleness, even across the merge and
+        // for throttled images (quiesce republishes them).
         for w in &mut handles {
             w.flush();
         }
@@ -85,7 +101,7 @@ proptest! {
         };
         ThetaChecker::new(sketch.k(), 0)
             .check_at(&stream, stream.len(), &obs)
-            .unwrap_or_else(|v| panic!("K={shards} {backend:?} quiesced: {v}"));
+            .unwrap_or_else(|v| panic!("K={shards} M={m} {backend:?} quiesced: {v}"));
     }
 
     /// Lossless merge: a K-shard HLL run must land on exactly the
