@@ -50,17 +50,13 @@ fn bench_prefilter(c: &mut Criterion) {
         .throughput(Throughput::Elements(UNIQUES));
     for writers in [1usize, 4] {
         for (label, prefilter) in [("with-shouldAdd", true), ("no-shouldAdd", false)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, writers),
-                &writers,
-                |b, &writers| {
-                    let mut nonce = 0u64;
-                    b.iter(|| {
-                        nonce += 1;
-                        run(writers, prefilter, true, nonce)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, writers), &writers, |b, &writers| {
+                let mut nonce = 0u64;
+                b.iter(|| {
+                    nonce += 1;
+                    run(writers, prefilter, true, nonce)
+                });
+            });
         }
     }
     group.finish();
@@ -75,17 +71,13 @@ fn bench_double_buffering(c: &mut Criterion) {
         .throughput(Throughput::Elements(UNIQUES));
     for writers in [1usize, 4] {
         for (label, db) in [("optparsketch", true), ("parsketch", false)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, writers),
-                &writers,
-                |b, &writers| {
-                    let mut nonce = 0u64;
-                    b.iter(|| {
-                        nonce += 1;
-                        run(writers, true, db, nonce)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, writers), &writers, |b, &writers| {
+                let mut nonce = 0u64;
+                b.iter(|| {
+                    nonce += 1;
+                    run(writers, true, db, nonce)
+                });
+            });
         }
     }
     group.finish();

@@ -17,22 +17,18 @@ fn bench_eager_vs_noeager(c: &mut Criterion) {
     for &uniques in &[64u64, 512, 1024, 4096, 16_384] {
         group.throughput(Throughput::Elements(uniques));
         for (label, e) in [("eager", 0.04), ("no-eager", 1.0)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, uniques),
-                &uniques,
-                |b, &uniques| {
-                    let impl_ = ThetaImpl::Concurrent {
-                        writers: 1,
-                        e,
-                        max_b: None,
-                    };
-                    let mut nonce = 0u64;
-                    b.iter(|| {
-                        nonce += 1;
-                        drivers::time_write_only(impl_, LG_K, uniques, nonce)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, uniques), &uniques, |b, &uniques| {
+                let impl_ = ThetaImpl::Concurrent {
+                    writers: 1,
+                    e,
+                    max_b: None,
+                };
+                let mut nonce = 0u64;
+                b.iter(|| {
+                    nonce += 1;
+                    drivers::time_write_only(impl_, LG_K, uniques, nonce)
+                });
+            });
         }
     }
     group.finish();

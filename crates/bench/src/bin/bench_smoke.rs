@@ -35,7 +35,11 @@ fn main() {
     let quickstart = throughput(ThetaImpl::concurrent(writers), uniques, trials);
 
     let mut shard_rows = String::new();
-    let shard_counts = if writers > 1 { vec![1, writers] } else { vec![1] };
+    let shard_counts = if writers > 1 {
+        vec![1, writers]
+    } else {
+        vec![1]
+    };
     for (i, &k) in shard_counts.iter().enumerate() {
         for (j, (backend, name)) in [
             (PropagationBackendKind::DedicatedThread, "dedicated"),

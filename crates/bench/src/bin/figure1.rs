@@ -23,7 +23,12 @@ fn main() {
     println!("Figure 1: update-only scalability, k = 4096, b = 1, stream = {uniques} uniques");
     println!("host parallelism: {cores} logical cores; trials per point: {trials}\n");
 
-    let mut table = Table::new(&["threads", "concurrent (Mops/s)", "lock-based (Mops/s)", "ratio"]);
+    let mut table = Table::new(&[
+        "threads",
+        "concurrent (Mops/s)",
+        "lock-based (Mops/s)",
+        "ratio",
+    ]);
     for &t in &threads {
         let run = |impl_: ThetaImpl| -> f64 {
             let total_nanos: u128 = (0..trials)

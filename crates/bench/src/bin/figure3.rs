@@ -56,7 +56,9 @@ fn main() {
     for l in &rows_ascii {
         println!("{l}");
     }
-    println!("\nlegend: '#' = g(0,r) = r (Θ = M(k+r)), '.' = g(0,r) = 0 (Θ = M(k)), blank = infeasible");
+    println!(
+        "\nlegend: '#' = g(0,r) = r (Θ = M(k+r)), '.' = g(0,r) = 0 (Θ = M(k)), blank = infeasible"
+    );
     let path = format!("{}/figure3.csv", args.out_dir);
     table.write_csv(&path).expect("write csv");
     println!("wrote {path}");

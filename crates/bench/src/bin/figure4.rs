@@ -32,8 +32,16 @@ fn main() {
     }
 
     println!("Figure 4: distribution of e (sequential) and e_Aw (weak adversary)");
-    println!("n = {}, k = {}, r = {}, {trials} trials\n", params.n, params.k, params.r);
-    let max_count = h_seq.iter().chain(h_weak.iter()).copied().max().unwrap_or(1);
+    println!(
+        "n = {}, k = {}, r = {}, {trials} trials\n",
+        params.n, params.k, params.r
+    );
+    let max_count = h_seq
+        .iter()
+        .chain(h_weak.iter())
+        .copied()
+        .max()
+        .unwrap_or(1);
     let mut table = Table::new(&["bin_center/n", "density_e", "density_e_Aw"]);
     for i in 0..bins {
         let center = lo + (i as f64 + 0.5) * width;

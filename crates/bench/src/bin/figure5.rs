@@ -58,5 +58,7 @@ fn main() {
         }
     }
     println!("\nexpected: 5a shows strong under-estimation (negative mean) for small streams;");
-    println!("5b keeps the error within ±4%; both converge to the ±1/√k pitchfork for large streams.");
+    println!(
+        "5b keeps the error within ±4%; both converge to the ±1/√k pitchfork for large streams."
+    );
 }

@@ -63,7 +63,11 @@ fn main() {
     // Figure 6b: the zoom — report the large-stream end and the crossing
     // point of concurrent(1w) over lock-based(1t).
     let conc1 = &runs[0];
-    let lock1 = runs[impls.iter().position(|i| matches!(i, ThetaImpl::LockBased { threads: 1 })).unwrap()].clone();
+    let lock1 = runs[impls
+        .iter()
+        .position(|i| matches!(i, ThetaImpl::LockBased { threads: 1 }))
+        .unwrap()]
+    .clone();
     // A sustained crossing: concurrent stays ahead for every larger size.
     let crossing = (0..conc1.len())
         .find(|&i| (i..conc1.len()).all(|j| conc1[j].mops() > lock1[j].mops()))
@@ -73,10 +77,16 @@ fn main() {
         conc1.last().unwrap().uniques
     );
     for (i, r) in impls.iter().zip(&runs) {
-        println!("  {:<24} {} Mops/s", i.label(), mops(r.last().unwrap().mops()));
+        println!(
+            "  {:<24} {} Mops/s",
+            i.label(),
+            mops(r.last().unwrap().mops())
+        );
     }
     match crossing {
-        Some(x) => println!("\ncrossing point (concurrent 1w > lock-based 1t): ~{x} uniques (paper: ~700K)"),
+        Some(x) => println!(
+            "\ncrossing point (concurrent 1w > lock-based 1t): ~{x} uniques (paper: ~700K)"
+        ),
         None => println!("\nno crossing in measured range (increase --full range)"),
     }
 }

@@ -16,12 +16,14 @@
 //! Publication cost is retained-independent when the delta rows stay
 //! within a small factor of the no-image row while the whole-copy row
 //! grows with `retained` — the two acceptance ratios are recorded in the
-//! JSON (`delta_vs_no_image_ratio`, `whole_copy_vs_delta_ratio`).
+//! JSON (`delta_vs_no_image_ratio`, `whole_copy_vs_delta_ratio`),
+//! together with the CI thresholds `bench_gate` enforces on them.
 //!
 //! Usage: `cargo run --release -p fcds-bench --bin prop_cost [--out=DIR]`
 //! (writes `<out>/BENCH_prop_cost.json`, default the working directory,
 //! like `bench_smoke`).
 
+use fcds_bench::gate::{THETA_DELTA_VS_NO_IMAGE_MAX, THETA_WHOLE_COPY_VS_DELTA_MIN};
 use fcds_bench::report::HarnessArgs;
 use fcds_core::composable::{GlobalSketch, LocalSketch};
 use fcds_core::theta::ThetaGlobal;
@@ -100,7 +102,7 @@ fn measure(lg_k: u8, image: Image) -> (f64, u64, usize) {
             *merge_idx += 1;
             match image {
                 Image::None => g.publish(&view),
-                Image::Delta { m } if *merge_idx % m != 0 => g.publish(&view),
+                Image::Delta { m } if !(*merge_idx).is_multiple_of(m) => g.publish(&view),
                 Image::Delta { .. } | Image::WholeCopy => g.publish_sharded(&view),
             }
         }
@@ -164,7 +166,10 @@ fn main() {
          \"rows\": [\n{rows}\n  ],\n  \
          \"acceptance\": {{\n    \
          \"lg_k16_delta_vs_no_image_ratio\": {delta_vs_none:.2},\n    \
-         \"lg_k16_whole_copy_vs_delta_ratio\": {whole_vs_delta:.1}\n  }}\n}}\n"
+         \"lg_k16_whole_copy_vs_delta_ratio\": {whole_vs_delta:.1}\n  }},\n  \
+         \"thresholds\": {{\n    \
+         \"lg_k16_delta_vs_no_image_ratio_max\": {THETA_DELTA_VS_NO_IMAGE_MAX:.1},\n    \
+         \"lg_k16_whole_copy_vs_delta_ratio_min\": {THETA_WHOLE_COPY_VS_DELTA_MIN:.1}\n  }}\n}}\n"
     );
 
     let path = format!("{}/BENCH_prop_cost.json", args.out_dir);

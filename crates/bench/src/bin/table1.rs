@@ -24,7 +24,10 @@ fn main() {
         "closed-form E".into(),
         format!("{n} (unbiased)"),
         "-".into(),
-        format!("{:.0}  (n(k-1)/(k+r-1))", orderstats::expected_estimate(n, k, r)),
+        format!(
+            "{:.0}  (n(k-1)/(k+r-1))",
+            orderstats::expected_estimate(n, k, r)
+        ),
     ]);
     t.row(&[
         "measured E".into(),

@@ -25,7 +25,10 @@ fn crossing_point(lg_k: u8, full: bool) -> Option<u64> {
                     .sum();
                 total as f64 / (trials * n) as f64
             };
-            (n, mean(ThetaImpl::LockBased { threads: 1 }) / mean(ThetaImpl::concurrent(1)))
+            (
+                n,
+                mean(ThetaImpl::LockBased { threads: 1 }) / mean(ThetaImpl::concurrent(1)),
+            )
         })
         .collect();
     // Sustained crossing: concurrent at least ties lock-based from this
@@ -56,7 +59,12 @@ fn max_errors(lg_k: u8, full: bool) -> (f64, f64) {
 fn main() {
     let args = HarnessArgs::parse();
     println!("Table 2: performance vs accuracy as a function of k (e = 0.04)\n");
-    let mut table = Table::new(&["k", "thpt crossing point", "max |median error|", "max |Q99 error|"]);
+    let mut table = Table::new(&[
+        "k",
+        "thpt crossing point",
+        "max |median error|",
+        "max |Q99 error|",
+    ]);
     for lg_k in [8u8, 10, 12] {
         let k = 1usize << lg_k;
         let crossing = crossing_point(lg_k, args.full);

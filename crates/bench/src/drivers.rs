@@ -333,7 +333,10 @@ mod tests {
     #[test]
     fn sharded_labels_are_informative() {
         let l = ThetaImpl::sharded(8, 4, PropagationBackendKind::WriterAssisted).label();
-        assert!(l.contains("8w") && l.contains("4K") && l.contains("assisted"), "{l}");
+        assert!(
+            l.contains("8w") && l.contains("4K") && l.contains("assisted"),
+            "{l}"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod drivers;
+pub mod gate;
 pub mod profiles;
 pub mod report;
 pub mod workload;

@@ -179,8 +179,8 @@ impl AccuracyProfile {
                     .quantiles
                     .iter()
                     .map(|&q| {
-                        let idx =
-                            ((q * (errors.len() - 1) as f64).round() as usize).min(errors.len() - 1);
+                        let idx = ((q * (errors.len() - 1) as f64).round() as usize)
+                            .min(errors.len() - 1);
                         (q, errors[idx])
                     })
                     .collect();
@@ -231,7 +231,12 @@ mod tests {
             let vals: Vec<f64> = pt.quantiles.iter().map(|(_, v)| *v).collect();
             assert!(vals.windows(2).all(|w| w[0] <= w[1]));
             // Small streams with eager propagation: near-exact.
-            assert!(pt.mean.abs() < 0.05, "mean error {} at {}", pt.mean, pt.uniques);
+            assert!(
+                pt.mean.abs() < 0.05,
+                "mean error {} at {}",
+                pt.mean,
+                pt.uniques
+            );
         }
     }
 

@@ -118,6 +118,10 @@ impl HarnessArgs {
     }
 
     /// Parses from an explicit iterator (testable).
+    // Not `FromIterator`: this parses CLI flags (fallible-ish, ordered)
+    // rather than collecting, and the call sites read better as an
+    // explicit constructor.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(args: impl Iterator<Item = String>) -> Self {
         let mut out = HarnessArgs {
             full: false,

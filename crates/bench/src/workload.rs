@@ -53,7 +53,9 @@ impl UniqueStream {
         let count = base + u64::from(t < extra);
         let start_off = t * base + t.min(extra);
         UniqueStream {
-            start: nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(start_off),
+            start: nonce
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(start_off),
             count,
         }
     }

@@ -250,22 +250,32 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut c = ConcurrencyConfig::default();
-        c.writers = 0;
+        let c = ConcurrencyConfig {
+            writers: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = ConcurrencyConfig::default();
-        c.max_concurrency_error = 0.0;
+        let c = ConcurrencyConfig {
+            max_concurrency_error: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = ConcurrencyConfig::default();
-        c.max_concurrency_error = 1.5;
+        let c = ConcurrencyConfig {
+            max_concurrency_error: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = ConcurrencyConfig::default();
-        c.max_buffer_size = 0;
+        let c = ConcurrencyConfig {
+            max_buffer_size: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = ConcurrencyConfig::default();
-        c.shards = 0;
+        let c = ConcurrencyConfig {
+            shards: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = ConcurrencyConfig {
+        let c = ConcurrencyConfig {
             writers: 2,
             shards: 4,
             ..Default::default()
@@ -281,7 +291,10 @@ mod tests {
         };
         let r1 = base.relaxation();
         for shards in [2usize, 4, 8] {
-            let c = ConcurrencyConfig { shards, ..base.clone() };
+            let c = ConcurrencyConfig {
+                shards,
+                ..base.clone()
+            };
             assert!(c.validate().is_ok());
             assert_eq!(c.relaxation(), r1, "r must not depend on K");
         }
@@ -289,8 +302,10 @@ mod tests {
 
     #[test]
     fn image_every_validation_and_query_relaxation() {
-        let mut c = ConcurrencyConfig::default();
-        c.image_every = 0;
+        let c = ConcurrencyConfig {
+            image_every: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err(), "image_every = 0 must be rejected");
 
         // K = 1: no image is published, so image_every never widens r.

@@ -85,7 +85,7 @@ impl<T: Eq + Hash + Clone> FrequencySnapshot<T> {
             })
             .filter(|(_, e)| e.upper_bound > threshold)
             .collect();
-        out.sort_by(|a, b| b.1.lower_bound.cmp(&a.1.lower_bound));
+        out.sort_by_key(|(_, e)| std::cmp::Reverse(e.lower_bound));
         out
     }
 }
@@ -396,7 +396,11 @@ mod tests {
         let truth = 4 * per / 4;
         let est = snap.estimate(&42);
         assert!(est.lower_bound <= truth);
-        assert!(est.upper_bound >= truth, "upper {} < {truth}", est.upper_bound);
+        assert!(
+            est.upper_bound >= truth,
+            "upper {} < {truth}",
+            est.upper_bound
+        );
         // It must be the top heavy hitter.
         let hh = snap.heavy_hitters(snap.n / 10);
         assert_eq!(hh.first().map(|(i, _)| *i), Some(42));
@@ -480,11 +484,7 @@ mod tests {
             let snap = sketch.snapshot();
             assert_eq!(snap.n, 4 * per, "{backend:?}");
             assert_eq!(snap.max_error, 0, "{backend:?}");
-            assert_eq!(
-                snap.estimate(&3).lower_bound,
-                4 * per / 8,
-                "{backend:?}"
-            );
+            assert_eq!(snap.estimate(&3).lower_bound, 4 * per / 8, "{backend:?}");
         }
     }
 

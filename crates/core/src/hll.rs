@@ -493,7 +493,11 @@ mod tests {
 
     #[test]
     fn tiny_stream_eager_accuracy() {
-        let s = ConcurrentHllBuilder::new().lg_m(12).writers(2).build().unwrap();
+        let s = ConcurrentHllBuilder::new()
+            .lg_m(12)
+            .writers(2)
+            .build()
+            .unwrap();
         let mut w = s.writer();
         for i in 0..200u64 {
             w.update(i);

@@ -3,20 +3,22 @@
 //!
 //! The Quantiles sketch has no useful pre-filter, so it uses the trivial
 //! hint (`shouldAdd ≡ true`, which §5.1 explicitly allows). Snapshots are
-//! published as an immutable [`QuantilesReader`] behind an epoch-managed
+//! published as an immutable [`QuantilesLadder`] behind an epoch-managed
 //! pointer cell: the pointer swap is a single atomic store (the merge's
 //! linearisation point) and queries run entirely on their snapshot,
 //! concurrent with further merges.
 //!
-//! The per-merge snapshot rebuild costs O(retained · log retained); this
-//! is the price of wait-free queries on a multi-word sketch and is
-//! amortised over the `b` updates of each merge. (A copy-on-write level
-//! ladder would reduce it; the paper's evaluation only measures Θ
-//! throughput, so we keep the simple, obviously-correct publication.)
-//! Sharded *queries*, however, no longer pay a merge-of-readers rebuild
-//! per call: each shard view carries a publication version and the
-//! engine memoises the merged reader until some shard republishes
-//! ([`ConcurrentQuantilesSketch::snapshot`]).
+//! Publication is O(levels + k log k) per merge, independent of the
+//! retained-sample count: the sequential sketch keeps each compaction
+//! level as an immutable `Arc`'d sorted run, so taking a ladder snapshot
+//! clones one `Arc` per level and sorts only the (parameter-bounded,
+//! ≤ 2k) base buffer — the level-ladder analogue of the Θ sketch's
+//! chunked copy-on-write block images. The O(retained · log retained)
+//! flattening into a [`QuantilesReader`] moves to the query side, where
+//! each shard view carries a publication version and the engine memoises
+//! the flat merged reader per version *vector* (any `K`, including 1):
+//! it runs once per republication observed by a query, never on the
+//! propagation path ([`ConcurrentQuantilesSketch::snapshot`]).
 //!
 //! By Theorem 1 plus the analysis of §6.2, a query misses at most
 //! `r = 2Nb` updates and therefore returns an element whose rank error is
@@ -29,13 +31,13 @@ use crate::runtime::{ConcurrentSketch, SketchWriter};
 use crate::sync::EpochCell;
 use fcds_sketches::error::Result;
 use fcds_sketches::oracle::{DeterministicOracle, Oracle};
-use fcds_sketches::quantiles::{QuantilesReader, QuantilesSketch};
+use fcds_sketches::quantiles::{QuantilesLadder, QuantilesReader, QuantilesSketch};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The global side: the sequential mergeable Quantiles sketch plus its
-/// published reader.
+/// published ladder snapshot.
 pub struct QuantilesGlobal<T: Ord + Clone + Send + Sync + 'static> {
     sketch: QuantilesSketch<T>,
     /// Seed for sibling shards' deterministic oracles (§4): `None` when
@@ -89,31 +91,32 @@ impl<T: Ord + Clone + Send + 'static> LocalSketch for QuantilesLocal<T> {
     }
 }
 
-/// The published view of one Quantiles shard: the epoch-managed reader
-/// plus a monotone *publication version*.
+/// The published view of one Quantiles shard: the epoch-managed ladder
+/// snapshot plus a monotone *publication version*.
 ///
-/// The version is what makes the engine-level merged-reader cache cheap
-/// and correct: a query compares the shards' versions against the cached
-/// merge's key and rebuilds the O(retained · log retained) merged reader
+/// The ladder is what the propagator can afford to publish per merge
+/// (O(levels) `Arc` clones); the version is what makes the engine-level
+/// flat-reader cache cheap and correct: a query compares the shards'
+/// versions against the cached merge's key and re-flattens the ladders
 /// only when some shard actually republished — instead of on every call.
-/// The publisher stores the reader *before* bumping the version
-/// (release), so a reader loaded after an observed version is at least
+/// The publisher stores the ladder *before* bumping the version
+/// (release), so a ladder loaded after an observed version is at least
 /// as fresh as that version.
 #[derive(Debug)]
 pub struct QuantilesView<T: Ord + Clone + Send + Sync + 'static> {
-    reader: EpochCell<QuantilesReader<T>>,
+    ladder: EpochCell<QuantilesLadder<T>>,
     version: AtomicU64,
 }
 
 impl<T: Ord + Clone + Send + Sync + 'static> QuantilesView<T> {
-    /// The current publication version (bumped on every reader store).
+    /// The current publication version (bumped on every ladder store).
     pub fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
     }
 
-    /// The currently published reader.
-    pub fn reader(&self) -> Arc<QuantilesReader<T>> {
-        self.reader.load()
+    /// The currently published ladder snapshot.
+    pub fn ladder(&self) -> Arc<QuantilesLadder<T>> {
+        self.ladder.load()
     }
 }
 
@@ -128,7 +131,7 @@ impl<T: Ord + Clone + Send + Sync + 'static> GlobalSketch for QuantilesGlobal<T>
 
     fn new_view(&self) -> Self::View {
         QuantilesView {
-            reader: EpochCell::new(self.sketch.reader()),
+            ladder: EpochCell::new(self.sketch.ladder()),
             version: AtomicU64::new(0),
         }
     }
@@ -144,23 +147,28 @@ impl<T: Ord + Clone + Send + Sync + 'static> GlobalSketch for QuantilesGlobal<T>
     }
 
     fn publish(&self, view: &Self::View) {
-        view.reader.store(self.sketch.reader());
+        view.ladder.store(self.sketch.ladder());
         view.version.fetch_add(1, Ordering::Release);
     }
 
+    /// The uncached reference path: flattens the published ladder on
+    /// every call. [`ConcurrentQuantilesSketch::snapshot`] bypasses this
+    /// with its per-version-vector memoisation.
     fn snapshot(view: &Self::View) -> Arc<QuantilesReader<T>> {
-        view.reader.load()
+        Arc::new(view.ladder.load().flatten())
     }
 
     fn merge_shard_views(views: &[&Self::View]) -> Arc<QuantilesReader<T>> {
-        let readers: Vec<_> = views.iter().map(|v| v.reader.load()).collect();
-        Arc::new(QuantilesReader::merged(readers.iter().map(|a| a.as_ref())))
+        let ladders: Vec<_> = views.iter().map(|v| v.ladder.load()).collect();
+        Arc::new(QuantilesReader::from_ladders(
+            ladders.iter().map(|a| a.as_ref()),
+        ))
     }
 
     fn new_shard(&self) -> Self {
-        let seed = self
-            .oracle_seed
-            .expect("sharded quantiles require a seedable oracle (ConcurrentQuantilesBuilder::oracle_seed)");
+        let seed = self.oracle_seed.expect(
+            "sharded quantiles require a seedable oracle (ConcurrentQuantilesBuilder::oracle_seed)",
+        );
         let idx = self.shards_spawned.get() + 1;
         self.shards_spawned.set(idx);
         // Distinct oracle stream per shard: mix the shard index into the
@@ -174,6 +182,14 @@ impl<T: Ord + Clone + Send + Sync + 'static> GlobalSketch for QuantilesGlobal<T>
             shards_spawned: Cell::new(0),
         }
     }
+
+    /// Nothing to set up for sharded publication: the persistent level
+    /// ladder *is* the copy-on-write mirror (unlike Θ, whose
+    /// [`prepare_sharded`](GlobalSketch::prepare_sharded) enables a
+    /// separate block mirror), so single- and multi-shard deployments
+    /// publish through the same O(levels) path and `publish_sharded`
+    /// keeps its `publish` default.
+    fn prepare_sharded(&mut self) {}
 
     fn calc_hint(&self) {}
 
@@ -241,6 +257,18 @@ impl ConcurrentQuantilesBuilder {
     /// Selects the propagation backend.
     pub fn backend(mut self, backend: PropagationBackendKind) -> Self {
         self.config.backend = backend;
+        self
+    }
+
+    /// Publishes each shard's mergeable image only on every `m`-th merge
+    /// (default 1; see [`ConcurrencyConfig::image_every`]). Quantiles
+    /// publishes the same ladder on image and non-image merges (its
+    /// ladder *is* the image), so this knob does not add staleness here —
+    /// it exists for configuration parity with the Θ/HLL builders, and
+    /// [`ConcurrentQuantilesSketch::query_relaxation`] still reports the
+    /// engine-level conservative bound `2Nb + K·(M − 1)·b`.
+    pub fn image_every(mut self, m: u64) -> Self {
+        self.config.image_every = m;
         self
     }
 
@@ -313,16 +341,18 @@ impl ConcurrentQuantilesBuilder {
 pub struct ConcurrentQuantilesSketch<T: Ord + Clone + Send + Sync + 'static> {
     inner: ConcurrentSketch<QuantilesGlobal<T>>,
     k: usize,
-    /// Memoised merged reader for sharded queries, keyed by the shards'
-    /// publication versions at build time. Rebuilt only when some shard
+    /// Memoised flat reader, keyed by the shards' publication versions at
+    /// build time (a one-element vector when `K = 1` — the flatten cost
+    /// moved off the propagation path for *every* shard count, so every
+    /// shard count memoises). Re-flattened only when some shard
     /// republished; any thread may refresh it (EpochCell stores are
     /// swap-based, so concurrent refreshes are safe — last writer wins
     /// and a stale key only causes one redundant rebuild).
     merged_cache: EpochCell<MergedQuantiles<T>>,
 }
 
-/// A cached merged reader tagged with the per-shard publication versions
-/// it was built from.
+/// A cached flat reader tagged with the per-shard publication versions
+/// it was flattened from.
 struct MergedQuantiles<T: Ord + Clone> {
     versions: Vec<u64>,
     reader: Arc<QuantilesReader<T>>,
@@ -365,14 +395,13 @@ impl<T: Ord + Clone + Send + Sync + 'static> ConcurrentQuantilesSketch<T> {
     /// Takes a wait-free snapshot of the current state; all queries on it
     /// are mutually consistent.
     ///
-    /// With `K > 1` shards the merged reader is memoised per publication
-    /// version: the O(retained · log retained) rebuild runs only when
-    /// some shard republished since the last query, not on every call.
+    /// Propagation publishes cheap ladder snapshots; the flat reader a
+    /// query consumes is memoised here per publication-version vector:
+    /// the O(retained · log runs) flatten runs only when some shard
+    /// republished since the last query, not on every call — and never
+    /// on the propagation path.
     pub fn snapshot(&self) -> Arc<QuantilesReader<T>> {
-        if self.inner.shard_count() == 1 {
-            return self.inner.snapshot();
-        }
-        // Versions first (acquire), then readers: the readers are then at
+        // Versions first (acquire), then ladders: the ladders are then at
         // least as fresh as the key, so a cache hit can never serve data
         // older than the key promises.
         let versions: Vec<u64> = self.inner.shard_views().map(|v| v.version()).collect();
@@ -380,8 +409,10 @@ impl<T: Ord + Clone + Send + Sync + 'static> ConcurrentQuantilesSketch<T> {
         if cached.versions == versions {
             return Arc::clone(&cached.reader);
         }
-        let readers: Vec<_> = self.inner.shard_views().map(|v| v.reader()).collect();
-        let reader = Arc::new(QuantilesReader::merged(readers.iter().map(|a| a.as_ref())));
+        let ladders: Vec<_> = self.inner.shard_views().map(|v| v.ladder()).collect();
+        let reader = Arc::new(QuantilesReader::from_ladders(
+            ladders.iter().map(|a| a.as_ref()),
+        ));
         self.merged_cache.store(MergedQuantiles {
             versions,
             reader: Arc::clone(&reader),
@@ -412,6 +443,16 @@ impl<T: Ord + Clone + Send + Sync + 'static> ConcurrentQuantilesSketch<T> {
     /// The relaxation bound `r = 2Nb`.
     pub fn relaxation(&self) -> u64 {
         self.inner.relaxation()
+    }
+
+    /// The engine-level merged-query staleness bound
+    /// ([`Self::relaxation`] plus `K·(M − 1)·b` when `image_every = M`
+    /// throttles image publication). Quantiles publishes its ladder on
+    /// every merge regardless of M, so this is conservative here — the
+    /// actual staleness stays `r = 2Nb` — but it is the bound the
+    /// generic checker machinery uses across sketches.
+    pub fn query_relaxation(&self) -> u64 {
+        self.inner.query_relaxation()
     }
 
     /// The relaxed rank-error bound `ε_r` of §6.2 at the current visible
@@ -662,7 +703,10 @@ mod tests {
         // must be the same allocation, not a fresh O(n log n) rebuild.
         let a = s.snapshot();
         let b = s.snapshot();
-        assert!(Arc::ptr_eq(&a, &b), "merged reader rebuilt without republication");
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "merged reader rebuilt without republication"
+        );
         // After more updates are propagated, queries must see fresh data.
         for i in 10_000..20_000u64 {
             w.update(i);
@@ -672,6 +716,89 @@ mod tests {
         let c = s.snapshot();
         assert!(!Arc::ptr_eq(&a, &c), "cache failed to invalidate");
         assert_eq!(c.n(), 20_000);
+    }
+
+    #[test]
+    fn single_shard_snapshot_is_cached_until_republication() {
+        // The flatten moved off the propagation path for every K, so the
+        // K = 1 fast path must memoise too: two snapshots with no merge
+        // in between share one allocation.
+        let s = ConcurrentQuantilesBuilder::new()
+            .k(64)
+            .writers(1)
+            .max_concurrency_error(1.0)
+            .build::<u64>()
+            .unwrap();
+        let mut w = s.writer();
+        for i in 0..10_000u64 {
+            w.update(i);
+        }
+        w.flush();
+        s.quiesce();
+        let a = s.snapshot();
+        let b = s.snapshot();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "flat reader rebuilt without republication"
+        );
+        for i in 10_000..20_000u64 {
+            w.update(i);
+        }
+        w.flush();
+        s.quiesce();
+        let c = s.snapshot();
+        assert!(!Arc::ptr_eq(&a, &c), "cache failed to invalidate");
+        assert_eq!(c.n(), 20_000);
+    }
+
+    #[test]
+    fn published_ladder_matches_flattened_snapshot() {
+        // The view's raw ladder and the engine's memoised flat reader are
+        // two views of the same published state.
+        let s = ConcurrentQuantilesBuilder::new()
+            .k(64)
+            .writers(1)
+            .max_concurrency_error(1.0)
+            .build::<u64>()
+            .unwrap();
+        let mut w = s.writer();
+        for i in 0..50_000u64 {
+            w.update(i);
+        }
+        w.flush();
+        s.quiesce();
+        let view = s.inner.shard_views().next().expect("one shard");
+        let ladder = view.ladder();
+        assert!(ladder.run_count() > 1, "stream should span several levels");
+        let flat = s.snapshot();
+        assert_eq!(ladder.n(), flat.n());
+        for phi in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(ladder.quantile(phi), flat.quantile(phi), "phi={phi}");
+        }
+    }
+
+    #[test]
+    fn image_every_does_not_stale_quantiles() {
+        // Quantiles publishes its ladder on image and non-image merges
+        // alike, so M > 1 must not change quiesced freshness.
+        let s = ConcurrentQuantilesBuilder::new()
+            .k(64)
+            .writers(2)
+            .shards(2)
+            .max_concurrency_error(1.0)
+            .image_every(4)
+            .backend(PropagationBackendKind::WriterAssisted)
+            .build::<u64>()
+            .unwrap();
+        let mut w = s.writer();
+        for i in 0..20_000u64 {
+            w.update(i);
+        }
+        w.flush();
+        s.quiesce();
+        assert_eq!(s.visible_n(), 20_000);
+        assert_eq!(s.quantile(0.0), Some(0));
+        assert_eq!(s.quantile(1.0), Some(19_999));
     }
 
     #[test]

@@ -797,7 +797,11 @@ impl<G: GlobalSketch> SketchWriter<G> {
             .eager_updates
             .fetch_add(1, Ordering::Relaxed);
         self.hint = g.calc_hint();
-        let total = self.shared.eager_ingested.fetch_add(delta, Ordering::Relaxed) + delta;
+        let total = self
+            .shared
+            .eager_ingested
+            .fetch_add(delta, Ordering::Relaxed)
+            + delta;
         if total >= self.shared.eager_limit {
             // §5.3: raise b to the lazy buffer size and leave the eager
             // phase. The store order (b first) means a worker that sees
@@ -823,7 +827,10 @@ impl<G: GlobalSketch> SketchWriter<G> {
         self.b = self.shared.buffer_size.load(Ordering::Relaxed);
         // SAFETY: wait_merged ensured the propagator released the buffers.
         unsafe { self.slot.hand_off(self.cur) };
-        self.shared.counters.handoffs.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .counters
+            .handoffs
+            .fetch_add(1, Ordering::Relaxed);
         self.backend.after_handoff(&self.shared, self.shard);
 
         if !self.shared.config.double_buffering {
@@ -1111,7 +1118,10 @@ mod tests {
             ..Default::default()
         };
         let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
-        assert!(sketch.handles.is_empty(), "threadless backend spawned threads");
+        assert!(
+            sketch.handles.is_empty(),
+            "threadless backend spawned threads"
+        );
         let mut w = sketch.writer();
         for i in 0..10_000u64 {
             w.update(i);

@@ -161,7 +161,9 @@ mod tests {
         }
 
         const PUBLISHES: usize = 5_000;
-        let cell = Arc::new(EpochCell::new(CountingBlock { payload: vec![0; 64] }));
+        let cell = Arc::new(EpochCell::new(CountingBlock {
+            payload: vec![0; 64],
+        }));
         let stop = Arc::new(AtomicBool::new(false));
         let readers: Vec<_> = (0..3)
             .map(|_| {
@@ -174,7 +176,7 @@ mod tests {
                         let snap = cell.load();
                         checksum ^= snap.payload[0];
                         iters += 1;
-                        if iters % 64 == 0 {
+                        if iters.is_multiple_of(64) {
                             // Keep 1-CPU CI live: the readers' job is to
                             // pin epochs, not to monopolise the core.
                             std::thread::yield_now();
@@ -185,7 +187,9 @@ mod tests {
             })
             .collect();
         for i in 1..=PUBLISHES as u64 {
-            cell.store(CountingBlock { payload: vec![i; 64] });
+            cell.store(CountingBlock {
+                payload: vec![i; 64],
+            });
         }
         stop.store(true, AtOrd::Relaxed);
         for r in readers {

@@ -25,8 +25,8 @@ use fcds_sketches::error::Result;
 use fcds_sketches::hash::{Hashable, DEFAULT_SEED};
 use fcds_sketches::oracle::Oracle;
 use fcds_sketches::theta::{
-    normalize_hash, theta_to_fraction, untrimmed_union, untrimmed_union_unsorted,
-    BlockSnapshot, CompactThetaSketch, HashBlocks, QuickSelectThetaSketch, ThetaRead,
+    normalize_hash, theta_to_fraction, untrimmed_union, untrimmed_union_unsorted, BlockSnapshot,
+    CompactThetaSketch, HashBlocks, QuickSelectThetaSketch, ThetaRead,
 };
 
 /// A consistent query snapshot of the concurrent Θ sketch.
@@ -672,7 +672,10 @@ mod tests {
                 let est = s.estimate();
                 assert!(est >= 0.0);
                 peak = peak.max(est);
-                assert!(est >= peak * 0.5, "estimate collapsed: {est} vs peak {peak}");
+                assert!(
+                    est >= peak * 0.5,
+                    "estimate collapsed: {est} vs peak {peak}"
+                );
             }
         });
     }
@@ -953,9 +956,15 @@ mod tests {
         let view = g.new_view();
         let image = view.image.load();
         assert_eq!(image.retained(), 0, "initial image must be empty");
-        assert!(g.blocks.is_none(), "mirror must stay off until prepare_sharded");
+        assert!(
+            g.blocks.is_none(),
+            "mirror must stay off until prepare_sharded"
+        );
         // The triple is fully initialised regardless.
-        assert_eq!(ThetaGlobal::snapshot(&view).retained, g.sketch.retained() as u64);
+        assert_eq!(
+            ThetaGlobal::snapshot(&view).retained,
+            g.sketch.retained() as u64
+        );
     }
 
     #[test]

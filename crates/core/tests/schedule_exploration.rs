@@ -36,9 +36,13 @@ struct Shared {
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 enum WorkerPc {
     /// Buffer the next item into `buffers[cur]` (line 122).
-    Update { next_item: u32 },
+    Update {
+        next_item: u32,
+    },
     /// Line 125: wait until `prop != 0`, then flip + hand off.
-    AwaitMerge { next_item: u32 },
+    AwaitMerge {
+        next_item: u32,
+    },
     Done,
 }
 
@@ -86,9 +90,7 @@ fn worker_step(state: &State, n_items: u32, b: usize) -> Option<State> {
             s.worker = if next_item >= n_items {
                 WorkerPc::Done
             } else {
-                WorkerPc::Update {
-                    next_item,
-                }
+                WorkerPc::Update { next_item }
             };
             Some(s)
         }

@@ -102,7 +102,11 @@ pub fn run_trial(params: AdversaryParams, rng: &mut impl Rng) -> TrialEstimates 
     let (e0, er) = (est(m_k), est(m_k_r));
     let nf = n as f64;
     // Strong adversary: g(0, r) = argmax_j |est(M₍ₖ₊ⱼ₎) − n|.
-    let strong = if (e0 - nf).abs() >= (er - nf).abs() { e0 } else { er };
+    let strong = if (e0 - nf).abs() >= (er - nf).abs() {
+        e0
+    } else {
+        er
+    };
     TrialEstimates {
         sequential: e0,
         strong,
@@ -174,8 +178,16 @@ mod tests {
         let res = run_table1(4_000);
         // Table 1: ≤ 1/√(k−2) ≈ 3.13%; simulated value ≈ 3.1%.
         let bound = 1.0 / (1022.0f64).sqrt();
-        assert!(res.sequential.rse < bound * 1.1, "rse {}", res.sequential.rse);
-        assert!(res.sequential.rse > bound * 0.8, "rse {}", res.sequential.rse);
+        assert!(
+            res.sequential.rse < bound * 1.1,
+            "rse {}",
+            res.sequential.rse
+        );
+        assert!(
+            res.sequential.rse > bound * 0.8,
+            "rse {}",
+            res.sequential.rse
+        );
     }
 
     #[test]
@@ -183,7 +195,11 @@ mod tests {
         let res = run_table1(4_000);
         let expected = orderstats::expected_estimate(1 << 15, 1 << 10, 8);
         let rel = (res.weak.mean - expected).abs() / expected;
-        assert!(rel < 0.01, "weak mean {} vs closed form {expected}", res.weak.mean);
+        assert!(
+            rel < 0.01,
+            "weak mean {} vs closed form {expected}",
+            res.weak.mean
+        );
     }
 
     #[test]
@@ -211,7 +227,11 @@ mod tests {
     fn weak_rse_within_paper_bound() {
         let res = run_table1(4_000);
         let bound = orderstats::weak_adversary_rse_bound(1 << 10, 8);
-        assert!(res.weak.rse <= bound, "rse {} vs bound {bound}", res.weak.rse);
+        assert!(
+            res.weak.rse <= bound,
+            "rse {} vs bound {bound}",
+            res.weak.rse
+        );
     }
 
     #[test]

@@ -94,10 +94,16 @@ impl std::fmt::Display for Violation {
                 write!(f, "estimation mode with retained {retained} < k = {k}")
             }
             Violation::EstimateMismatch { observed, implied } => {
-                write!(f, "estimate {observed} but (theta, retained) imply {implied}")
+                write!(
+                    f,
+                    "estimate {observed} but (theta, retained) imply {implied}"
+                )
             }
             Violation::NoValidPrefix { last } => {
-                write!(f, "no prefix in window admits the observation; last: {last}")
+                write!(
+                    f,
+                    "no prefix in window admits the observation; last: {last}"
+                )
             }
         }
     }
@@ -184,7 +190,11 @@ impl ThetaChecker {
     }
 
     /// Core admissibility test against a sorted, distinct preceding set.
-    fn check_sorted(&self, sorted_distinct: &[u64], obs: &ThetaObservation) -> Result<(), Violation> {
+    fn check_sorted(
+        &self,
+        sorted_distinct: &[u64],
+        obs: &ThetaObservation,
+    ) -> Result<(), Violation> {
         if obs.theta == THETA_MAX {
             // Exact mode: the query saw |S| ∈ [|P|−r, |P|] distinct items.
             let total = sorted_distinct.len() as u64;

@@ -90,7 +90,7 @@ impl QuantilesChecker {
         obs: &QuantileObservation<T>,
     ) -> Result<(), QuantilesViolation> {
         let window = &stream[..preceding];
-        if !window.iter().any(|v| *v == obs.answer) {
+        if !window.contains(&obs.answer) {
             return Err(QuantilesViolation::NotInStream);
         }
         let n = preceding as f64;
@@ -226,7 +226,10 @@ mod tests {
                 .unwrap_or_else(|v| panic!("phi={phi}: {v}"));
         }
         // …but not beyond it.
-        let obs = QuantileObservation { phi: 0.62, answer: 500 };
+        let obs = QuantileObservation {
+            phi: 0.62,
+            answer: 500,
+        };
         assert!(checker.check_at(&stream, stream.len(), &obs).is_err());
     }
 

@@ -118,7 +118,7 @@ impl History {
             let mut overtaken = 0usize;
             for (id_y, _) in &other.ops[..px_prime] {
                 match pos_h.get(id_y) {
-                    None => overtaken += 1, // dropped
+                    None => overtaken += 1,                       // dropped
                     Some(&py_h) if py_h > px_h => overtaken += 1, // reordered
                     _ => {}
                 }

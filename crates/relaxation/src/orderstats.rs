@@ -119,7 +119,10 @@ mod tests {
         let rse = rse_estimate(n, k, r);
         let bound = weak_adversary_rse_bound(k as usize, r as usize);
         assert!(rse <= bound, "rse {rse} vs bound {bound}");
-        assert!(rse > 0.03 && rse < 0.045, "rse {rse} not near Table 1's 3.8%");
+        assert!(
+            rse > 0.03 && rse < 0.045,
+            "rse {rse} not near Table 1's 3.8%"
+        );
     }
 
     #[test]

@@ -179,7 +179,9 @@ mod tests {
         let images = shard_images(&stream, stream.len(), 4, 12, 500);
         let obs = merged_observation(images.iter()).unwrap();
         assert!(
-            ThetaChecker::new(4096, r).check_at(&stream, stream.len(), &obs).is_err(),
+            ThetaChecker::new(4096, r)
+                .check_at(&stream, stream.len(), &obs)
+                .is_err(),
             "2000 hidden updates accepted under r = 64"
         );
     }
@@ -197,7 +199,11 @@ mod tests {
         for m in [1u64, 4] {
             for k_shards in [1usize, 2, 4] {
                 let r_query = sharded_query_relaxation(r, k_shards, m, b as u64);
-                let image_lag = if k_shards > 1 { (m as usize - 1) * b } else { 0 };
+                let image_lag = if k_shards > 1 {
+                    (m as usize - 1) * b
+                } else {
+                    0
+                };
                 let hide_per_shard = (writers / k_shards) * 2 * b + image_lag;
                 let images = shard_images(&stream, stream.len(), k_shards, 6, hide_per_shard);
                 let obs = merged_observation(images.iter()).unwrap();

@@ -82,13 +82,19 @@ mod tests {
     #[test]
     fn display_invalid_parameter() {
         let e = SketchError::invalid("k", "must be a power of two");
-        assert_eq!(e.to_string(), "invalid parameter `k`: must be a power of two");
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter `k`: must be a power of two"
+        );
     }
 
     #[test]
     fn display_incompatible() {
         let e = SketchError::incompatible("k mismatch: 128 vs 256");
-        assert_eq!(e.to_string(), "incompatible sketches: k mismatch: 128 vs 256");
+        assert_eq!(
+            e.to_string(),
+            "incompatible sketches: k mismatch: 128 vs 256"
+        );
     }
 
     #[test]

@@ -163,7 +163,7 @@ impl<T: Eq + Hash + Clone> MisraGriesSketch<T> {
             })
             .filter(|(_, e)| e.upper_bound > threshold)
             .collect();
-        out.sort_by(|a, b| b.1.lower_bound.cmp(&a.1.lower_bound));
+        out.sort_by_key(|(_, e)| std::cmp::Reverse(e.lower_bound));
         out
     }
 
@@ -282,7 +282,9 @@ mod tests {
             assert!(ids.contains(&heavy), "missing heavy hitter {heavy}");
         }
         // Sorted by decreasing lower bound.
-        assert!(hh.windows(2).all(|w| w[0].1.lower_bound >= w[1].1.lower_bound));
+        assert!(hh
+            .windows(2)
+            .all(|w| w[0].1.lower_bound >= w[1].1.lower_bound));
     }
 
     #[test]

@@ -151,7 +151,7 @@ mod tests {
     fn reference_delegates() {
         let v = 99u64;
         assert_eq!(
-            (&v).hash_with_seed(DEFAULT_SEED),
+            v.hash_with_seed(DEFAULT_SEED),
             v.hash_with_seed(DEFAULT_SEED)
         );
     }

@@ -132,11 +132,15 @@ impl ScriptedOracle {
 
 impl Oracle for ScriptedOracle {
     fn hash_seed(&mut self) -> u64 {
-        self.seeds.pop_front().unwrap_or_else(|| self.fallback.random())
+        self.seeds
+            .pop_front()
+            .unwrap_or_else(|| self.fallback.random())
     }
 
     fn flip(&mut self) -> bool {
-        self.coins.pop_front().unwrap_or_else(|| self.fallback.random())
+        self.coins
+            .pop_front()
+            .unwrap_or_else(|| self.fallback.random())
     }
 }
 

@@ -19,10 +19,17 @@
 //! carry-propagate up the ladder exactly like binary addition. The coin
 //! flips are the randomness that §4's de-randomisation oracle captures
 //! ("In the Quantiles sketch, a coin flip is provided with every update").
+//!
+//! The levels are stored as immutable `Arc`'d runs, so
+//! [`QuantilesSketch::ladder`] yields a persistent copy-on-write
+//! [`QuantilesLadder`] snapshot in O(levels) — the publication primitive
+//! the concurrent engine uses on its propagation path.
 
+mod ladder;
 mod sketch;
 mod wire;
 
+pub use ladder::{QuantilesLadder, WeightedMerge};
 pub use sketch::{QuantilesReader, QuantilesSketch};
 pub use wire::WireItem;
 
@@ -107,7 +114,7 @@ mod tests {
 
     #[test]
     fn total_f64_orders_nan_last() {
-        let mut v = vec![TotalF64(f64::NAN), TotalF64(1.0), TotalF64(f64::INFINITY)];
+        let mut v = [TotalF64(f64::NAN), TotalF64(1.0), TotalF64(f64::INFINITY)];
         v.sort();
         assert_eq!(v[0].0, 1.0);
         assert!(v[1].0.is_infinite());

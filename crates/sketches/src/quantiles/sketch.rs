@@ -1,8 +1,10 @@
 //! The classic mergeable Quantiles sketch implementation.
 
+use super::ladder::{QuantilesLadder, WeightedMerge};
 use crate::error::{Result, SketchError};
 use crate::oracle::{DeterministicOracle, Oracle};
 use std::fmt;
+use std::sync::Arc;
 
 /// Sequential mergeable Quantiles sketch (Agarwal et al., PODS 2012).
 ///
@@ -27,10 +29,13 @@ pub struct QuantilesSketch<T: Ord + Clone> {
     n: u64,
     /// Unsorted incoming items, capacity `2k`.
     base_buffer: Vec<T>,
-    /// `levels[i]` is either empty or a sorted buffer of exactly `k` items
+    /// `levels[i]` is either empty or a sorted run of exactly `k` items
     /// of weight `2^(i+1)` (one full base buffer of `2k` weight-1 items
-    /// compacts into `k` items of weight 2 at level 0).
-    levels: Vec<Vec<T>>,
+    /// compacts into `k` items of weight 2 at level 0). Each run is
+    /// immutable behind an `Arc`: compaction *replaces* runs, never edits
+    /// them, so a [`QuantilesLadder`] snapshot shares them copy-on-write
+    /// and [`Self::ladder`] is O(levels), not O(retained).
+    levels: Vec<Arc<Vec<T>>>,
     /// Exact extrema (compaction can drop them from the buffers).
     min_item: Option<T>,
     max_item: Option<T>,
@@ -146,39 +151,42 @@ impl<T: Ord + Clone> QuantilesSketch<T> {
         sorted.iter().skip(offset).step_by(2).cloned().collect()
     }
 
-    /// Merges a sorted `k`-item carry into the ladder starting at `level`.
+    /// Merges a sorted `k`-item carry into the ladder starting at
+    /// `level`. Touched levels get *fresh* `Arc`'d runs (outstanding
+    /// ladder snapshots keep the old ones); untouched levels are not
+    /// visited at all.
     fn promote(&mut self, mut carry: Vec<T>, mut level: usize) {
         debug_assert_eq!(carry.len(), self.k);
         loop {
             if self.levels.len() <= level {
-                self.levels.resize_with(level + 1, Vec::new);
+                self.levels.resize_with(level + 1, || Arc::new(Vec::new()));
             }
             if self.levels[level].is_empty() {
-                self.levels[level] = carry;
+                self.levels[level] = Arc::new(carry);
                 return;
             }
-            let resident = std::mem::take(&mut self.levels[level]);
-            let merged = Self::merge_sorted(resident, carry);
+            let resident = std::mem::replace(&mut self.levels[level], Arc::new(Vec::new()));
+            let merged = Self::merge_sorted(&resident, &carry);
             carry = Self::compact(&merged, self.oracle.flip());
             level += 1;
         }
     }
 
-    /// Merges two sorted vectors into one sorted vector.
-    fn merge_sorted(a: Vec<T>, b: Vec<T>) -> Vec<T> {
+    /// Merges two sorted slices into one sorted vector.
+    fn merge_sorted(a: &[T], b: &[T]) -> Vec<T> {
         let mut out = Vec::with_capacity(a.len() + b.len());
-        let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+        let (mut ia, mut ib) = (a.iter().peekable(), b.iter().peekable());
         loop {
             match (ia.peek(), ib.peek()) {
                 (Some(x), Some(y)) => {
                     if x <= y {
-                        out.push(ia.next().expect("peeked"));
+                        out.push(ia.next().expect("peeked").clone());
                     } else {
-                        out.push(ib.next().expect("peeked"));
+                        out.push(ib.next().expect("peeked").clone());
                     }
                 }
-                (Some(_), None) => out.push(ia.next().expect("peeked")),
-                (None, Some(_)) => out.push(ib.next().expect("peeked")),
+                (Some(_), None) => out.push(ia.next().expect("peeked").clone()),
+                (None, Some(_)) => out.push(ib.next().expect("peeked").clone()),
                 (None, None) => return out,
             }
         }
@@ -203,17 +211,17 @@ impl<T: Ord + Clone> QuantilesSketch<T> {
         }
         for (level, buf) in other.levels.iter().enumerate() {
             if !buf.is_empty() {
-                self.promote(buf.clone(), level);
+                self.promote(buf.as_ref().clone(), level);
                 self.n += (self.k as u64) << (level + 1);
             }
         }
         if let Some(m) = &other.min_item {
-            if self.min_item.as_ref().map_or(true, |s| m < s) {
+            if self.min_item.as_ref().is_none_or(|s| m < s) {
                 self.min_item = Some(m.clone());
             }
         }
         if let Some(m) = &other.max_item {
-            if self.max_item.as_ref().map_or(true, |s| m > s) {
+            if self.max_item.as_ref().is_none_or(|s| m > s) {
                 self.max_item = Some(m.clone());
             }
         }
@@ -230,7 +238,8 @@ impl<T: Ord + Clone> QuantilesSketch<T> {
     }
 
     /// Decomposes the sketch for serialisation (crate-internal).
-    pub(crate) fn wire_parts(&self) -> (usize, u64, &[T], &[Vec<T>], Option<&T>, Option<&T>) {
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn wire_parts(&self) -> (usize, u64, &[T], &[Arc<Vec<T>>], Option<&T>, Option<&T>) {
         (
             self.k,
             self.n,
@@ -255,9 +264,61 @@ impl<T: Ord + Clone> QuantilesSketch<T> {
         let mut sketch = QuantilesSketch::new(k, oracle)?;
         sketch.n = n;
         sketch.base_buffer = base_buffer;
-        sketch.levels = levels;
+        sketch.levels = levels.into_iter().map(Arc::new).collect();
         sketch.min_item = min_item;
         sketch.max_item = max_item;
+        Ok(sketch)
+    }
+
+    /// Builds a sketch whose listed `levels` are pre-occupied: each entry
+    /// `(level, items)` installs a sorted run of exactly `k` items with
+    /// weight `2^(level+1)`; the base buffer starts empty and `n` is the
+    /// summed weight. Bench/test support for reaching deep-ladder states
+    /// (whose high levels stay frozen under further updates) without
+    /// streaming `Σ k·2^(level+1)` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a run is unsorted, has the wrong length, or repeats a
+    /// level.
+    #[doc(hidden)]
+    pub fn with_prebuilt_levels(
+        k: usize,
+        seed: u64,
+        prebuilt: impl IntoIterator<Item = (usize, Vec<T>)>,
+    ) -> Result<Self> {
+        let mut sketch = Self::with_seed(k, seed)?;
+        for (level, items) in prebuilt {
+            assert_eq!(
+                items.len(),
+                k,
+                "level {level} run must hold exactly k items"
+            );
+            assert!(
+                items.windows(2).all(|w| w[0] <= w[1]),
+                "level {level} run must be sorted"
+            );
+            if sketch.levels.len() <= level {
+                sketch
+                    .levels
+                    .resize_with(level + 1, || Arc::new(Vec::new()));
+            }
+            assert!(
+                sketch.levels[level].is_empty(),
+                "level {level} occupied twice"
+            );
+            for probe in [items.first(), items.last()].into_iter().flatten() {
+                if sketch.min_item.as_ref().is_none_or(|m| probe < m) {
+                    sketch.min_item = Some(probe.clone());
+                }
+                if sketch.max_item.as_ref().is_none_or(|m| probe > m) {
+                    sketch.max_item = Some(probe.clone());
+                }
+            }
+            sketch.n += (k as u64) << (level + 1);
+            sketch.levels[level] = Arc::new(items);
+        }
+        debug_assert!(sketch.check_weight_invariant());
         Ok(sketch)
     }
 
@@ -275,7 +336,11 @@ impl<T: Ord + Clone> QuantilesSketch<T> {
         total == self.n
     }
 
-    /// Collects all retained `(item, weight)` pairs sorted by item.
+    /// Collects all retained `(item, weight)` pairs sorted by item — the
+    /// O(retained · log retained) full rebuild. Kept as the
+    /// [`Self::reader`] implementation (and as the baseline the
+    /// `quantiles_prop` bench compares the ladder against); the
+    /// propagation path uses [`Self::ladder`] instead.
     fn weighted_items(&self) -> Vec<(T, u64)> {
         let mut out: Vec<(T, u64)> = Vec::new();
         let mut bb = self.base_buffer.clone();
@@ -290,7 +355,9 @@ impl<T: Ord + Clone> QuantilesSketch<T> {
     }
 
     /// Freezes the retained items into a cheap reusable reader for batch
-    /// queries.
+    /// queries, re-sorting the whole retained set (O(retained · log
+    /// retained)). On a hot publication path prefer [`Self::ladder`],
+    /// which shares the level runs instead of copying them.
     pub fn reader(&self) -> QuantilesReader<T> {
         QuantilesReader {
             items: self.weighted_items(),
@@ -298,6 +365,26 @@ impl<T: Ord + Clone> QuantilesSketch<T> {
             min_item: self.min_item.clone(),
             max_item: self.max_item.clone(),
         }
+    }
+
+    /// Takes a persistent copy-on-write snapshot of the level ladder:
+    /// one `Arc` clone per non-empty level plus a sort of the (≤ 2k,
+    /// parameter-bounded) base buffer. Unlike [`Self::reader`] the cost
+    /// is independent of how many levels the stream has accumulated,
+    /// which is what keeps the concurrent engine's per-merge publication
+    /// O(b + k log k) amortised instead of O(retained · log retained).
+    pub fn ladder(&self) -> QuantilesLadder<T> {
+        let mut base = self.base_buffer.clone();
+        // Unstable sort: duplicates are indistinguishable, and this runs
+        // on the per-merge publication path.
+        base.sort_unstable();
+        QuantilesLadder::from_parts(
+            base,
+            &self.levels,
+            self.n,
+            self.min_item.clone(),
+            self.max_item.clone(),
+        )
     }
 
     /// Returns an element whose rank approximates `phi·n` (φ ∈ [0, 1]).
@@ -327,15 +414,50 @@ pub struct QuantilesReader<T: Ord + Clone> {
 }
 
 impl<T: Ord + Clone> QuantilesReader<T> {
-    /// Merges several readers into one summary of the concatenated
-    /// streams — the query-time shard merge of the sharded concurrent
-    /// engine.
+    /// Builds one flat reader from the published ladders of one or more
+    /// shards — the query-time merge of the sharded concurrent engine.
+    /// Heap-merges the per-level runs in item order, O(retained · log
+    /// runs), instead of collect-and-re-sort.
     ///
     /// The merge is lossless in the PAC sense: each input's retained
     /// samples carry rank error at most `ε·n_i` on its own sub-stream, so
     /// the union's error on any item is at most `Σ ε·n_i = ε·n` — the
     /// same `ε` a single sketch with the same `k` guarantees on the
     /// concatenated stream.
+    pub fn from_ladders<'a>(parts: impl IntoIterator<Item = &'a QuantilesLadder<T>>) -> Self
+    where
+        T: 'a,
+    {
+        let mut n = 0u64;
+        let mut min_item: Option<T> = None;
+        let mut max_item: Option<T> = None;
+        let mut retained = 0usize;
+        let ladders: Vec<&QuantilesLadder<T>> = parts.into_iter().collect();
+        for p in &ladders {
+            n += p.n();
+            retained += p.retained();
+            min_item = match (min_item.take(), p.min_item().cloned()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            max_item = match (max_item.take(), p.max_item().cloned()) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        let mut items: Vec<(T, u64)> = Vec::with_capacity(retained);
+        items.extend(WeightedMerge::new(ladders).map(|(v, w)| (v.clone(), w)));
+        QuantilesReader {
+            items,
+            n,
+            min_item,
+            max_item,
+        }
+    }
+
+    /// Merges several flat readers into one summary of the concatenated
+    /// streams (collect-and-sort; see [`Self::from_ladders`] for the
+    /// run-aware merge and the losslessness argument).
     pub fn merged<'a>(parts: impl IntoIterator<Item = &'a Self>) -> Self
     where
         T: 'a,
@@ -377,25 +499,13 @@ impl<T: Ord + Clone> QuantilesReader<T> {
 
     /// See [`QuantilesSketch::quantile`].
     pub fn quantile(&self, phi: f64) -> Option<T> {
-        if self.n == 0 {
-            return None;
-        }
-        let phi = phi.clamp(0.0, 1.0);
-        if phi == 0.0 {
-            return self.min_item.clone();
-        }
-        if phi == 1.0 {
-            return self.max_item.clone();
-        }
-        let target = (phi * self.n as f64).ceil().max(1.0) as u64;
-        let mut cum = 0u64;
-        for (item, w) in &self.items {
-            cum += w;
-            if cum >= target {
-                return Some(item.clone());
-            }
-        }
-        self.max_item.clone()
+        quantile_from_weighted(
+            self.items.iter().map(|(v, w)| (v, *w)),
+            self.n,
+            self.min_item.as_ref(),
+            self.max_item.as_ref(),
+            phi,
+        )
     }
 
     /// See [`QuantilesSketch::rank`].
@@ -438,6 +548,41 @@ impl<T: Ord + Clone> QuantilesReader<T> {
         }
         out
     }
+}
+
+/// The quantile-selection rule shared by every weighted-sample view
+/// ([`QuantilesReader`] over its flat vector,
+/// [`QuantilesLadder`](super::QuantilesLadder) over its heap merge):
+/// walk `(item, weight)` pairs in item order and return the first item
+/// whose cumulative weight reaches `⌈phi·n⌉`, with exact extrema at
+/// `phi ∈ {0, 1}`. One definition keeps the two representations
+/// answer-identical by construction.
+pub(crate) fn quantile_from_weighted<'a, T: Ord + Clone + 'a>(
+    weighted: impl Iterator<Item = (&'a T, u64)>,
+    n: u64,
+    min_item: Option<&T>,
+    max_item: Option<&T>,
+    phi: f64,
+) -> Option<T> {
+    if n == 0 {
+        return None;
+    }
+    let phi = phi.clamp(0.0, 1.0);
+    if phi == 0.0 {
+        return min_item.cloned();
+    }
+    if phi == 1.0 {
+        return max_item.cloned();
+    }
+    let target = (phi * n as f64).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (item, w) in weighted {
+        cum += w;
+        if cum >= target {
+            return Some(item.clone());
+        }
+    }
+    max_item.cloned()
 }
 
 #[cfg(test)]

@@ -84,7 +84,7 @@ impl<T: Ord + Clone + WireItem> QuantilesSketch<T> {
             item.write_to(&mut buf);
         }
         for level in levels.iter().filter(|l| !l.is_empty()) {
-            for item in level {
+            for item in level.iter() {
                 item.write_to(&mut buf);
             }
         }

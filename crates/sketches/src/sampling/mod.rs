@@ -129,7 +129,11 @@ impl<T: Clone> ReservoirSampler<T> {
         let take = self.k.min(total as usize);
         for _ in 0..take {
             let from_self = self.rng.random_range(0..total) < self.n;
-            let src = if from_self { &self.reservoir } else { &other.reservoir };
+            let src = if from_self {
+                &self.reservoir
+            } else {
+                &other.reservoir
+            };
             let idx = self.rng.random_range(0..src.len());
             merged.push(src[idx].clone());
         }
@@ -196,7 +200,10 @@ mod tests {
         let expected = trials as f64 * 0.1;
         for (i, &h) in hits.iter().enumerate() {
             let rel = (h as f64 - expected).abs() / expected;
-            assert!(rel < 0.35, "item {i} sampled {h} times (expected ~{expected})");
+            assert!(
+                rel < 0.35,
+                "item {i} sampled {h} times (expected ~{expected})"
+            );
         }
     }
 

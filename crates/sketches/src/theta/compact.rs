@@ -53,7 +53,7 @@ impl CompactThetaSketch {
     pub fn from_parts(theta: u64, seed: u64, mut hashes: Vec<u64>) -> Result<Self> {
         hashes.sort_unstable();
         hashes.dedup();
-        if hashes.iter().any(|&h| h == 0) {
+        if hashes.contains(&0) {
             return Err(SketchError::invalid("hashes", "hash 0 is reserved"));
         }
         if let Some(&max) = hashes.last() {
@@ -64,7 +64,11 @@ impl CompactThetaSketch {
                 ));
             }
         }
-        Ok(CompactThetaSketch { theta, seed, hashes })
+        Ok(CompactThetaSketch {
+            theta,
+            seed,
+            hashes,
+        })
     }
 
     /// The empty compact sketch.
@@ -143,7 +147,11 @@ impl CompactThetaSketch {
             prev = h;
             hashes.push(h);
         }
-        Ok(CompactThetaSketch { theta, seed, hashes })
+        Ok(CompactThetaSketch {
+            theta,
+            seed,
+            hashes,
+        })
     }
 
     /// Membership test in the retained set (binary search).

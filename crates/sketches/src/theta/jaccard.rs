@@ -164,7 +164,11 @@ mod tests {
         let a = filled(0..100_000);
         let b = filled(50_000..150_000);
         let j = jaccard(&a, &b).unwrap();
-        assert!((j.estimate - 1.0 / 3.0).abs() < 0.05, "estimate {}", j.estimate);
+        assert!(
+            (j.estimate - 1.0 / 3.0).abs() < 0.05,
+            "estimate {}",
+            j.estimate
+        );
         assert!(j.lower_bound <= j.estimate && j.estimate <= j.upper_bound);
     }
 

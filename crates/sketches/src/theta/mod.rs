@@ -38,7 +38,9 @@ pub use compact::CompactThetaSketch;
 pub use jaccard::{jaccard, jaccard_via_setops, JaccardEstimate};
 pub use kmv::KmvThetaSketch;
 pub use quickselect::QuickSelectThetaSketch;
-pub use setops::{untrimmed_union, untrimmed_union_unsorted, ThetaANotB, ThetaIntersection, ThetaUnion};
+pub use setops::{
+    untrimmed_union, untrimmed_union_unsorted, ThetaANotB, ThetaIntersection, ThetaUnion,
+};
 
 /// Θ value representing 1.0: nothing is filtered, the sketch is exact.
 pub const THETA_MAX: u64 = u64::MAX;

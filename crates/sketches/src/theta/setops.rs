@@ -194,8 +194,7 @@ impl ThetaIntersection {
             }
             Some((theta, set)) => {
                 let new_theta = (*theta).min(sketch.theta());
-                let other: HashSet<u64> =
-                    sketch.hashes().filter(|&h| h < new_theta).collect();
+                let other: HashSet<u64> = sketch.hashes().filter(|&h| h < new_theta).collect();
                 set.retain(|h| *h < new_theta && other.contains(h));
                 *theta = new_theta;
             }

@@ -78,7 +78,7 @@ impl GlobalSketch for MinGlobal {
     fn merge(&mut self, local: &mut MinLocal) {
         for v in local.items.drain(..) {
             self.n += 1;
-            if self.min.map_or(true, |m| v < m) {
+            if self.min.is_none_or(|m| v < m) {
                 self.min = Some(v);
             }
         }
@@ -86,7 +86,7 @@ impl GlobalSketch for MinGlobal {
 
     fn update_direct(&mut self, item: u64) {
         self.n += 1;
-        if self.min.map_or(true, |m| item < m) {
+        if self.min.is_none_or(|m| item < m) {
             self.min = Some(item);
         }
     }
@@ -152,5 +152,7 @@ fn main() {
     let min = sketch.snapshot();
     println!("\nfinal minimum: {min:?} (true: Some(3))");
     assert_eq!(min, Some(3));
-    println!("the shouldAdd filter dropped every update ≥ the running minimum on the writer threads.");
+    println!(
+        "the shouldAdd filter dropped every update ≥ the running minimum on the writer threads."
+    );
 }

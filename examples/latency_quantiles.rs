@@ -40,15 +40,17 @@ fn main() {
 
     let done = AtomicBool::new(false);
     std::thread::scope(|s| {
-        for h in 0..HANDLERS {
-            let mut w = sketch.writer();
-            s.spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(h as u64);
-                for _ in 0..REQUESTS_PER_HANDLER {
-                    w.update(TotalF64(sample_latency(&mut rng)));
-                }
-            });
-        }
+        let handlers: Vec<_> = (0..HANDLERS)
+            .map(|h| {
+                let mut w = sketch.writer();
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(h as u64);
+                    for _ in 0..REQUESTS_PER_HANDLER {
+                        w.update(TotalF64(sample_latency(&mut rng)));
+                    }
+                })
+            })
+            .collect();
         // Dashboard: wait-free snapshot reads, mutually consistent within
         // one snapshot.
         let (sketch_ref, done_ref) = (&sketch, &done);
@@ -69,10 +71,15 @@ fn main() {
                 );
             }
         });
-        // Writer threads finish, then stop the dashboard. (Writers flush
-        // on drop at scope exit.)
+        // Writer threads finish (flushing their partial buffers on
+        // drop), then stop the dashboard — the flag must flip *inside*
+        // the scope or the scope's implicit join would wait on the
+        // dashboard forever.
+        for h in handlers {
+            h.join().expect("handler thread panicked");
+        }
+        done.store(true, Ordering::Relaxed);
     });
-    done.store(true, Ordering::Relaxed);
 
     sketch.quiesce();
     let snap = sketch.snapshot();
@@ -81,6 +88,9 @@ fn main() {
     println!("  p50 = {:.2} ms (body is 2–5 ms)", q(0.50));
     println!("  p95 = {:.2} ms", q(0.95));
     println!("  p99 = {:.2} ms (tail outliers reach ~200 ms)", q(0.99));
-    println!("  SLA check: rank(10ms) = {:.3} of requests under 10 ms", snap.rank(&TotalF64(10.0)));
+    println!(
+        "  SLA check: rank(10ms) = {:.3} of requests under 10 ms",
+        snap.rank(&TotalF64(10.0))
+    );
     println!("  rank error bound ε_r ≈ {:.4}", sketch.relaxed_epsilon());
 }

@@ -44,7 +44,11 @@ fn main() {
         .build()
         .expect("build theta");
 
-    println!("capturing {} packets on {} threads…", CAPTURE_THREADS as u64 * PACKETS_PER_THREAD * 2, CAPTURE_THREADS);
+    println!(
+        "capturing {} packets on {} threads…",
+        CAPTURE_THREADS as u64 * PACKETS_PER_THREAD * 2,
+        CAPTURE_THREADS
+    );
     std::thread::scope(|s| {
         for t in 0..CAPTURE_THREADS {
             let mut w_https = https.writer();
@@ -83,8 +87,14 @@ fn main() {
     // Alert logic: flows-per-packet ratio near 1 ⇒ scan-like.
     let packets = (CAPTURE_THREADS as u64 * PACKETS_PER_THREAD) as f64;
     let ratio = telnet_flows / packets;
-    println!("\nport 23 flow/packet ratio = {ratio:.3} → {}",
-        if ratio > 0.5 { "ALERT: scan-like traffic" } else { "normal" });
+    println!(
+        "\nport 23 flow/packet ratio = {ratio:.3} → {}",
+        if ratio > 0.5 {
+            "ALERT: scan-like traffic"
+        } else {
+            "normal"
+        }
+    );
 
     // Off-line union across ports via the sequential HLL merge.
     let mut all = https.registers();

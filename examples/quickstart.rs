@@ -61,5 +61,8 @@ fn main() {
         "final estimate: {est:.0} (true {total:.0}, error {:+.2}%)",
         (est / total - 1.0) * 100.0
     );
-    println!("configured error bound: ±{:.2}%", sketch.error_bound() * 100.0);
+    println!(
+        "configured error bound: ±{:.2}%",
+        sketch.error_bound() * 100.0
+    );
 }

@@ -29,8 +29,14 @@ fn figure2_demo() {
         .with(10, Op::Query(0))
         .with(1, Op::Update(1))
         .with(2, Op::Update(2));
-    println!("  H  is a 1-relaxation of H′: {}", h.is_r_relaxation_of(&h_prime, 1));
-    println!("  H  is a 0-relaxation of H′: {}", h.is_r_relaxation_of(&h_prime, 0));
+    println!(
+        "  H  is a 1-relaxation of H′: {}",
+        h.is_r_relaxation_of(&h_prime, 1)
+    );
+    println!(
+        "  H  is a 0-relaxation of H′: {}",
+        h.is_r_relaxation_of(&h_prime, 0)
+    );
 }
 
 fn main() {
@@ -47,7 +53,11 @@ fn main() {
         .expect("build sketch");
     let r = sketch.relaxation();
     let checker = ThetaChecker::new(sketch.k(), r);
-    println!("  k = {}, N = {writers}, b = {}, r = 2Nb = {r}", sketch.k(), r / (2 * writers as u64));
+    println!(
+        "  k = {}, N = {writers}, b = {}, r = 2Nb = {r}",
+        sketch.k(),
+        r / (2 * writers as u64)
+    );
 
     // Ingest a known stream in chunks; after each chunk, flush + quiesce
     // and validate the published snapshot against the exact prefix.

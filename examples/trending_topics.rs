@@ -11,7 +11,11 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 const TOPICS: &[&str] = &[
-    "concurrency", "sketches", "rust", "linearizability", "streaming",
+    "concurrency",
+    "sketches",
+    "rust",
+    "linearizability",
+    "streaming",
 ];
 
 fn main() {
@@ -24,7 +28,10 @@ fn main() {
         .build::<String>()
         .expect("valid configuration");
 
-    println!("ingesting {} events on {FEEDS} feeds…", FEEDS as u64 * EVENTS_PER_FEED);
+    println!(
+        "ingesting {} events on {FEEDS} feeds…",
+        FEEDS as u64 * EVENTS_PER_FEED
+    );
     std::thread::scope(|s| {
         for f in 0..FEEDS {
             let mut w = sketch.writer();
@@ -66,7 +73,10 @@ fn main() {
 
     let snap = sketch.snapshot();
     let threshold = snap.n / 100;
-    println!("\nfinal heavy hitters (threshold = 1% of {} events):", snap.n);
+    println!(
+        "\nfinal heavy hitters (threshold = 1% of {} events):",
+        snap.n
+    );
     let candidates = snap.heavy_hitters(threshold);
     let mut guaranteed = 0;
     for (topic, est) in &candidates {

@@ -139,9 +139,7 @@ fn report(id: &str, b: &Bencher, throughput: Option<Throughput>) {
         }
         None => String::new(),
     };
-    println!(
-        "{id:<50} mean {mean:>10.2?}  med {median:>10.2?}  p95 {p95:>10.2?}/iter{rate}"
-    );
+    println!("{id:<50} mean {mean:>10.2?}  med {median:>10.2?}  p95 {p95:>10.2?}/iter{rate}");
 }
 
 /// A named set of related benchmarks sharing a throughput declaration.
@@ -293,8 +291,9 @@ mod tests {
 
     #[test]
     fn quantiles_are_order_statistics_of_the_samples() {
-        let mut b = Bencher::default();
-        b.samples = (1..=10u64).map(Duration::from_millis).collect();
+        let mut b = Bencher {
+            samples: (1..=10u64).map(Duration::from_millis).collect(),
+        };
         assert_eq!(b.quantile(0.5), Some(Duration::from_millis(5)));
         assert_eq!(b.quantile(0.95), Some(Duration::from_millis(10)));
         assert_eq!(b.quantile(0.0), Some(Duration::from_millis(1)));

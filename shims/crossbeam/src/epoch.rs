@@ -95,12 +95,9 @@ impl Global {
         };
         if all_current {
             // A failed CAS means another thread advanced; that is progress too.
-            let _ = self.epoch.compare_exchange(
-                epoch,
-                epoch + 1,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
+            let _ =
+                self.epoch
+                    .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst);
         }
     }
 }
@@ -165,8 +162,7 @@ impl LocalHandle {
                 free_ripe(&mut taken, now);
                 if !taken.is_empty() {
                     let mut orphans = g.orphans.lock().unwrap();
-                    g.orphan_count
-                        .fetch_add(taken.len(), Ordering::Relaxed);
+                    g.orphan_count.fetch_add(taken.len(), Ordering::Relaxed);
                     orphans.append(&mut taken);
                 }
             }
@@ -302,10 +298,7 @@ impl Drop for Guard {
             let depth = local.depth.get();
             local.depth.set(depth - 1);
             if depth == 1 {
-                local
-                    .participant
-                    .state
-                    .store(INACTIVE, Ordering::SeqCst);
+                local.participant.state.store(INACTIVE, Ordering::SeqCst);
             }
         });
     }
@@ -400,7 +393,12 @@ impl<T> Atomic<T> {
 
     /// Swaps in `new` (an [`Owned`] allocation or a [`Shared`] pointer such
     /// as [`Shared::null`]), returning the previous pointer under `guard`.
-    pub fn swap<'g, P: Pointer<T>>(&self, new: P, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+    pub fn swap<'g, P: Pointer<T>>(
+        &self,
+        new: P,
+        ord: Ordering,
+        _guard: &'g Guard,
+    ) -> Shared<'g, T> {
         Shared {
             ptr: self.ptr.swap(new.into_ptr(), ord),
             _marker: PhantomData,

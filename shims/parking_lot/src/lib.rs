@@ -31,7 +31,9 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|_| panic!("lock holder panicked"))
+        self.0
+            .lock()
+            .unwrap_or_else(|_| panic!("lock holder panicked"))
     }
 
     /// Attempts to acquire the lock without blocking.
@@ -45,7 +47,9 @@ impl<T: ?Sized> Mutex<T> {
 
     /// Mutable access without locking (the borrow proves exclusivity).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|_| panic!("lock holder panicked"))
+        self.0
+            .get_mut()
+            .unwrap_or_else(|_| panic!("lock holder panicked"))
     }
 }
 
@@ -73,17 +77,23 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|_| panic!("lock holder panicked"))
+        self.0
+            .read()
+            .unwrap_or_else(|_| panic!("lock holder panicked"))
     }
 
     /// Acquires exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|_| panic!("lock holder panicked"))
+        self.0
+            .write()
+            .unwrap_or_else(|_| panic!("lock holder panicked"))
     }
 
     /// Mutable access without locking (the borrow proves exclusivity).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|_| panic!("lock holder panicked"))
+        self.0
+            .get_mut()
+            .unwrap_or_else(|_| panic!("lock holder panicked"))
     }
 }
 

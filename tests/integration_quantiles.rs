@@ -99,7 +99,11 @@ fn skewed_distribution_percentiles() {
             let mut w = sketch.writer();
             s.spawn(move || {
                 for i in (t..n).step_by(2) {
-                    let v = if i % 100 == 0 { 1000.0 } else { 1.0 + (i % 10) as f64 * 0.1 };
+                    let v = if i % 100 == 0 {
+                        1000.0
+                    } else {
+                        1.0 + (i % 10) as f64 * 0.1
+                    };
                     w.update(TotalF64(v));
                 }
                 w.flush();

@@ -5,9 +5,7 @@
 use fcds::core::theta::{ConcurrentThetaBuilder, ConcurrentThetaSketch};
 use fcds::relaxation::checker::{ThetaChecker, ThetaObservation};
 use fcds::sketches::hash::Hashable;
-use fcds::sketches::theta::{
-    normalize_hash, rse, QuickSelectThetaSketch, ThetaRead, ThetaUnion,
-};
+use fcds::sketches::theta::{normalize_hash, rse, QuickSelectThetaSketch, ThetaRead, ThetaUnion};
 
 const SEED: u64 = 9001;
 
@@ -197,7 +195,12 @@ fn estimate_is_fresh_within_relaxation_after_quiesce() {
     // than the strictly sequential reference, so compare estimates not
     // exact state.
     let rel = (snap.estimate - reference.estimate()).abs() / reference.estimate();
-    assert!(rel < 0.08, "estimates diverged: {} vs {}", snap.estimate, reference.estimate());
+    assert!(
+        rel < 0.08,
+        "estimates diverged: {} vs {}",
+        snap.estimate,
+        reference.estimate()
+    );
 }
 
 #[test]

@@ -183,8 +183,8 @@ proptest! {
         }
         let mut h = History::new();
         let mut dropped = 0usize;
-        for i in 0..n {
-            if keep_mask[i] {
+        for (i, keep) in keep_mask.iter().enumerate().take(n) {
+            if *keep {
                 h.push(i as u64, Op::Update(i as u64));
             } else {
                 dropped += 1;

@@ -3,15 +3,20 @@
 //! `r + K·(M − 1)·b` when image publication is throttled to every M-th
 //! merge — shard-count independent, both propagation backends; and
 //! merged queries are lossless against a sequential oracle fed the same
-//! stream (M = 1).
+//! stream (M = 1). Sharded Quantiles rank estimates under the
+//! copy-on-write ladder stay within the checker's relaxation envelope of
+//! the sequential sketch on the same stream.
 
 use fcds::core::hll::ConcurrentHllBuilder;
+use fcds::core::quantiles::ConcurrentQuantilesBuilder;
 use fcds::core::theta::ConcurrentThetaBuilder;
 use fcds::core::PropagationBackendKind;
 use fcds::relaxation::checker::{ThetaChecker, ThetaObservation};
+use fcds::relaxation::checker_quantiles::{QuantileObservation, QuantilesChecker};
 use fcds::relaxation::sharded::sharded_query_relaxation;
 use fcds::sketches::hash::Hashable;
 use fcds::sketches::hll::HllSketch;
+use fcds::sketches::quantiles::{epsilon_for_k, QuantilesSketch};
 use fcds::sketches::theta::normalize_hash;
 use proptest::prelude::*;
 
@@ -140,6 +145,96 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// §6.2 on sharded executions under the copy-on-write ladder: the
+    /// merged rank estimates must be admissible under the relaxed PAC
+    /// envelope — for K ∈ {1, 2, 4}, image_every M ∈ {1, 4}, and both
+    /// backends. Mid-stream (writers alive, partial buffers unflushed)
+    /// the envelope uses the engine's conservative merged-query bound
+    /// `r_query = 2Nb + K·(M − 1)·b`; after flush + quiesce the same
+    /// queries must be admissible with `r = 0` (the ladder publication
+    /// and the shard merge add no relaxation of their own), and the
+    /// answers must agree with a sequential sketch fed the same stream
+    /// to within the PAC rank error both sides carry.
+    #[test]
+    fn sharded_quantiles_stay_within_the_relaxation_envelope(
+        per_writer in 2_000u64..6_000,
+        shard_sel in 0usize..3,
+        image_m in 0usize..2,
+        writer_assisted in any::<bool>(),
+    ) {
+        let k = 128usize;
+        let shards = [1usize, 2, 4][shard_sel];
+        let m = [1u64, 4][image_m];
+        let writers = 4usize;
+        let backend = backends()[writer_assisted as usize];
+        let sketch = ConcurrentQuantilesBuilder::new()
+            .k(k)
+            .oracle_seed(SEED)
+            .writers(writers)
+            .shards(shards)
+            .max_concurrency_error(1.0) // no eager: buffers from the start
+            .backend(backend)
+            .image_every(m)
+            .build::<u64>()
+            .unwrap();
+        let r_query = sketch.query_relaxation();
+
+        // Permuted distinct stream so the level ladders are exercised
+        // non-trivially on every shard.
+        let n = writers as u64 * per_writer;
+        let stream: Vec<u64> = (0..n).map(|i| (i * 2_654_435_761) % n).collect();
+        let mut handles: Vec<_> = (0..writers).map(|_| sketch.writer()).collect();
+        for (i, &v) in stream.iter().enumerate() {
+            handles[i % writers].update(v);
+        }
+
+        // Slack on ε: the empirical fit is not a hard bound (same
+        // convention as the sequential checker tests).
+        let phis = [0.1, 0.5, 0.9];
+        let eps = 3.0 * epsilon_for_k(k);
+        let mid_checker = QuantilesChecker::new(eps, r_query);
+        let snap = sketch.snapshot();
+        if !snap.is_empty() {
+            for phi in phis {
+                let obs = QuantileObservation { phi, answer: snap.quantile(phi).unwrap() };
+                mid_checker
+                    .check_at(&stream, stream.len(), &obs)
+                    .unwrap_or_else(|v| panic!("K={shards} M={m} {backend:?} mid-stream phi={phi}: {v}"));
+            }
+        }
+
+        // Flushed and quiesced: zero staleness for any M, and agreement
+        // with a sequential oracle on the same stream.
+        for w in &mut handles {
+            w.flush();
+        }
+        sketch.quiesce();
+        prop_assert_eq!(sketch.visible_n(), n, "sample-union merge must be lossless in n");
+        let mut sequential = QuantilesSketch::<u64>::with_seed(k, SEED ^ 1).unwrap();
+        for &v in &stream {
+            sequential.update(v);
+        }
+        let quiesced_checker = QuantilesChecker::new(eps, 0);
+        for phi in phis {
+            let answer = sketch.quantile(phi).unwrap();
+            let obs = QuantileObservation { phi, answer };
+            quiesced_checker
+                .check_at(&stream, stream.len(), &obs)
+                .unwrap_or_else(|v| panic!("K={shards} M={m} {backend:?} quiesced phi={phi}: {v}"));
+            // Both sides carry ≤ ε rank error on the same stream, so
+            // their answers' ranks differ by at most 2ε (plus fit slack).
+            let seq_rank = sequential.rank(&answer);
+            prop_assert!(
+                (seq_rank - phi).abs() <= 2.0 * eps,
+                "K={shards} M={m} {backend:?}: sharded answer for phi={phi} has sequential rank {seq_rank}"
+            );
+        }
+    }
+}
+
 #[test]
 fn sharded_compact_union_matches_oracle_estimate() {
     // The compact() of a sharded Θ run is the untrimmed union of the
@@ -173,6 +268,11 @@ fn sharded_compact_union_matches_oracle_estimate() {
     sketch.quiesce();
     let merged = sketch.compact();
     let rel = (merged.estimate() - oracle.estimate()).abs() / oracle.estimate();
-    assert!(rel < 0.05, "merged {} vs oracle {}", merged.estimate(), oracle.estimate());
+    assert!(
+        rel < 0.05,
+        "merged {} vs oracle {}",
+        merged.estimate(),
+        oracle.estimate()
+    );
     assert_eq!(merged.estimate(), sketch.snapshot().estimate);
 }

@@ -100,8 +100,8 @@ fn dropping_sketch_before_writers_is_safe() {
         w2.update(i + 10_000);
     }
     drop(sketch); // stops the propagator
-    // Writers keep updating and flushing into a dead engine: must return,
-    // not hang.
+                  // Writers keep updating and flushing into a dead engine: must return,
+                  // not hang.
     for i in 0..1_000u64 {
         w1.update(i + 50_000);
         w2.update(i + 60_000);
