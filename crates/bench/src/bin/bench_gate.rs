@@ -1,5 +1,6 @@
 //! CI bench-regression gate over the JSON artefacts the bench binaries
-//! emit (`BENCH_prop_cost.json`, `BENCH_quantiles_prop.json`).
+//! emit (`BENCH_prop_cost.json`, `BENCH_quantiles_prop.json`,
+//! `BENCH_ingest.json`).
 //!
 //! Each artefact documents its own acceptance ratios and thresholds (see
 //! [`fcds_bench::gate`]); this binary reads them back and exits nonzero
@@ -15,7 +16,11 @@ use fcds_bench::gate::check_doc;
 use fcds_bench::report::HarnessArgs;
 use std::process::ExitCode;
 
-const ARTEFACTS: [&str; 2] = ["BENCH_prop_cost.json", "BENCH_quantiles_prop.json"];
+const ARTEFACTS: [&str; 3] = [
+    "BENCH_prop_cost.json",
+    "BENCH_quantiles_prop.json",
+    "BENCH_ingest.json",
+];
 
 fn main() -> ExitCode {
     let args = HarnessArgs::parse();

@@ -358,6 +358,15 @@ impl<T: Eq + Hash + Clone + Send + Sync + 'static> FrequencyWriter<T> {
         self.inner.update(item);
     }
 
+    /// Processes a batch of stream items through the amortised fast path
+    /// (hand-offs at `b`-boundaries mid-batch — see
+    /// [`SketchWriter::update_batch`]); the pre-aggregating local map
+    /// still collapses duplicates before the hand-off. Equivalent to
+    /// calling [`Self::update`] once per item.
+    pub fn update_batch(&mut self, items: &[T]) {
+        self.inner.update_batch(items);
+    }
+
     /// Hands the partial local buffer to the propagator.
     pub fn flush(&mut self) {
         self.inner.flush();

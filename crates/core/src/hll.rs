@@ -11,12 +11,12 @@
 //! matter. The fraction of surviving updates is ~2^(−m₀), which shrinks
 //! as the stream grows, exactly like the Θ filter.
 
-use crate::composable::{GlobalSketch, HintCodec, LocalSketch};
+use crate::composable::{extend_compact_u64, GlobalSketch, HintCodec, LocalSketch};
 use crate::config::{ConcurrencyConfig, PropagationBackendKind};
 use crate::runtime::{ConcurrentSketch, SketchWriter};
 use crate::sync::{AtomicF64, EpochCell};
 use fcds_sketches::error::Result;
-use fcds_sketches::hash::{Hashable, DEFAULT_SEED};
+use fcds_sketches::hash::{hash_batch_with_seed, Hashable, DEFAULT_SEED};
 use fcds_sketches::hll::HllSketch;
 use std::num::NonZeroU64;
 
@@ -86,6 +86,16 @@ impl LocalSketch for HllLocal {
 
     fn update(&mut self, hash: u64) {
         self.hashes.push(hash);
+    }
+
+    fn update_batch(&mut self, hashes: &[u64]) {
+        self.hashes.extend_from_slice(hashes);
+    }
+
+    /// Branchless batch filter against the min-register hint (the HLL
+    /// half of the batched ingestion fast path).
+    fn update_batch_filtered(&mut self, hint: HllHint, hashes: &[u64]) -> usize {
+        extend_compact_u64(&mut self.hashes, hashes, |h| rho(h, hint.lg_m) > hint.floor)
     }
 
     /// Drops updates whose rank cannot exceed any register: safe because
@@ -342,6 +352,47 @@ impl HllWriter {
     #[inline]
     pub fn update<T: Hashable>(&mut self, item: T) {
         self.inner.update(item.hash_with_seed(self.seed));
+    }
+
+    /// Processes a batch of stream items through the fused fast path:
+    /// hash, rank, and min-register filter run in one in-register pass
+    /// per item against a hint hoisted per chunk, survivors are
+    /// compacted branchlessly into a stack buffer and appended with one
+    /// reserved extend, hand-offs at `b`-boundaries mid-batch
+    /// (`SketchWriter::push_accepted`). Equivalent to calling
+    /// [`Self::update`] once per item — a stale hint only filters less
+    /// (registers never decrease), and the filtered-out extras would be
+    /// register no-ops anyway.
+    pub fn update_batch<T: Hashable>(&mut self, items: &[T]) {
+        const CHUNK: usize = 32;
+        let mut rest = items;
+        while !self.inner.is_lazy() {
+            let Some((first, tail)) = rest.split_first() else {
+                return;
+            };
+            self.update(first);
+            rest = tail;
+        }
+        if !self.inner.prefilter_enabled() {
+            let mut hashes = [0u64; CHUNK];
+            for chunk in rest.chunks(CHUNK) {
+                hash_batch_with_seed(chunk, self.seed, &mut hashes[..chunk.len()]);
+                self.inner.push_accepted(&hashes[..chunk.len()]);
+            }
+            return;
+        }
+        let mut survivors = [0u64; CHUNK];
+        for chunk in rest.chunks(CHUNK) {
+            let hint = self.inner.hint();
+            let mut kept = 0usize;
+            for item in chunk {
+                let h = item.hash_with_seed(self.seed);
+                survivors[kept] = h;
+                kept += (rho(h, hint.lg_m) > hint.floor) as usize;
+            }
+            self.inner.note_filtered((chunk.len() - kept) as u64);
+            self.inner.push_accepted(&survivors[..kept]);
+        }
     }
 
     /// Hands the partial local buffer to the propagator.

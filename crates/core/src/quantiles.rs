@@ -78,6 +78,18 @@ impl<T: Ord + Clone + Send + 'static> LocalSketch for QuantilesLocal<T> {
         self.items.push(item);
     }
 
+    fn update_batch(&mut self, items: &[T]) {
+        self.items.extend_from_slice(items);
+    }
+
+    /// `shouldAdd` is constantly true here, so the filtered batch path —
+    /// the one the engine takes in the default (non-ablated)
+    /// configuration — is the same bulk extend.
+    fn update_batch_filtered(&mut self, _hint: (), items: &[T]) -> usize {
+        self.items.extend_from_slice(items);
+        items.len()
+    }
+
     fn should_add(_: (), _: &T) -> bool {
         true
     }
@@ -484,6 +496,14 @@ impl<T: Ord + Clone + Send + Sync + 'static> QuantilesWriter<T> {
     #[inline]
     pub fn update(&mut self, item: T) {
         self.inner.update(item);
+    }
+
+    /// Processes a batch of stream elements through the amortised fast
+    /// path (one reserved buffer extend per chunk, hand-offs at
+    /// `b`-boundaries mid-batch — see [`SketchWriter::update_batch`]).
+    /// Equivalent to calling [`Self::update`] once per element.
+    pub fn update_batch(&mut self, items: &[T]) {
+        self.inner.update_batch(items);
     }
 
     /// Hands the partial local buffer to the propagator.

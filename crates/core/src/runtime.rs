@@ -28,6 +28,39 @@
 //! Sharding does not change either bound: the relaxation is carried by
 //! the writers' in-flight buffers, of which there are at most two per
 //! writer regardless of which shard the writer is keyed onto.
+//!
+//! ## The ingestion hot path: scalar and batched
+//!
+//! Once the Θ-style hint filter engages, almost every update dies on the
+//! writer thread, so the per-update constant factor on
+//! [`SketchWriter::update`] *is* the system's throughput ceiling. Two
+//! mechanisms keep it low:
+//!
+//! * **Scalar micro-state.** The `shouldAdd` ablation switch is cached in
+//!   the writer at construction (it never changes), and the one-way
+//!   `EAGER → LAZY` phase flip of §5.3 is latched in a writer-local bool
+//!   the first time the writer observes `LAZY` — so the steady-state
+//!   scalar path performs no `Acquire` phase load and no shared-config
+//!   deref per item, just two predictable local branches.
+//! * **[`SketchWriter::update_batch`].** The batched path additionally
+//!   hoists the *hint* out of the loop: a chunk of up to `b` items is
+//!   filtered against one hint read, survivors are compacted branchlessly
+//!   and appended to the local buffer in one reserved extend
+//!   ([`LocalSketch::update_batch_filtered`]), and the buffer is handed
+//!   off at `b`-boundaries mid-batch exactly like the scalar path.
+//!
+//! Hoisting the hint means it can go stale *within* a chunk: the
+//! propagator may publish a fresher (smaller-Θ) hint while the chunk is
+//! being filtered. This is safe because hints are conservative and
+//! monotone — Θ only decreases (registers only grow, for HLL), so a stale
+//! hint only filters *less*, never drops an update a fresh hint would
+//! have kept. Every extra item the stale hint lets through is one the
+//! global sketch itself rejects at merge time (`h ≥ Θ` is a no-op), so
+//! the global state — and therefore every bound in this module — is
+//! unchanged; the only cost is a few doomed hashes riding a hand-off.
+//! Chunks are capped at a small constant (`b` items here, 32 in the
+//! front-ends' fused hash-and-filter loops), so staleness within a batch
+//! is bounded by one chunk regardless of the caller's batch size.
 
 use crate::composable::{GlobalSketch, HintCodec, LocalSketch};
 use crate::config::{ConcurrencyConfig, PropagationBackendKind};
@@ -50,6 +83,7 @@ struct Counters {
     eager_updates: AtomicU64,
     handoffs: AtomicU64,
     image_publications: AtomicU64,
+    filtered_updates: AtomicU64,
 }
 
 /// A point-in-time copy of the engine's diagnostic counters.
@@ -69,6 +103,17 @@ pub struct EngineStats {
     /// at engine start happens before the counters exist and is not
     /// included.
     pub image_publications: u64,
+    /// Updates dropped by the writers' `shouldAdd` pre-filter (§5.1) —
+    /// the hint's observable contribution to scalability, and the live
+    /// counterpart of the `disable_prefilter` ablation knob. Aggregated
+    /// from the per-writer counts at flush and retire boundaries only:
+    /// filtered items never fill the buffer, so on a saturated sketch
+    /// (where nearly everything is filtered and flushes are rare) a live
+    /// writer's drops can lag here by many buffers' worth of stream —
+    /// roughly `b / (1 − filter rate)` items. Exact once writers have
+    /// flushed or dropped; for per-writer live counts use
+    /// [`SketchWriter::filtered`].
+    pub filtered_updates: u64,
 }
 
 /// One shard: an independent global sketch with its own published view
@@ -488,6 +533,7 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
             reg.push(Arc::clone(&slot));
         }
         shard.slots_version.fetch_add(1, Ordering::Release);
+        let lazy = self.shared.phase.load(Ordering::Acquire) == PHASE_LAZY;
         SketchWriter {
             shared: Arc::clone(&self.shared),
             backend: Arc::clone(&self.backend),
@@ -498,6 +544,9 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
             b: self.shared.buffer_size.load(Ordering::Relaxed),
             hint,
             filtered: 0,
+            filtered_synced: 0,
+            lazy,
+            prefilter: !self.shared.config.disable_prefilter,
         }
     }
 
@@ -617,6 +666,11 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
                 .counters
                 .image_publications
                 .load(Ordering::Relaxed),
+            filtered_updates: self
+                .shared
+                .counters
+                .filtered_updates
+                .load(Ordering::Relaxed),
         }
     }
 
@@ -713,6 +767,18 @@ pub struct SketchWriter<G: GlobalSketch> {
     b: u64,
     hint: <G::Local as LocalSketch>::Hint,
     filtered: u64,
+    /// `filtered` as of the last aggregation into the engine counters
+    /// (see [`EngineStats::filtered_updates`]).
+    filtered_synced: u64,
+    /// Writer-local latch of the one-way `EAGER → LAZY` flip: once the
+    /// writer observes `LAZY` it can never see `EAGER` again (§5.3 flips
+    /// exactly once), so the steady-state update paths skip the shared
+    /// `Acquire` phase load entirely.
+    lazy: bool,
+    /// `!config.disable_prefilter`, cached at construction — the ablation
+    /// switch never changes while the engine runs, so the hot paths need
+    /// no per-item Arc-chased config deref.
+    prefilter: bool,
 }
 
 impl<G: GlobalSketch> std::fmt::Debug for SketchWriter<G> {
@@ -728,25 +794,25 @@ impl<G: GlobalSketch> std::fmt::Debug for SketchWriter<G> {
 
 impl<G: GlobalSketch> SketchWriter<G> {
     /// Processes one stream item (the `update_i(a)` procedure).
+    ///
+    /// Steady state (lazy phase, which every long stream spends its life
+    /// in) costs no shared loads before the buffer push: the phase flip
+    /// is latched writer-locally and the pre-filter switch is cached at
+    /// construction.
     #[inline]
     pub fn update(&mut self, item: <G::Local as LocalSketch>::Item) {
-        let item = if self.shared.phase.load(Ordering::Acquire) == PHASE_EAGER {
-            // Eager phase (§5.3): propagate directly into our shard,
-            // serialised by its lock; re-check the phase under the lock
-            // because the transition may happen while we wait for it.
-            match self.try_eager(item) {
-                None => return,
-                Some(item) => item, // phase flipped while we waited
-            }
-        } else {
+        let item = if self.lazy {
             item
+        } else {
+            match self.update_pre_lazy(item) {
+                None => return,
+                Some(item) => item,
+            }
         };
 
         // Line 120: the shouldAdd pre-filter (ablatable for measuring
         // its contribution — see ConcurrencyConfig::disable_prefilter).
-        if !self.shared.config.disable_prefilter
-            && !<G::Local as LocalSketch>::should_add(self.hint, &item)
-        {
+        if self.prefilter && !<G::Local as LocalSketch>::should_add(self.hint, &item) {
             self.filtered += 1;
             return;
         }
@@ -760,6 +826,145 @@ impl<G: GlobalSketch> SketchWriter<G> {
         // Line 123: flush when the buffer reaches b.
         if self.counter >= self.b {
             self.flush_inner();
+        }
+    }
+
+    /// Processes a batch of stream items through the amortised fast
+    /// path: the phase check, the pre-filter switch, and the hint are
+    /// hoisted out of the per-item loop; survivors are compacted against
+    /// the hint and appended to the local buffer chunk-wise
+    /// ([`LocalSketch::update_batch_filtered`]); and the buffer is
+    /// handed off at `b`-boundaries mid-batch, so arbitrarily large
+    /// batches preserve the `r = 2Nb` relaxation exactly.
+    ///
+    /// Equivalent to calling [`Self::update`] once per item: the hint is
+    /// refreshed only at flush boundaries in both paths, and within a
+    /// chunk (capped at `b` items) a concurrently-published fresher hint
+    /// is missed harmlessly — hints are conservative and monotone, so a
+    /// stale hint only filters *less*, and the global sketch rejects the
+    /// extra items at merge time (see the module docs).
+    pub fn update_batch(&mut self, items: &[<G::Local as LocalSketch>::Item])
+    where
+        <G::Local as LocalSketch>::Item: Clone,
+    {
+        let mut rest = items;
+        // Eager phase (§5.3) and the one-time transition run the scalar
+        // path item by item — bounded by the eager limit `2/e²` — until
+        // the writer latches `lazy`.
+        while !self.lazy {
+            let Some((first, tail)) = rest.split_first() else {
+                return;
+            };
+            self.update(first.clone());
+            rest = tail;
+        }
+        if !self.prefilter {
+            // Ablated filter: everything is accepted, so the whole batch
+            // is a room-bounded bulk append.
+            self.push_accepted(rest);
+            return;
+        }
+        while !rest.is_empty() {
+            debug_assert!(self.counter < self.b);
+            // Filtering only shrinks a chunk, so taking at most the
+            // buffer's remaining room guarantees the hand-off happens at
+            // exactly b buffered updates, as in the scalar path.
+            let room = (self.b - self.counter) as usize;
+            let (chunk, tail) = rest.split_at(rest.len().min(room));
+            rest = tail;
+            let hint = self.hint;
+            // SAFETY: we are the unique worker of this slot and `cur` is
+            // our current buffer.
+            let kept = unsafe {
+                self.slot
+                    .with_worker_buffer(self.cur, |l| l.update_batch_filtered(hint, chunk))
+            };
+            self.filtered += (chunk.len() - kept) as u64;
+            self.counter += kept as u64;
+            if self.counter >= self.b {
+                self.flush_inner();
+            }
+        }
+    }
+
+    /// Whether this writer has latched the lazy phase (the sketch
+    /// front-ends' fused batch loops fall back to the scalar path until
+    /// it has).
+    pub(crate) fn is_lazy(&self) -> bool {
+        self.lazy
+    }
+
+    /// Whether the `shouldAdd` pre-filter is enabled (cached; see
+    /// [`ConcurrencyConfig::disable_prefilter`]).
+    pub(crate) fn prefilter_enabled(&self) -> bool {
+        self.prefilter
+    }
+
+    /// The writer's current hint (refreshed at every flush).
+    pub(crate) fn hint(&self) -> <G::Local as LocalSketch>::Hint {
+        self.hint
+    }
+
+    /// Records `n` updates dropped by a front-end's fused filter loop,
+    /// keeping [`Self::filtered`] and the engine aggregate truthful.
+    pub(crate) fn note_filtered(&mut self, n: u64) {
+        self.filtered += n;
+    }
+
+    /// Appends already-accepted items to the local buffer in
+    /// room-bounded slices, handing off at `b`-boundaries. The front
+    /// ends' fused batch loops (hash → filter in registers) land their
+    /// survivors here; callers must have counted rejected items via
+    /// [`Self::note_filtered`] and must only be in the lazy phase.
+    pub(crate) fn push_accepted(&mut self, items: &[<G::Local as LocalSketch>::Item])
+    where
+        <G::Local as LocalSketch>::Item: Clone,
+    {
+        let mut rest = items;
+        while !rest.is_empty() {
+            debug_assert!(self.counter < self.b);
+            let room = (self.b - self.counter) as usize;
+            let (chunk, tail) = rest.split_at(rest.len().min(room));
+            rest = tail;
+            // SAFETY: we are the unique worker of this slot and `cur` is
+            // our current buffer.
+            unsafe {
+                self.slot
+                    .with_worker_buffer(self.cur, |l| l.update_batch(chunk));
+            }
+            self.counter += chunk.len() as u64;
+            if self.counter >= self.b {
+                self.flush_inner();
+            }
+        }
+    }
+
+    /// The pre-latch slow path: checks the shared phase, applies the
+    /// item eagerly while the engine is still in the §5.3 eager phase,
+    /// and latches the writer-local `lazy` flag the first time `LAZY` is
+    /// observed (the flip is one-way, so the latch never needs
+    /// re-checking). Returns the item back when it still needs the lazy
+    /// buffering path.
+    #[cold]
+    fn update_pre_lazy(
+        &mut self,
+        item: <G::Local as LocalSketch>::Item,
+    ) -> Option<<G::Local as LocalSketch>::Item> {
+        if self.shared.phase.load(Ordering::Acquire) == PHASE_EAGER {
+            // Eager phase: propagate directly into our shard, serialised
+            // by its lock; try_eager re-checks the phase under the lock
+            // because the transition may happen while we wait for it.
+            match self.try_eager(item) {
+                None => None,
+                Some(item) => {
+                    // Phase flipped while we waited for the shard lock.
+                    self.lazy = true;
+                    Some(item)
+                }
+            }
+        } else {
+            self.lazy = true;
+            Some(item)
         }
     }
 
@@ -814,9 +1019,24 @@ impl<G: GlobalSketch> SketchWriter<G> {
         None
     }
 
+    /// Aggregates this writer's pre-filter drops into the engine-wide
+    /// counter ([`EngineStats::filtered_updates`]). Called at flush and
+    /// retire boundaries so the hot paths never touch the shared atomic.
+    fn sync_filtered(&mut self) {
+        let delta = self.filtered - self.filtered_synced;
+        if delta > 0 {
+            self.shared
+                .counters
+                .filtered_updates
+                .fetch_add(delta, Ordering::Relaxed);
+            self.filtered_synced = self.filtered;
+        }
+    }
+
     /// Hands the filled buffer over for propagation (lines 125–129) and,
     /// in `ParSketch` mode (no double buffering), waits for the merge.
     fn flush_inner(&mut self) {
+        self.sync_filtered();
         // Line 125: wait until prop_i ≠ 0.
         if !self.wait_merged() {
             return; // shutdown: abandon buffered updates
@@ -899,6 +1119,8 @@ impl<G: GlobalSketch> SketchWriter<G> {
 impl<G: GlobalSketch> Drop for SketchWriter<G> {
     fn drop(&mut self) {
         self.flush();
+        // flush() skips empty buffers, so sync any drops it left behind.
+        self.sync_filtered();
         self.slot.retire();
         // Nudge the shard's registry scan.
         self.shared.shards[self.shard]
@@ -1261,6 +1483,83 @@ mod tests {
         assert_eq!(w.buffered(), 0);
         sketch.quiesce();
         assert_eq!(sketch.snapshot(), 5.0);
+    }
+
+    #[test]
+    fn batched_updates_are_exact_with_mid_batch_flushes() {
+        // The sum sketch is exact, so update_batch must deliver every
+        // item exactly once across awkward batch sizes (empty, single,
+        // larger than b — forcing several flushes inside one call).
+        let cfg = ConcurrencyConfig {
+            writers: 1,
+            max_concurrency_error: 1.0,
+            max_buffer_size: 8,
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        let items: Vec<u64> = (0..10_000u64).collect();
+        let mut w = sketch.writer();
+        let sizes = [0usize, 1, 3, 8, 27, 500];
+        let mut pos = 0usize;
+        let mut size_idx = 0usize;
+        while pos < items.len() {
+            let take = sizes[size_idx % sizes.len()].min(items.len() - pos);
+            size_idx += 1;
+            w.update_batch(&items[pos..pos + take]);
+            pos += take;
+        }
+        w.flush();
+        sketch.quiesce();
+        assert_eq!(sketch.snapshot(), expected_sum(1, 10_000));
+    }
+
+    #[test]
+    fn batched_updates_cross_the_eager_transition_exactly() {
+        // Batches issued while the engine is still eager must fall back
+        // to the scalar path item-by-item and lose nothing across the
+        // EAGER → LAZY latch, including on a sharded engine.
+        let cfg = ConcurrencyConfig {
+            writers: 2,
+            shards: 2,
+            max_concurrency_error: 0.1, // eager limit 200
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let mut w = sketch.writer();
+                s.spawn(move || {
+                    let items: Vec<u64> = (t * 5_000..(t + 1) * 5_000).collect();
+                    for chunk in items.chunks(37) {
+                        w.update_batch(chunk);
+                    }
+                });
+            }
+        });
+        sketch.quiesce();
+        assert_eq!(sketch.snapshot(), expected_sum(2, 5_000));
+        assert!(sketch.stats().eager_updates > 0, "eager phase never ran");
+    }
+
+    #[test]
+    fn filtered_updates_stat_is_zero_without_a_filter() {
+        // SumLocal's shouldAdd is constantly true: nothing may ever be
+        // counted as filtered (the Θ-side nonzero assertion lives in the
+        // theta module's saturation test).
+        let cfg = ConcurrencyConfig {
+            writers: 1,
+            max_concurrency_error: 1.0,
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        {
+            let mut w = sketch.writer();
+            for i in 0..1_000u64 {
+                w.update(i);
+            }
+        }
+        sketch.quiesce();
+        assert_eq!(sketch.stats().filtered_updates, 0);
     }
 
     #[test]

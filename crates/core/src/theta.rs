@@ -17,12 +17,12 @@
 //! possible: once Θ shrinks, almost all updates die on the update thread
 //! without any synchronisation.
 
-use crate::composable::{GlobalSketch, LocalSketch};
+use crate::composable::{extend_compact_u64, GlobalSketch, LocalSketch};
 use crate::config::{ConcurrencyConfig, PropagationBackendKind};
 use crate::runtime::{ConcurrentSketch, SketchWriter};
 use crate::sync::{EpochCell, SeqSnapshot};
 use fcds_sketches::error::Result;
-use fcds_sketches::hash::{Hashable, DEFAULT_SEED};
+use fcds_sketches::hash::{hash_batch_with_seed, Hashable, DEFAULT_SEED};
 use fcds_sketches::oracle::Oracle;
 use fcds_sketches::theta::{
     normalize_hash, theta_to_fraction, untrimmed_union, untrimmed_union_unsorted, BlockSnapshot,
@@ -182,6 +182,17 @@ impl LocalSketch for ThetaLocal {
         self.hashes.push(hash);
     }
 
+    fn update_batch(&mut self, hashes: &[u64]) {
+        self.hashes.extend_from_slice(hashes);
+    }
+
+    /// Branchless batch filter: compact the hashes below the hint and
+    /// append them in one reserved extend — the Θ half of the batched
+    /// ingestion fast path.
+    fn update_batch_filtered(&mut self, hint: u64, hashes: &[u64]) -> usize {
+        extend_compact_u64(&mut self.hashes, hashes, |h| h < hint)
+    }
+
     /// `shouldAdd(H, a) ⇔ h(a) < H` (Algorithm 1 line 26). Safe because Θ
     /// is monotonically decreasing: a hash at or above the current Θ can
     /// never enter the sample set.
@@ -224,6 +235,15 @@ impl GlobalSketch for ThetaGlobal {
     }
 
     fn merge(&mut self, local: &mut ThetaLocal) {
+        if self.blocks.is_none() {
+            // No mirror to maintain (single-shard deployments): fold the
+            // whole buffer through the batched quick-select path, which
+            // is state-identical to the scalar loop but hoists Θ and the
+            // rebuild check out of it.
+            self.ingested += self.sketch.update_hashes(&local.hashes);
+            local.hashes.clear();
+            return;
+        }
         for h in local.hashes.drain(..) {
             let theta_before = self.sketch.theta();
             if self.sketch.update_hash(h) {
@@ -544,6 +564,70 @@ impl ThetaWriter {
         self.inner.update(hash);
     }
 
+    /// Processes a batch of stream items through the fused fast path:
+    /// one pass hashes each item (the fixed-width murmur3 lane for
+    /// integer keys), normalises and filters it against one hoisted Θ
+    /// hint read per chunk — all in registers, the hash array of the
+    /// scalar path's per-call plumbing never materialises — and
+    /// branchlessly compacts the rare survivors into a stack buffer
+    /// that is appended to the local buffer in one reserved extend,
+    /// handing off at `b`-boundaries mid-batch
+    /// (`SketchWriter::push_accepted`).
+    ///
+    /// Equivalent to calling [`Self::update`] once per item: the hint
+    /// may go stale within a chunk, which is safe because Θ only
+    /// decreases — a stale hint filters *less*, and the global sketch
+    /// rejects the extra hashes at merge time (see the
+    /// [`crate::runtime`] module docs).
+    pub fn update_batch<T: Hashable>(&mut self, items: &[T]) {
+        const CHUNK: usize = 32;
+        let mut rest = items;
+        // Eager phase (§5.3): scalar until the writer latches lazy.
+        while !self.inner.is_lazy() {
+            let Some((first, tail)) = rest.split_first() else {
+                return;
+            };
+            self.update(first);
+            rest = tail;
+        }
+        if !self.inner.prefilter_enabled() {
+            // Ablated filter: hash and ship everything.
+            let mut hashes = [0u64; CHUNK];
+            for chunk in rest.chunks(CHUNK) {
+                hash_batch_with_seed(chunk, self.seed, &mut hashes[..chunk.len()]);
+                for h in &mut hashes[..chunk.len()] {
+                    *h = normalize_hash(*h);
+                }
+                self.inner.push_accepted(&hashes[..chunk.len()]);
+            }
+            return;
+        }
+        let mut survivors = [0u64; CHUNK];
+        for chunk in rest.chunks(CHUNK) {
+            // One hint read per chunk; flushes inside push_accepted
+            // refresh it for the next chunk.
+            let hint = self.inner.hint();
+            let mut kept = 0usize;
+            for item in chunk {
+                let h = normalize_hash(item.hash_with_seed(self.seed));
+                // Branchless compaction: always write, advance past
+                // survivors only. The hash chains stay independent, so
+                // the CPU overlaps them across iterations.
+                survivors[kept] = h;
+                kept += (h < hint) as usize;
+            }
+            self.inner.note_filtered((chunk.len() - kept) as u64);
+            self.inner.push_accepted(&survivors[..kept]);
+        }
+    }
+
+    /// Batched variant of [`Self::update_hash`] for pre-hashed streams
+    /// (every hash must be normalised, i.e. non-zero).
+    pub fn update_hashes(&mut self, hashes: &[u64]) {
+        debug_assert!(hashes.iter().all(|&h| h != 0));
+        self.inner.update_batch(hashes);
+    }
+
     /// Hands the partially filled local buffer to the propagator.
     pub fn flush(&mut self) {
         self.inner.flush();
@@ -817,6 +901,15 @@ mod tests {
             filtered > n * 9 / 10,
             "expected >90% filtered, got {filtered}/{n}"
         );
+        // The engine-level aggregate must expose the filter's work on a
+        // live engine: nonzero once Θ saturates, never ahead of the
+        // per-writer count it aggregates.
+        assert!(
+            stats.filtered_updates > n / 2,
+            "filtered_updates = {} not tracking the saturated filter",
+            stats.filtered_updates
+        );
+        assert!(stats.filtered_updates <= filtered);
         assert!(stats.merges >= 1);
         assert!(stats.handoffs >= 1);
         assert!(
@@ -825,6 +918,12 @@ mod tests {
             stats.handoffs
         );
         assert_eq!(stats.eager_updates, 0, "e = 1.0 must skip the eager phase");
+        drop(w);
+        assert_eq!(
+            s.stats().filtered_updates,
+            filtered,
+            "retire must publish the final filtered count"
+        );
 
         // And with the filter ablated, nothing is filtered.
         let s2 = ConcurrentThetaBuilder::new()

@@ -9,7 +9,7 @@
 
 pub mod murmur3;
 
-pub use murmur3::{murmur3_64, murmur3_x64_128};
+pub use murmur3::{murmur3_64, murmur3_64_fixed, murmur3_64_u64, murmur3_x64_128};
 
 /// The default hash seed, matching Apache DataSketches' update seed
 /// (9001) so that behaviour is recognisable to users of the Java library.
@@ -39,14 +39,16 @@ pub trait Hashable {
 impl Hashable for u64 {
     #[inline]
     fn hash_with_seed(&self, seed: u64) -> u64 {
-        murmur3_64(&self.to_le_bytes(), seed)
+        // Fixed-width lane: byte-identical to hashing the LE bytes, with
+        // the generic block/tail dispatch resolved away.
+        murmur3_64_u64(*self, seed)
     }
 }
 
 impl Hashable for i64 {
     #[inline]
     fn hash_with_seed(&self, seed: u64) -> u64 {
-        murmur3_64(&self.to_le_bytes(), seed)
+        murmur3_64_u64(*self as u64, seed)
     }
 }
 
@@ -70,7 +72,7 @@ impl Hashable for f64 {
     #[inline]
     fn hash_with_seed(&self, seed: u64) -> u64 {
         let canonical = if *self == 0.0 { 0.0f64 } else { *self };
-        murmur3_64(&canonical.to_bits().to_le_bytes(), seed)
+        murmur3_64_u64(canonical.to_bits(), seed)
     }
 }
 
@@ -95,6 +97,16 @@ impl Hashable for [u8] {
     }
 }
 
+/// Fixed-width byte keys (IP addresses, UUIDs, packed composites) hash
+/// byte-identically to the equivalent `[u8]` slice, but sub-block widths
+/// take the const-unrolled [`murmur3_64_fixed`] lane.
+impl<const N: usize> Hashable for [u8; N] {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        murmur3_64_fixed(self, seed)
+    }
+}
+
 impl Hashable for Vec<u8> {
     #[inline]
     fn hash_with_seed(&self, seed: u64) -> u64 {
@@ -106,6 +118,46 @@ impl<T: Hashable + ?Sized> Hashable for &T {
     #[inline]
     fn hash_with_seed(&self, seed: u64) -> u64 {
         (**self).hash_with_seed(seed)
+    }
+}
+
+/// Hashes a slice of items into `out[..items.len()]`, unrolled in chunks
+/// of 4 so the four independent murmur3 dependency chains can overlap in
+/// flight (each chain is ~a dozen serially dependent multiply/xor steps;
+/// one-at-a-time hashing leaves the core's ports idle between them).
+///
+/// This is the batched-ingestion hash lane: the concurrent writers' batch
+/// path hashes a whole chunk here before filtering, instead of paying the
+/// per-item call in the update loop. For fixed-width items (`u64`, `i64`,
+/// `f64`) each lane is the block-free fast path [`murmur3_64_u64`].
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than `items`.
+pub fn hash_batch_with_seed<T: Hashable>(items: &[T], seed: u64, out: &mut [u64]) {
+    assert!(
+        out.len() >= items.len(),
+        "output buffer shorter than input: {} < {}",
+        out.len(),
+        items.len()
+    );
+    let mut i = 0;
+    while i + 4 <= items.len() {
+        // Four independent chains; the compiler is free to interleave
+        // them since nothing below depends on an earlier lane.
+        let h0 = items[i].hash_with_seed(seed);
+        let h1 = items[i + 1].hash_with_seed(seed);
+        let h2 = items[i + 2].hash_with_seed(seed);
+        let h3 = items[i + 3].hash_with_seed(seed);
+        out[i] = h0;
+        out[i + 1] = h1;
+        out[i + 2] = h2;
+        out[i + 3] = h3;
+        i += 4;
+    }
+    while i < items.len() {
+        out[i] = items[i].hash_with_seed(seed);
+        i += 1;
     }
 }
 
@@ -163,6 +215,49 @@ mod tests {
             b.hash_with_seed(DEFAULT_SEED),
             "abc".hash_with_seed(DEFAULT_SEED)
         );
+    }
+
+    #[test]
+    fn byte_arrays_agree_with_slices() {
+        // The fixed-width array lane must be indistinguishable from
+        // hashing the same bytes as a slice (sub-block and block widths).
+        let ip4: [u8; 4] = [10, 0, 0, 7];
+        let uuid: [u8; 16] = *b"0123456789abcdef";
+        assert_eq!(
+            ip4.hash_with_seed(DEFAULT_SEED),
+            ip4[..].hash_with_seed(DEFAULT_SEED)
+        );
+        assert_eq!(
+            uuid.hash_with_seed(DEFAULT_SEED),
+            uuid[..].hash_with_seed(DEFAULT_SEED)
+        );
+    }
+
+    #[test]
+    fn hash_batch_matches_scalar_hashing() {
+        // Every unroll shape: multiples of 4, the 1..3 remainders, empty.
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 64, 65] {
+            let items: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+            let mut out = vec![0u64; n + 2];
+            hash_batch_with_seed(&items, DEFAULT_SEED, &mut out);
+            for (i, item) in items.iter().enumerate() {
+                assert_eq!(out[i], item.hash_with_seed(DEFAULT_SEED), "lane {i} of {n}");
+            }
+        }
+        // Works for non-fixed-width items too.
+        let words = ["a", "bb", "ccc", "dddd", "eeeee"];
+        let mut out = [0u64; 5];
+        hash_batch_with_seed(&words, 7, &mut out);
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(out[i], w.hash_with_seed(7));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer shorter")]
+    fn hash_batch_rejects_short_output() {
+        let mut out = [0u64; 1];
+        hash_batch_with_seed(&[1u64, 2], 0, &mut out);
     }
 
     #[test]

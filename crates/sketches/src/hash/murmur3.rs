@@ -97,6 +97,68 @@ pub fn murmur3_64(data: &[u8], seed: u64) -> u64 {
     murmur3_x64_128(data, seed).0
 }
 
+/// The fixed-width 8-byte fast lane: hashes `value`'s little-endian bytes,
+/// byte-identically to `murmur3_64(&value.to_le_bytes(), seed)` but with
+/// the generic block/tail machinery resolved away — an 8-byte input has no
+/// 16-byte block and its tail *is* the value, so the whole hash collapses
+/// to one `mix_k1` plus finalisation. This is the hash every integer-keyed
+/// sketch update pays, so shaving the slice dispatch here shows up
+/// directly in ingestion throughput (and the short dependency chain lets
+/// batched callers overlap several hashes in flight — see
+/// [`super::hash_batch_with_seed`]).
+#[inline]
+pub fn murmur3_64_u64(value: u64, seed: u64) -> u64 {
+    // Reference path for len = 8: no blocks; tail of exactly 8 bytes folds
+    // the value (LE) into k1; then h1 ^= len, h2 ^= len and finalisation.
+    let mut h1 = seed ^ mix_k1(value);
+    let mut h2 = seed;
+    h1 ^= 8;
+    h2 ^= 8;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    // The reference's final `h2 += h1` only matters for the second half,
+    // which this 64-bit lane never returns.
+    h1.wrapping_add(h2)
+}
+
+/// The fixed-width byte-array fast lane: byte-identical to
+/// `murmur3_64(data, seed)` for any `N`, but for `N < 16` the block loop
+/// vanishes and the tail folds are fully unrolled at compile time (the
+/// `N`-dependent branches below are resolved during monomorphisation).
+/// Inputs of 16 bytes or more fall back to the generic path — they have
+/// real blocks and gain nothing from a const width.
+#[inline]
+pub fn murmur3_64_fixed<const N: usize>(data: &[u8; N], seed: u64) -> u64 {
+    if N >= 16 {
+        return murmur3_64(data, seed);
+    }
+    let mut h1 = seed;
+    let mut h2 = seed;
+    if N > 8 {
+        let mut k2: u64 = 0;
+        for (i, &b) in data[8..].iter().enumerate() {
+            k2 ^= (b as u64) << (8 * i);
+        }
+        h2 ^= mix_k2(k2);
+    }
+    if N > 0 {
+        let mut k1: u64 = 0;
+        for (i, &b) in data.iter().take(8).enumerate() {
+            k1 ^= (b as u64) << (8 * i);
+        }
+        h1 ^= mix_k1(k1);
+    }
+    h1 ^= N as u64;
+    h2 ^= N as u64;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1.wrapping_add(h2)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +249,47 @@ mod tests {
             (avg - 32.0).abs() < 3.0,
             "average flipped output bits {avg}, expected ~32"
         );
+    }
+
+    #[test]
+    fn u64_fast_lane_matches_byte_slice_path() {
+        // The fixed-width lane must be byte-identical to the generic path:
+        // every sketch's hash domain position depends on it.
+        let mut v: u64 = 0x243F_6A88_85A3_08D3;
+        for seed in [0u64, 9001, u64::MAX] {
+            for _ in 0..10_000 {
+                v = v
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                assert_eq!(murmur3_64_u64(v, seed), murmur3_64(&v.to_le_bytes(), seed));
+            }
+            for v in [0u64, 1, u64::MAX] {
+                assert_eq!(murmur3_64_u64(v, seed), murmur3_64(&v.to_le_bytes(), seed));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_width_lane_matches_generic_for_every_width() {
+        // All sub-block widths 0..16 take the unrolled path; 16 and 17
+        // exercise the generic fallback.
+        let data: [u8; 17] = [
+            0x01, 0xFF, 0x2A, 0x80, 0x7E, 0x00, 0x13, 0x9C, 0x55, 0xAA, 0x0F, 0xF0, 0x3C, 0xC3,
+            0x69, 0x96, 0x42,
+        ];
+        macro_rules! check {
+            ($($n:literal),*) => {$(
+                let fixed: [u8; $n] = data[..$n].try_into().unwrap();
+                for seed in [0u64, 7, 9001] {
+                    assert_eq!(
+                        murmur3_64_fixed(&fixed, seed),
+                        murmur3_64(&data[..$n], seed),
+                        "width {} seed {}", $n, seed
+                    );
+                }
+            )*};
+        }
+        check!(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17);
     }
 
     #[test]

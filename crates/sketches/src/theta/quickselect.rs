@@ -145,6 +145,45 @@ impl QuickSelectThetaSketch {
         true
     }
 
+    /// Folds a batch of pre-hashed items, returning how many were
+    /// retained. State-identical to calling [`Self::update_hash`] once
+    /// per item — the equivalence the engine's batch/scalar proptests
+    /// pin down — but the per-item Θ load and rebuild-threshold check
+    /// are hoisted out of the loop, and quick-select is deferred to
+    /// chunk boundaries instead of being tested after every insert.
+    ///
+    /// The hoist is sound because the batch is folded in sub-chunks of
+    /// at most `rebuild_threshold − count` hashes: within such a chunk
+    /// the table cannot reach its rebuild point (each insert adds at
+    /// most one occupant), so Θ is constant and no rebuild can be
+    /// missed; the chunk boundary lands exactly where the scalar loop
+    /// would have rebuilt, i.e. the moment `count` reaches the
+    /// threshold — hence the identical trajectory.
+    pub fn update_hashes(&mut self, hashes: &[u64]) -> u64 {
+        let mut retained = 0u64;
+        let mut rest = hashes;
+        while !rest.is_empty() {
+            // Invariant: count < rebuild_threshold here (rebuild leaves
+            // count = k, far below 15/16 of 2k).
+            let slack = self.rebuild_threshold - self.count;
+            let take = rest.len().min(slack);
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            let theta = self.theta;
+            for &h in chunk {
+                debug_assert_ne!(h, 0, "hash 0 is the empty marker; normalize first");
+                if h < theta && self.insert(h) {
+                    self.count += 1;
+                    retained += 1;
+                }
+            }
+            if self.count >= self.rebuild_threshold {
+                self.rebuild();
+            }
+        }
+        retained
+    }
+
     /// Linear-probe insert; returns `false` on duplicate.
     #[inline]
     fn insert(&mut self, hash: u64) -> bool {
@@ -360,6 +399,45 @@ mod tests {
         let mut got: Vec<u64> = s.hashes().collect();
         got.sort_unstable();
         assert_eq!(got, all[..s.k()].to_vec());
+    }
+
+    #[test]
+    fn update_hashes_is_state_identical_to_scalar_updates() {
+        use crate::hash::Hashable;
+        // Feed the same hash stream one-at-a-time and in awkward batch
+        // sizes (empty, singleton, bigger than the table slack, forcing
+        // mid-batch rebuilds); Θ trajectory and retained set must agree
+        // exactly at every batch boundary.
+        let seed = 99;
+        let hashes: Vec<u64> = (0..60_000u64)
+            .map(|i| crate::theta::normalize_hash(i.hash_with_seed(seed)))
+            .collect();
+        let mut scalar = QuickSelectThetaSketch::new(6, seed).unwrap(); // k = 64
+        let mut batched = QuickSelectThetaSketch::new(6, seed).unwrap();
+        let sizes = [0usize, 1, 3, 16, 97, 500, 4096];
+        let mut pos = 0usize;
+        let mut size_idx = 0usize;
+        while pos < hashes.len() {
+            let take = sizes[size_idx % sizes.len()].min(hashes.len() - pos);
+            size_idx += 1;
+            let chunk = &hashes[pos..pos + take];
+            pos += take;
+            let mut scalar_retained = 0u64;
+            for &h in chunk {
+                if scalar.update_hash(h) {
+                    scalar_retained += 1;
+                }
+            }
+            let batch_retained = batched.update_hashes(chunk);
+            assert_eq!(batch_retained, scalar_retained);
+            assert_eq!(batched.theta(), scalar.theta(), "Θ diverged at {pos}");
+            assert_eq!(batched.retained(), scalar.retained());
+        }
+        let mut a: Vec<u64> = scalar.hashes().collect();
+        let mut b: Vec<u64> = batched.hashes().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "retained sets diverged");
     }
 
     #[test]

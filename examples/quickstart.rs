@@ -30,12 +30,22 @@ fn main() {
 
     let start = Instant::now();
     std::thread::scope(|s| {
-        // One writer handle per ingestion thread.
+        // One writer handle per ingestion thread, feeding through the
+        // batched fast path: one `update_batch` call per chunk hoists
+        // the phase/filter/hint checks out of the per-item loop (use
+        // `w.update(item)` for item-at-a-time sources — same result).
+        const BATCH: u64 = 1024;
         for t in 0..WRITERS {
             let mut w = sketch.writer();
             s.spawn(move || {
-                for i in 0..PER_WRITER {
-                    w.update(t * PER_WRITER + i); // disjoint ranges: all distinct
+                let (base, end) = (t * PER_WRITER, (t + 1) * PER_WRITER);
+                let mut batch = Vec::with_capacity(BATCH as usize);
+                let mut next = base;
+                while next < end {
+                    batch.clear();
+                    batch.extend(next..end.min(next + BATCH)); // disjoint ranges: all distinct
+                    w.update_batch(&batch);
+                    next += batch.len() as u64;
                 }
             });
         }

@@ -46,8 +46,11 @@
 //!     .map(|t| {
 //!         let mut w = sketch.writer();
 //!         std::thread::spawn(move || {
-//!             for i in 0..100_000u64 {
-//!                 w.update(i * 2 + t);
+//!             // One call per chunk (`update_batch`) runs the fused
+//!             // batched fast path; `update` works item-at-a-time.
+//!             let items: Vec<u64> = (0..100_000u64).map(|i| i * 2 + t).collect();
+//!             for chunk in items.chunks(1024) {
+//!                 w.update_batch(chunk);
 //!             }
 //!         })
 //!     })

@@ -5,7 +5,10 @@
 //! merged queries are lossless against a sequential oracle fed the same
 //! stream (M = 1). Sharded Quantiles rank estimates under the
 //! copy-on-write ladder stay within the checker's relaxation envelope of
-//! the sequential sketch on the same stream.
+//! the sequential sketch on the same stream. The Θ grid additionally
+//! covers the batched ingestion fast path (`update_batch` with chunks
+//! larger than `b`, forcing mid-batch hand-offs) against the same
+//! envelopes as scalar ingestion.
 
 use fcds::core::hll::ConcurrentHllBuilder;
 use fcds::core::quantiles::ConcurrentQuantilesBuilder;
@@ -47,6 +50,7 @@ proptest! {
         shard_sel in 0usize..3,
         image_m in 0usize..2,
         writer_assisted in any::<bool>(),
+        batched in any::<bool>(),
     ) {
         let shards = [1usize, 2, 4][shard_sel];
         let m = [1u64, 4][image_m];
@@ -74,10 +78,32 @@ proptest! {
 
         let mut handles: Vec<_> = (0..writers).map(|_| sketch.writer()).collect();
         let mut stream: Vec<u64> = Vec::new();
-        for i in 0..writers as u64 * per_writer {
-            let w = (i % writers as u64) as usize;
-            handles[w].update(i);
-            stream.push(normalize_hash(i.hash_with_seed(SEED)));
+        let total = writers as u64 * per_writer;
+        if batched {
+            // Batched ingestion path: each writer takes its next chunk in
+            // turn (37 is odd and > b, so hand-offs happen mid-batch);
+            // the issued order is chunk-interleaved, a valid schedule for
+            // the same checker envelope.
+            const CHUNK: u64 = 37;
+            let mut next = 0u64;
+            'outer: loop {
+                for h in handles.iter_mut() {
+                    if next >= total {
+                        break 'outer;
+                    }
+                    let hi = (next + CHUNK).min(total);
+                    let vals: Vec<u64> = (next..hi).collect();
+                    h.update_batch(&vals);
+                    stream.extend(vals.iter().map(|v| normalize_hash(v.hash_with_seed(SEED))));
+                    next = hi;
+                }
+            }
+        } else {
+            for i in 0..total {
+                let w = (i % writers as u64) as usize;
+                handles[w].update(i);
+                stream.push(normalize_hash(i.hash_with_seed(SEED)));
+            }
         }
 
         // Writers alive, partial buffers unflushed: the snapshot may miss
