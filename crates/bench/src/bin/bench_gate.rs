@@ -1,6 +1,6 @@
 //! CI bench-regression gate over the JSON artefacts the bench binaries
 //! emit (`BENCH_prop_cost.json`, `BENCH_quantiles_prop.json`,
-//! `BENCH_ingest.json`).
+//! `BENCH_ingest.json`, `BENCH_merge_tree.json`).
 //!
 //! Each artefact documents its own acceptance ratios and thresholds (see
 //! [`fcds_bench::gate`]); this binary reads them back and exits nonzero
@@ -16,10 +16,11 @@ use fcds_bench::gate::check_doc;
 use fcds_bench::report::HarnessArgs;
 use std::process::ExitCode;
 
-const ARTEFACTS: [&str; 3] = [
+const ARTEFACTS: [&str; 4] = [
     "BENCH_prop_cost.json",
     "BENCH_quantiles_prop.json",
     "BENCH_ingest.json",
+    "BENCH_merge_tree.json",
 ];
 
 fn main() -> ExitCode {

@@ -1,0 +1,283 @@
+//! The merge-anywhere scenario: N simulated nodes ingest disjoint
+//! streams through the *concurrent* engine, export versioned wire
+//! images, and a coordinator fan-in merges them into one queryable
+//! global — emitting `BENCH_merge_tree.json`.
+//!
+//! One row per sketch family records the image size, the fan-in merge
+//! cost (µs per image, images per second), and the merged estimate's
+//! error against the exact oracle the disjoint streams make computable:
+//!
+//! * **Θ / HLL** — true distinct count is `nodes × per_node`; the merge
+//!   is lossless (untrimmed union / register max), so only estimator
+//!   variance contributes.
+//! * **Quantiles** — the union stream is exactly `0..total`, so the
+//!   true rank of any merged quantile value is `value / total`; the row
+//!   reports the worst rank error over a φ grid as a multiple of the
+//!   single-sketch `epsilon_for_k`.
+//! * **Misra–Gries** — true per-item counts are replayed alongside the
+//!   engines; the row reports the merged `max_error` against the
+//!   mergeable-summaries bound `n/(k+1)` and the bound-coverage of
+//!   every probed item.
+//!
+//! The acceptance ratios and the thresholds `bench_gate` enforces (see
+//! [`fcds_bench::gate`]) are error-based — a merge-path bug shows up as
+//! an estimate outside the statistical envelope — plus one loose
+//! throughput floor catching accidentally quadratic fan-in.
+//!
+//! Usage: `cargo run --release -p fcds-bench --bin merge_tree
+//! [--out=DIR]` (writes `<out>/BENCH_merge_tree.json`, default the
+//! working directory).
+
+use fcds_bench::gate::{
+    MERGE_TREE_FANIN_IPS_MIN, MERGE_TREE_HLL_RELERR_MAX, MERGE_TREE_MG_COVERAGE_MIN,
+    MERGE_TREE_MG_ERROR_VS_BOUND_MAX, MERGE_TREE_QUANTILES_RANKERR_VS_EPS_MAX,
+    MERGE_TREE_THETA_RELERR_MAX,
+};
+use fcds_bench::report::HarnessArgs;
+use fcds_core::frequency::ConcurrentFrequencySketch;
+use fcds_core::hll::ConcurrentHllSketch;
+use fcds_core::quantiles::ConcurrentQuantilesSketch;
+use fcds_core::theta::ConcurrentThetaSketch;
+use fcds_sketches::frequency::MisraGriesSketch;
+use fcds_sketches::hll::HllSketch;
+use fcds_sketches::quantiles::{epsilon_for_k, QuantilesLadder};
+use fcds_sketches::theta::{CompactThetaSketch, ThetaRead};
+use fcds_sketches::wire::{merge_wire_images, WireMerge};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const NODES: u64 = 8;
+const PER_NODE: u64 = 50_000;
+const THETA_LG_K: u8 = 12;
+const HLL_LG_M: u8 = 10;
+const QUANTILES_K: usize = 64;
+const MG_K: usize = 64;
+const MG_MODULUS: u64 = 400;
+/// Fan-in repetitions for the timing loop (each repetition decodes and
+/// merges all `NODES` images from scratch).
+const MERGE_REPS: u32 = 64;
+
+/// Times `reps` full fan-ins of `images` and returns
+/// (merged result, µs per image, images per second).
+fn time_fanin<W: WireMerge>(images: &[bytes::Bytes], reps: u32) -> (W, f64, f64) {
+    let start = Instant::now();
+    let mut merged = merge_wire_images(images).expect("images merge");
+    for _ in 1..reps {
+        merged = merge_wire_images(images).expect("images merge");
+    }
+    let elapsed = start.elapsed();
+    let total_images = images.len() as f64 * reps as f64;
+    let us_per_image = elapsed.as_secs_f64() * 1e6 / total_images;
+    let images_per_sec = total_images / elapsed.as_secs_f64();
+    (merged, us_per_image, images_per_sec)
+}
+
+fn avg_bytes(images: &[bytes::Bytes]) -> u64 {
+    images.iter().map(|b| b.len() as u64).sum::<u64>() / images.len() as u64
+}
+
+fn theta_images() -> Vec<bytes::Bytes> {
+    (0..NODES)
+        .map(|node| {
+            let sketch = ConcurrentThetaSketch::builder()
+                .lg_k(THETA_LG_K)
+                .seed(2024)
+                .writers(1)
+                .max_concurrency_error(0.04)
+                .build()
+                .expect("theta engine");
+            let mut w = sketch.writer();
+            let items: Vec<u64> = (0..PER_NODE).map(|i| node * PER_NODE + i).collect();
+            w.update_batch(&items);
+            w.flush();
+            sketch.quiesce();
+            sketch.wire_image()
+        })
+        .collect()
+}
+
+fn hll_images() -> Vec<bytes::Bytes> {
+    (0..NODES)
+        .map(|node| {
+            let sketch = ConcurrentHllSketch::builder()
+                .lg_m(HLL_LG_M)
+                .seed(2024)
+                .writers(1)
+                .max_concurrency_error(0.04)
+                .build()
+                .expect("hll engine");
+            let mut w = sketch.writer();
+            let items: Vec<u64> = (0..PER_NODE).map(|i| node * PER_NODE + i).collect();
+            w.update_batch(&items);
+            w.flush();
+            sketch.quiesce();
+            sketch.wire_image()
+        })
+        .collect()
+}
+
+fn quantiles_images() -> Vec<bytes::Bytes> {
+    (0..NODES)
+        .map(|node| {
+            let sketch: ConcurrentQuantilesSketch<u64> =
+                ConcurrentQuantilesSketch::<u64>::builder()
+                    .k(QUANTILES_K)
+                    .oracle_seed(2024)
+                    .writers(1)
+                    .max_concurrency_error(0.04)
+                    .build()
+                    .expect("quantiles engine");
+            let mut w = sketch.writer();
+            let items: Vec<u64> = (0..PER_NODE).map(|i| node * PER_NODE + i).collect();
+            w.update_batch(&items);
+            w.flush();
+            sketch.quiesce();
+            sketch.wire_image()
+        })
+        .collect()
+}
+
+fn mg_images() -> (Vec<bytes::Bytes>, HashMap<u64, u64>) {
+    let mut truth = HashMap::new();
+    let images = (0..NODES)
+        .map(|node| {
+            let sketch: ConcurrentFrequencySketch<u64> =
+                ConcurrentFrequencySketch::<u64>::builder()
+                    .k(MG_K)
+                    .writers(1)
+                    .max_concurrency_error(0.04)
+                    .build()
+                    .expect("frequency engine");
+            let mut w = sketch.writer();
+            for i in 0..PER_NODE {
+                // Skewed: item 0 is globally heavy, the tail cycles
+                // through a modulus wider than k.
+                let item = if i % 4 == 0 {
+                    0
+                } else {
+                    1 + (node * PER_NODE + i) % MG_MODULUS
+                };
+                w.update(item);
+                *truth.entry(item).or_insert(0u64) += 1;
+            }
+            w.flush();
+            sketch.quiesce();
+            sketch.wire_image()
+        })
+        .collect();
+    (images, truth)
+}
+
+fn main() {
+    let args = HarnessArgs::parse_with_out_default(".");
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let total = NODES * PER_NODE;
+    let mut rows = String::new();
+    let mut fanin_floor = f64::INFINITY;
+
+    // Θ: exact oracle is the disjoint union cardinality.
+    let images = theta_images();
+    let (merged, us, ips) = time_fanin::<CompactThetaSketch>(&images, MERGE_REPS);
+    fanin_floor = fanin_floor.min(ips);
+    let theta_rel_error = (merged.estimate() - total as f64).abs() / total as f64;
+    let _ = writeln!(
+        rows,
+        "    {{\"family\": \"theta\", \"lg_k\": {THETA_LG_K}, \"nodes\": {NODES}, \
+         \"per_node\": {PER_NODE}, \"image_bytes\": {}, \"merge_us_per_image\": {us:.2}, \
+         \"fanin_images_per_sec\": {ips:.0}, \"rel_error\": {theta_rel_error:.4}}},",
+        avg_bytes(&images)
+    );
+    eprintln!("theta: {us:.1} us/image, {ips:.0} images/s, rel_error {theta_rel_error:.4}");
+
+    // HLL: same oracle; the merge is an exact register-max join.
+    let images = hll_images();
+    let (merged, us, ips) = time_fanin::<HllSketch>(&images, MERGE_REPS);
+    fanin_floor = fanin_floor.min(ips);
+    let hll_rel_error = (merged.estimate() - total as f64).abs() / total as f64;
+    let _ = writeln!(
+        rows,
+        "    {{\"family\": \"hll\", \"lg_m\": {HLL_LG_M}, \"nodes\": {NODES}, \
+         \"per_node\": {PER_NODE}, \"image_bytes\": {}, \"merge_us_per_image\": {us:.2}, \
+         \"fanin_images_per_sec\": {ips:.0}, \"rel_error\": {hll_rel_error:.4}}},",
+        avg_bytes(&images)
+    );
+    eprintln!("hll: {us:.1} us/image, {ips:.0} images/s, rel_error {hll_rel_error:.4}");
+
+    // Quantiles: the union stream is exactly 0..total, so the true rank
+    // of a merged quantile value is value/total.
+    let images = quantiles_images();
+    let (merged, us, ips) = time_fanin::<QuantilesLadder<u64>>(&images, MERGE_REPS);
+    fanin_floor = fanin_floor.min(ips);
+    let mut worst_rank_error = 0.0f64;
+    for phi in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+        let v = merged.quantile(phi).expect("nonempty merged ladder");
+        worst_rank_error = worst_rank_error.max((v as f64 / total as f64 - phi).abs());
+    }
+    let quantiles_rankerr_vs_eps = worst_rank_error / epsilon_for_k(QUANTILES_K);
+    let _ = writeln!(
+        rows,
+        "    {{\"family\": \"quantiles\", \"k\": {QUANTILES_K}, \"nodes\": {NODES}, \
+         \"per_node\": {PER_NODE}, \"image_bytes\": {}, \"merge_us_per_image\": {us:.2}, \
+         \"fanin_images_per_sec\": {ips:.0}, \"worst_rank_error\": {worst_rank_error:.4}}},",
+        avg_bytes(&images)
+    );
+    eprintln!(
+        "quantiles: {us:.1} us/image, {ips:.0} images/s, worst rank error \
+         {worst_rank_error:.4} ({quantiles_rankerr_vs_eps:.2}x eps)"
+    );
+
+    // Misra–Gries: replayed truth gives exact per-item counts; the
+    // merged summary must keep every truth inside its bounds and its
+    // error within the mergeable-summaries bound.
+    let (images, truth) = mg_images();
+    let (merged, us, ips) = time_fanin::<MisraGriesSketch<u64>>(&images, MERGE_REPS);
+    fanin_floor = fanin_floor.min(ips);
+    let mg_error_vs_bound = merged.max_error() as f64 / (total as f64 / (MG_K as f64 + 1.0));
+    let covered = truth
+        .iter()
+        .filter(|(item, &count)| {
+            let est = merged.estimate(item);
+            est.lower_bound <= count && count <= est.upper_bound
+        })
+        .count();
+    let mg_coverage = covered as f64 / truth.len() as f64;
+    let _ = write!(
+        rows,
+        "    {{\"family\": \"misra_gries\", \"k\": {MG_K}, \"nodes\": {NODES}, \
+         \"per_node\": {PER_NODE}, \"image_bytes\": {}, \"merge_us_per_image\": {us:.2}, \
+         \"fanin_images_per_sec\": {ips:.0}, \"error_vs_bound\": {mg_error_vs_bound:.4}, \
+         \"truth_coverage\": {mg_coverage:.4}}}",
+        avg_bytes(&images)
+    );
+    eprintln!(
+        "misra-gries: {us:.1} us/image, {ips:.0} images/s, error/bound \
+         {mg_error_vs_bound:.3}, coverage {mg_coverage:.3}"
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"fcds-bench-merge-tree-v1\",\n  \"cores\": {cores},\n  \
+         \"nodes\": {NODES},\n  \"per_node\": {PER_NODE},\n  \"merge_reps\": {MERGE_REPS},\n  \
+         \"rows\": [\n{rows}\n  ],\n  \
+         \"acceptance\": {{\n    \
+         \"theta_rel_error\": {theta_rel_error:.4},\n    \
+         \"hll_rel_error\": {hll_rel_error:.4},\n    \
+         \"quantiles_rankerr_vs_eps\": {quantiles_rankerr_vs_eps:.3},\n    \
+         \"mg_error_vs_bound\": {mg_error_vs_bound:.4},\n    \
+         \"mg_truth_coverage\": {mg_coverage:.4},\n    \
+         \"fanin_images_per_sec_floor\": {fanin_floor:.0}\n  }},\n  \
+         \"thresholds\": {{\n    \
+         \"theta_rel_error_max\": {MERGE_TREE_THETA_RELERR_MAX:.2},\n    \
+         \"hll_rel_error_max\": {MERGE_TREE_HLL_RELERR_MAX:.2},\n    \
+         \"quantiles_rankerr_vs_eps_max\": {MERGE_TREE_QUANTILES_RANKERR_VS_EPS_MAX:.1},\n    \
+         \"mg_error_vs_bound_max\": {MERGE_TREE_MG_ERROR_VS_BOUND_MAX:.1},\n    \
+         \"mg_truth_coverage_min\": {MERGE_TREE_MG_COVERAGE_MIN:.1},\n    \
+         \"fanin_images_per_sec_floor_min\": {MERGE_TREE_FANIN_IPS_MIN:.0}\n  }}\n}}\n"
+    );
+
+    let path = format!("{}/BENCH_merge_tree.json", args.out_dir);
+    std::fs::create_dir_all(&args.out_dir).expect("create out dir");
+    std::fs::write(&path, &json).expect("write BENCH_merge_tree.json");
+    print!("{json}");
+    eprintln!("wrote {path}");
+}

@@ -74,6 +74,37 @@ pub const INGEST_BATCHED_VS_SCALAR_SHIPALL_MIN: f64 = 1.0;
 /// it), so the hot-path win can never silently regress.
 pub const INGEST_SCALAR_HINT_MOPS_MIN: f64 = 100.0;
 
+/// Merge tree (`BENCH_merge_tree.json`): Θ fan-in estimate error vs the
+/// exact disjoint-union oracle. lg_k = 12 gives RSE ≈ 1.6%; 0.08 is a
+/// 5σ ceiling that only a merge-path bug can breach.
+pub const MERGE_TREE_THETA_RELERR_MAX: f64 = 0.08;
+
+/// Merge tree: HLL fan-in estimate error vs the oracle. lg_m = 10 gives
+/// a standard error ≈ 3.3%; 0.12 is a ~3.6σ ceiling (the merge itself
+/// is an exact lattice join, so only the estimator variance is in play).
+pub const MERGE_TREE_HLL_RELERR_MAX: f64 = 0.12;
+
+/// Merge tree: worst rank error of the merged Quantiles ladder across
+/// the φ grid, expressed as a multiple of the single-sketch
+/// `epsilon_for_k` — fan-in across N nodes × K shards compounds the
+/// per-sketch epsilon, so the bound is a small multiple, not 1.
+pub const MERGE_TREE_QUANTILES_RANKERR_VS_EPS_MAX: f64 = 4.0;
+
+/// Merge tree: the merged Misra–Gries `max_error` over the theoretical
+/// mergeable-summaries bound `n/(k+1)` — the theorem says ≤ 1 under any
+/// fan-in order.
+pub const MERGE_TREE_MG_ERROR_VS_BOUND_MAX: f64 = 1.0;
+
+/// Merge tree: fraction of probed items whose true count lies inside
+/// the merged `[lower_bound, upper_bound]` — must be every one of them.
+pub const MERGE_TREE_MG_COVERAGE_MIN: f64 = 1.0;
+
+/// Merge tree: the slowest family's fan-in rate, in images merged per
+/// second. A deliberately loose floor (real rates are thousands/s even
+/// on a loaded 1-CPU runner) that still catches an accidentally
+/// quadratic merge path.
+pub const MERGE_TREE_FANIN_IPS_MIN: f64 = 100.0;
+
 /// The bound direction encoded in a threshold key's suffix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bound {

@@ -278,7 +278,7 @@ impl ConcurrentFrequencyBuilder {
             sketch: MisraGriesSketch::new(self.k)?,
         };
         let inner = ConcurrentSketch::start(global, self.config)?;
-        Ok(ConcurrentFrequencySketch { inner })
+        Ok(ConcurrentFrequencySketch { inner, k: self.k })
     }
 }
 
@@ -301,6 +301,7 @@ impl ConcurrentFrequencyBuilder {
 /// ```
 pub struct ConcurrentFrequencySketch<T: Eq + Hash + Clone + Send + Sync + 'static> {
     inner: ConcurrentSketch<FrequencyGlobal<T>>,
+    k: usize,
 }
 
 impl<T: Eq + Hash + Clone + Send + Sync + 'static> std::fmt::Debug
@@ -327,6 +328,33 @@ impl<T: Eq + Hash + Clone + Send + Sync + 'static> ConcurrentFrequencySketch<T> 
     /// Wait-free snapshot of the current heavy-hitters table.
     pub fn snapshot(&self) -> Arc<FrequencySnapshot<T>> {
         self.inner.snapshot()
+    }
+
+    /// The maximum number of counters per shard.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Serialises the merged heavy-hitters state into a unified wire
+    /// image (Misra–Gries family — see `fcds_sketches::wire`). The
+    /// merged shard table can hold up to `K·k` counters; the export
+    /// reduces it back to `k` (accruing the reduction slack into the
+    /// image's error term), so every image is a valid `k`-counter
+    /// summary whose bounds still bracket the true counts.
+    pub fn wire_image(&self) -> bytes::Bytes
+    where
+        T: Ord + fcds_sketches::wire::WireItem,
+    {
+        use fcds_sketches::wire::WireEncode;
+        let snap = self.snapshot();
+        let mg = MisraGriesSketch::from_parts(
+            self.k,
+            snap.n,
+            snap.max_error,
+            snap.counters.iter().map(|(item, &c)| (item.clone(), c)),
+        )
+        .expect("snapshot counters satisfy the Misra-Gries invariants");
+        mg.to_wire_bytes()
     }
 
     /// The relaxation bound `r = 2Nb`.

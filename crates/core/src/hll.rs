@@ -18,6 +18,7 @@ use crate::sync::{AtomicF64, EpochCell};
 use fcds_sketches::error::Result;
 use fcds_sketches::hash::{hash_batch_with_seed, Hashable, DEFAULT_SEED};
 use fcds_sketches::hll::HllSketch;
+use fcds_sketches::wire::WireEncode;
 use std::num::NonZeroU64;
 
 /// The HLL hint: the number of registers' common floor `m₀` plus the
@@ -327,6 +328,14 @@ impl ConcurrentHllSketch {
             merged.merge(p).expect("shards share lg_m and seed");
         }
         merged
+    }
+
+    /// Serialises the merged register state into a unified wire image
+    /// (HLL family — see `fcds_sketches::wire`). Register-wise max is a
+    /// lattice join, so images merged on a remote node equal the
+    /// sequential sketch of the concatenated streams exactly.
+    pub fn wire_image(&self) -> bytes::Bytes {
+        self.registers().to_wire_bytes()
     }
 
     /// The relaxation bound `r = 2Nb`.

@@ -32,6 +32,7 @@ use crate::sync::EpochCell;
 use fcds_sketches::error::Result;
 use fcds_sketches::oracle::{DeterministicOracle, Oracle};
 use fcds_sketches::quantiles::{QuantilesLadder, QuantilesReader, QuantilesSketch};
+use fcds_sketches::wire::{WireEncode, WireItem};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -450,6 +451,27 @@ impl<T: Ord + Clone + Send + Sync + 'static> ConcurrentQuantilesSketch<T> {
     /// The accuracy parameter `k`.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// Serialises the published state into a unified wire image
+    /// (Quantiles family, ladder form — see `fcds_sketches::wire`)
+    /// *without flattening*: the shard ladders' copy-on-write runs are
+    /// concatenated by `Arc` clone and streamed out run by run, so the
+    /// export costs O(runs + retained) with no sort and no k-way merge —
+    /// those stay on the query side of whichever node decodes the image.
+    pub fn wire_image(&self) -> bytes::Bytes
+    where
+        T: WireItem,
+    {
+        let mut ladders = self.inner.shard_views().map(|v| v.ladder());
+        let mut merged: QuantilesLadder<T> = ladders
+            .next()
+            .map(|l| (*l).clone())
+            .unwrap_or_else(QuantilesLadder::empty);
+        for l in ladders {
+            merged.concat(&l);
+        }
+        merged.to_wire_bytes()
     }
 
     /// The relaxation bound `r = 2Nb`.

@@ -21,6 +21,7 @@ use crate::composable::{extend_compact_u64, GlobalSketch, LocalSketch};
 use crate::config::{ConcurrencyConfig, PropagationBackendKind};
 use crate::runtime::{ConcurrentSketch, SketchWriter};
 use crate::sync::{EpochCell, SeqSnapshot};
+use bytes::Bytes;
 use fcds_sketches::error::Result;
 use fcds_sketches::hash::{hash_batch_with_seed, Hashable, DEFAULT_SEED};
 use fcds_sketches::oracle::Oracle;
@@ -28,6 +29,7 @@ use fcds_sketches::theta::{
     normalize_hash, theta_to_fraction, untrimmed_union, untrimmed_union_unsorted, BlockSnapshot,
     CompactThetaSketch, HashBlocks, QuickSelectThetaSketch, ThetaRead,
 };
+use fcds_sketches::wire::{encode_theta_unsorted, WireEncode};
 
 /// A consistent query snapshot of the concurrent Θ sketch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -528,6 +530,26 @@ impl ConcurrentThetaSketch {
             return parts.pop().expect("at least one shard");
         }
         untrimmed_union(parts.iter()).expect("shards share one hash seed")
+    }
+
+    /// Serialises the merged global state into a unified wire image
+    /// (Θ family, canonical sorted form — see `fcds_sketches::wire`): the
+    /// per-node export of the "sketch anywhere, merge anywhere" tier. A
+    /// central node fans these in with
+    /// `fcds_sketches::wire::merge_wire_images` (untrimmed union) without
+    /// ever having seen the streams.
+    pub fn wire_image(&self) -> Bytes {
+        self.compact().to_wire_bytes()
+    }
+
+    /// One wire image per shard, streamed straight from the propagators'
+    /// copy-on-write block snapshots in insertion order (flag
+    /// `FLAG_THETA_UNSORTED`) — no sort, no shard union on the export
+    /// path. Decoders canonicalise, and the untrimmed union of the shard
+    /// images equals [`Self::wire_image`]'s sketch.
+    pub fn shard_wire_images(&self) -> Vec<Bytes> {
+        self.inner
+            .with_globals(|g| encode_theta_unsorted(&g.image_now()))
     }
 
     /// The configured error bound `max{e + 1/√k, 2/√k}` (§7.1).

@@ -71,9 +71,59 @@ impl<T: Eq + Hash + Clone> MisraGriesSketch<T> {
         Ok(MisraGriesSketch {
             k,
             n: 0,
-            counters: HashMap::with_capacity(k + 1),
+            // Capacity is only a hint — cap it so a hostile `k` decoded
+            // from the wire cannot drive a giant eager allocation. The
+            // table still grows to the full k + 1 on demand.
+            counters: HashMap::with_capacity(k.saturating_add(1).min(1 << 16)),
             error: 0,
         })
+    }
+
+    /// Reassembles a summary from its parts — the constructor behind the
+    /// wire decoder and the concurrent engine's export hook. Duplicate
+    /// items accumulate by addition; if more than `k` counters survive,
+    /// Misra–Gries reductions run until `≤ k` remain (growing `error`
+    /// accordingly), so a table merged from many shards collapses to a
+    /// valid summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `k == 0`, a counter
+    /// is `0`, or the counters plus `error` exceed `n` (every retained
+    /// counter is a lower bound on a true count, so their total plus the
+    /// reduction slack can never exceed the stream length).
+    pub fn from_parts(
+        k: usize,
+        n: u64,
+        error: u64,
+        counters: impl IntoIterator<Item = (T, u64)>,
+    ) -> Result<Self> {
+        let mut sketch = Self::new(k)?;
+        sketch.n = n;
+        sketch.error = error;
+        let mut total = error;
+        for (item, count) in counters {
+            if count == 0 {
+                return Err(SketchError::invalid("counters", "zero counter retained"));
+            }
+            total = total
+                .checked_add(count)
+                .filter(|&t| t <= n)
+                .ok_or_else(|| {
+                    SketchError::invalid("counters", "counters + error exceed stream length n")
+                })?;
+            *sketch.counters.entry(item).or_insert(0) += count;
+        }
+        while sketch.counters.len() > sketch.k {
+            sketch.reduce();
+        }
+        Ok(sketch)
+    }
+
+    /// Iterates the retained `(item, counter)` pairs in arbitrary
+    /// (hash-map) order.
+    pub fn counters(&self) -> impl Iterator<Item = (&T, u64)> {
+        self.counters.iter().map(|(item, &c)| (item, c))
     }
 
     /// Maximum number of counters.

@@ -1,71 +1,34 @@
-//! Compact wire format for HLL sketches.
+//! Convenience byte-string API for HLL sketches.
 //!
-//! Layout (little-endian):
-//! `magic(u16) | version(u8) | lg_m(u8) | pad(u32) | seed(u64) | registers…`
-//! with exactly `2^lg_m` register bytes.
+//! The actual codec lives in the unified [`crate::wire`] module (HLL
+//! family): a 16-byte envelope header followed by
+//! `lg_m(u8) | pad(7×u8) | seed(u64) | 2^lg_m register bytes`. The
+//! methods here are thin aliases kept for callers that do not need the
+//! trait machinery.
 
-use super::{HllSketch, MAX_LG_M, MIN_LG_M};
-use crate::error::{Result, SketchError};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
-const MAGIC: u16 = 0xFC11;
-const VERSION: u8 = 1;
+use super::HllSketch;
+use crate::error::Result;
+use crate::wire::{WireDecode, WireEncode};
+use bytes::Bytes;
 
 impl HllSketch {
-    /// Serialises the sketch into its compact wire format.
+    /// Serialises the sketch into the unified wire format (HLL family).
+    /// Alias of [`WireEncode::to_wire_bytes`].
     pub fn to_bytes(&self) -> Bytes {
-        let regs = self.registers();
-        let mut buf = BytesMut::with_capacity(16 + regs.len());
-        buf.put_u16_le(MAGIC);
-        buf.put_u8(VERSION);
-        buf.put_u8(self.lg_m());
-        buf.put_u32_le(0);
-        buf.put_u64_le(self.seed());
-        buf.put_slice(regs);
-        buf.freeze()
+        self.to_wire_bytes()
     }
 
     /// Deserialises a sketch produced by [`HllSketch::to_bytes`].
     ///
     /// # Errors
     ///
-    /// Returns [`SketchError::Corrupt`] on bad magic/version, truncation,
-    /// or register values exceeding the maximum possible rank.
-    pub fn from_bytes(mut data: &[u8]) -> Result<Self> {
-        if data.len() < 16 {
-            return Err(SketchError::corrupt("preamble truncated"));
-        }
-        let magic = data.get_u16_le();
-        if magic != MAGIC {
-            return Err(SketchError::corrupt(format!("bad magic {magic:#x}")));
-        }
-        let version = data.get_u8();
-        if version != VERSION {
-            return Err(SketchError::corrupt(format!("unknown version {version}")));
-        }
-        let lg_m = data.get_u8();
-        if !(MIN_LG_M..=MAX_LG_M).contains(&lg_m) {
-            return Err(SketchError::corrupt(format!("lg_m {lg_m} out of range")));
-        }
-        let _pad = data.get_u32_le();
-        let seed = data.get_u64_le();
-        let m = 1usize << lg_m;
-        if data.remaining() < m {
-            return Err(SketchError::corrupt("register array truncated"));
-        }
-        let max_rho = 64 - lg_m + 1;
-        let mut sketch = HllSketch::new(lg_m, seed)?;
-        let regs = sketch.registers_mut();
-        for slot in regs.iter_mut() {
-            let r = data.get_u8();
-            if r > max_rho {
-                return Err(SketchError::corrupt(format!(
-                    "register value {r} exceeds max rank {max_rho}"
-                )));
-            }
-            *slot = r;
-        }
-        Ok(sketch)
+    /// Returns the [`crate::wire::WireDecode`] failure folded into
+    /// [`crate::error::SketchError`]: `Corrupt` on bad magic/version,
+    /// truncation, or register values exceeding the maximum possible
+    /// rank. Callers that need the precise corruption class should use
+    /// [`WireDecode::from_wire_bytes`] directly.
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        Ok(Self::from_wire_bytes(data)?)
     }
 }
 
@@ -80,7 +43,8 @@ mod tests {
             h.update(i);
         }
         let bytes = h.to_bytes();
-        assert_eq!(bytes.len(), 16 + 1024);
+        // 16-byte envelope + 16-byte fixed payload + 2^10 registers.
+        assert_eq!(bytes.len(), 16 + 16 + 1024);
         let back = HllSketch::from_bytes(&bytes).unwrap();
         assert_eq!(back, h);
         assert_eq!(back.estimate(), h.estimate());
@@ -110,7 +74,8 @@ mod tests {
     #[test]
     fn out_of_range_register_rejected() {
         let mut b = HllSketch::new(4, 0).unwrap().to_bytes().to_vec();
-        b[16] = 62; // max rank for lg_m = 4 is 61
+        // First register: 16-byte envelope + lg_m/pad/seed (16 bytes).
+        b[32] = 62; // max rank for lg_m = 4 is 61
         assert!(HllSketch::from_bytes(&b).is_err());
     }
 

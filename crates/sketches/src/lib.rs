@@ -20,6 +20,10 @@
 //! * [`hash`] — MurmurHash3 (x64-128), the hash function used by Apache
 //!   DataSketches, plus the [`hash::Hashable`] abstraction mapping stream
 //!   items into the 64-bit hash domain.
+//! * [`wire`] — the unified, versioned wire format: one self-describing
+//!   envelope covering all four sketch families, with decoded images
+//!   mergeable on nodes that never saw the streams ("sketch anywhere,
+//!   merge anywhere").
 //! * [`oracle`] — the de-randomisation oracle of §4: all coin flips and the
 //!   hash-seed choice are drawn through an explicit oracle so that a sketch
 //!   becomes a *deterministic* object with a sequential specification,
@@ -49,5 +53,6 @@ pub mod oracle;
 pub mod quantiles;
 pub mod sampling;
 pub mod theta;
+pub mod wire;
 
-pub use error::{Result, SketchError};
+pub use error::{Result, SketchError, WireError};

@@ -52,7 +52,10 @@ struct LadderRun<T> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct QuantilesLadder<T: Ord + Clone> {
-    /// Non-empty sorted runs, ascending weight (base first).
+    /// Non-empty sorted runs. Snapshots of one sketch hold them in
+    /// ascending weight (base first); ladders produced by
+    /// [`Self::concat`] may interleave weights — no query depends on
+    /// run order.
     runs: Vec<LadderRun<T>>,
     n: u64,
     min_item: Option<T>,
@@ -108,6 +111,56 @@ impl<T: Ord + Clone> QuantilesLadder<T> {
             n,
             min_item,
             max_item,
+        }
+    }
+
+    /// Rebuilds a ladder from decoded wire runs (crate-internal; the
+    /// wire codec has already validated per-run sortedness and the
+    /// weight invariant `Σ len·weight = n`).
+    pub(crate) fn from_wire_runs(
+        runs: Vec<(Vec<T>, u64)>,
+        n: u64,
+        min_item: Option<T>,
+        max_item: Option<T>,
+    ) -> Self {
+        QuantilesLadder {
+            runs: runs
+                .into_iter()
+                .map(|(items, weight)| LadderRun {
+                    items: Arc::new(items),
+                    weight,
+                })
+                .collect(),
+            n,
+            min_item,
+            max_item,
+        }
+    }
+
+    /// Iterates the sorted runs as `(items, weight)` pairs in stored
+    /// order (crate-internal; the wire codec is the only consumer).
+    pub(crate) fn wire_runs(&self) -> impl Iterator<Item = (&[T], u64)> {
+        self.runs.iter().map(|r| (r.items.as_slice(), r.weight))
+    }
+
+    /// Merges another ladder into this one by run-list concatenation:
+    /// `O(runs)` `Arc` clones, no item is touched. The combined ladder
+    /// summarises the concatenation of both streams — the k-way merge
+    /// over runs happens lazily at query time, exactly as it does for a
+    /// single sketch's ladder. This is the Quantiles merge of the
+    /// wire tier ([`crate::wire::WireMerge`]).
+    pub fn concat(&mut self, other: &Self) {
+        self.runs.extend(other.runs.iter().cloned());
+        self.n += other.n;
+        if let Some(om) = &other.min_item {
+            if self.min_item.as_ref().is_none_or(|m| om < m) {
+                self.min_item = Some(om.clone());
+            }
+        }
+        if let Some(om) = &other.max_item {
+            if self.max_item.as_ref().is_none_or(|m| om > m) {
+                self.max_item = Some(om.clone());
+            }
         }
     }
 

@@ -77,7 +77,10 @@ impl<T: Ord + Clone> QuantilesSketch<T> {
         Ok(QuantilesSketch {
             k,
             n: 0,
-            base_buffer: Vec::with_capacity(2 * k),
+            // Capacity is only a hint — cap it so a hostile `k` decoded
+            // from the wire cannot drive a giant eager allocation. The
+            // buffer still grows to the full 2k on demand.
+            base_buffer: Vec::with_capacity(k.saturating_mul(2).min(1 << 16)),
             levels: Vec::new(),
             min_item: None,
             max_item: None,

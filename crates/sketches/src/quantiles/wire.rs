@@ -1,71 +1,52 @@
-//! Compact wire format for Quantiles sketches over fixed-width items.
+//! Wire form of the *updatable* Quantiles sketch.
 //!
-//! Layout (little-endian):
-//! `magic(u16) | version(u8) | flags(u8) | k(u32) | n(u64) |
-//!  level_bitmap(u64) | base_len(u32) | pad(u32) |
+//! The unified [`crate::wire`] module owns the envelope (16-byte header)
+//! and the merge-tier *ladder* image; this module serialises the full
+//! updatable sketch state — level array keyed by `k`, base buffer,
+//! min/max — so a deserialised sketch can keep ingesting. Both forms
+//! share the Quantiles family code and are told apart by
+//! [`FLAG_QUANTILES_UPDATABLE`] (set here, clear for ladders).
+//!
+//! Payload layout (little-endian, after the envelope header):
+//! `k(u32) | base_len(u32) | n(u64) | level_bitmap(u64) |
 //!  min | max | base items… | full-level buffers (ascending level)…`
-//!
-//! `flags` bit 0 is set when the sketch is non-empty (min/max present).
+//! with `min`/`max` present iff the stream is non-empty
+//! ([`FLAG_QUANTILES_NONEMPTY`]).
 
 use super::sketch::QuantilesSketch;
-use super::TotalF64;
-use crate::error::{Result, SketchError};
+use crate::error::{Result, WireError};
 use crate::oracle::Oracle;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+pub use crate::wire::WireItem;
+use crate::wire::{SketchFamily, WireHeader, FLAG_QUANTILES_NONEMPTY, FLAG_QUANTILES_UPDATABLE};
+use bytes::{Buf, Bytes, BytesMut};
 
-const MAGIC: u16 = 0xFC0A;
-const VERSION: u8 = 1;
+const UPDATABLE_FIXED: u64 = 24;
 
-/// Items serialisable into a fixed-width little-endian encoding.
-pub trait WireItem: Sized {
-    /// Encoded width in bytes.
-    const WIDTH: usize;
-    /// Appends the encoding of `self`.
-    fn write_to(&self, buf: &mut BytesMut);
-    /// Decodes one item (the caller guarantees `WIDTH` bytes remain).
-    fn read_from(buf: &mut &[u8]) -> Self;
+/// See [`crate::wire`]: the updatable form shares the Quantiles family
+/// envelope, distinguished by [`FLAG_QUANTILES_UPDATABLE`].
+impl<T: Ord + Clone + WireItem> crate::wire::WireSketch for QuantilesSketch<T> {
+    const FAMILY: SketchFamily = SketchFamily::Quantiles;
 }
 
-impl WireItem for u64 {
-    const WIDTH: usize = 8;
-    fn write_to(&self, buf: &mut BytesMut) {
-        buf.put_u64_le(*self);
+impl<T: Ord + Clone + WireItem> crate::wire::WireEncode for QuantilesSketch<T> {
+    fn wire_flags(&self) -> u8 {
+        let nonempty = if self.n() > 0 {
+            FLAG_QUANTILES_NONEMPTY
+        } else {
+            0
+        };
+        FLAG_QUANTILES_UPDATABLE | nonempty
     }
-    fn read_from(buf: &mut &[u8]) -> Self {
-        buf.get_u64_le()
-    }
-}
 
-impl WireItem for i64 {
-    const WIDTH: usize = 8;
-    fn write_to(&self, buf: &mut BytesMut) {
-        buf.put_i64_le(*self);
+    fn wire_item_width(&self) -> u8 {
+        T::WIDTH as u8
     }
-    fn read_from(buf: &mut &[u8]) -> Self {
-        buf.get_i64_le()
-    }
-}
 
-impl WireItem for TotalF64 {
-    const WIDTH: usize = 8;
-    fn write_to(&self, buf: &mut BytesMut) {
-        buf.put_u64_le(self.0.to_bits());
-    }
-    fn read_from(buf: &mut &[u8]) -> Self {
-        TotalF64(f64::from_bits(buf.get_u64_le()))
-    }
-}
-
-impl<T: Ord + Clone + WireItem> QuantilesSketch<T> {
-    /// Serialises the sketch into its compact wire format.
-    pub fn to_bytes(&self) -> Bytes {
+    fn encode_payload(&self, buf: &mut BytesMut) {
+        use bytes::BufMut;
         let (k, n, base, levels, min, max) = self.wire_parts();
-        let retained: usize = base.len() + levels.iter().map(|l| l.len()).sum::<usize>();
-        let mut buf = BytesMut::with_capacity(48 + T::WIDTH * (retained + 2));
-        buf.put_u16_le(MAGIC);
-        buf.put_u8(VERSION);
-        buf.put_u8(u8::from(n > 0));
         buf.put_u32_le(k as u32);
+        buf.put_u32_le(base.len() as u32);
         buf.put_u64_le(n);
         let mut bitmap = 0u64;
         for (i, level) in levels.iter().enumerate() {
@@ -74,21 +55,26 @@ impl<T: Ord + Clone + WireItem> QuantilesSketch<T> {
             }
         }
         buf.put_u64_le(bitmap);
-        buf.put_u32_le(base.len() as u32);
-        buf.put_u32_le(0);
         if n > 0 {
-            min.expect("non-empty sketch has min").write_to(&mut buf);
-            max.expect("non-empty sketch has max").write_to(&mut buf);
+            min.expect("non-empty sketch has min").write_to(buf);
+            max.expect("non-empty sketch has max").write_to(buf);
         }
         for item in base {
-            item.write_to(&mut buf);
+            item.write_to(buf);
         }
         for level in levels.iter().filter(|l| !l.is_empty()) {
             for item in level.iter() {
-                item.write_to(&mut buf);
+                item.write_to(buf);
             }
         }
-        buf.freeze()
+    }
+}
+
+impl<T: Ord + Clone + WireItem> QuantilesSketch<T> {
+    /// Serialises the full updatable state into the unified wire format
+    /// (Quantiles family, [`FLAG_QUANTILES_UPDATABLE`] set).
+    pub fn to_bytes(&self) -> Bytes {
+        crate::wire::WireEncode::to_wire_bytes(self)
     }
 
     /// Deserialises a sketch produced by [`Self::to_bytes`], attaching a
@@ -96,62 +82,121 @@ impl<T: Ord + Clone + WireItem> QuantilesSketch<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`SketchError::Corrupt`] on structural damage (bad magic,
-    /// truncation, level buffers of the wrong size, or a weight
-    /// mismatch against `n`).
-    pub fn from_bytes(mut data: &[u8], oracle: impl Oracle + 'static) -> Result<Self> {
-        if data.len() < 32 {
-            return Err(SketchError::corrupt("preamble truncated"));
+    /// Returns the [`WireError`] folded into
+    /// [`crate::error::SketchError`] on structural damage (bad
+    /// magic/version, truncation, level buffers of the wrong size, or a
+    /// weight mismatch against `n`).
+    pub fn from_bytes(data: &[u8], oracle: impl Oracle + 'static) -> Result<Self> {
+        Ok(Self::decode_updatable(data, oracle)?)
+    }
+
+    fn decode_updatable(
+        data: &[u8],
+        oracle: impl Oracle + 'static,
+    ) -> std::result::Result<Self, WireError> {
+        let (header, mut payload) = WireHeader::parse(data)?;
+        if header.family != SketchFamily::Quantiles {
+            return Err(WireError::FamilyMismatch {
+                expected: SketchFamily::Quantiles.name(),
+                found: header.family.name(),
+            });
         }
-        let magic = data.get_u16_le();
-        if magic != MAGIC {
-            return Err(SketchError::corrupt(format!("bad magic {magic:#x}")));
+        if header.flags & FLAG_QUANTILES_UPDATABLE == 0 {
+            return Err(WireError::invariant(
+                "quantiles flags",
+                "image is a ladder, not an updatable sketch \
+                 (use QuantilesLadder::from_wire_bytes)",
+            ));
         }
-        let version = data.get_u8();
-        if version != VERSION {
-            return Err(SketchError::corrupt(format!("unknown version {version}")));
+        if header.item_width as usize != T::WIDTH {
+            return Err(WireError::ItemWidth {
+                expected: T::WIDTH as u8,
+                found: header.item_width,
+            });
         }
-        let flags = data.get_u8();
-        let k = data.get_u32_le() as usize;
+        if (payload.len() as u64) < UPDATABLE_FIXED {
+            return Err(WireError::Truncated {
+                context: "quantiles payload",
+                needed: UPDATABLE_FIXED as usize,
+                have: payload.len(),
+            });
+        }
+        let k = payload.get_u32_le() as usize;
+        let base_len = payload.get_u32_le() as usize;
+        let n = payload.get_u64_le();
+        let bitmap = payload.get_u64_le();
         if k < 2 {
-            return Err(SketchError::corrupt("k < 2"));
+            return Err(WireError::invariant("quantiles k", "k < 2"));
         }
-        let n = data.get_u64_le();
-        let bitmap = data.get_u64_le();
-        let base_len = data.get_u32_le() as usize;
-        let _pad = data.get_u32_le();
         if base_len >= 2 * k {
-            return Err(SketchError::corrupt("base buffer too large"));
+            return Err(WireError::invariant(
+                "quantiles base",
+                format!("base buffer of {base_len} items at k = {k}"),
+            ));
         }
-        let non_empty = flags & 1 == 1;
+        let non_empty = header.flags & FLAG_QUANTILES_NONEMPTY != 0;
         if non_empty != (n > 0) {
-            return Err(SketchError::corrupt("flags inconsistent with n"));
+            return Err(WireError::invariant(
+                "quantiles flags",
+                "non-empty flag inconsistent with n",
+            ));
         }
 
-        let mut need = base_len;
         let levels_count = 64 - bitmap.leading_zeros() as usize;
-        for i in 0..levels_count {
-            if bitmap & (1 << i) != 0 {
-                need += k;
-            }
-        }
-        let need_items = need + if non_empty { 2 } else { 0 };
-        if data.remaining() < need_items * T::WIDTH {
-            return Err(SketchError::corrupt("item payload truncated"));
+        let full_levels = bitmap.count_ones() as u64;
+        // k ≤ 2^32 and ≤ 64 full levels: no overflow in u64.
+        let need_items = base_len as u64 + full_levels * k as u64 + if non_empty { 2 } else { 0 };
+        if UPDATABLE_FIXED + need_items * T::WIDTH as u64 != header.payload_len {
+            return Err(WireError::invariant(
+                "quantiles size",
+                format!(
+                    "structure needs {} payload bytes, header carries {}",
+                    UPDATABLE_FIXED + need_items * T::WIDTH as u64,
+                    header.payload_len
+                ),
+            ));
         }
 
         let (min, max) = if non_empty {
-            (Some(T::read_from(&mut data)), Some(T::read_from(&mut data)))
+            let min = T::read_from(&mut payload);
+            let max = T::read_from(&mut payload);
+            if min > max {
+                return Err(WireError::invariant("quantiles min/max", "min above max"));
+            }
+            (Some(min), Some(max))
         } else {
             (None, None)
         };
-        let base: Vec<T> = (0..base_len).map(|_| T::read_from(&mut data)).collect();
+        let in_range = |item: &T| match (&min, &max) {
+            (Some(lo), Some(hi)) => item >= lo && item <= hi,
+            _ => false,
+        };
+        let base: Vec<T> = (0..base_len).map(|_| T::read_from(&mut payload)).collect();
+        if !base.iter().all(in_range) {
+            return Err(WireError::invariant(
+                "quantiles base",
+                "base item outside [min, max]",
+            ));
+        }
         let mut levels: Vec<Vec<T>> = Vec::with_capacity(levels_count);
         for i in 0..levels_count {
             if bitmap & (1 << i) != 0 {
-                let buf: Vec<T> = (0..k).map(|_| T::read_from(&mut data)).collect();
+                let buf: Vec<T> = (0..k).map(|_| T::read_from(&mut payload)).collect();
                 if buf.windows(2).any(|w| w[0] > w[1]) {
-                    return Err(SketchError::corrupt(format!("level {i} not sorted")));
+                    return Err(WireError::invariant(
+                        "quantiles level",
+                        format!("level {i} not sorted"),
+                    ));
+                }
+                if ![buf.first(), buf.last()]
+                    .into_iter()
+                    .flatten()
+                    .all(in_range)
+                {
+                    return Err(WireError::invariant(
+                        "quantiles level",
+                        format!("level {i} item outside [min, max]"),
+                    ));
                 }
                 levels.push(buf);
             } else {
@@ -165,12 +210,14 @@ impl<T: Ord + Clone + WireItem> QuantilesSketch<T> {
             total += (level.len() as u64) << (i + 1);
         }
         if total != n {
-            return Err(SketchError::corrupt(format!(
-                "weight mismatch: buffers carry {total}, header says {n}"
-            )));
+            return Err(WireError::invariant(
+                "quantiles weight",
+                format!("buffers carry {total}, header says {n}"),
+            ));
         }
 
         QuantilesSketch::from_wire_parts(k, n, base, levels, min, max, oracle)
+            .map_err(|e| WireError::invariant("quantiles parts", e.to_string()))
     }
 }
 
@@ -178,6 +225,7 @@ impl<T: Ord + Clone + WireItem> QuantilesSketch<T> {
 mod tests {
     use super::*;
     use crate::oracle::DeterministicOracle;
+    use crate::quantiles::TotalF64;
 
     fn filled(k: usize, n: u64) -> QuantilesSketch<u64> {
         let mut q = QuantilesSketch::with_seed(k, 9).unwrap();
@@ -199,6 +247,17 @@ mod tests {
             for phi in [0.0, 0.25, 0.5, 0.75, 1.0] {
                 assert_eq!(back.quantile(phi), q.quantile(phi), "n={n} phi={phi}");
             }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        for n in [0u64, 1, 4_096, 10_000] {
+            let q = filled(64, n);
+            let bytes = q.to_bytes();
+            let back =
+                QuantilesSketch::<u64>::from_bytes(&bytes, DeterministicOracle::new(1)).unwrap();
+            assert_eq!(back.to_bytes(), bytes, "n={n}");
         }
     }
 
@@ -249,8 +308,8 @@ mod tests {
     #[test]
     fn weight_mismatch_rejected() {
         let mut b = filled(16, 1_000).to_bytes().to_vec();
-        // Corrupt n (offset 8..16).
-        b[8] ^= 0x01;
+        // Corrupt n: envelope (16) + k/base_len (8) puts n at offset 24.
+        b[24] ^= 0x01;
         assert!(QuantilesSketch::<u64>::from_bytes(&b, DeterministicOracle::new(0)).is_err());
     }
 
@@ -258,9 +317,8 @@ mod tests {
     fn unsorted_level_rejected() {
         let q = filled(16, 1_000); // guarantees at least one full level
         let mut b = q.to_bytes().to_vec();
-        // Base items start at 48 + 16 (min/max); levels follow the base
-        // buffer. Swap two adjacent items in the *last* 2 entries of the
-        // payload, which belong to the highest level and are sorted.
+        // Levels are the tail of the payload; swap the last two items,
+        // which belong to the highest level and are sorted.
         let len = b.len();
         for i in 0..8 {
             b.swap(len - 16 + i, len - 8 + i);

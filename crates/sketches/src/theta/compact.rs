@@ -7,7 +7,8 @@
 
 use super::{ThetaRead, THETA_MAX};
 use crate::error::{Result, SketchError};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::wire::{WireDecode, WireEncode};
+use bytes::Bytes;
 
 /// An immutable Θ sketch: sorted retained hashes, Θ, and the hash seed.
 ///
@@ -90,68 +91,24 @@ impl CompactThetaSketch {
         self.hashes.is_empty()
     }
 
-    /// Serialises into the compact wire format:
-    /// `magic(u16) | version(u8) | flags(u8) | pad(u32) | seed(u64) |
-    /// theta(u64) | count(u64) | hashes…`, all little-endian.
+    /// Serialises into the unified wire format (Θ family). Alias of
+    /// [`WireEncode::to_wire_bytes`] — see [`crate::wire`] for the
+    /// envelope and payload layout.
     pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(32 + 8 * self.hashes.len());
-        buf.put_u16_le(0xFCD5);
-        buf.put_u8(1); // version
-        buf.put_u8(0); // flags
-        buf.put_u32_le(0);
-        buf.put_u64_le(self.seed);
-        buf.put_u64_le(self.theta);
-        buf.put_u64_le(self.hashes.len() as u64);
-        for &h in &self.hashes {
-            buf.put_u64_le(h);
-        }
-        buf.freeze()
+        self.to_wire_bytes()
     }
 
     /// Deserialises a sketch produced by [`Self::to_bytes`].
     ///
     /// # Errors
     ///
-    /// Returns [`SketchError::Corrupt`] on bad magic, version, truncation,
-    /// or invariant violations (unsorted or out-of-range hashes).
-    pub fn from_bytes(mut data: &[u8]) -> Result<Self> {
-        if data.len() < 32 {
-            return Err(SketchError::corrupt("preamble truncated"));
-        }
-        let magic = data.get_u16_le();
-        if magic != 0xFCD5 {
-            return Err(SketchError::corrupt(format!("bad magic {magic:#x}")));
-        }
-        let version = data.get_u8();
-        if version != 1 {
-            return Err(SketchError::corrupt(format!("unknown version {version}")));
-        }
-        let _flags = data.get_u8();
-        let _pad = data.get_u32_le();
-        let seed = data.get_u64_le();
-        let theta = data.get_u64_le();
-        let count = data.get_u64_le() as usize;
-        if data.remaining() < count * 8 {
-            return Err(SketchError::corrupt("hash array truncated"));
-        }
-        let mut hashes = Vec::with_capacity(count);
-        let mut prev = 0u64;
-        for _ in 0..count {
-            let h = data.get_u64_le();
-            if h <= prev {
-                return Err(SketchError::corrupt("hashes not strictly ascending"));
-            }
-            if h >= theta {
-                return Err(SketchError::corrupt("hash not below theta"));
-            }
-            prev = h;
-            hashes.push(h);
-        }
-        Ok(CompactThetaSketch {
-            theta,
-            seed,
-            hashes,
-        })
+    /// Returns the [`crate::wire::WireDecode`] failure folded into
+    /// [`SketchError`]: [`SketchError::Corrupt`] on bad magic, version,
+    /// truncation, or invariant violations (unsorted or out-of-range
+    /// hashes). Callers that need the precise corruption class should use
+    /// [`WireDecode::from_wire_bytes`] directly.
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        Ok(Self::from_wire_bytes(data)?)
     }
 
     /// Membership test in the retained set (binary search).
@@ -260,9 +217,10 @@ mod tests {
     fn unsorted_payload_rejected() {
         let c = sample_sketch();
         let mut bytes = c.to_bytes().to_vec();
-        // Swap the first two 8-byte hash entries (offsets 32 and 40).
+        // Swap the first two 8-byte hash entries: the payload starts at
+        // 16 (header) with seed/theta/count, so hashes begin at 40.
         for i in 0..8 {
-            bytes.swap(32 + i, 40 + i);
+            bytes.swap(40 + i, 48 + i);
         }
         assert!(CompactThetaSketch::from_bytes(&bytes).is_err());
     }

@@ -1,0 +1,1206 @@
+//! The unified, versioned wire format: serialise any sketch on one node,
+//! merge it on another.
+//!
+//! The paper's serving story at scale is "sketch anywhere, merge
+//! anywhere": every node runs the concurrent engine over its local
+//! stream, periodically emits a compact image, and a central node fans
+//! the images in — losslessly for Θ (untrimmed union), exactly for HLL
+//! (register max) and Misra–Gries (counter addition), and within the
+//! deterministic ε envelope for Quantiles (k-way run merge). This module
+//! is that interchange layer: one self-describing binary envelope
+//! covering all four sketch families, with a common header and per-family
+//! payloads.
+//!
+//! # Envelope
+//!
+//! Every image starts with a fixed 16-byte little-endian header:
+//!
+//! | offset | size | field         | contents                               |
+//! |--------|------|---------------|----------------------------------------|
+//! | 0      | 4    | `magic`       | `"FCDS"` (`0x46 0x43 0x44 0x53`)       |
+//! | 4      | 1    | `version`     | format version, currently `1`          |
+//! | 5      | 1    | `family`      | [`SketchFamily`] code                  |
+//! | 6      | 1    | `flags`       | family-specific bits                   |
+//! | 7      | 1    | `item_width`  | item encoding width in bytes, 0 if N/A |
+//! | 8      | 8    | `payload_len` | exact payload byte count               |
+//!
+//! The header is followed by exactly `payload_len` payload bytes; inputs
+//! with missing *or trailing* bytes are rejected, so an image's length is
+//! always `16 + payload_len`. Per-family payload layouts are documented
+//! on the [`WireEncode`] impls below and tabulated in the repository
+//! README.
+//!
+//! # Traits
+//!
+//! * [`WireEncode`] / [`WireDecode`] — the codec pair. Encoding is
+//!   infallible and deterministic (canonical images re-encode
+//!   byte-identically, which the committed golden-vector corpus
+//!   enforces); decoding validates every structural invariant and
+//!   returns a typed [`WireError`], never panicking on any input and
+//!   never allocating proportionally to an unvalidated length field.
+//! * [`WireMerge`] — the merge-anywhere tier: decoded images of the same
+//!   family combine without access to the sketch that built them.
+//!   [`merge_wire_images`] fans a whole list of raw images into one
+//!   sketch.
+//!
+//! # Θ set algebra on the wire
+//!
+//! Beyond union, Θ images support the full estimator algebra without
+//! rebuilding updatable sketches: [`theta_union_on_wire`],
+//! [`theta_intersection_on_wire`], [`theta_a_not_b_on_wire`] and
+//! [`theta_jaccard_on_wire`] operate directly on serialised images.
+//! [`encode_theta_unsorted`] additionally serialises any [`ThetaRead`]
+//! view — e.g. the engine's copy-on-write block snapshots — without
+//! sorting first (flag bit 0); the decoder canonicalises.
+//!
+//! # Versioning and compatibility policy
+//!
+//! The version byte is bumped only for layout changes that old decoders
+//! would misread; decoders reject versions they do not know
+//! ([`WireError::UnsupportedVersion`]) rather than guessing. New sketch
+//! families extend the family byte without a version bump (old decoders
+//! report [`WireError::UnknownFamily`]); new *flags* must keep the
+//! flag-clear encoding meaning what it meant. The golden vectors under
+//! `tests/vectors/` pin version 1: any edit that changes a committed
+//! byte is a format break and must ship as version 2.
+
+use crate::error::WireError;
+use crate::frequency::MisraGriesSketch;
+use crate::hll::{HllSketch, MAX_LG_M, MIN_LG_M};
+use crate::quantiles::{QuantilesLadder, TotalF64};
+use crate::theta::setops::{untrimmed_union, ThetaANotB, ThetaIntersection};
+use crate::theta::{jaccard, CompactThetaSketch, JaccardEstimate, ThetaRead};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::hash::Hash;
+
+/// The four magic bytes `"FCDS"`, read as a little-endian `u32`.
+pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"FCDS");
+
+/// Current (and only) wire-format version.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Size of the fixed envelope header in bytes.
+pub const WIRE_HEADER_LEN: usize = 16;
+
+/// Θ flag bit 0: the hash payload is in insertion order, not sorted.
+pub const FLAG_THETA_UNSORTED: u8 = 1;
+
+/// Quantiles flag bit 0: the payload is the updatable-sketch state
+/// (level array keyed by `k`), not a ladder image.
+pub const FLAG_QUANTILES_UPDATABLE: u8 = 1;
+
+/// Quantiles flag bit 1: the summarised stream is non-empty (min/max
+/// items present). Only used by the updatable form; the ladder form
+/// derives presence from `n`.
+pub const FLAG_QUANTILES_NONEMPTY: u8 = 2;
+
+/// Sketch family codes carried in the header's `family` byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SketchFamily {
+    /// Θ distinct-counting sketches (compact images).
+    Theta = 1,
+    /// HyperLogLog.
+    Hll = 2,
+    /// Quantiles (ladder images and updatable sketches).
+    Quantiles = 3,
+    /// Misra–Gries frequent items.
+    Frequency = 4,
+}
+
+impl SketchFamily {
+    /// The header byte for this family.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a header byte; `None` if unassigned.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(SketchFamily::Theta),
+            2 => Some(SketchFamily::Hll),
+            3 => Some(SketchFamily::Quantiles),
+            4 => Some(SketchFamily::Frequency),
+            _ => None,
+        }
+    }
+
+    /// Human-readable family name (used in error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            SketchFamily::Theta => "theta",
+            SketchFamily::Hll => "hll",
+            SketchFamily::Quantiles => "quantiles",
+            SketchFamily::Frequency => "frequency",
+        }
+    }
+}
+
+/// The parsed fixed header of a wire image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireHeader {
+    /// Format version (see [`WIRE_VERSION`]).
+    pub version: u8,
+    /// Sketch family of the payload.
+    pub family: SketchFamily,
+    /// Family-specific flag bits.
+    pub flags: u8,
+    /// Item encoding width in bytes (0 where the family has none).
+    pub item_width: u8,
+    /// Exact payload length in bytes.
+    pub payload_len: u64,
+}
+
+impl WireHeader {
+    /// Parses and validates the header, returning it together with the
+    /// payload slice. Requires the input length to be *exactly*
+    /// `16 + payload_len` — trailing bytes are rejected, so the declared
+    /// length can never drive an over-allocation.
+    pub fn parse(data: &[u8]) -> Result<(WireHeader, &[u8]), WireError> {
+        if data.len() < WIRE_HEADER_LEN {
+            return Err(WireError::Truncated {
+                context: "header",
+                needed: WIRE_HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        let mut cursor = data;
+        let magic = cursor.get_u32_le();
+        if magic != WIRE_MAGIC {
+            return Err(WireError::BadMagic { found: magic });
+        }
+        let version = cursor.get_u8();
+        if version != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion { found: version });
+        }
+        let family_code = cursor.get_u8();
+        let family = SketchFamily::from_code(family_code)
+            .ok_or(WireError::UnknownFamily { found: family_code })?;
+        let flags = cursor.get_u8();
+        let item_width = cursor.get_u8();
+        let payload_len = cursor.get_u64_le();
+        let have = (data.len() - WIRE_HEADER_LEN) as u64;
+        if payload_len != have {
+            return Err(WireError::PayloadLength {
+                declared: payload_len,
+                have,
+            });
+        }
+        let header = WireHeader {
+            version,
+            family,
+            flags,
+            item_width,
+            payload_len,
+        };
+        Ok((header, &data[WIRE_HEADER_LEN..]))
+    }
+
+    /// Reads just enough of the header to learn which family an image
+    /// belongs to — the dispatch primitive for heterogeneous image
+    /// streams.
+    pub fn peek_family(data: &[u8]) -> Result<SketchFamily, WireError> {
+        Self::parse(data).map(|(h, _)| h.family)
+    }
+
+    fn write(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(WIRE_MAGIC);
+        buf.put_u8(self.version);
+        buf.put_u8(self.family.code());
+        buf.put_u8(self.flags);
+        buf.put_u8(self.item_width);
+        buf.put_u64_le(self.payload_len);
+    }
+}
+
+/// Items serialisable into a fixed-width little-endian encoding, used by
+/// the Quantiles and Misra–Gries payloads. The width is carried in the
+/// header's `item_width` byte so decoders can reject a type confusion
+/// before touching the payload.
+pub trait WireItem: Sized {
+    /// Encoded width in bytes.
+    const WIDTH: usize;
+    /// Appends the encoding of `self`.
+    fn write_to(&self, buf: &mut BytesMut);
+    /// Decodes one item (the caller guarantees `WIDTH` bytes remain).
+    fn read_from(buf: &mut &[u8]) -> Self;
+}
+
+impl WireItem for u64 {
+    const WIDTH: usize = 8;
+    fn write_to(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self);
+    }
+    fn read_from(buf: &mut &[u8]) -> Self {
+        buf.get_u64_le()
+    }
+}
+
+impl WireItem for i64 {
+    const WIDTH: usize = 8;
+    fn write_to(&self, buf: &mut BytesMut) {
+        buf.put_i64_le(*self);
+    }
+    fn read_from(buf: &mut &[u8]) -> Self {
+        buf.get_i64_le()
+    }
+}
+
+impl WireItem for TotalF64 {
+    const WIDTH: usize = 8;
+    fn write_to(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.0.to_bits());
+    }
+    fn read_from(buf: &mut &[u8]) -> Self {
+        TotalF64(f64::from_bits(buf.get_u64_le()))
+    }
+}
+
+/// Associates a type with its [`SketchFamily`] code.
+pub trait WireSketch {
+    /// The family this type serialises as.
+    const FAMILY: SketchFamily;
+}
+
+/// Serialisation half of the unified codec.
+///
+/// Encoding is infallible (the in-memory invariants are the wire
+/// invariants) and deterministic: a canonical image decoded by
+/// [`WireDecode`] re-encodes byte-identically.
+pub trait WireEncode: WireSketch {
+    /// Family-specific flag bits for this value (default none).
+    fn wire_flags(&self) -> u8 {
+        0
+    }
+
+    /// Item width advertised in the header (0 where the family has no
+    /// variable item type).
+    fn wire_item_width(&self) -> u8 {
+        0
+    }
+
+    /// Appends the family payload (everything after the 16-byte header).
+    fn encode_payload(&self, buf: &mut BytesMut);
+
+    /// Serialises into a complete wire image (header + payload).
+    fn to_wire_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(WIRE_HEADER_LEN + 64);
+        WireHeader {
+            version: WIRE_VERSION,
+            family: Self::FAMILY,
+            flags: self.wire_flags(),
+            item_width: self.wire_item_width(),
+            payload_len: 0,
+        }
+        .write(&mut buf);
+        self.encode_payload(&mut buf);
+        let payload_len = (buf.len() - WIRE_HEADER_LEN) as u64;
+        buf[8..16].copy_from_slice(&payload_len.to_le_bytes());
+        buf.freeze()
+    }
+}
+
+/// Deserialisation half of the unified codec.
+pub trait WireDecode: WireSketch + Sized {
+    /// Decodes the family payload, validating every structural invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WireError`] variant matching the first corruption
+    /// class detected. Must not panic on any input.
+    fn decode_payload(header: &WireHeader, payload: &[u8]) -> Result<Self, WireError>;
+
+    /// Decodes a complete wire image (header + payload).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::FamilyMismatch`] if the image belongs to a different
+    /// family; otherwise whatever [`Self::decode_payload`] reports.
+    fn from_wire_bytes(data: &[u8]) -> Result<Self, WireError> {
+        let (header, payload) = WireHeader::parse(data)?;
+        if header.family != Self::FAMILY {
+            return Err(WireError::FamilyMismatch {
+                expected: Self::FAMILY.name(),
+                found: header.family.name(),
+            });
+        }
+        Self::decode_payload(&header, payload)
+    }
+}
+
+/// The merge-anywhere tier: combine decoded images of one family without
+/// access to the sketches that produced them.
+pub trait WireMerge: WireEncode + WireDecode {
+    /// Folds `other` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Incompatible`] on a seed / parameter mismatch.
+    fn wire_merge_from(&mut self, other: &Self) -> Result<(), WireError>;
+}
+
+/// Decodes every raw image and folds them into one sketch (fan-in
+/// order-independent for Θ/HLL; Misra–Gries bounds hold for any order).
+///
+/// # Errors
+///
+/// Any decode failure, [`WireError::Incompatible`] on parameter
+/// mismatches, or [`WireError::Invariant`] if `images` is empty (the
+/// family's identity element is not always representable — an
+/// intersection-style caller must supply at least one image).
+pub fn merge_wire_images<W, I, B>(images: I) -> Result<W, WireError>
+where
+    W: WireMerge,
+    I: IntoIterator<Item = B>,
+    B: AsRef<[u8]>,
+{
+    let mut iter = images.into_iter();
+    let first = iter
+        .next()
+        .ok_or_else(|| WireError::invariant("merge", "no images to merge"))?;
+    let mut acc = W::from_wire_bytes(first.as_ref())?;
+    for image in iter {
+        let part = W::from_wire_bytes(image.as_ref())?;
+        acc.wire_merge_from(&part)?;
+    }
+    Ok(acc)
+}
+
+fn setop_err(e: crate::error::SketchError) -> WireError {
+    match e {
+        crate::error::SketchError::Incompatible { reason } => {
+            WireError::Incompatible { detail: reason }
+        }
+        other => WireError::invariant("set operation", other.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Θ family
+// ---------------------------------------------------------------------------
+
+const THETA_FIXED: u64 = 24;
+
+impl WireSketch for CompactThetaSketch {
+    const FAMILY: SketchFamily = SketchFamily::Theta;
+}
+
+/// Θ payload: `seed(u64) | theta(u64) | count(u64) | count × hash(u64)`.
+///
+/// Canonical images carry strictly ascending hashes (flags clear);
+/// [`encode_theta_unsorted`] emits the same payload in source order with
+/// [`FLAG_THETA_UNSORTED`] set.
+impl WireEncode for CompactThetaSketch {
+    fn wire_item_width(&self) -> u8 {
+        8
+    }
+
+    fn encode_payload(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.seed());
+        buf.put_u64_le(self.theta());
+        let hashes = self.sorted_hashes();
+        buf.put_u64_le(hashes.len() as u64);
+        for &h in hashes {
+            buf.put_u64_le(h);
+        }
+    }
+}
+
+impl WireDecode for CompactThetaSketch {
+    fn decode_payload(header: &WireHeader, mut payload: &[u8]) -> Result<Self, WireError> {
+        if header.item_width != 8 {
+            return Err(WireError::ItemWidth {
+                expected: 8,
+                found: header.item_width,
+            });
+        }
+        if (payload.len() as u64) < THETA_FIXED {
+            return Err(WireError::Truncated {
+                context: "theta payload",
+                needed: THETA_FIXED as usize,
+                have: payload.len(),
+            });
+        }
+        let seed = payload.get_u64_le();
+        let theta = payload.get_u64_le();
+        let count = payload.get_u64_le();
+        // The header's exact-length rule already bounds `count`: the
+        // hashes must account for every remaining payload byte, so the
+        // allocation below is capped by bytes actually present.
+        let need = count
+            .checked_mul(8)
+            .and_then(|b| b.checked_add(THETA_FIXED))
+            .ok_or_else(|| WireError::invariant("hash count", "count overflows size"))?;
+        if need != header.payload_len {
+            return Err(WireError::invariant(
+                "hash count",
+                format!(
+                    "count {count} needs {need} payload bytes, header carries {}",
+                    header.payload_len
+                ),
+            ));
+        }
+        let sorted = header.flags & FLAG_THETA_UNSORTED == 0;
+        let mut hashes = Vec::with_capacity(count as usize);
+        let mut prev = 0u64;
+        for _ in 0..count {
+            let h = payload.get_u64_le();
+            if h == 0 {
+                return Err(WireError::invariant("theta hashes", "hash 0 is reserved"));
+            }
+            if h >= theta {
+                return Err(WireError::invariant(
+                    "theta hashes",
+                    format!("hash {h} not below theta {theta}"),
+                ));
+            }
+            if sorted && h <= prev {
+                return Err(WireError::invariant(
+                    "theta hashes",
+                    "hashes not strictly ascending",
+                ));
+            }
+            prev = h;
+            hashes.push(h);
+        }
+        CompactThetaSketch::from_parts(theta, seed, hashes)
+            .map_err(|e| WireError::invariant("theta parts", e.to_string()))
+    }
+}
+
+impl WireMerge for CompactThetaSketch {
+    /// Untrimmed union: joint Θ = min of the parts, every hash below it
+    /// kept — lossless and associative, so fan-in order is irrelevant.
+    fn wire_merge_from(&mut self, other: &Self) -> Result<(), WireError> {
+        *self = untrimmed_union([&*self, other]).map_err(setop_err)?;
+        Ok(())
+    }
+}
+
+/// Serialises any readable Θ view *without sorting*: hashes stream out in
+/// iteration order under [`FLAG_THETA_UNSORTED`]. This is the zero-sort
+/// export path for the engine's copy-on-write block snapshots; the
+/// decoder sorts, deduplicates and validates, returning a canonical
+/// [`CompactThetaSketch`].
+pub fn encode_theta_unsorted<S: ThetaRead + ?Sized>(src: &S) -> Bytes {
+    let mut buf = BytesMut::with_capacity(WIRE_HEADER_LEN + 24 + 8 * src.retained());
+    WireHeader {
+        version: WIRE_VERSION,
+        family: SketchFamily::Theta,
+        flags: FLAG_THETA_UNSORTED,
+        item_width: 8,
+        payload_len: 0,
+    }
+    .write(&mut buf);
+    buf.put_u64_le(src.seed());
+    buf.put_u64_le(src.theta());
+    let count_at = buf.len();
+    buf.put_u64_le(0);
+    let mut count = 0u64;
+    for h in src.hashes() {
+        buf.put_u64_le(h);
+        count += 1;
+    }
+    buf[count_at..count_at + 8].copy_from_slice(&count.to_le_bytes());
+    let payload_len = (buf.len() - WIRE_HEADER_LEN) as u64;
+    buf[8..16].copy_from_slice(&payload_len.to_le_bytes());
+    buf.freeze()
+}
+
+/// Unions Θ wire images without trimming, returning the merged image.
+///
+/// # Errors
+///
+/// Decode failures, seed mismatches ([`WireError::Incompatible`]), or an
+/// empty image list.
+pub fn theta_union_on_wire<I, B>(images: I) -> Result<Bytes, WireError>
+where
+    I: IntoIterator<Item = B>,
+    B: AsRef<[u8]>,
+{
+    let merged: CompactThetaSketch = merge_wire_images(images)?;
+    Ok(merged.to_wire_bytes())
+}
+
+/// Intersects two Θ wire images, returning the result image.
+///
+/// # Errors
+///
+/// Decode failures or a seed mismatch.
+pub fn theta_intersection_on_wire(a: &[u8], b: &[u8]) -> Result<Bytes, WireError> {
+    let a = CompactThetaSketch::from_wire_bytes(a)?;
+    let b = CompactThetaSketch::from_wire_bytes(b)?;
+    let mut gadget = ThetaIntersection::new(a.seed());
+    gadget.update(&a).map_err(setop_err)?;
+    gadget.update(&b).map_err(setop_err)?;
+    let out = gadget.result().map_err(setop_err)?;
+    Ok(out.to_wire_bytes())
+}
+
+/// Computes A-not-B over two Θ wire images, returning the result image.
+///
+/// # Errors
+///
+/// Decode failures or a seed mismatch.
+pub fn theta_a_not_b_on_wire(a: &[u8], b: &[u8]) -> Result<Bytes, WireError> {
+    let a = CompactThetaSketch::from_wire_bytes(a)?;
+    let b = CompactThetaSketch::from_wire_bytes(b)?;
+    let out = ThetaANotB::new().compute(&a, &b).map_err(setop_err)?;
+    Ok(out.to_wire_bytes())
+}
+
+/// Estimates the Jaccard similarity of two Θ wire images.
+///
+/// # Errors
+///
+/// Decode failures or a seed mismatch.
+pub fn theta_jaccard_on_wire(a: &[u8], b: &[u8]) -> Result<JaccardEstimate, WireError> {
+    let a = CompactThetaSketch::from_wire_bytes(a)?;
+    let b = CompactThetaSketch::from_wire_bytes(b)?;
+    jaccard(&a, &b).map_err(setop_err)
+}
+
+// ---------------------------------------------------------------------------
+// HLL family
+// ---------------------------------------------------------------------------
+
+const HLL_FIXED: u64 = 16;
+
+impl WireSketch for HllSketch {
+    const FAMILY: SketchFamily = SketchFamily::Hll;
+}
+
+/// HLL payload: `lg_m(u8) | pad(7×u8) | seed(u64) | 2^lg_m × register(u8)`.
+impl WireEncode for HllSketch {
+    fn wire_item_width(&self) -> u8 {
+        1
+    }
+
+    fn encode_payload(&self, buf: &mut BytesMut) {
+        buf.put_u8(self.lg_m());
+        buf.put_slice(&[0u8; 7]);
+        buf.put_u64_le(self.seed());
+        buf.put_slice(self.registers());
+    }
+}
+
+impl WireDecode for HllSketch {
+    fn decode_payload(header: &WireHeader, mut payload: &[u8]) -> Result<Self, WireError> {
+        if header.item_width != 1 {
+            return Err(WireError::ItemWidth {
+                expected: 1,
+                found: header.item_width,
+            });
+        }
+        if (payload.len() as u64) < HLL_FIXED {
+            return Err(WireError::Truncated {
+                context: "hll payload",
+                needed: HLL_FIXED as usize,
+                have: payload.len(),
+            });
+        }
+        let lg_m = payload.get_u8();
+        if !(MIN_LG_M..=MAX_LG_M).contains(&lg_m) {
+            return Err(WireError::invariant(
+                "hll lg_m",
+                format!("lg_m {lg_m} out of range {MIN_LG_M}..={MAX_LG_M}"),
+            ));
+        }
+        payload.advance(7);
+        let seed = payload.get_u64_le();
+        let m = 1u64 << lg_m;
+        if header.payload_len != HLL_FIXED + m {
+            return Err(WireError::invariant(
+                "hll registers",
+                format!(
+                    "2^lg_m = {m} registers need {} payload bytes, header carries {}",
+                    HLL_FIXED + m,
+                    header.payload_len
+                ),
+            ));
+        }
+        let max_rho = 64 - lg_m + 1;
+        let mut sketch = HllSketch::new(lg_m, seed)
+            .map_err(|e| WireError::invariant("hll params", e.to_string()))?;
+        for slot in sketch.registers_mut().iter_mut() {
+            let r = payload.get_u8();
+            if r > max_rho {
+                return Err(WireError::invariant(
+                    "hll registers",
+                    format!("register value {r} exceeds max rank {max_rho}"),
+                ));
+            }
+            *slot = r;
+        }
+        Ok(sketch)
+    }
+}
+
+impl WireMerge for HllSketch {
+    /// Register-wise max — a lattice join, so merged-on-wire equals the
+    /// sequential sketch of the concatenated streams *exactly*.
+    fn wire_merge_from(&mut self, other: &Self) -> Result<(), WireError> {
+        self.merge(other).map_err(setop_err)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles family (ladder images)
+// ---------------------------------------------------------------------------
+
+const LADDER_FIXED: u64 = 16;
+const LADDER_RUN_FIXED: u64 = 16;
+
+impl<T: Ord + Clone + WireItem> WireSketch for QuantilesLadder<T> {
+    const FAMILY: SketchFamily = SketchFamily::Quantiles;
+}
+
+/// Quantiles ladder payload (flags clear — contrast the updatable form
+/// behind [`crate::quantiles::QuantilesSketch::to_bytes`]):
+/// `n(u64) | run_count(u32) | pad(u32) | min | max | run_count × run`,
+/// each run `weight(u64) | len(u64) | len × item`, items sorted
+/// ascending. `min`/`max` are present iff `n > 0`. The per-run weights
+/// must account for `n` exactly: `Σ len·weight = n`.
+///
+/// This serialises the engine's copy-on-write ladder snapshot *without
+/// flattening*: each `Arc`'d sorted run streams out as-is, preserving
+/// the O(levels) snapshot cost on the export path.
+impl<T: Ord + Clone + WireItem> WireEncode for QuantilesLadder<T> {
+    fn wire_item_width(&self) -> u8 {
+        T::WIDTH as u8
+    }
+
+    fn encode_payload(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.n());
+        buf.put_u32_le(self.run_count() as u32);
+        buf.put_u32_le(0);
+        if let (Some(min), Some(max)) = (self.min_item(), self.max_item()) {
+            min.write_to(buf);
+            max.write_to(buf);
+        }
+        for (items, weight) in self.wire_runs() {
+            buf.put_u64_le(weight);
+            buf.put_u64_le(items.len() as u64);
+            for item in items {
+                item.write_to(buf);
+            }
+        }
+    }
+}
+
+impl<T: Ord + Clone + WireItem> WireDecode for QuantilesLadder<T> {
+    fn decode_payload(header: &WireHeader, mut payload: &[u8]) -> Result<Self, WireError> {
+        if header.flags & FLAG_QUANTILES_UPDATABLE != 0 {
+            return Err(WireError::invariant(
+                "quantiles flags",
+                "image is an updatable sketch, not a ladder \
+                 (use QuantilesSketch::from_bytes)",
+            ));
+        }
+        if header.item_width as usize != T::WIDTH {
+            return Err(WireError::ItemWidth {
+                expected: T::WIDTH as u8,
+                found: header.item_width,
+            });
+        }
+        if (payload.len() as u64) < LADDER_FIXED {
+            return Err(WireError::Truncated {
+                context: "ladder payload",
+                needed: LADDER_FIXED as usize,
+                have: payload.len(),
+            });
+        }
+        let n = payload.get_u64_le();
+        let run_count = payload.get_u32_le();
+        let _pad = payload.get_u32_le();
+        let (min_item, max_item) = if n > 0 {
+            if payload.remaining() < 2 * T::WIDTH {
+                return Err(WireError::Truncated {
+                    context: "ladder min/max",
+                    needed: 2 * T::WIDTH,
+                    have: payload.remaining(),
+                });
+            }
+            let min = T::read_from(&mut payload);
+            let max = T::read_from(&mut payload);
+            if min > max {
+                return Err(WireError::invariant("ladder min/max", "min above max"));
+            }
+            (Some(min), Some(max))
+        } else {
+            (None, None)
+        };
+        let mut runs: Vec<(Vec<T>, u64)> = Vec::with_capacity(run_count.min(64) as usize);
+        let mut weighted_total = 0u64;
+        for _ in 0..run_count {
+            if payload.remaining() < LADDER_RUN_FIXED as usize {
+                return Err(WireError::Truncated {
+                    context: "ladder run header",
+                    needed: LADDER_RUN_FIXED as usize,
+                    have: payload.remaining(),
+                });
+            }
+            let weight = payload.get_u64_le();
+            let len = payload.get_u64_le();
+            if weight == 0 || len == 0 {
+                return Err(WireError::invariant(
+                    "ladder run",
+                    "runs must be non-empty with weight >= 1",
+                ));
+            }
+            let bytes_needed = len
+                .checked_mul(T::WIDTH as u64)
+                .ok_or_else(|| WireError::invariant("ladder run", "run length overflows size"))?;
+            if (payload.remaining() as u64) < bytes_needed {
+                return Err(WireError::Truncated {
+                    context: "ladder run items",
+                    needed: bytes_needed as usize,
+                    have: payload.remaining(),
+                });
+            }
+            // Remaining payload bounds `len`, so this allocation is
+            // capped by bytes actually present.
+            let mut items = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                items.push(T::read_from(&mut payload));
+            }
+            if items.windows(2).any(|w| w[0] > w[1]) {
+                return Err(WireError::invariant("ladder run", "run not sorted"));
+            }
+            match (&min_item, &max_item) {
+                (Some(min), Some(max)) => {
+                    // first()/last() exist: len >= 1 was enforced above.
+                    if items.first().is_some_and(|lo| lo < min)
+                        || items.last().is_some_and(|hi| hi > max)
+                    {
+                        return Err(WireError::invariant(
+                            "ladder run",
+                            "retained item outside [min, max]",
+                        ));
+                    }
+                }
+                _ => {
+                    return Err(WireError::invariant(
+                        "ladder run",
+                        "non-empty run in an empty (n = 0) ladder",
+                    ));
+                }
+            }
+            weighted_total = weighted_total
+                .checked_add(
+                    (items.len() as u64)
+                        .checked_mul(weight)
+                        .ok_or_else(|| WireError::invariant("ladder run", "weight overflow"))?,
+                )
+                .ok_or_else(|| WireError::invariant("ladder run", "weight overflow"))?;
+            runs.push((items, weight));
+        }
+        if payload.has_remaining() {
+            return Err(WireError::invariant(
+                "ladder payload",
+                format!("{} trailing bytes after last run", payload.remaining()),
+            ));
+        }
+        if weighted_total != n {
+            return Err(WireError::invariant(
+                "ladder weight",
+                format!("runs carry weight {weighted_total}, header says n = {n}"),
+            ));
+        }
+        Ok(QuantilesLadder::from_wire_runs(runs, n, min_item, max_item))
+    }
+}
+
+impl<T: Ord + Clone + WireItem> WireMerge for QuantilesLadder<T> {
+    /// Run-list concatenation — the k-way merge is deferred to query
+    /// time, so merging images is O(runs), not O(retained).
+    fn wire_merge_from(&mut self, other: &Self) -> Result<(), WireError> {
+        if self.n().checked_add(other.n()).is_none() {
+            return Err(WireError::invariant(
+                "ladder merge",
+                "combined n overflows u64",
+            ));
+        }
+        self.concat(other);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Misra–Gries family
+// ---------------------------------------------------------------------------
+
+const MG_FIXED: u64 = 32;
+
+impl<T: Eq + Hash + Ord + Clone + WireItem> WireSketch for MisraGriesSketch<T> {
+    const FAMILY: SketchFamily = SketchFamily::Frequency;
+}
+
+/// Misra–Gries payload:
+/// `k(u64) | n(u64) | error(u64) | count(u64) | count × (item | counter(u64))`,
+/// entries sorted by strictly ascending item (the canonical order — the
+/// in-memory hash map has none). Invariants: `count ≤ k`, every counter
+/// `≥ 1`, and `Σ counters + error ≤ n`.
+impl<T: Eq + Hash + Ord + Clone + WireItem> WireEncode for MisraGriesSketch<T> {
+    fn wire_item_width(&self) -> u8 {
+        T::WIDTH as u8
+    }
+
+    fn encode_payload(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.k() as u64);
+        buf.put_u64_le(self.n());
+        buf.put_u64_le(self.max_error());
+        let mut entries: Vec<(&T, u64)> = self.counters().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        buf.put_u64_le(entries.len() as u64);
+        for (item, counter) in entries {
+            item.write_to(buf);
+            buf.put_u64_le(counter);
+        }
+    }
+}
+
+impl<T: Eq + Hash + Ord + Clone + WireItem> WireDecode for MisraGriesSketch<T> {
+    fn decode_payload(header: &WireHeader, mut payload: &[u8]) -> Result<Self, WireError> {
+        if header.item_width as usize != T::WIDTH {
+            return Err(WireError::ItemWidth {
+                expected: T::WIDTH as u8,
+                found: header.item_width,
+            });
+        }
+        if (payload.len() as u64) < MG_FIXED {
+            return Err(WireError::Truncated {
+                context: "misra-gries payload",
+                needed: MG_FIXED as usize,
+                have: payload.len(),
+            });
+        }
+        let k = payload.get_u64_le();
+        let n = payload.get_u64_le();
+        let error = payload.get_u64_le();
+        let count = payload.get_u64_le();
+        if k == 0 {
+            return Err(WireError::invariant("misra-gries k", "k must be >= 1"));
+        }
+        if count > k {
+            return Err(WireError::invariant(
+                "misra-gries counters",
+                format!("{count} counters exceed k = {k}"),
+            ));
+        }
+        let entry_width = (T::WIDTH as u64) + 8;
+        let need = count
+            .checked_mul(entry_width)
+            .and_then(|b| b.checked_add(MG_FIXED))
+            .ok_or_else(|| WireError::invariant("misra-gries counters", "count overflows size"))?;
+        if need != header.payload_len {
+            return Err(WireError::invariant(
+                "misra-gries counters",
+                format!(
+                    "count {count} needs {need} payload bytes, header carries {}",
+                    header.payload_len
+                ),
+            ));
+        }
+        let mut entries: Vec<(T, u64)> = Vec::with_capacity(count as usize);
+        let mut counter_sum = 0u64;
+        for _ in 0..count {
+            let item = T::read_from(&mut payload);
+            let counter = payload.get_u64_le();
+            if counter == 0 {
+                return Err(WireError::invariant(
+                    "misra-gries counters",
+                    "zero counter retained",
+                ));
+            }
+            if let Some((prev, _)) = entries.last() {
+                if item <= *prev {
+                    return Err(WireError::invariant(
+                        "misra-gries counters",
+                        "items not strictly ascending",
+                    ));
+                }
+            }
+            counter_sum = counter_sum.checked_add(counter).ok_or_else(|| {
+                WireError::invariant("misra-gries counters", "counter sum overflow")
+            })?;
+            entries.push((item, counter));
+        }
+        if counter_sum.checked_add(error).is_none_or(|total| total > n) {
+            return Err(WireError::invariant(
+                "misra-gries weight",
+                format!("counters ({counter_sum}) + error ({error}) exceed n = {n}"),
+            ));
+        }
+        MisraGriesSketch::from_parts(k as usize, n, error, entries)
+            .map_err(|e| WireError::invariant("misra-gries parts", e.to_string()))
+    }
+}
+
+impl<T: Eq + Hash + Ord + Clone + WireItem> WireMerge for MisraGriesSketch<T> {
+    /// Counter addition followed by reduction back to `k` counters (the
+    /// mergeable-summaries construction); the `n/(k+1)` error bound is
+    /// preserved under any fan-in order.
+    fn wire_merge_from(&mut self, other: &Self) -> Result<(), WireError> {
+        if self.n().checked_add(other.n()).is_none() {
+            return Err(WireError::invariant(
+                "misra-gries merge",
+                "combined n overflows u64",
+            ));
+        }
+        self.merge(other).map_err(setop_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::DeterministicOracle;
+    use crate::quantiles::QuantilesSketch;
+    use crate::theta::QuickSelectThetaSketch;
+
+    fn theta_image(n: u64, lg_k: u8, seed: u64) -> (CompactThetaSketch, Bytes) {
+        let mut s = QuickSelectThetaSketch::new(lg_k, seed).unwrap();
+        for i in 0..n {
+            s.update(i);
+        }
+        let c = s.compact();
+        let bytes = c.to_wire_bytes();
+        (c, bytes)
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let (_, bytes) = theta_image(1000, 6, 7);
+        let (h, payload) = WireHeader::parse(&bytes).unwrap();
+        assert_eq!(h.version, WIRE_VERSION);
+        assert_eq!(h.family, SketchFamily::Theta);
+        assert_eq!(h.item_width, 8);
+        assert_eq!(h.payload_len as usize, payload.len());
+        assert_eq!(
+            WireHeader::peek_family(&bytes).unwrap(),
+            SketchFamily::Theta
+        );
+    }
+
+    #[test]
+    fn theta_round_trips_byte_identically() {
+        let (c, bytes) = theta_image(25_000, 6, 9001);
+        let back = CompactThetaSketch::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.to_wire_bytes(), bytes);
+    }
+
+    #[test]
+    fn unsorted_theta_decodes_to_canonical() {
+        let mut s = QuickSelectThetaSketch::new(6, 3).unwrap();
+        for i in 0..20_000u64 {
+            s.update(i);
+        }
+        let raw = encode_theta_unsorted(&s);
+        let (h, _) = WireHeader::parse(&raw).unwrap();
+        assert_eq!(h.flags & FLAG_THETA_UNSORTED, FLAG_THETA_UNSORTED);
+        let decoded = CompactThetaSketch::from_wire_bytes(&raw).unwrap();
+        assert_eq!(decoded, s.compact());
+        // Canonical re-encode differs from the unsorted image only by
+        // flags + hash order; both decode to the same sketch.
+        assert_eq!(
+            CompactThetaSketch::from_wire_bytes(&decoded.to_wire_bytes()).unwrap(),
+            decoded
+        );
+    }
+
+    #[test]
+    fn hll_round_trips_byte_identically() {
+        let mut h = HllSketch::new(8, 42).unwrap();
+        for i in 0..40_000u64 {
+            h.update(i);
+        }
+        let bytes = h.to_wire_bytes();
+        let back = HllSketch::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.to_wire_bytes(), bytes);
+    }
+
+    #[test]
+    fn ladder_round_trips_byte_identically() {
+        for n in [0u64, 1, 100, 256, 60_000] {
+            let mut q = QuantilesSketch::<u64>::with_seed(32, 5).unwrap();
+            for i in 0..n {
+                q.update(i);
+            }
+            let ladder = q.ladder();
+            let bytes = ladder.to_wire_bytes();
+            let back = QuantilesLadder::<u64>::from_wire_bytes(&bytes).unwrap();
+            assert_eq!(back.n(), ladder.n());
+            assert_eq!(back.to_wire_bytes(), bytes);
+            for phi in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                assert_eq!(back.quantile(phi), ladder.quantile(phi), "n={n} phi={phi}");
+            }
+        }
+    }
+
+    #[test]
+    fn misra_gries_round_trips_byte_identically() {
+        let mut mg = MisraGriesSketch::<u64>::new(16).unwrap();
+        for i in 0..30_000u64 {
+            mg.update(if i % 3 == 0 { 7 } else { i % 500 });
+        }
+        let bytes = mg.to_wire_bytes();
+        let back = MisraGriesSketch::<u64>::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(back.n(), mg.n());
+        assert_eq!(back.max_error(), mg.max_error());
+        assert_eq!(back.estimate(&7), mg.estimate(&7));
+        assert_eq!(back.to_wire_bytes(), bytes);
+    }
+
+    #[test]
+    fn family_dispatch_rejects_cross_decoding() {
+        let (_, theta) = theta_image(100, 5, 1);
+        assert!(matches!(
+            HllSketch::from_wire_bytes(&theta),
+            Err(WireError::FamilyMismatch { .. })
+        ));
+        assert!(matches!(
+            QuantilesLadder::<u64>::from_wire_bytes(&theta),
+            Err(WireError::FamilyMismatch { .. })
+        ));
+        assert!(matches!(
+            MisraGriesSketch::<u64>::from_wire_bytes(&theta),
+            Err(WireError::FamilyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_wire_images_unions_theta() {
+        let images: Vec<Bytes> = (0..4u64)
+            .map(|node| {
+                let mut s = QuickSelectThetaSketch::new(10, 77).unwrap();
+                for i in (node..40_000).step_by(4) {
+                    s.update(i);
+                }
+                s.compact().to_wire_bytes()
+            })
+            .collect();
+        let merged: CompactThetaSketch = merge_wire_images(&images).unwrap();
+        let est = merged.estimate();
+        assert!((est - 40_000.0).abs() / 40_000.0 < 0.1, "estimate {est}");
+    }
+
+    #[test]
+    fn merge_rejects_seed_mismatch() {
+        let (_, a) = theta_image(100, 5, 1);
+        let (_, b) = theta_image(100, 5, 2);
+        assert!(matches!(
+            merge_wire_images::<CompactThetaSketch, _, _>([&a, &b]),
+            Err(WireError::Incompatible { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_empty_list() {
+        let images: [&[u8]; 0] = [];
+        assert!(matches!(
+            merge_wire_images::<HllSketch, _, _>(images),
+            Err(WireError::Invariant { .. })
+        ));
+    }
+
+    #[test]
+    fn theta_set_algebra_on_wire() {
+        let sketch = |lo: u64, hi: u64| {
+            let mut s = QuickSelectThetaSketch::new(10, 5).unwrap();
+            for i in lo..hi {
+                s.update(i);
+            }
+            s.compact().to_wire_bytes()
+        };
+        // A = [0, 60k), B = [40k, 100k): |A∩B| = 20k, |A∪B| = 100k.
+        let a = sketch(0, 60_000);
+        let b = sketch(40_000, 100_000);
+        let union = CompactThetaSketch::from_wire_bytes(&theta_union_on_wire([&a, &b]).unwrap())
+            .unwrap()
+            .estimate();
+        assert!((union - 100_000.0).abs() / 100_000.0 < 0.1, "union {union}");
+        let inter =
+            CompactThetaSketch::from_wire_bytes(&theta_intersection_on_wire(&a, &b).unwrap())
+                .unwrap()
+                .estimate();
+        assert!((inter - 20_000.0).abs() / 20_000.0 < 0.25, "inter {inter}");
+        let diff = CompactThetaSketch::from_wire_bytes(&theta_a_not_b_on_wire(&a, &b).unwrap())
+            .unwrap()
+            .estimate();
+        assert!((diff - 40_000.0).abs() / 40_000.0 < 0.25, "a\\b {diff}");
+        let j = theta_jaccard_on_wire(&a, &b).unwrap();
+        assert!((j.estimate - 0.2).abs() < 0.1, "jaccard {}", j.estimate);
+    }
+
+    #[test]
+    fn hll_wire_merge_equals_sequential() {
+        let mut oracle = HllSketch::new(9, 11).unwrap();
+        let mut images = Vec::new();
+        for node in 0..5u64 {
+            let mut h = HllSketch::new(9, 11).unwrap();
+            for i in (node..50_000).step_by(5) {
+                h.update(i);
+                oracle.update(i);
+            }
+            images.push(h.to_wire_bytes());
+        }
+        let merged: HllSketch = merge_wire_images(&images).unwrap();
+        assert_eq!(merged, oracle);
+    }
+
+    #[test]
+    fn ladder_wire_merge_sums_runs() {
+        let mut images = Vec::new();
+        for node in 0..3u64 {
+            let mut q = QuantilesSketch::<u64>::with_seed(64, node).unwrap();
+            for i in (node..90_000).step_by(3) {
+                q.update(i);
+            }
+            images.push(q.ladder().to_wire_bytes());
+        }
+        let merged: QuantilesLadder<u64> = merge_wire_images(&images).unwrap();
+        assert_eq!(merged.n(), 90_000);
+        assert_eq!(merged.quantile(0.0), Some(0));
+        assert_eq!(merged.quantile(1.0), Some(89_999));
+        let med = merged.quantile(0.5).unwrap() as f64;
+        assert!((med - 45_000.0).abs() < 5_000.0, "median {med}");
+    }
+
+    #[test]
+    fn updatable_quantiles_image_is_not_a_ladder() {
+        let mut q = QuantilesSketch::<u64>::with_seed(16, 1).unwrap();
+        for i in 0..1_000u64 {
+            q.update(i);
+        }
+        let bytes = q.to_bytes();
+        assert_eq!(
+            WireHeader::peek_family(&bytes).unwrap(),
+            SketchFamily::Quantiles
+        );
+        assert!(matches!(
+            QuantilesLadder::<u64>::from_wire_bytes(&bytes),
+            Err(WireError::Invariant { .. })
+        ));
+        // And the updatable decoder round-trips it.
+        let back = QuantilesSketch::<u64>::from_bytes(&bytes, DeterministicOracle::new(0)).unwrap();
+        assert_eq!(back.n(), 1_000);
+    }
+
+    #[test]
+    fn item_width_mismatch_rejected() {
+        let mut mg = MisraGriesSketch::<u64>::new(4).unwrap();
+        mg.update(9);
+        let mut bytes = mg.to_wire_bytes().to_vec();
+        bytes[7] = 4; // forge item_width
+        assert!(matches!(
+            MisraGriesSketch::<u64>::from_wire_bytes(&bytes),
+            Err(WireError::ItemWidth {
+                expected: 8,
+                found: 4
+            })
+        ));
+    }
+}

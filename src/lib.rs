@@ -73,3 +73,11 @@ pub use fcds_core::{
     ConcurrencyConfig, DedicatedThreadBackend, PropagationBackend, PropagationBackendKind,
     WriterAssistedBackend,
 };
+
+// The wire/merge tier, re-exported flat: sketch on any node, emit a
+// versioned image, merge the images anywhere. These are the types every
+// distributed embedder touches regardless of sketch family.
+pub use fcds_sketches::wire::{
+    merge_wire_images, SketchFamily, WireDecode, WireEncode, WireHeader, WireMerge,
+};
+pub use fcds_sketches::WireError;
