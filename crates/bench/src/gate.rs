@@ -105,6 +105,28 @@ pub const MERGE_TREE_MG_COVERAGE_MIN: f64 = 1.0;
 /// quadratic merge path.
 pub const MERGE_TREE_FANIN_IPS_MIN: f64 = 100.0;
 
+/// Merge tree: the Θ multiway loser-tree union must beat the reference
+/// pairwise decode-and-fold by at least this factor at fan-in 32. The
+/// pairwise fold re-merges a growing accumulator f − 1 times
+/// (O(f² · k) hash traffic plus f decode allocations); the kernel is a
+/// single O(f · k · log f) pass over borrowed views, so 2× is far below
+/// the measured gap and only a kernel regression can breach it.
+pub const MERGE_TREE_THETA_MULTIWAY_SPEEDUP_F32_MIN: f64 = 2.0;
+
+/// Merge tree: the HLL register-max kernel must beat the pairwise
+/// decode-and-fold by at least this factor at fan-in 32 — pairwise pays
+/// per-image register validation and a register-vector allocation per
+/// decode; the kernel folds payload bytes into one accumulator and
+/// validates once.
+pub const MERGE_TREE_HLL_MULTIWAY_SPEEDUP_F32_MIN: f64 = 2.0;
+
+/// Merge tree: heap allocations per merge in the *warm* coordinator
+/// loop (persistent [`fcds_sketches::wire::MergeScratch`], Θ and HLL
+/// `*_into` kernels), as counted by the bench binary's instrumented
+/// global allocator. The whole point of the scratch arena is that this
+/// is exactly zero.
+pub const MERGE_TREE_WARM_ALLOCS_PER_MERGE_MAX: f64 = 0.0;
+
 /// The bound direction encoded in a threshold key's suffix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bound {

@@ -340,7 +340,9 @@ impl<T: Eq + Hash + Clone + Send + Sync + 'static> ConcurrentFrequencySketch<T> 
     /// merged shard table can hold up to `K·k` counters; the export
     /// reduces it back to `k` (accruing the reduction slack into the
     /// image's error term), so every image is a valid `k`-counter
-    /// summary whose bounds still bracket the true counts.
+    /// summary whose bounds still bracket the true counts. On the
+    /// fan-in side, `fcds_sketches::wire::mg_multiway_merge` accumulates
+    /// the counters of many images with one final reduction.
     pub fn wire_image(&self) -> bytes::Bytes
     where
         T: Ord + fcds_sketches::wire::WireItem,

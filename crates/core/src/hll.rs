@@ -333,7 +333,11 @@ impl ConcurrentHllSketch {
     /// Serialises the merged register state into a unified wire image
     /// (HLL family — see `fcds_sketches::wire`). Register-wise max is a
     /// lattice join, so images merged on a remote node equal the
-    /// sequential sketch of the concatenated streams exactly.
+    /// sequential sketch of the concatenated streams exactly. A
+    /// coordinator fanning images in every query tick should hold a
+    /// `fcds_sketches::wire::MergeScratch` and call
+    /// `hll_multiway_merge_into` to fold registers straight from the
+    /// payload bytes with zero steady-state allocations.
     pub fn wire_image(&self) -> bytes::Bytes {
         self.registers().to_wire_bytes()
     }

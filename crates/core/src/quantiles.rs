@@ -459,6 +459,9 @@ impl<T: Ord + Clone + Send + Sync + 'static> ConcurrentQuantilesSketch<T> {
     /// concatenated by `Arc` clone and streamed out run by run, so the
     /// export costs O(runs + retained) with no sort and no k-way merge —
     /// those stay on the query side of whichever node decodes the image.
+    /// On the fan-in side,
+    /// `fcds_sketches::wire::ladder_multiway_concat` splices the
+    /// borrowed runs of many images into one ladder in a single pass.
     pub fn wire_image(&self) -> bytes::Bytes
     where
         T: WireItem,

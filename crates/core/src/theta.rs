@@ -537,7 +537,10 @@ impl ConcurrentThetaSketch {
     /// per-node export of the "sketch anywhere, merge anywhere" tier. A
     /// central node fans these in with
     /// `fcds_sketches::wire::merge_wire_images` (untrimmed union) without
-    /// ever having seen the streams.
+    /// ever having seen the streams; a coordinator merging every query
+    /// tick should hold a `fcds_sketches::wire::MergeScratch` and call
+    /// `theta_multiway_union_into` for an allocation-free k-way union
+    /// straight off the raw images.
     pub fn wire_image(&self) -> Bytes {
         self.compact().to_wire_bytes()
     }

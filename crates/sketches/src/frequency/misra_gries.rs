@@ -117,6 +117,7 @@ impl<T: Eq + Hash + Clone> MisraGriesSketch<T> {
         while sketch.counters.len() > sketch.k {
             sketch.reduce();
         }
+        debug_assert!(sketch.counters.len() <= sketch.k);
         Ok(sketch)
     }
 
@@ -170,8 +171,9 @@ impl<T: Eq + Hash + Clone> MisraGriesSketch<T> {
     }
 
     /// The Misra–Gries reduction: subtract the median-ish decrement (the
-    /// minimum counter) from every counter and drop the zeros, restoring
-    /// `≤ k` counters.
+    /// minimum counter) from every counter and drop the zeros. One pass
+    /// removes at least one counter; callers that accumulate more than
+    /// `k + 1` counters (the multiway fan-in) loop until `≤ k` hold.
     fn reduce(&mut self) {
         let min = self
             .counters
@@ -184,7 +186,6 @@ impl<T: Eq + Hash + Clone> MisraGriesSketch<T> {
             *c -= min;
             *c > 0
         });
-        debug_assert!(self.counters.len() <= self.k);
     }
 
     /// Frequency estimate for an item.

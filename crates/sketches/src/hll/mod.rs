@@ -117,22 +117,7 @@ impl HllSketch {
     /// Distinct-count estimate: the HLL harmonic-mean estimator with the
     /// linear-counting correction for small cardinalities.
     pub fn estimate(&self) -> f64 {
-        let m = self.m() as f64;
-        let alpha = match self.m() {
-            16 => 0.673,
-            32 => 0.697,
-            64 => 0.709,
-            m => 0.7213 / (1.0 + 1.079 / m as f64),
-        };
-        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
-        let raw = alpha * m * m / sum;
-        let zeros = self.registers.iter().filter(|&&r| r == 0).count();
-        if raw <= 2.5 * m && zeros > 0 {
-            // Linear counting is more accurate in the small range.
-            m * (m / zeros as f64).ln()
-        } else {
-            raw
-        }
+        estimate_from_registers(&self.registers)
     }
 
     /// Merges another HLL sketch into this one (register-wise max).
@@ -174,6 +159,30 @@ impl HllSketch {
     /// The theoretical relative standard error of HLL: `1.04/√m`.
     pub fn rse(&self) -> f64 {
         1.04 / (self.m() as f64).sqrt()
+    }
+}
+
+/// The HLL harmonic-mean estimator with the linear-counting correction,
+/// computed over a bare register array (`m = registers.len()`, which must
+/// be a power of two). This is `HllSketch::estimate` without the sketch:
+/// the wire fan-in kernel estimates straight off its borrowed
+/// accumulator, never materialising an owned sketch.
+pub fn estimate_from_registers(registers: &[u8]) -> f64 {
+    let m = registers.len() as f64;
+    let alpha = match registers.len() {
+        16 => 0.673,
+        32 => 0.697,
+        64 => 0.709,
+        m => 0.7213 / (1.0 + 1.079 / m as f64),
+    };
+    let sum: f64 = registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+    let raw = alpha * m * m / sum;
+    let zeros = registers.iter().filter(|&&r| r == 0).count();
+    if raw <= 2.5 * m && zeros > 0 {
+        // Linear counting is more accurate in the small range.
+        m * (m / zeros as f64).ln()
+    } else {
+        raw
     }
 }
 

@@ -68,6 +68,13 @@ impl<T: Ord + Clone + WireItem> crate::wire::WireEncode for QuantilesSketch<T> {
             }
         }
     }
+
+    fn payload_size_hint(&self) -> Option<usize> {
+        let (_, n, base, levels, _, _) = self.wire_parts();
+        let min_max = if n > 0 { 2 * T::WIDTH } else { 0 };
+        let level_items: usize = levels.iter().map(|l| l.len()).sum();
+        Some(UPDATABLE_FIXED as usize + min_max + (base.len() + level_items) * T::WIDTH)
+    }
 }
 
 impl<T: Ord + Clone + WireItem> QuantilesSketch<T> {

@@ -43,6 +43,20 @@
 //!   [`merge_wire_images`] fans a whole list of raw images into one
 //!   sketch.
 //!
+//! # Zero-copy views and multiway fan-in
+//!
+//! The [`view`] module parses images into borrowed views
+//! ([`ThetaWireView`], [`HllWireView`], [`LadderWireView`],
+//! [`MgWireView`]) that validate the envelope once and iterate items
+//! straight out of `&[u8]`; the [`fanin`] module builds single-pass
+//! multiway merge kernels on top ([`theta_multiway_union_into`],
+//! [`hll_multiway_merge_into`], [`ladder_multiway_concat`],
+//! [`mg_multiway_merge`]) threaded through a reusable [`MergeScratch`]
+//! arena, so a warm coordinator loop merges with zero steady-state
+//! allocations. [`merge_wire_images`] routes through these kernels via
+//! [`WireMerge::wire_fan_in`]; [`peek`] classifies an image from its
+//! first 16 bytes for server-side routing.
+//!
 //! # Θ set algebra on the wire
 //!
 //! Beyond union, Θ images support the full estimator algebra without
@@ -63,6 +77,17 @@
 //! flag-clear encoding meaning what it meant. The golden vectors under
 //! `tests/vectors/` pin version 1: any edit that changes a committed
 //! byte is a format break and must ship as version 2.
+
+pub mod fanin;
+pub mod view;
+
+pub use fanin::{
+    hll_multiway_merge, hll_multiway_merge_into, ladder_multiway_concat, mg_multiway_merge,
+    theta_multiway_union, theta_multiway_union_into, HllFanin, MergeScratch, ThetaFanin,
+};
+pub use view::{
+    HllWireView, LadderWireRun, LadderWireRuns, LadderWireView, MgWireView, ThetaWireView,
+};
 
 use crate::error::WireError;
 use crate::frequency::MisraGriesSketch;
@@ -157,6 +182,20 @@ impl WireHeader {
     /// `16 + payload_len` — trailing bytes are rejected, so the declared
     /// length can never drive an over-allocation.
     pub fn parse(data: &[u8]) -> Result<(WireHeader, &[u8]), WireError> {
+        let header = Self::parse_prefix(data)?;
+        let have = (data.len() - WIRE_HEADER_LEN) as u64;
+        if header.payload_len != have {
+            return Err(WireError::PayloadLength {
+                declared: header.payload_len,
+                have,
+            });
+        }
+        Ok((header, &data[WIRE_HEADER_LEN..]))
+    }
+
+    /// Validates and decodes the 16 header bytes alone — no exact-length
+    /// check, so `data` may be a bare prefix of an image.
+    fn parse_prefix(data: &[u8]) -> Result<WireHeader, WireError> {
         if data.len() < WIRE_HEADER_LEN {
             return Err(WireError::Truncated {
                 context: "header",
@@ -179,21 +218,13 @@ impl WireHeader {
         let flags = cursor.get_u8();
         let item_width = cursor.get_u8();
         let payload_len = cursor.get_u64_le();
-        let have = (data.len() - WIRE_HEADER_LEN) as u64;
-        if payload_len != have {
-            return Err(WireError::PayloadLength {
-                declared: payload_len,
-                have,
-            });
-        }
-        let header = WireHeader {
+        Ok(WireHeader {
             version,
             family,
             flags,
             item_width,
             payload_len,
-        };
-        Ok((header, &data[WIRE_HEADER_LEN..]))
+        })
     }
 
     /// Reads just enough of the header to learn which family an image
@@ -211,6 +242,59 @@ impl WireHeader {
         buf.put_u8(self.item_width);
         buf.put_u64_le(self.payload_len);
     }
+}
+
+/// The routing-relevant header fields surfaced by [`peek`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeekedHeader {
+    /// Sketch family of the payload.
+    pub family: SketchFamily,
+    /// Family-specific flag bits.
+    pub flags: u8,
+    /// Item encoding width in bytes (0 where the family has none).
+    pub item_width: u8,
+    /// Payload length the header *declares*. Unverified: `peek` never
+    /// touches the payload, so the exact-length rule has not run yet.
+    pub payload_len: u64,
+}
+
+/// Reads only the 16-byte header of a raw image — family, flags, item
+/// width and declared payload length — without touching (or requiring)
+/// the payload. This is the server-side routing primitive: a frame
+/// dispatcher can classify an image from its first 16 bytes while the
+/// rest is still in flight.
+///
+/// Contrast [`WireHeader::parse`]: `peek` accepts any input carrying at
+/// least the header, so the declared `payload_len` is *reported, not
+/// verified* — full validation still happens at decode time.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] below 16 bytes, and the header taxonomy
+/// ([`WireError::BadMagic`] / [`WireError::UnsupportedVersion`] /
+/// [`WireError::UnknownFamily`]) for damaged headers — identical to the
+/// full parser, byte for byte.
+///
+/// # Examples
+///
+/// ```
+/// use fcds_sketches::hll::HllSketch;
+/// use fcds_sketches::wire::{peek, SketchFamily, WireEncode, WIRE_HEADER_LEN};
+///
+/// let image = HllSketch::new(10, 3).unwrap().to_wire_bytes();
+/// // Only the first 16 bytes are needed.
+/// let peeked = peek(&image[..WIRE_HEADER_LEN]).unwrap();
+/// assert_eq!(peeked.family, SketchFamily::Hll);
+/// assert_eq!(peeked.payload_len as usize, image.len() - WIRE_HEADER_LEN);
+/// ```
+pub fn peek(data: &[u8]) -> Result<PeekedHeader, WireError> {
+    let header = WireHeader::parse_prefix(data)?;
+    Ok(PeekedHeader {
+        family: header.family,
+        flags: header.flags,
+        item_width: header.item_width,
+        payload_len: header.payload_len,
+    })
 }
 
 /// Items serialisable into a fixed-width little-endian encoding, used by
@@ -282,9 +366,19 @@ pub trait WireEncode: WireSketch {
     /// Appends the family payload (everything after the 16-byte header).
     fn encode_payload(&self, buf: &mut BytesMut);
 
+    /// Exact payload byte length, when cheaply computable. Every
+    /// in-tree impl returns `Some`, letting [`Self::to_wire_bytes`]
+    /// produce the image in a single right-sized allocation with no
+    /// growth reallocations; `None` falls back to a small default
+    /// capacity plus growth.
+    fn payload_size_hint(&self) -> Option<usize> {
+        None
+    }
+
     /// Serialises into a complete wire image (header + payload).
     fn to_wire_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(WIRE_HEADER_LEN + 64);
+        let cap = WIRE_HEADER_LEN + self.payload_size_hint().unwrap_or(64);
+        let mut buf = BytesMut::with_capacity(cap);
         WireHeader {
             version: WIRE_VERSION,
             family: Self::FAMILY,
@@ -337,10 +431,40 @@ pub trait WireMerge: WireEncode + WireDecode {
     ///
     /// [`WireError::Incompatible`] on a seed / parameter mismatch.
     fn wire_merge_from(&mut self, other: &Self) -> Result<(), WireError>;
+
+    /// Fans a whole list of raw images into one sketch.
+    ///
+    /// The default is the reference pairwise fold (decode each image,
+    /// fold with [`Self::wire_merge_from`]); every in-tree family
+    /// overrides it with its single-pass multiway kernel from
+    /// [`fanin`], which reads items straight out of the raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any decode failure, [`WireError::Incompatible`] on parameter
+    /// mismatches, or [`WireError::Invariant`] for an empty list.
+    fn wire_fan_in<B: AsRef<[u8]>>(images: &[B]) -> Result<Self, WireError> {
+        let (first, rest) = images
+            .split_first()
+            .ok_or_else(|| WireError::invariant("merge", "no images to merge"))?;
+        let mut acc = Self::from_wire_bytes(first.as_ref())?;
+        for image in rest {
+            let part = Self::from_wire_bytes(image.as_ref())?;
+            acc.wire_merge_from(&part)?;
+        }
+        Ok(acc)
+    }
 }
 
-/// Decodes every raw image and folds them into one sketch (fan-in
-/// order-independent for Θ/HLL; Misra–Gries bounds hold for any order).
+/// Fans a list of raw images into one sketch (fan-in order-independent
+/// for Θ/HLL; Misra–Gries bounds hold for any order).
+///
+/// Dispatches to the family's [`WireMerge::wire_fan_in`] — for the
+/// in-tree families that is a single-pass multiway kernel over borrowed
+/// views (see [`fanin`]), not a pairwise decode-then-fold. A coordinator
+/// merging in a loop should call the `*_into` kernel entry points with
+/// its own [`MergeScratch`] to also skip this function's image-list
+/// collection and result materialisation.
 ///
 /// # Errors
 ///
@@ -354,16 +478,8 @@ where
     I: IntoIterator<Item = B>,
     B: AsRef<[u8]>,
 {
-    let mut iter = images.into_iter();
-    let first = iter
-        .next()
-        .ok_or_else(|| WireError::invariant("merge", "no images to merge"))?;
-    let mut acc = W::from_wire_bytes(first.as_ref())?;
-    for image in iter {
-        let part = W::from_wire_bytes(image.as_ref())?;
-        acc.wire_merge_from(&part)?;
-    }
-    Ok(acc)
+    let images: Vec<B> = images.into_iter().collect();
+    W::wire_fan_in(&images)
 }
 
 fn setop_err(e: crate::error::SketchError) -> WireError {
@@ -390,6 +506,11 @@ impl WireSketch for CompactThetaSketch {
 /// Canonical images carry strictly ascending hashes (flags clear);
 /// [`encode_theta_unsorted`] emits the same payload in source order with
 /// [`FLAG_THETA_UNSORTED`] set.
+/// Hashes bulk-encoded per chunk of this many (a 512-byte stack staging
+/// buffer — the largest chunk that stays comfortably in L1 while making
+/// the per-`put_slice` overhead negligible).
+const THETA_ENC_CHUNK: usize = 64;
+
 impl WireEncode for CompactThetaSketch {
     fn wire_item_width(&self) -> u8 {
         8
@@ -400,9 +521,21 @@ impl WireEncode for CompactThetaSketch {
         buf.put_u64_le(self.theta());
         let hashes = self.sorted_hashes();
         buf.put_u64_le(hashes.len() as u64);
-        for &h in hashes {
-            buf.put_u64_le(h);
+        // Encode straight off the borrowed slice in bulk chunks: one
+        // length-checked append per 64 hashes instead of one per hash.
+        // With the exact size hint below, re-encoding a decoded image is
+        // a single allocation plus chunked copies.
+        let mut chunk = [0u8; 8 * THETA_ENC_CHUNK];
+        for run in hashes.chunks(THETA_ENC_CHUNK) {
+            for (slot, &h) in chunk.chunks_exact_mut(8).zip(run) {
+                slot.copy_from_slice(&h.to_le_bytes());
+            }
+            buf.put_slice(&chunk[..8 * run.len()]);
         }
+    }
+
+    fn payload_size_hint(&self) -> Option<usize> {
+        Some(THETA_FIXED as usize + 8 * self.sorted_hashes().len())
     }
 }
 
@@ -474,6 +607,13 @@ impl WireMerge for CompactThetaSketch {
     fn wire_merge_from(&mut self, other: &Self) -> Result<(), WireError> {
         *self = untrimmed_union([&*self, other]).map_err(setop_err)?;
         Ok(())
+    }
+
+    /// K-way loser-tree union over borrowed views
+    /// ([`fanin::theta_multiway_union`]) — result-identical to the
+    /// pairwise fold, single pass, no per-image decoding.
+    fn wire_fan_in<B: AsRef<[u8]>>(images: &[B]) -> Result<Self, WireError> {
+        fanin::theta_multiway_union(images)
     }
 }
 
@@ -582,6 +722,10 @@ impl WireEncode for HllSketch {
         buf.put_u64_le(self.seed());
         buf.put_slice(self.registers());
     }
+
+    fn payload_size_hint(&self) -> Option<usize> {
+        Some(HLL_FIXED as usize + self.m())
+    }
 }
 
 impl WireDecode for HllSketch {
@@ -642,6 +786,12 @@ impl WireMerge for HllSketch {
     fn wire_merge_from(&mut self, other: &Self) -> Result<(), WireError> {
         self.merge(other).map_err(setop_err)
     }
+
+    /// Register max folded straight from payload bytes
+    /// ([`fanin::hll_multiway_merge`]) — one accumulator, one pass.
+    fn wire_fan_in<B: AsRef<[u8]>>(images: &[B]) -> Result<Self, WireError> {
+        fanin::hll_multiway_merge(images)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -685,6 +835,16 @@ impl<T: Ord + Clone + WireItem> WireEncode for QuantilesLadder<T> {
                 item.write_to(buf);
             }
         }
+    }
+
+    fn payload_size_hint(&self) -> Option<usize> {
+        let min_max = if self.n() > 0 { 2 * T::WIDTH } else { 0 };
+        Some(
+            LADDER_FIXED as usize
+                + min_max
+                + self.run_count() * LADDER_RUN_FIXED as usize
+                + self.retained() * T::WIDTH,
+        )
     }
 }
 
@@ -824,6 +984,13 @@ impl<T: Ord + Clone + WireItem> WireMerge for QuantilesLadder<T> {
         self.concat(other);
         Ok(())
     }
+
+    /// One O(total runs) concatenation of borrowed runs
+    /// ([`fanin::ladder_multiway_concat`]) — byte-identical to the
+    /// pairwise fold, no intermediate ladders.
+    fn wire_fan_in<B: AsRef<[u8]>>(images: &[B]) -> Result<Self, WireError> {
+        fanin::ladder_multiway_concat(images)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -857,6 +1024,10 @@ impl<T: Eq + Hash + Ord + Clone + WireItem> WireEncode for MisraGriesSketch<T> {
             item.write_to(buf);
             buf.put_u64_le(counter);
         }
+    }
+
+    fn payload_size_hint(&self) -> Option<usize> {
+        Some(MG_FIXED as usize + self.retained() * (T::WIDTH + 8))
     }
 }
 
@@ -949,6 +1120,14 @@ impl<T: Eq + Hash + Ord + Clone + WireItem> WireMerge for MisraGriesSketch<T> {
             ));
         }
         self.merge(other).map_err(setop_err)
+    }
+
+    /// Counter accumulation into one map with a single final reduction
+    /// ([`fanin::mg_multiway_merge`]) — the same mergeable-summaries
+    /// bound; in exact mode (distinct items ≤ k) identical to the
+    /// pairwise fold.
+    fn wire_fan_in<B: AsRef<[u8]>>(images: &[B]) -> Result<Self, WireError> {
+        fanin::mg_multiway_merge(images)
     }
 }
 

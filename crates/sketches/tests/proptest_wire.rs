@@ -13,7 +13,7 @@ use fcds_sketches::hll::HllSketch;
 use fcds_sketches::oracle::DeterministicOracle;
 use fcds_sketches::quantiles::{QuantilesLadder, QuantilesSketch};
 use fcds_sketches::theta::{CompactThetaSketch, QuickSelectThetaSketch, ThetaRead};
-use fcds_sketches::wire::{WireDecode, WireEncode, WireHeader, WIRE_HEADER_LEN};
+use fcds_sketches::wire::{peek, WireDecode, WireEncode, WireHeader, WIRE_HEADER_LEN};
 use fcds_sketches::WireError;
 use proptest::prelude::*;
 
@@ -116,7 +116,11 @@ fn single_byte_mutation_at_every_offset_never_panics() {
 }
 
 /// The hostile-header matrix: each corruption class must map to its
-/// intended [`WireError`] variant, for every family.
+/// intended [`WireError`] variant, for every family. [`peek`] reads only
+/// the 16-byte header, so it must reject the header-level classes with
+/// the *same* variants — but it never verifies the declared payload
+/// length against the input, so length-related corruption is invisible
+/// to it by design.
 #[test]
 fn corruption_classes_map_to_intended_error_variants() {
     for (name, bytes) in sample_images() {
@@ -129,6 +133,8 @@ fn corruption_classes_map_to_intended_error_variants() {
                 matches!(err, WireError::BadMagic { .. }),
                 "{name}: magic byte {i} flip gave {err:?}"
             );
+            let perr = peek(&b).expect_err(name);
+            assert_eq!(err, perr, "{name}: peek disagrees on magic byte {i} flip");
         }
 
         // Unsupported version.
@@ -141,6 +147,7 @@ fn corruption_classes_map_to_intended_error_variants() {
                 WireError::UnsupportedVersion { found: version },
                 "{name}: version {version}"
             );
+            assert_eq!(peek(&b), Err(err), "{name}: peek disagrees on version");
         }
 
         // Unknown family code.
@@ -153,10 +160,13 @@ fn corruption_classes_map_to_intended_error_variants() {
                 WireError::UnknownFamily { found: family },
                 "{name}: family {family}"
             );
+            assert_eq!(peek(&b), Err(err), "{name}: peek disagrees on family");
         }
 
         // Absurd declared payload length: must error on the length
-        // field alone — long before any allocation could happen.
+        // field alone — long before any allocation could happen. `peek`
+        // is the one reader that *accepts* this class: it reports the
+        // declared length without vouching for it.
         for declared in [u64::MAX, u64::MAX / 2, bytes.len() as u64 * 1_000_000] {
             let mut b = bytes.clone();
             b[8..16].copy_from_slice(&declared.to_le_bytes());
@@ -164,6 +174,11 @@ fn corruption_classes_map_to_intended_error_variants() {
             assert!(
                 matches!(err, WireError::PayloadLength { .. }),
                 "{name}: declared len {declared} gave {err:?}"
+            );
+            let peeked = peek(&b).expect(name);
+            assert_eq!(
+                peeked.payload_len, declared,
+                "{name}: peek must report the declared length verbatim"
             );
         }
 
@@ -173,6 +188,30 @@ fn corruption_classes_map_to_intended_error_variants() {
             assert!(
                 matches!(err, WireError::Truncated { .. }),
                 "{name}: {cut}-byte input gave {err:?}"
+            );
+            let perr = peek(&bytes[..cut]).expect_err(name);
+            assert!(
+                matches!(perr, WireError::Truncated { .. }),
+                "{name}: peek on {cut}-byte input gave {perr:?}"
+            );
+        }
+
+        // A bare 16-byte header prefix: the full parser demands the
+        // exact payload, but `peek` classifies it happily — that is its
+        // whole purpose (routing from the first bytes off the socket).
+        let (header, _) = WireHeader::parse(&bytes).expect(name);
+        let peeked = peek(&bytes[..WIRE_HEADER_LEN]).expect(name);
+        assert_eq!(peeked.family, header.family, "{name}: peek family");
+        assert_eq!(peeked.flags, header.flags, "{name}: peek flags");
+        assert_eq!(
+            peeked.payload_len,
+            (bytes.len() - WIRE_HEADER_LEN) as u64,
+            "{name}: peek payload_len"
+        );
+        if bytes.len() > WIRE_HEADER_LEN {
+            assert!(
+                WireHeader::parse(&bytes[..WIRE_HEADER_LEN]).is_err(),
+                "{name}: full parse must still reject the bare prefix"
             );
         }
     }

@@ -30,6 +30,22 @@ impl<T: SampleUniform> Strategy for RangeInclusive<T> {
     }
 }
 
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
 /// Strategy produced by [`any`](crate::any): the type's full standard
 /// distribution.
 #[derive(Debug)]

@@ -81,3 +81,13 @@ pub use fcds_sketches::wire::{
     merge_wire_images, SketchFamily, WireDecode, WireEncode, WireHeader, WireMerge,
 };
 pub use fcds_sketches::WireError;
+
+// The zero-copy fan-in tier: borrowed views over raw images, multiway
+// merge kernels, and the reusable scratch arena that makes a warm
+// coordinator loop allocation-free. `peek` classifies an image from its
+// first 16 bytes for server-side routing.
+pub use fcds_sketches::wire::{
+    hll_multiway_merge, hll_multiway_merge_into, ladder_multiway_concat, mg_multiway_merge, peek,
+    theta_multiway_union, theta_multiway_union_into, HllFanin, HllWireView, LadderWireView,
+    MergeScratch, MgWireView, PeekedHeader, ThetaFanin, ThetaWireView,
+};
