@@ -1,6 +1,6 @@
 //! CI bench-regression gate over the JSON artefacts the bench binaries
 //! emit (`BENCH_prop_cost.json`, `BENCH_quantiles_prop.json`,
-//! `BENCH_ingest.json`, `BENCH_merge_tree.json`).
+//! `BENCH_ingest.json`, `BENCH_merge_tree.json`, `BENCH_serve.json`).
 //!
 //! Each artefact documents its own acceptance ratios and thresholds (see
 //! [`fcds_bench::gate`]); this binary reads them back and exits nonzero
@@ -16,11 +16,12 @@ use fcds_bench::gate::check_doc;
 use fcds_bench::report::HarnessArgs;
 use std::process::ExitCode;
 
-const ARTEFACTS: [&str; 4] = [
+const ARTEFACTS: [&str; 5] = [
     "BENCH_prop_cost.json",
     "BENCH_quantiles_prop.json",
     "BENCH_ingest.json",
     "BENCH_merge_tree.json",
+    "BENCH_serve.json",
 ];
 
 fn main() -> ExitCode {

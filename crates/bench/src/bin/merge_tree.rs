@@ -544,7 +544,7 @@ fn theta_images() -> Vec<bytes::Bytes> {
             let mut w = sketch.writer();
             let items: Vec<u64> = (0..PER_NODE).map(|i| node * PER_NODE + i).collect();
             w.update_batch(&items);
-            w.flush();
+            w.flush().unwrap();
             sketch.quiesce();
             sketch.wire_image()
         })
@@ -564,7 +564,7 @@ fn hll_images() -> Vec<bytes::Bytes> {
             let mut w = sketch.writer();
             let items: Vec<u64> = (0..PER_NODE).map(|i| node * PER_NODE + i).collect();
             w.update_batch(&items);
-            w.flush();
+            w.flush().unwrap();
             sketch.quiesce();
             sketch.wire_image()
         })
@@ -585,7 +585,7 @@ fn quantiles_images() -> Vec<bytes::Bytes> {
             let mut w = sketch.writer();
             let items: Vec<u64> = (0..PER_NODE).map(|i| node * PER_NODE + i).collect();
             w.update_batch(&items);
-            w.flush();
+            w.flush().unwrap();
             sketch.quiesce();
             sketch.wire_image()
         })
@@ -615,7 +615,7 @@ fn mg_images() -> (Vec<bytes::Bytes>, HashMap<u64, u64>) {
                 w.update(item);
                 *truth.entry(item).or_insert(0u64) += 1;
             }
-            w.flush();
+            w.flush().unwrap();
             sketch.quiesce();
             sketch.wire_image()
         })

@@ -127,6 +127,39 @@ pub const MERGE_TREE_HLL_MULTIWAY_SPEEDUP_F32_MIN: f64 = 2.0;
 /// is exactly zero.
 pub const MERGE_TREE_WARM_ALLOCS_PER_MERGE_MAX: f64 = 0.0;
 
+/// Network tier (`BENCH_serve.json`, emitted by `fcds-load`): sustained
+/// batched ingest over loopback TCP through the frame protocol, in
+/// million items per second. The protocol costs one round trip and one
+/// FNV-1a pass per batch, so the floor is far below the in-process
+/// ingest gate — but a framing or dispatch regression (per-item
+/// syscalls, lost batching) would crash through it.
+pub const SERVE_INGEST_MITEMS_PER_S_MIN: f64 = 1.0;
+
+/// Network tier: p99 latency of live-engine estimate queries issued
+/// concurrently with the ingest load, in milliseconds.
+pub const SERVE_QUERY_P99_MS_MAX: f64 = 50.0;
+
+/// Network tier: of every rejected or failed request the load harness
+/// observed (across the baseline and every fault phase), the fraction
+/// that carried a *typed* error — a frame-protocol NACK code or a
+/// transport-level close. 1.0 is the PR's headline contract: the server
+/// never sheds silently.
+pub const SERVE_TYPED_ERROR_COVERAGE_MIN: f64 = 1.0;
+
+/// Network tier: the number of injected fault classes (delay, truncate,
+/// corrupt, sever, disconnect) after which the server still answered a
+/// clean request. All of them, or the tier is not fault-tolerant.
+pub const SERVE_FAULT_CLASSES_SURVIVED_MIN: f64 = 5.0;
+
+/// Network tier: worst time to recover to ≥ 50% of baseline ingest
+/// throughput after a fault clears, in milliseconds. The slowest class
+/// is stream desync (truncate): the writer sits in its 2 s reply
+/// timeout while the server burns its 2 s frame deadline on the
+/// half-frame, then both sides reconnect — so the protocol's own
+/// worst-case bound is ~4 s and the gate sits just above it. A wedge
+/// (breaker stuck open, connection leak) blows far past this.
+pub const SERVE_RECOVERY_MS_MAX: f64 = 5_000.0;
+
 /// The bound direction encoded in a threshold key's suffix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bound {

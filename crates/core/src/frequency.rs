@@ -14,7 +14,7 @@
 
 use crate::composable::{GlobalSketch, LocalSketch};
 use crate::config::{ConcurrencyConfig, PropagationBackendKind};
-use crate::runtime::{ConcurrentSketch, SketchWriter};
+use crate::runtime::{ConcurrentSketch, FlushError, SketchWriter};
 use crate::sync::EpochCell;
 use fcds_sketches::error::Result;
 use fcds_sketches::frequency::{FrequencyEstimate, MisraGriesSketch};
@@ -294,7 +294,7 @@ impl ConcurrentFrequencyBuilder {
 /// for i in 0..10_000u64 {
 ///     w.update(if i % 4 == 0 { 7 } else { i });
 /// }
-/// w.flush();
+/// w.flush().unwrap();
 /// sketch.quiesce();
 /// let snap = sketch.snapshot();
 /// assert!(snap.estimate(&7).upper_bound >= 2_500);
@@ -398,8 +398,15 @@ impl<T: Eq + Hash + Clone + Send + Sync + 'static> FrequencyWriter<T> {
     }
 
     /// Hands the partial local buffer to the propagator.
-    pub fn flush(&mut self) {
-        self.inner.flush();
+    ///
+    /// # Errors
+    ///
+    /// See [`SketchWriter::flush`]: [`FlushError::PropagatorDead`] when
+    /// the shard's propagation service died (buffered updates were
+    /// discarded; the writer is latched dead), [`FlushError::ShuttingDown`]
+    /// when the engine was dropped mid-flush.
+    pub fn flush(&mut self) -> std::result::Result<(), FlushError> {
+        self.inner.flush()
     }
 }
 
@@ -425,7 +432,7 @@ mod tests {
                         let item = if i % 4 == 0 { 42 } else { t * per + i };
                         w.update(item);
                     }
-                    w.flush();
+                    w.flush().unwrap();
                 });
             }
         });
@@ -462,7 +469,7 @@ mod tests {
                     for _ in 0..10_000 {
                         w.update("hot");
                     }
-                    w.flush();
+                    w.flush().unwrap();
                 });
             }
         });
@@ -515,7 +522,7 @@ mod tests {
                         for i in 0..per {
                             w.update(i % 8);
                         }
-                        w.flush();
+                        w.flush().unwrap();
                     });
                 }
             });
@@ -538,7 +545,7 @@ mod tests {
         for i in 0..1_000u64 {
             w.update(format!("key{}", i % 5));
         }
-        w.flush();
+        w.flush().unwrap();
         sketch.quiesce();
         let snap = sketch.snapshot();
         assert_eq!(snap.estimate(&"key0".to_string()).lower_bound, 200);

@@ -13,7 +13,7 @@
 
 use crate::composable::{extend_compact_u64, GlobalSketch, HintCodec, LocalSketch};
 use crate::config::{ConcurrencyConfig, PropagationBackendKind};
-use crate::runtime::{ConcurrentSketch, SketchWriter};
+use crate::runtime::{ConcurrentSketch, FlushError, SketchWriter};
 use crate::sync::{AtomicF64, EpochCell};
 use fcds_sketches::error::Result;
 use fcds_sketches::hash::{hash_batch_with_seed, Hashable, DEFAULT_SEED};
@@ -289,7 +289,7 @@ impl ConcurrentHllBuilder {
 /// for i in 0..100_000u64 {
 ///     w.update(i);
 /// }
-/// w.flush();
+/// w.flush().unwrap();
 /// sketch.quiesce();
 /// assert!((sketch.estimate() - 100_000.0).abs() / 100_000.0 < 0.1);
 /// ```
@@ -409,8 +409,15 @@ impl HllWriter {
     }
 
     /// Hands the partial local buffer to the propagator.
-    pub fn flush(&mut self) {
-        self.inner.flush();
+    ///
+    /// # Errors
+    ///
+    /// See [`SketchWriter::flush`]: [`FlushError::PropagatorDead`] when
+    /// the shard's propagation service died (buffered updates were
+    /// discarded; the writer is latched dead), [`FlushError::ShuttingDown`]
+    /// when the engine was dropped mid-flush.
+    pub fn flush(&mut self) -> std::result::Result<(), FlushError> {
+        self.inner.flush()
     }
 }
 
@@ -472,7 +479,7 @@ mod tests {
                     for i in 0..n_per {
                         w.update(t * n_per + i);
                     }
-                    w.flush();
+                    w.flush().unwrap();
                 });
             }
         });
@@ -503,7 +510,7 @@ mod tests {
                     for i in (t..n).step_by(2) {
                         w.update(i);
                     }
-                    w.flush();
+                    w.flush().unwrap();
                 });
             }
         });
@@ -545,7 +552,7 @@ mod tests {
                         for i in (t..n).step_by(4) {
                             w.update(i);
                         }
-                        w.flush();
+                        w.flush().unwrap();
                     });
                 }
             });

@@ -79,7 +79,7 @@ pub mod theta;
 
 pub use config::{ConcurrencyConfig, PropagationBackendKind};
 pub use runtime::{
-    ConcurrentSketch, DedicatedThreadBackend, PropagationBackend, SketchWriter,
+    ConcurrentSketch, DedicatedThreadBackend, FlushError, PropagationBackend, SketchWriter,
     WriterAssistedBackend,
 };
 

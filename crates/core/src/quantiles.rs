@@ -27,7 +27,7 @@
 
 use crate::composable::{GlobalSketch, LocalSketch};
 use crate::config::{ConcurrencyConfig, PropagationBackendKind};
-use crate::runtime::{ConcurrentSketch, SketchWriter};
+use crate::runtime::{ConcurrentSketch, FlushError, SketchWriter};
 use crate::sync::EpochCell;
 use fcds_sketches::error::Result;
 use fcds_sketches::oracle::{DeterministicOracle, Oracle};
@@ -346,7 +346,7 @@ impl ConcurrentQuantilesBuilder {
 /// for i in 0..50_000u64 {
 ///     w.update(i);
 /// }
-/// w.flush();
+/// w.flush().unwrap();
 /// sketch.quiesce();
 /// let median = sketch.quantile(0.5).unwrap();
 /// assert!((median as f64 - 25_000.0).abs() < 2_500.0);
@@ -532,8 +532,15 @@ impl<T: Ord + Clone + Send + Sync + 'static> QuantilesWriter<T> {
     }
 
     /// Hands the partial local buffer to the propagator.
-    pub fn flush(&mut self) {
-        self.inner.flush();
+    ///
+    /// # Errors
+    ///
+    /// See [`SketchWriter::flush`]: [`FlushError::PropagatorDead`] when
+    /// the shard's propagation service died (buffered updates were
+    /// discarded; the writer is latched dead), [`FlushError::ShuttingDown`]
+    /// when the engine was dropped mid-flush.
+    pub fn flush(&mut self) -> std::result::Result<(), FlushError> {
+        self.inner.flush()
     }
 }
 
@@ -583,7 +590,7 @@ mod tests {
                     for i in 0..n_per {
                         w.update(t * n_per + i);
                     }
-                    w.flush();
+                    w.flush().unwrap();
                 });
             }
         });
@@ -655,7 +662,7 @@ mod tests {
             visible + r >= n,
             "visible {visible} lags more than r={r} behind {n}"
         );
-        w.flush();
+        w.flush().unwrap();
         s.quiesce();
         assert_eq!(s.visible_n(), n);
     }
@@ -671,13 +678,13 @@ mod tests {
         for i in 0..2_000u64 {
             w.update(i);
         }
-        w.flush();
+        w.flush().unwrap();
         s.quiesce();
         let eps_small = s.relaxed_epsilon();
         for i in 2_000..crate::test_support::scaled(200_000) {
             w.update(i);
         }
-        w.flush();
+        w.flush().unwrap();
         s.quiesce();
         let eps_large = s.relaxed_epsilon();
         assert!(eps_large < eps_small);
@@ -707,7 +714,7 @@ mod tests {
                         for i in 0..n_per {
                             w.update(t * n_per + i);
                         }
-                        w.flush();
+                        w.flush().unwrap();
                     });
                 }
             });
@@ -742,7 +749,7 @@ mod tests {
         for i in 0..10_000u64 {
             w.update(i);
         }
-        w.flush();
+        w.flush().unwrap();
         s.quiesce();
         // No shard republishes between these queries: the merged reader
         // must be the same allocation, not a fresh O(n log n) rebuild.
@@ -756,7 +763,7 @@ mod tests {
         for i in 10_000..20_000u64 {
             w.update(i);
         }
-        w.flush();
+        w.flush().unwrap();
         s.quiesce();
         let c = s.snapshot();
         assert!(!Arc::ptr_eq(&a, &c), "cache failed to invalidate");
@@ -778,7 +785,7 @@ mod tests {
         for i in 0..10_000u64 {
             w.update(i);
         }
-        w.flush();
+        w.flush().unwrap();
         s.quiesce();
         let a = s.snapshot();
         let b = s.snapshot();
@@ -789,7 +796,7 @@ mod tests {
         for i in 10_000..20_000u64 {
             w.update(i);
         }
-        w.flush();
+        w.flush().unwrap();
         s.quiesce();
         let c = s.snapshot();
         assert!(!Arc::ptr_eq(&a, &c), "cache failed to invalidate");
@@ -810,7 +817,7 @@ mod tests {
         for i in 0..50_000u64 {
             w.update(i);
         }
-        w.flush();
+        w.flush().unwrap();
         s.quiesce();
         let view = s.inner.shard_views().next().expect("one shard");
         let ladder = view.ladder();
@@ -839,7 +846,7 @@ mod tests {
         for i in 0..20_000u64 {
             w.update(i);
         }
-        w.flush();
+        w.flush().unwrap();
         s.quiesce();
         assert_eq!(s.visible_n(), 20_000);
         assert_eq!(s.quantile(0.0), Some(0));
@@ -867,7 +874,7 @@ mod tests {
         for i in 0..10_000 {
             w.update(TotalF64(i as f64));
         }
-        w.flush();
+        w.flush().unwrap();
         s.quiesce();
         let med = s.quantile(0.5).unwrap().0;
         assert!((med - 5_000.0).abs() < 1_000.0);

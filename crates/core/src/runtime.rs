@@ -116,6 +116,44 @@ pub struct EngineStats {
     pub filtered_updates: u64,
 }
 
+/// Why a [`SketchWriter::flush`] could not make its buffered updates
+/// durable. Surfaced instead of the pre-PR-8 behaviour of spinning
+/// forever (dead propagator) or silently abandoning (shutdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlushError {
+    /// The shard's dedicated propagator thread died (it panicked, e.g.
+    /// because a merge hit a poisoned buffer). Hand-offs to this shard
+    /// can never complete; the writer's buffered updates were discarded
+    /// and every future flush on this writer fails fast with the same
+    /// error. Queries keep working from the last published view.
+    PropagatorDead {
+        /// The shard whose propagator died.
+        shard: usize,
+    },
+    /// The engine handle was dropped while the flush waited; buffered
+    /// updates were discarded (the documented teardown semantics).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for FlushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlushError::PropagatorDead { shard } => {
+                write!(
+                    f,
+                    "propagator thread for shard {shard} is dead; buffered updates dropped"
+                )
+            }
+            FlushError::ShuttingDown => {
+                write!(f, "engine is shutting down; buffered updates dropped")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlushError {}
+
 /// One shard: an independent global sketch with its own published view
 /// and worker registry. Writers are assigned to exactly one shard;
 /// queries merge all shard views.
@@ -136,6 +174,11 @@ struct ShardState<G: GlobalSketch> {
     /// `image_every` throttle. Only written under the shard's global
     /// lock, so the atomic is for `&self` access, not for contention.
     merges_since_image: AtomicU64,
+    /// Set when the shard's dedicated propagator thread dies by panic.
+    /// Writers waiting on a hand-off check it to fail fast
+    /// ([`FlushError::PropagatorDead`]) instead of spinning forever, and
+    /// quiesce/teardown skip the shard (its global may be mid-merge).
+    propagator_dead: AtomicBool,
 }
 
 /// Engine state shared between the main handle, writers, propagation
@@ -183,6 +226,21 @@ impl<G: GlobalSketch> EngineCore<G> {
     /// threads should exit once this is set and their shard is drained).
     pub fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Marks `shard`'s propagation service as dead (see
+    /// [`FlushError::PropagatorDead`]). Called by backends whose service
+    /// thread for the shard is unwinding; once set it never clears.
+    pub fn mark_propagator_dead(&self, shard: usize) {
+        self.shards[shard]
+            .propagator_dead
+            .store(true, Ordering::Release);
+    }
+
+    /// Whether `shard`'s propagation service has died (never set by the
+    /// threadless [`WriterAssistedBackend`]).
+    pub fn propagator_dead(&self, shard: usize) -> bool {
+        self.shards[shard].propagator_dead.load(Ordering::Acquire)
     }
 
     /// Merges every pending hand-off of `shard` into its global sketch,
@@ -368,10 +426,30 @@ impl<G: GlobalSketch> PropagationBackend<G> for DedicatedThreadBackend {
                 let core = Arc::clone(core);
                 std::thread::Builder::new()
                     .name(format!("fcds-propagator-{shard}"))
-                    .spawn(move || propagator_loop(core, shard))
+                    .spawn(move || {
+                        let _guard = PropagatorDeadGuard { core: &core, shard };
+                        propagator_loop(&core, shard);
+                    })
                     .expect("spawn propagator thread")
             })
             .collect()
+    }
+}
+
+/// Marks the shard dead if the propagator thread unwinds. A merge can
+/// panic (a buggy or adversarial `GlobalSketch::merge`); without this,
+/// every writer of the shard would spin forever in `wait_merged` on a
+/// hand-off nobody will ever complete.
+struct PropagatorDeadGuard<'a, G: GlobalSketch> {
+    core: &'a EngineCore<G>,
+    shard: usize,
+}
+
+impl<G: GlobalSketch> Drop for PropagatorDeadGuard<'_, G> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.core.mark_propagator_dead(self.shard);
+        }
     }
 }
 
@@ -489,6 +567,7 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
                     slots: Mutex::new(Vec::new()),
                     slots_version: AtomicU64::new(0),
                     merges_since_image: AtomicU64::new(0),
+                    propagator_dead: AtomicBool::new(false),
                 }
             })
             .collect();
@@ -547,6 +626,7 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
             filtered_synced: 0,
             lazy,
             prefilter: !self.shared.config.disable_prefilter,
+            dead: None,
         }
     }
 
@@ -633,7 +713,14 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
     /// backend this call performs the outstanding merges itself.
     pub fn quiesce(&self) {
         loop {
+            // Shards whose propagator died are excluded: their pending
+            // hand-offs can never complete (the data is lost — see
+            // [`FlushError::PropagatorDead`]) and waiting on them would
+            // never terminate.
             let pending = self.shared.shards.iter().any(|sh| {
+                if sh.propagator_dead.load(Ordering::Acquire) {
+                    return false;
+                }
                 let reg = sh.slots.lock();
                 reg.iter().any(|s| s.pending_buffer().is_some())
             });
@@ -644,15 +731,27 @@ impl<G: GlobalSketch> ConcurrentSketch<G> {
             std::thread::yield_now();
         }
         // Republish any image the `image_every` throttle skipped, so a
-        // quiesced engine is fully fresh regardless of M.
+        // quiesced engine is fully fresh regardless of M. Dead shards
+        // are skipped — their global may be mid-merge.
         if self.shared.sharded && self.shared.config.image_every > 1 {
             for sh in &self.shared.shards {
+                if sh.propagator_dead.load(Ordering::Acquire) {
+                    continue;
+                }
                 if sh.merges_since_image.load(Ordering::Relaxed) != 0 {
                     let g = sh.global.lock();
                     self.shared.publish_view(&g, sh, true);
                 }
             }
         }
+    }
+
+    /// Whether any shard's propagation service has died (see
+    /// [`FlushError::PropagatorDead`]). Such an engine keeps serving
+    /// queries from published views, but writers keyed onto the dead
+    /// shard(s) fail their flushes.
+    pub fn is_degraded(&self) -> bool {
+        (0..self.shared.shards.len()).any(|s| self.shared.propagator_dead(s))
     }
 
     /// A snapshot of the engine's diagnostic counters.
@@ -700,16 +799,20 @@ impl<G: GlobalSketch> Drop for ConcurrentSketch<G> {
         // Final drain so post-shutdown snapshots reflect every completed
         // hand-off; service threads (if any) are joined, so this handle
         // owns propagation now. Also what makes the writer-assisted
-        // backend's teardown deterministic.
+        // backend's teardown deterministic. Shards whose propagator died
+        // are skipped: their global may be mid-merge and draining into it
+        // could re-panic inside this Drop (an abort).
         for shard in 0..self.shared.shards.len() {
-            self.shared.drain_shard(shard);
+            if !self.shared.propagator_dead(shard) {
+                self.shared.drain_shard(shard);
+            }
         }
     }
 }
 
 /// The dedicated propagator servicing one shard (Algorithm 2,
 /// lines 110–115, run by [`DedicatedThreadBackend`]).
-fn propagator_loop<G: GlobalSketch>(core: Arc<EngineCore<G>>, shard_idx: usize) {
+fn propagator_loop<G: GlobalSketch>(core: &EngineCore<G>, shard_idx: usize) {
     let shard = &core.shards[shard_idx];
     let mut local_slots: Vec<Arc<PropSlot<G::Local>>> = Vec::new();
     let mut seen_version = u64::MAX;
@@ -779,6 +882,9 @@ pub struct SketchWriter<G: GlobalSketch> {
     /// switch never changes while the engine runs, so the hot paths need
     /// no per-item Arc-chased config deref.
     prefilter: bool,
+    /// Sticky failure latch: once a flush fails, every later flush fails
+    /// fast with the same error instead of re-probing the engine.
+    dead: Option<FlushError>,
 }
 
 impl<G: GlobalSketch> std::fmt::Debug for SketchWriter<G> {
@@ -825,7 +931,10 @@ impl<G: GlobalSketch> SketchWriter<G> {
         self.counter += 1;
         // Line 123: flush when the buffer reaches b.
         if self.counter >= self.b {
-            self.flush_inner();
+            // A failed boundary flush discards the buffer and latches the
+            // writer dead; the error is observable via `flush`. The hot
+            // path itself stays infallible (no per-update error branch).
+            let _ = self.flush_inner();
         }
     }
 
@@ -882,7 +991,7 @@ impl<G: GlobalSketch> SketchWriter<G> {
             self.filtered += (chunk.len() - kept) as u64;
             self.counter += kept as u64;
             if self.counter >= self.b {
-                self.flush_inner();
+                let _ = self.flush_inner();
             }
         }
     }
@@ -934,7 +1043,7 @@ impl<G: GlobalSketch> SketchWriter<G> {
             }
             self.counter += chunk.len() as u64;
             if self.counter >= self.b {
-                self.flush_inner();
+                let _ = self.flush_inner();
             }
         }
     }
@@ -1035,12 +1144,16 @@ impl<G: GlobalSketch> SketchWriter<G> {
 
     /// Hands the filled buffer over for propagation (lines 125–129) and,
     /// in `ParSketch` mode (no double buffering), waits for the merge.
-    fn flush_inner(&mut self) {
+    /// On failure the buffered updates have been discarded (see
+    /// [`FlushError`]) and the writer is latched dead.
+    fn flush_inner(&mut self) -> std::result::Result<(), FlushError> {
         self.sync_filtered();
-        // Line 125: wait until prop_i ≠ 0.
-        if !self.wait_merged() {
-            return; // shutdown: abandon buffered updates
+        if let Some(err) = self.dead {
+            self.abandon_buffer();
+            return Err(err);
         }
+        // Line 125: wait until prop_i ≠ 0.
+        self.wait_merged()?;
         // Lines 126–129: flip cur, refresh b, request propagation.
         self.cur = 1 - self.cur;
         self.counter = 0;
@@ -1056,34 +1169,58 @@ impl<G: GlobalSketch> SketchWriter<G> {
         if !self.shared.config.double_buffering {
             // Unoptimised ParSketch: the update thread idles until its
             // (single) buffer has been merged (underlined line 124/125).
-            self.wait_merged();
+            self.wait_merged()?;
         }
+        Ok(())
     }
 
     /// Spins until the pending propagation (if any) has returned buffer
     /// ownership, updating the hint from the piggy-backed value. Under
     /// the writer-assisted backend the wait loop itself drains the shard,
-    /// so progress never depends on another thread. Returns `false` on
-    /// shutdown.
-    fn wait_merged(&mut self) -> bool {
+    /// so progress never depends on another thread. Fails — discarding
+    /// the writer's buffered updates and latching the writer dead — when
+    /// the engine shuts down or the shard's propagator has died, since
+    /// either way the hand-off can never complete.
+    fn wait_merged(&mut self) -> std::result::Result<(), FlushError> {
         let backoff = crossbeam::utils::Backoff::new();
         loop {
+            // The dead check runs before the result check on purpose:
+            // even if a last propagation completed before the propagator
+            // died, handing the next buffer to a dead shard would lose it
+            // silently — fail the flush instead.
+            if self.shared.propagator_dead(self.shard) {
+                return Err(self.latch_dead(FlushError::PropagatorDead { shard: self.shard }));
+            }
             if let Some(raw) = self.slot.propagation_result() {
                 let nz = NonZeroU64::new(raw).expect("hints are non-zero");
                 self.hint = <G::Local as LocalSketch>::Hint::decode(nz);
-                return true;
+                return Ok(());
             }
             if self.shared.shutdown.load(Ordering::Acquire) {
-                // SAFETY: no propagator owns our buffers once prop ≠ 0
-                // fails to arrive after shutdown; clearing our own
-                // counter is safe because the final drain only touches
-                // buffers with prop == 0, and losing buffered updates on
-                // teardown is the documented semantics.
-                self.counter = 0;
-                return false;
+                return Err(self.latch_dead(FlushError::ShuttingDown));
             }
             self.backend.while_waiting(&self.shared, self.shard);
             backoff.snooze();
+        }
+    }
+
+    /// Latches the writer's sticky failure and discards its local buffer.
+    fn latch_dead(&mut self, err: FlushError) -> FlushError {
+        self.dead = Some(err);
+        self.abandon_buffer();
+        err
+    }
+
+    /// Discards the writer's current local buffer. Safe at any point:
+    /// `cur` is always worker-owned (a hand-off transfers the *other*
+    /// buffer), and the final teardown drain only touches handed-off
+    /// buffers.
+    fn abandon_buffer(&mut self) {
+        self.counter = 0;
+        // SAFETY: we are the unique worker of this slot and `cur` is our
+        // current buffer.
+        unsafe {
+            self.slot.with_worker_buffer(self.cur, |l| l.clear());
         }
     }
 
@@ -1093,9 +1230,27 @@ impl<G: GlobalSketch> SketchWriter<G> {
     /// the hand-off is usually merged inline; if the shard is busy it
     /// stays pending until the next flush or a
     /// [`ConcurrentSketch::quiesce`].
-    pub fn flush(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// [`FlushError::PropagatorDead`] when the shard's propagation
+    /// service has died (the buffered updates are discarded and every
+    /// later flush on this writer fails fast with the same error);
+    /// [`FlushError::ShuttingDown`] when the engine handle was dropped
+    /// mid-flush. The buffer-boundary flushes inside
+    /// [`Self::update`] / [`Self::update_batch`] hit the same
+    /// conditions and discard in the same way; a caller that needs the
+    /// error signal must call `flush` (the per-update paths stay
+    /// infallible by design — the paper's hot loop has no error branch).
+    pub fn flush(&mut self) -> std::result::Result<(), FlushError> {
+        if let Some(err) = self.dead {
+            self.abandon_buffer();
+            return Err(err);
+        }
         if self.counter > 0 {
-            self.flush_inner();
+            self.flush_inner()
+        } else {
+            Ok(())
         }
     }
 
@@ -1118,7 +1273,9 @@ impl<G: GlobalSketch> SketchWriter<G> {
 
 impl<G: GlobalSketch> Drop for SketchWriter<G> {
     fn drop(&mut self) {
-        self.flush();
+        // A failing final flush already discarded the buffer; there is
+        // nobody left to hand the error to.
+        let _ = self.flush();
         // flush() skips empty buffers, so sync any drops it left behind.
         self.sync_filtered();
         self.slot.retire();
@@ -1348,7 +1505,7 @@ mod tests {
         for i in 0..10_000u64 {
             w.update(i);
         }
-        w.flush();
+        w.flush().unwrap();
         sketch.quiesce();
         assert_eq!(sketch.snapshot(), (9_999 * 10_000 / 2) as f64);
     }
@@ -1381,7 +1538,7 @@ mod tests {
             w.update(i);
         }
         assert!(!sketch.is_eager(), "should have left the eager phase");
-        w.flush();
+        w.flush().unwrap();
         sketch.quiesce();
         assert_eq!(sketch.snapshot(), (499 * 500 / 2) as f64);
     }
@@ -1479,7 +1636,7 @@ mod tests {
             w.update(1); // stays in the local buffer (b = 16)
         }
         assert_eq!(w.buffered(), 5);
-        w.flush();
+        w.flush().unwrap();
         assert_eq!(w.buffered(), 0);
         sketch.quiesce();
         assert_eq!(sketch.snapshot(), 5.0);
@@ -1508,7 +1665,7 @@ mod tests {
             w.update_batch(&items[pos..pos + take]);
             pos += take;
         }
-        w.flush();
+        w.flush().unwrap();
         sketch.quiesce();
         assert_eq!(sketch.snapshot(), expected_sum(1, 10_000));
     }
@@ -1643,9 +1800,118 @@ mod tests {
         for i in 0..10_000u64 {
             w.update(i);
         }
-        w.flush();
+        w.flush().unwrap();
         sketch.quiesce();
         assert_eq!(sketch.stats().image_publications, 0);
+    }
+
+    /// A sum sketch whose merge panics when the buffer contains the
+    /// poison value — models a propagator killed by a corrupt hand-off.
+    #[derive(Debug, Default)]
+    struct PoisonableSumGlobal {
+        inner: SumGlobal,
+    }
+
+    const POISON: u64 = u64::MAX;
+
+    impl GlobalSketch for PoisonableSumGlobal {
+        type Local = SumLocal;
+        type View = crate::sync::AtomicF64;
+        type Snapshot = f64;
+
+        fn new_local(&self) -> SumLocal {
+            SumLocal::default()
+        }
+        fn new_view(&self) -> Self::View {
+            self.inner.new_view()
+        }
+        fn merge(&mut self, local: &mut SumLocal) {
+            assert!(
+                !local.items.contains(&POISON),
+                "poisoned hand-off killed the propagator"
+            );
+            self.inner.merge(local);
+        }
+        fn update_direct(&mut self, item: u64) {
+            self.inner.update_direct(item);
+        }
+        fn publish(&self, view: &Self::View) {
+            self.inner.publish(view);
+        }
+        fn snapshot(view: &Self::View) -> f64 {
+            SumGlobal::snapshot(view)
+        }
+        fn calc_hint(&self) {}
+        fn stream_len(&self) -> u64 {
+            self.inner.stream_len()
+        }
+        fn merge_shard_views(views: &[&Self::View]) -> f64 {
+            SumGlobal::merge_shard_views(views)
+        }
+    }
+
+    #[test]
+    fn dead_propagator_surfaces_flush_error_without_deadlock() {
+        let cfg = ConcurrencyConfig {
+            writers: 1,
+            max_concurrency_error: 1.0, // no eager phase
+            max_buffer_size: 4,
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(PoisonableSumGlobal::default(), cfg).unwrap();
+        let mut w = sketch.writer();
+        // Fill and hand off a clean buffer first so a completed
+        // propagation sits behind the poisoned one.
+        for i in 0..4u64 {
+            w.update(i);
+        }
+        // Fill a poisoned buffer; the boundary flush hands it off and the
+        // propagator dies merging it.
+        w.update(POISON);
+        for i in 0..3u64 {
+            w.update(i);
+        }
+        // The next flush must fail fast instead of spinning on the
+        // never-completing hand-off.
+        let mut got = Ok(());
+        for i in 0..64u64 {
+            w.update(i);
+            got = w.flush();
+            if got.is_err() {
+                break;
+            }
+        }
+        assert_eq!(
+            got,
+            Err(FlushError::PropagatorDead { shard: 0 }),
+            "flush must surface the dead propagator"
+        );
+        // The latch is sticky and the buffer was discarded.
+        assert_eq!(w.buffered(), 0);
+        w.update(7);
+        assert_eq!(got, w.flush(), "repeat flush must fail fast");
+        assert!(sketch.is_degraded());
+        // Neither quiesce nor teardown may hang or re-panic.
+        sketch.quiesce();
+        drop(w);
+        drop(sketch);
+    }
+
+    #[test]
+    fn flush_after_clean_run_is_ok() {
+        let cfg = ConcurrencyConfig {
+            writers: 1,
+            max_concurrency_error: 1.0,
+            max_buffer_size: 8,
+            ..Default::default()
+        };
+        let sketch = ConcurrentSketch::start(SumGlobal::default(), cfg).unwrap();
+        let mut w = sketch.writer();
+        for i in 0..100u64 {
+            w.update(i);
+        }
+        assert_eq!(w.flush(), Ok(()));
+        assert!(!sketch.is_degraded());
     }
 
     #[test]

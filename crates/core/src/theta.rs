@@ -19,7 +19,7 @@
 
 use crate::composable::{extend_compact_u64, GlobalSketch, LocalSketch};
 use crate::config::{ConcurrencyConfig, PropagationBackendKind};
-use crate::runtime::{ConcurrentSketch, SketchWriter};
+use crate::runtime::{ConcurrentSketch, FlushError, SketchWriter};
 use crate::sync::{EpochCell, SeqSnapshot};
 use bytes::Bytes;
 use fcds_sketches::error::Result;
@@ -329,7 +329,7 @@ impl GlobalSketch for ThetaGlobal {
 /// for i in 0..10_000u64 {
 ///     w.update(i);
 /// }
-/// w.flush();
+/// w.flush().unwrap();
 /// sketch.quiesce();
 /// assert!((sketch.estimate() - 10_000.0).abs() / 10_000.0 < 0.05);
 /// ```
@@ -654,8 +654,15 @@ impl ThetaWriter {
     }
 
     /// Hands the partially filled local buffer to the propagator.
-    pub fn flush(&mut self) {
-        self.inner.flush();
+    ///
+    /// # Errors
+    ///
+    /// See [`SketchWriter::flush`]: [`FlushError::PropagatorDead`] when
+    /// the shard's propagation service died (buffered updates were
+    /// discarded; the writer is latched dead), [`FlushError::ShuttingDown`]
+    /// when the engine was dropped mid-flush.
+    pub fn flush(&mut self) -> std::result::Result<(), FlushError> {
+        self.inner.flush()
     }
 
     /// Number of locally buffered (not yet visible) updates.
@@ -715,7 +722,7 @@ mod tests {
         for i in 0..n {
             w.update(i);
         }
-        w.flush();
+        w.flush().unwrap();
         s.quiesce();
         let rel = (s.estimate() - n as f64).abs() / n as f64;
         assert!(rel < 5.0 * rse(4096), "relative error {rel}");
@@ -802,7 +809,7 @@ mod tests {
                     for i in 0..n_per {
                         w.update(t * n_per + i);
                     }
-                    w.flush();
+                    w.flush().unwrap();
                 });
             }
         });
@@ -819,7 +826,7 @@ mod tests {
         for i in 0..100_000u64 {
             w.update(i);
         }
-        w.flush();
+        w.flush().unwrap();
         s.quiesce();
         let snap = s.snapshot();
         let compact = s.compact();
@@ -871,7 +878,7 @@ mod tests {
                     for i in 0..n {
                         w.update(t * n + i);
                     }
-                    w.flush();
+                    w.flush().unwrap();
                 });
             }
         });
@@ -894,7 +901,7 @@ mod tests {
         // Θ after n distinct with k=256 is ≈ 256/n; the local buffer
         // can only ever hold b items, so just assert the writer made
         // progress without error and the estimate is sane.
-        w.flush();
+        w.flush().unwrap();
         s.quiesce();
         let rel = (s.estimate() - n as f64).abs() / n as f64;
         assert!(rel < 5.0 * rse(256), "relative error {rel}");
@@ -919,7 +926,7 @@ mod tests {
             w.update(i);
         }
         let filtered = w.filtered();
-        w.flush();
+        w.flush().unwrap();
         s.quiesce();
         let stats = s.stats();
         assert!(
@@ -976,7 +983,7 @@ mod tests {
                     for i in 0..60_000u64 {
                         w.update(t * 60_000 + i);
                     }
-                    w.flush();
+                    w.flush().unwrap();
                 });
             }
         });
@@ -1020,7 +1027,7 @@ mod tests {
                         for i in 0..n_per {
                             w.update(t * n_per + i);
                         }
-                        w.flush();
+                        w.flush().unwrap();
                     });
                 }
             });
@@ -1047,7 +1054,7 @@ mod tests {
                     for i in 0..n {
                         w.update(i);
                     }
-                    w.flush();
+                    w.flush().unwrap();
                 });
             }
         });
@@ -1148,7 +1155,7 @@ mod tests {
                         for i in 0..n_per {
                             w.update(t * n_per + i);
                         }
-                        w.flush();
+                        w.flush().unwrap();
                     });
                 }
             });
@@ -1185,7 +1192,7 @@ mod tests {
                     for i in 0..n_per {
                         w.update(t * n_per + i);
                     }
-                    w.flush();
+                    w.flush().unwrap();
                 });
             }
         });

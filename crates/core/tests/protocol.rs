@@ -132,7 +132,7 @@ proptest! {
                 pushed += 1;
                 w.update(pushed);
             }
-            w.flush();
+            w.flush().unwrap();
         }
         sketch.quiesce();
         prop_assert_eq!(sketch.snapshot(), (pushed * (pushed + 1) / 2) as f64);

@@ -43,7 +43,7 @@ fn theta_node_images(
         for i in 0..per_node {
             w.update(node * per_node + i);
         }
-        w.flush();
+        w.flush().unwrap();
         sketch.quiesce();
         images.push(sketch.wire_image());
         compacts.push(sketch.compact());
@@ -90,7 +90,7 @@ proptest! {
             for i in 0..per_node {
                 w.update(node * per_node + i);
             }
-            w.flush();
+            w.flush().unwrap();
             sketch.quiesce();
             node_images.push(sketch.wire_image());
             shard_images.extend(sketch.shard_wire_images());
@@ -126,7 +126,7 @@ proptest! {
                 w.update(item);
                 oracle.update(item);
             }
-            w.flush();
+            w.flush().unwrap();
             sketch.quiesce();
             images.push(sketch.wire_image());
         }
@@ -156,7 +156,7 @@ proptest! {
             for i in 0..per_node {
                 w.update(node * per_node + i);
             }
-            w.flush();
+            w.flush().unwrap();
             sketch.quiesce();
             images.push(sketch.wire_image());
         }
@@ -206,7 +206,7 @@ proptest! {
                 w.update(item);
                 *true_counts.entry(item).or_insert(0) += 1;
             }
-            w.flush();
+            w.flush().unwrap();
             sketch.quiesce();
             images.push(sketch.wire_image());
         }

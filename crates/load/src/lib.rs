@@ -1,0 +1,845 @@
+//! `fcds-load`: rate-controlled load generator and fault-injection
+//! harness for `fcds-server`.
+//!
+//! The harness runs writer workers (batched ingest through the frame
+//! protocol) and concurrent query workers (live-engine estimates)
+//! against a server, recording latency histograms and a typed error
+//! taxonomy. In fault mode the ingest path is routed through a
+//! [`FaultProxy`] that can delay, truncate, bit-flip, or sever the
+//! stream mid-frame, or disconnect outright — the fault classes a
+//! long-lived TCP ingest tier actually meets — and the harness measures
+//! how long the server takes to recover baseline throughput after each
+//! fault clears.
+//!
+//! The binary emits `BENCH_serve.json` with the acceptance ratios and
+//! thresholds `bench_gate` enforces (see `fcds_bench::gate`'s `SERVE_*`
+//! constants).
+
+use fcds_server::client::{Client, Reply};
+use fcds_server::frame::NackCode;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Histogram bucket layout: log2 major buckets × 16 linear minor
+/// buckets, covering the full `u64` nanosecond range with ≤ 6.25%
+/// relative resolution per bucket.
+const HIST_MINORS: usize = 16;
+const HIST_BUCKETS: usize = 64 * HIST_MINORS;
+
+/// A latency histogram with logarithmic major buckets and 16 linear
+/// minor buckets each — constant memory, no allocation on record, good
+/// enough resolution for p50/p99 at any scale.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0u64; HIST_BUCKETS],
+            count: 0,
+            max_ns: 0,
+        }
+    }
+
+    fn index(ns: u64) -> usize {
+        if ns < HIST_MINORS as u64 {
+            return ns as usize;
+        }
+        let major = 63 - ns.leading_zeros() as usize;
+        let minor = ((ns >> (major - 4)) & 0xF) as usize;
+        major * HIST_MINORS + minor
+    }
+
+    /// Lower bound of the bucket at `idx` (the value reported for
+    /// quantiles that land in it).
+    fn bucket_floor(idx: usize) -> u64 {
+        let major = idx / HIST_MINORS;
+        let minor = (idx % HIST_MINORS) as u64;
+        if major < 4 {
+            // Sub-16ns values land in buckets [0, 16) directly.
+            return (major * HIST_MINORS) as u64 + minor;
+        }
+        (1u64 << major) | (minor << (major - 4))
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::index(ns)] += 1;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// The value at quantile `q` ∈ [0, 1], in nanoseconds (0 when
+    /// empty). Reported as the floor of the containing bucket.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_floor(idx);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Maximum recorded sample, ns.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+}
+
+/// Counts of every failure outcome the workers observed, keyed by the
+/// protocol's own taxonomy. `other_nacks` catches codes added later
+/// (the counter vector is sized for today's ten).
+#[derive(Debug, Default)]
+pub struct ErrorTaxonomy {
+    nack_counts: [AtomicU64; 10],
+    other_nacks: AtomicU64,
+    /// Transport-level failures (resets, EOF, timeouts) — typed at the
+    /// I/O layer rather than the protocol layer.
+    io_errors: AtomicU64,
+    /// Reconnections the workers performed after a transport failure.
+    reconnects: AtomicU64,
+}
+
+impl ErrorTaxonomy {
+    fn nack_slot(code: NackCode) -> usize {
+        (code as u16 as usize) - 1
+    }
+
+    /// Records a NACK.
+    pub fn record_nack(&self, code: NackCode) {
+        let slot = Self::nack_slot(code);
+        match self.nack_counts.get(slot) {
+            Some(c) => c.fetch_add(1, Ordering::Relaxed),
+            None => self.other_nacks.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Records a transport-level failure.
+    pub fn record_io_error(&self) {
+        self.io_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a reconnect.
+    pub fn record_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count for one NACK code.
+    pub fn nacks(&self, code: NackCode) -> u64 {
+        self.nack_counts[Self::nack_slot(code)].load(Ordering::Relaxed)
+    }
+
+    /// Total typed failures (NACKs of any code + transport errors).
+    pub fn total_typed(&self) -> u64 {
+        let nacks: u64 = self
+            .nack_counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum();
+        nacks + self.other_nacks.load(Ordering::Relaxed) + self.io_errors.load(Ordering::Relaxed)
+    }
+
+    /// Transport-level failure count.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+
+    /// Reconnect count.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// `(name, count)` rows for every nonzero counter.
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for (i, c) in self.nack_counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n > 0 {
+                let code = NackCode::from_code((i + 1) as u16).expect("slot maps to code");
+                out.push((format!("nack_{code:?}").to_lowercase(), n));
+            }
+        }
+        let other = self.other_nacks.load(Ordering::Relaxed);
+        if other > 0 {
+            out.push(("nack_other".to_string(), other));
+        }
+        let io = self.io_errors();
+        if io > 0 {
+            out.push(("io_error".to_string(), io));
+        }
+        out
+    }
+}
+
+/// The fault classes the proxy can inject on the client→server path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FaultMode {
+    /// Pass-through.
+    Off = 0,
+    /// Hold each forwarded chunk for 100 ms (stalls frames mid-flight,
+    /// driving the server's read deadline).
+    Delay = 1,
+    /// Drop the second half of each chunk (desynchronises the frame
+    /// stream — the server sees garbage at the next boundary).
+    Truncate = 2,
+    /// Flip one bit per chunk (drives the payload checksum).
+    Corrupt = 3,
+    /// Forward half a chunk, then kill the connection (mid-frame
+    /// disconnect).
+    Sever = 4,
+    /// Kill the connection before forwarding anything.
+    Disconnect = 5,
+}
+
+impl FaultMode {
+    /// All injectable (non-`Off`) modes, in the order the harness
+    /// drills them.
+    pub const ALL: [FaultMode; 5] = [
+        FaultMode::Delay,
+        FaultMode::Truncate,
+        FaultMode::Corrupt,
+        FaultMode::Sever,
+        FaultMode::Disconnect,
+    ];
+
+    fn from_u8(v: u8) -> FaultMode {
+        match v {
+            1 => FaultMode::Delay,
+            2 => FaultMode::Truncate,
+            3 => FaultMode::Corrupt,
+            4 => FaultMode::Sever,
+            5 => FaultMode::Disconnect,
+            _ => FaultMode::Off,
+        }
+    }
+
+    /// Harness label for this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultMode::Off => "off",
+            FaultMode::Delay => "delay",
+            FaultMode::Truncate => "truncate",
+            FaultMode::Corrupt => "corrupt",
+            FaultMode::Sever => "sever",
+            FaultMode::Disconnect => "disconnect",
+        }
+    }
+}
+
+/// A TCP proxy that forwards client connections to an upstream server
+/// and injects the currently selected [`FaultMode`] into the
+/// client→server byte stream. Server→client bytes always pass through
+/// clean: the faults under test are ingest-path faults.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    mode: Arc<AtomicU8>,
+    stop: Arc<AtomicBool>,
+    accept_join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Starts a proxy in front of `upstream`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener bind errors.
+    pub fn start(upstream: SocketAddr) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let mode = Arc::new(AtomicU8::new(FaultMode::Off as u8));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_join = {
+            let mode = Arc::clone(&mode);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("fault-proxy".to_string())
+                .spawn(move || proxy_accept_loop(listener, upstream, &mode, &stop))
+                .expect("spawn proxy")
+        };
+        Ok(FaultProxy {
+            addr,
+            mode,
+            stop,
+            accept_join: Some(accept_join),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Selects the fault injected into subsequent traffic.
+    pub fn set_mode(&self, mode: FaultMode) {
+        self.mode.store(mode as u8, Ordering::Release);
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn proxy_accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    mode: &Arc<AtomicU8>,
+    stop: &Arc<AtomicBool>,
+) {
+    let mut pumps: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    continue;
+                };
+                let (Ok(client2), Ok(server2)) = (client.try_clone(), server.try_clone()) else {
+                    continue;
+                };
+                pumps.retain(|j| !j.is_finished());
+                let mode_c2s = Arc::clone(mode);
+                let stop_c2s = Arc::clone(stop);
+                pumps.push(
+                    std::thread::Builder::new()
+                        .name("proxy-c2s".to_string())
+                        .spawn(move || pump_with_faults(client, server, &mode_c2s, &stop_c2s))
+                        .expect("spawn pump"),
+                );
+                let stop_s2c = Arc::clone(stop);
+                pumps.push(
+                    std::thread::Builder::new()
+                        .name("proxy-s2c".to_string())
+                        .spawn(move || pump_clean(server2, client2, &stop_s2c))
+                        .expect("spawn pump"),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    for j in pumps {
+        let _ = j.join();
+    }
+}
+
+/// Client→server pump, applying the current fault mode chunk by chunk.
+fn pump_with_faults(mut from: TcpStream, mut to: TcpStream, mode: &AtomicU8, stop: &AtomicBool) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        match FaultMode::from_u8(mode.load(Ordering::Acquire)) {
+            FaultMode::Off => {
+                if to.write_all(&buf[..n]).is_err() {
+                    return;
+                }
+            }
+            FaultMode::Delay => {
+                std::thread::sleep(Duration::from_millis(100));
+                if to.write_all(&buf[..n]).is_err() {
+                    return;
+                }
+            }
+            FaultMode::Truncate => {
+                // Drop the tail; later bytes arrive misaligned, so the
+                // server sees a desynchronised stream.
+                if to.write_all(&buf[..n.div_ceil(2)]).is_err() {
+                    return;
+                }
+            }
+            FaultMode::Corrupt => {
+                let mut corrupted = buf[..n].to_vec();
+                // Deterministically flip one bit past the header so the
+                // checksum (not the magic) catches it.
+                let idx = if n > 20 { 20 } else { n - 1 };
+                corrupted[idx] ^= 0x10;
+                if to.write_all(&corrupted).is_err() {
+                    return;
+                }
+            }
+            FaultMode::Sever => {
+                let _ = to.write_all(&buf[..n.div_ceil(2)]);
+                return; // drops both ends of this connection
+            }
+            FaultMode::Disconnect => {
+                return;
+            }
+        }
+    }
+}
+
+/// Server→client pump: always clean.
+fn pump_clean(mut from: TcpStream, mut to: TcpStream, stop: &AtomicBool) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Scenario parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Ingest writer workers (each its own connection through the
+    /// proxy).
+    pub writers: usize,
+    /// Concurrent query workers (connected directly to the server).
+    pub queriers: usize,
+    /// Items per ingest batch.
+    pub batch_size: usize,
+    /// Target aggregate ingest rate in items/s; 0 = unthrottled.
+    pub rate_items_per_s: u64,
+    /// Baseline measurement window.
+    pub baseline: Duration,
+    /// How long each fault stays injected.
+    pub fault_hold: Duration,
+    /// Maximum time to wait for post-fault recovery.
+    pub recovery_timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            writers: 2,
+            queriers: 1,
+            batch_size: 512,
+            rate_items_per_s: 0,
+            baseline: Duration::from_millis(1500),
+            fault_hold: Duration::from_millis(300),
+            recovery_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Width of one throughput sample bucket.
+pub const SAMPLE_BUCKET: Duration = Duration::from_millis(50);
+
+/// Outcome of one fault-injection phase.
+#[derive(Debug, Clone)]
+pub struct FaultPhase {
+    /// The injected fault class.
+    pub mode: FaultMode,
+    /// Time from clearing the fault to the first 50 ms bucket at ≥ 50%
+    /// of baseline throughput (`None` = never recovered in time).
+    pub recovery: Option<Duration>,
+    /// Whether the server answered a clean request after the phase.
+    pub survived: bool,
+}
+
+/// Everything one scenario run measured.
+pub struct ScenarioReport {
+    /// Baseline ingest throughput, items/s.
+    pub ingest_items_per_s: f64,
+    /// Baseline batch-ACK round-trip latency.
+    pub ingest_latency: LatencyHistogram,
+    /// Concurrent query latency (live-engine estimates during the
+    /// baseline window).
+    pub query_latency: LatencyHistogram,
+    /// The error taxonomy across the whole run.
+    pub taxonomy: ErrorTaxonomy,
+    /// One entry per injected fault class.
+    pub phases: Vec<FaultPhase>,
+    /// Total items ACKed across the run.
+    pub items_acked: u64,
+    /// Requests that failed without any typed signal (must be 0; this
+    /// is the silent-drop detector).
+    pub untyped_failures: u64,
+    /// Final live-engine estimate over distinct items acked.
+    pub estimate_ratio: f64,
+}
+
+struct WriterShared {
+    stop: AtomicBool,
+    items_acked: AtomicU64,
+    batches_acked: AtomicU64,
+    untyped_failures: AtomicU64,
+    taxonomy: ErrorTaxonomy,
+    ingest_hist: Mutex<LatencyHistogram>,
+    query_hist: Mutex<LatencyHistogram>,
+}
+
+fn writer_loop(
+    shared: &WriterShared,
+    proxy_addr: SocketAddr,
+    writer_index: usize,
+    cfg: &LoadConfig,
+) {
+    let mut next_item: u64 = (writer_index as u64) << 40;
+    let mut client: Option<Client> = None;
+    let per_writer_rate = if cfg.rate_items_per_s == 0 {
+        0
+    } else {
+        (cfg.rate_items_per_s / cfg.writers as u64).max(1)
+    };
+    let mut window_start = Instant::now();
+    let mut window_items = 0u64;
+    while !shared.stop.load(Ordering::Acquire) {
+        // Rate control: simple windowed pacing, good to a few percent.
+        if per_writer_rate > 0 {
+            let elapsed = window_start.elapsed().as_secs_f64();
+            if elapsed >= 1.0 {
+                window_start = Instant::now();
+                window_items = 0;
+            } else if window_items >= (per_writer_rate as f64 * elapsed.max(0.01)) as u64 {
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+        }
+        let c = match client.as_mut() {
+            Some(c) => c,
+            None => match Client::connect(proxy_addr, Duration::from_secs(2)) {
+                Ok(c) => {
+                    shared.taxonomy.record_reconnect();
+                    client.insert(c)
+                }
+                Err(_) => {
+                    shared.taxonomy.record_io_error();
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+            },
+        };
+        let batch: Vec<u64> = (next_item..next_item + cfg.batch_size as u64).collect();
+        let sent = Instant::now();
+        match c.ingest(&batch) {
+            Ok(Reply::Ack { .. }) => {
+                next_item += cfg.batch_size as u64;
+                window_items += cfg.batch_size as u64;
+                shared
+                    .items_acked
+                    .fetch_add(cfg.batch_size as u64, Ordering::Relaxed);
+                shared.batches_acked.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .ingest_hist
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(sent.elapsed());
+            }
+            Ok(Reply::Nack { code, .. }) => {
+                // Typed rejection: the batch was shed, not lost
+                // silently. Back off, then re-send the same range.
+                shared.taxonomy.record_nack(code);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Ok(_) => {
+                shared.untyped_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Transport failure: typed at the I/O layer. The batch
+                // outcome is unknown, so re-send the same range — Θ
+                // dedups, which is exactly why the protocol can retry
+                // without a dedup layer.
+                shared.taxonomy.record_io_error();
+                client = None;
+            }
+        }
+    }
+}
+
+fn query_loop(shared: &WriterShared, server_addr: SocketAddr) {
+    let mut client: Option<Client> = None;
+    while !shared.stop.load(Ordering::Acquire) {
+        let c = match client.as_mut() {
+            Some(c) => c,
+            None => match Client::connect(server_addr, Duration::from_secs(2)) {
+                Ok(c) => client.insert(c),
+                Err(_) => {
+                    shared.taxonomy.record_io_error();
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+            },
+        };
+        let sent = Instant::now();
+        match c.query_estimate(0) {
+            Ok(Reply::Estimate { .. }) => {
+                shared
+                    .query_hist
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(sent.elapsed());
+            }
+            Ok(Reply::Nack { code, .. }) => shared.taxonomy.record_nack(code),
+            Ok(_) => {
+                shared.untyped_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                shared.taxonomy.record_io_error();
+                client = None;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Runs the full scenario — baseline, then every fault class with
+/// recovery measurement — against the server at `server_addr`, routing
+/// ingest through a fresh [`FaultProxy`].
+///
+/// # Errors
+///
+/// Propagates proxy bind errors.
+pub fn run_scenario(server_addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<ScenarioReport> {
+    let proxy = FaultProxy::start(server_addr)?;
+    let proxy_addr = proxy.local_addr();
+    let shared = Arc::new(WriterShared {
+        stop: AtomicBool::new(false),
+        items_acked: AtomicU64::new(0),
+        batches_acked: AtomicU64::new(0),
+        untyped_failures: AtomicU64::new(0),
+        taxonomy: ErrorTaxonomy::default(),
+        ingest_hist: Mutex::new(LatencyHistogram::new()),
+        query_hist: Mutex::new(LatencyHistogram::new()),
+    });
+
+    let mut joins = Vec::new();
+    for w in 0..cfg.writers {
+        let shared = Arc::clone(&shared);
+        let cfg = cfg.clone();
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("load-writer-{w}"))
+                .spawn(move || writer_loop(&shared, proxy_addr, w, &cfg))
+                .expect("spawn writer"),
+        );
+    }
+    for q in 0..cfg.queriers {
+        let shared = Arc::clone(&shared);
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("load-query-{q}"))
+                .spawn(move || query_loop(&shared, server_addr))
+                .expect("spawn querier"),
+        );
+    }
+
+    // Phase 1: baseline.
+    let baseline_start_items = shared.items_acked.load(Ordering::Relaxed);
+    let baseline_started = Instant::now();
+    std::thread::sleep(cfg.baseline);
+    let baseline_elapsed = baseline_started.elapsed();
+    let baseline_items = shared.items_acked.load(Ordering::Relaxed) - baseline_start_items;
+    let ingest_items_per_s = baseline_items as f64 / baseline_elapsed.as_secs_f64();
+    let baseline_bucket_items = ingest_items_per_s * SAMPLE_BUCKET.as_secs_f64();
+
+    // Phase 2: fault classes, one at a time, with recovery measurement.
+    let mut phases = Vec::new();
+    for mode in FaultMode::ALL {
+        proxy.set_mode(mode);
+        std::thread::sleep(cfg.fault_hold);
+        proxy.set_mode(FaultMode::Off);
+        let cleared = Instant::now();
+
+        // Recovery: first 50 ms bucket back at ≥ 50% of baseline rate.
+        let mut recovery = None;
+        let mut last = shared.items_acked.load(Ordering::Relaxed);
+        while cleared.elapsed() < cfg.recovery_timeout {
+            std::thread::sleep(SAMPLE_BUCKET);
+            let now = shared.items_acked.load(Ordering::Relaxed);
+            if (now - last) as f64 >= baseline_bucket_items * 0.5 {
+                recovery = Some(cleared.elapsed());
+                break;
+            }
+            last = now;
+        }
+
+        // Survival probe: a clean request on a fresh direct connection.
+        let survived = Client::connect(server_addr, Duration::from_secs(2))
+            .and_then(|mut c| c.ping())
+            .map(|r| matches!(r, Reply::Pong { .. }))
+            .unwrap_or(false);
+        phases.push(FaultPhase {
+            mode,
+            recovery,
+            survived,
+        });
+    }
+
+    shared.stop.store(true, Ordering::Release);
+    for j in joins {
+        let _ = j.join();
+    }
+    drop(proxy);
+
+    // Final consistency probe: the live estimate should account for the
+    // acked distinct items (writers re-send on unknown outcomes, and Θ
+    // dedups, so the acked distinct set is a subset of what was sent).
+    let items_acked = shared.items_acked.load(Ordering::Relaxed);
+    let estimate = Client::connect(server_addr, Duration::from_secs(2))
+        .and_then(|mut c| c.query_estimate(0))
+        .ok()
+        .and_then(|r| match r {
+            Reply::Estimate { value, .. } => Some(value),
+            _ => None,
+        })
+        .unwrap_or(0.0);
+    let estimate_ratio = if items_acked == 0 {
+        0.0
+    } else {
+        estimate / items_acked as f64
+    };
+
+    let shared = Arc::try_unwrap(shared).ok().expect("workers joined");
+    Ok(ScenarioReport {
+        ingest_items_per_s,
+        ingest_latency: shared
+            .ingest_hist
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner()),
+        query_latency: shared
+            .query_hist
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner()),
+        taxonomy: shared.taxonomy,
+        phases,
+        items_acked,
+        untyped_failures: shared.untyped_failures.load(Ordering::Relaxed),
+        estimate_ratio,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile_ns(0.50);
+        let p99 = h.quantile_ns(0.99);
+        // Bucket resolution is 1/16: accept ±10%.
+        assert!(
+            (450_000..=550_000).contains(&p50),
+            "p50 {p50} should be near 500µs"
+        );
+        assert!(
+            (900_000..=1_050_000).contains(&p99),
+            "p99 {p99} should be near 990µs"
+        );
+        assert!(p50 <= p99);
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn histogram_handles_empty_and_extremes() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.5), 0);
+        h.record(Duration::from_nanos(0));
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_ns(0.0) <= h.quantile_ns(1.0));
+        assert!(h.max_ns() >= 3_600_000_000_000);
+    }
+
+    #[test]
+    fn histogram_merge_sums_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(20));
+        b.record(Duration::from_micros(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn taxonomy_counts_by_code() {
+        let t = ErrorTaxonomy::default();
+        t.record_nack(NackCode::Overload);
+        t.record_nack(NackCode::Overload);
+        t.record_nack(NackCode::Checksum);
+        t.record_io_error();
+        assert_eq!(t.nacks(NackCode::Overload), 2);
+        assert_eq!(t.nacks(NackCode::Checksum), 1);
+        assert_eq!(t.total_typed(), 4);
+        let rows = t.rows();
+        assert!(rows.iter().any(|(n, c)| n == "nack_overload" && *c == 2));
+        assert!(rows.iter().any(|(n, c)| n == "io_error" && *c == 1));
+    }
+
+    #[test]
+    fn fault_mode_roundtrip() {
+        for m in FaultMode::ALL {
+            assert_eq!(FaultMode::from_u8(m as u8), m);
+            assert_ne!(m.name(), "off");
+        }
+        assert_eq!(FaultMode::from_u8(0), FaultMode::Off);
+        assert_eq!(FaultMode::from_u8(99), FaultMode::Off);
+    }
+}

@@ -1,0 +1,237 @@
+//! `fcds-load` binary: drive an `fcds-server` (in-process by default)
+//! through the baseline + fault-injection scenario and emit
+//! `BENCH_serve.json` for the CI bench gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fcds-load [--out=DIR] [--addr=HOST:PORT]
+//!     [--writers=N] [--queriers=N] [--batch=N] [--rate=ITEMS_PER_S]
+//!     [--baseline-ms=N] [--fault-hold-ms=N] [--full]
+//! ```
+//!
+//! Without `--addr` the harness starts its own server in-process (the
+//! CI mode: one command, no orchestration); with it, the harness
+//! targets an already-running server. `--full` lengthens the baseline
+//! and fault windows for lower-variance numbers.
+
+use fcds_bench::gate::{
+    SERVE_FAULT_CLASSES_SURVIVED_MIN, SERVE_INGEST_MITEMS_PER_S_MIN, SERVE_QUERY_P99_MS_MAX,
+    SERVE_RECOVERY_MS_MAX, SERVE_TYPED_ERROR_COVERAGE_MIN,
+};
+use fcds_bench::report::{HarnessArgs, Table};
+use fcds_load::{run_scenario, LoadConfig, ScenarioReport};
+use fcds_server::{serve, ServerConfig};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1.0e6
+}
+
+fn main() {
+    let args = HarnessArgs::parse_with_out_default(".");
+
+    let mut cfg = LoadConfig::default();
+    if let Some(w) = args.get("writers").and_then(|v| v.parse().ok()) {
+        cfg.writers = w;
+    }
+    if let Some(q) = args.get("queriers").and_then(|v| v.parse().ok()) {
+        cfg.queriers = q;
+    }
+    if let Some(b) = args.get("batch").and_then(|v| v.parse().ok()) {
+        cfg.batch_size = b;
+    }
+    if let Some(r) = args.get("rate").and_then(|v| v.parse().ok()) {
+        cfg.rate_items_per_s = r;
+    }
+    if let Some(b) = args.get("baseline-ms").and_then(|v| v.parse().ok()) {
+        cfg.baseline = Duration::from_millis(b);
+    }
+    if let Some(h) = args.get("fault-hold-ms").and_then(|v| v.parse().ok()) {
+        cfg.fault_hold = Duration::from_millis(h);
+    }
+    if args.full {
+        cfg.baseline = Duration::from_secs(5);
+        cfg.fault_hold = Duration::from_millis(750);
+    }
+
+    // In-process server unless the caller points at a running one.
+    let (server, addr) = match args.get("addr") {
+        Some(a) => (None, a.parse().expect("--addr must be HOST:PORT")),
+        None => {
+            let handle = serve(ServerConfig::default()).expect("start in-process server");
+            let addr = handle.local_addr();
+            (Some(handle), addr)
+        }
+    };
+
+    println!(
+        "fcds-load: {} writers × {}-item batches, {} queriers, target {} ({})",
+        cfg.writers,
+        cfg.batch_size,
+        cfg.queriers,
+        addr,
+        if cfg.rate_items_per_s == 0 {
+            "unthrottled".to_string()
+        } else {
+            format!("{} items/s", cfg.rate_items_per_s)
+        }
+    );
+
+    let report = run_scenario(addr, &cfg).expect("run scenario");
+    print_report(&report);
+
+    let json = render_json(&report, &cfg);
+    std::fs::create_dir_all(&args.out_dir).expect("create out dir");
+    let path = format!("{}/BENCH_serve.json", args.out_dir);
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+
+    if let Some(handle) = server {
+        let drain = handle.shutdown();
+        println!(
+            "server drained: {} items, {} sheds, {} nacks, {} leaked threads",
+            drain.stats.ingest_items, drain.stats.sheds, drain.stats.nacks, drain.leaked_threads
+        );
+        assert_eq!(drain.leaked_threads, 0, "drain must join every thread");
+    }
+}
+
+fn print_report(r: &ScenarioReport) {
+    println!(
+        "baseline: {:.2} M items/s ingest ({} items acked total)",
+        r.ingest_items_per_s / 1.0e6,
+        r.items_acked
+    );
+    println!(
+        "ingest batch RTT: p50 {:.3} ms, p99 {:.3} ms ({} batches)",
+        ms(r.ingest_latency.quantile_ns(0.50)),
+        ms(r.ingest_latency.quantile_ns(0.99)),
+        r.ingest_latency.count()
+    );
+    println!(
+        "query latency:    p50 {:.3} ms, p99 {:.3} ms ({} queries)",
+        ms(r.query_latency.quantile_ns(0.50)),
+        ms(r.query_latency.quantile_ns(0.99)),
+        r.query_latency.count()
+    );
+
+    let mut t = Table::new(&["fault", "recovery_ms", "survived"]);
+    for p in &r.phases {
+        t.row(&[
+            p.mode.name().to_string(),
+            p.recovery
+                .map(|d| format!("{:.0}", d.as_secs_f64() * 1e3))
+                .unwrap_or_else(|| "TIMEOUT".to_string()),
+            p.survived.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("error taxonomy:");
+    for (name, count) in r.taxonomy.rows() {
+        println!("  {name:<24} {count}");
+    }
+    println!(
+        "  reconnects               {}\n  untyped failures         {}",
+        r.taxonomy.reconnects(),
+        r.untyped_failures
+    );
+    println!("estimate/acked ratio: {:.4}", r.estimate_ratio);
+}
+
+fn render_json(r: &ScenarioReport, cfg: &LoadConfig) -> String {
+    let survived = r.phases.iter().filter(|p| p.survived).count();
+    let worst_recovery_ms = r
+        .phases
+        .iter()
+        .map(|p| {
+            p.recovery
+                .map(|d| d.as_secs_f64() * 1e3)
+                // An unrecovered phase counts as an hour, far past any
+                // sane gate: it must trip the max, not vanish from it.
+                .unwrap_or(3_600_000.0)
+        })
+        .fold(0.0f64, f64::max);
+    // Typed coverage: every failure the harness saw carried a type (a
+    // NACK code or a transport error). `untyped_failures` counts
+    // protocol replies fitting no contract — the silent-drop detector.
+    let typed_coverage = if r.untyped_failures == 0 { 1.0 } else { 0.0 };
+
+    let mut rows = String::new();
+    for (i, p) in r.phases.iter().enumerate() {
+        let _ = write!(
+            rows,
+            "    {{\"fault\": \"{}\", \"recovery_ms\": {:.1}, \"survived\": {}}}{}",
+            p.mode.name(),
+            p.recovery.map(|d| d.as_secs_f64() * 1e3).unwrap_or(-1.0),
+            p.survived,
+            if i + 1 < r.phases.len() { ",\n" } else { "\n" }
+        );
+    }
+    let tax_rows = r.taxonomy.rows();
+    let mut taxonomy = String::new();
+    for (i, (name, count)) in tax_rows.iter().enumerate() {
+        let _ = write!(
+            taxonomy,
+            "    \"{name}\": {count}{}",
+            if i + 1 < tax_rows.len() { ",\n" } else { "\n" }
+        );
+    }
+    if tax_rows.is_empty() {
+        taxonomy.push('\n');
+    }
+
+    format!(
+        "{{\n  \
+         \"schema\": \"fcds-bench-serve-v1\",\n  \
+         \"config\": {{\"writers\": {writers}, \"queriers\": {queriers}, \
+         \"batch_size\": {batch}, \"rate_items_per_s\": {rate}, \
+         \"baseline_ms\": {baseline_ms}, \"fault_hold_ms\": {hold_ms}}},\n  \
+         \"ingest\": {{\"items_per_s\": {ips:.1}, \"items_acked\": {acked}, \
+         \"batch_p50_ms\": {bp50:.4}, \"batch_p99_ms\": {bp99:.4}}},\n  \
+         \"query\": {{\"p50_ms\": {qp50:.4}, \"p99_ms\": {qp99:.4}, \
+         \"count\": {qcount}}},\n  \
+         \"faults\": [\n{rows}  ],\n  \
+         \"taxonomy\": {{\n{taxonomy}  }},\n  \
+         \"reconnects\": {reconnects},\n  \
+         \"estimate_over_acked\": {est:.4},\n  \
+         \"acceptance\": {{\n    \
+         \"ingest_mitems_per_s\": {accept_ips:.4},\n    \
+         \"query_p99_ms\": {qp99:.4},\n    \
+         \"typed_error_coverage\": {typed:.1},\n    \
+         \"fault_classes_survived\": {survived}.0,\n    \
+         \"worst_recovery_ms\": {worst:.1}\n  }},\n  \
+         \"thresholds\": {{\n    \
+         \"ingest_mitems_per_s_min\": {thr_ips},\n    \
+         \"query_p99_ms_max\": {thr_p99},\n    \
+         \"typed_error_coverage_min\": {thr_typed},\n    \
+         \"fault_classes_survived_min\": {thr_survived},\n    \
+         \"worst_recovery_ms_max\": {thr_recovery}\n  }}\n}}\n",
+        writers = cfg.writers,
+        queriers = cfg.queriers,
+        batch = cfg.batch_size,
+        rate = cfg.rate_items_per_s,
+        baseline_ms = cfg.baseline.as_millis(),
+        hold_ms = cfg.fault_hold.as_millis(),
+        ips = r.ingest_items_per_s,
+        acked = r.items_acked,
+        bp50 = ms(r.ingest_latency.quantile_ns(0.50)),
+        bp99 = ms(r.ingest_latency.quantile_ns(0.99)),
+        qp50 = ms(r.query_latency.quantile_ns(0.50)),
+        qp99 = ms(r.query_latency.quantile_ns(0.99)),
+        qcount = r.query_latency.count(),
+        reconnects = r.taxonomy.reconnects(),
+        est = r.estimate_ratio,
+        accept_ips = r.ingest_items_per_s / 1.0e6,
+        typed = typed_coverage,
+        survived = survived,
+        worst = worst_recovery_ms,
+        thr_ips = SERVE_INGEST_MITEMS_PER_S_MIN,
+        thr_p99 = SERVE_QUERY_P99_MS_MAX,
+        thr_typed = SERVE_TYPED_ERROR_COVERAGE_MIN,
+        thr_survived = SERVE_FAULT_CLASSES_SURVIVED_MIN,
+        thr_recovery = SERVE_RECOVERY_MS_MAX,
+    )
+}

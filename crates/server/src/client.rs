@@ -1,0 +1,241 @@
+//! A small synchronous client for the frame protocol.
+//!
+//! Shared by the loopback tests, the hostile-frame suite (via
+//! [`Client::send_raw`]) and the `fcds-load` harness — one
+//! implementation of framing on the client side, so a protocol change
+//! breaks loudly in one place.
+
+use crate::frame::{
+    check_payload, decode_nack_payload, encode_frame, parse_header, FrameType, NackCode,
+    FRAME_HEADER_LEN,
+};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A decoded server reply, one level above raw frames: NACK payloads
+/// are parsed into their typed code, estimates into `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// [`FrameType::Pong`].
+    Pong {
+        /// Echoed sequence number.
+        seq: u16,
+    },
+    /// [`FrameType::Ack`].
+    Ack {
+        /// Echoed sequence number.
+        seq: u16,
+    },
+    /// [`FrameType::Nack`], payload decoded.
+    Nack {
+        /// Echoed sequence number.
+        seq: u16,
+        /// Typed rejection reason.
+        code: NackCode,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+    /// [`FrameType::Estimate`].
+    Estimate {
+        /// Echoed sequence number.
+        seq: u16,
+        /// The estimate.
+        value: f64,
+    },
+    /// [`FrameType::Image`]: one fcds wire envelope.
+    Image {
+        /// Echoed sequence number.
+        seq: u16,
+        /// The wire image bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+impl Reply {
+    /// The echoed sequence number.
+    pub fn seq(&self) -> u16 {
+        match self {
+            Reply::Pong { seq }
+            | Reply::Ack { seq }
+            | Reply::Nack { seq, .. }
+            | Reply::Estimate { seq, .. }
+            | Reply::Image { seq, .. } => *seq,
+        }
+    }
+
+    /// The NACK code, if this is a NACK.
+    pub fn nack_code(&self) -> Option<NackCode> {
+        match self {
+            Reply::Nack { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// A blocking frame-protocol client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+    next_seq: u16,
+    /// Reply payloads above this are refused (mirror of the server cap).
+    max_reply_payload: u32,
+}
+
+impl Client {
+    /// Connects and applies `timeout` to reads and writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure I/O errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_seq: 1,
+            max_reply_payload: 64 << 20,
+        })
+    }
+
+    fn seq(&mut self) -> u16 {
+        let s = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        s
+    }
+
+    /// Writes raw bytes to the stream, bypassing the frame encoder —
+    /// the hostile-frame tests and the fault-injection proxy build
+    /// deliberately broken frames with this.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write I/O errors.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Sends one well-formed frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write I/O errors.
+    pub fn send_frame(&mut self, ftype: FrameType, payload: &[u8]) -> io::Result<u16> {
+        let seq = self.seq();
+        self.stream.write_all(&encode_frame(ftype, seq, payload))?;
+        Ok(seq)
+    }
+
+    /// Reads and validates one reply frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors (including timeouts, surfaced as `WouldBlock`/
+    /// `TimedOut`), `UnexpectedEof` if the server closed, or
+    /// `InvalidData` for protocol violations in the reply.
+    pub fn read_reply(&mut self) -> io::Result<Reply> {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        let parsed = parse_header(&header, self.max_reply_payload, false)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut payload = vec![0u8; parsed.payload_len as usize];
+        self.stream.read_exact(&mut payload)?;
+        check_payload(&parsed, &payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let seq = parsed.seq;
+        Ok(match parsed.ftype {
+            FrameType::Pong => Reply::Pong { seq },
+            FrameType::Ack => Reply::Ack { seq },
+            FrameType::Nack => {
+                let (code, detail) = decode_nack_payload(&payload).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "undecodable NACK payload")
+                })?;
+                Reply::Nack { seq, code, detail }
+            }
+            FrameType::Estimate => {
+                let bits: [u8; 8] = payload.as_slice().try_into().map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "estimate payload must be 8 bytes",
+                    )
+                })?;
+                Reply::Estimate {
+                    seq,
+                    value: f64::from_bits(u64::from_le_bytes(bits)),
+                }
+            }
+            FrameType::Image => Reply::Image {
+                seq,
+                bytes: payload,
+            },
+            // parse_header(client_side=false) admits only reply types.
+            _ => unreachable!("direction check admitted a client-side type"),
+        })
+    }
+
+    fn roundtrip(&mut self, ftype: FrameType, payload: &[u8]) -> io::Result<Reply> {
+        self.send_frame(ftype, payload)?;
+        self.read_reply()
+    }
+
+    /// PING → PONG (or NACK).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::read_reply`].
+    pub fn ping(&mut self) -> io::Result<Reply> {
+        self.roundtrip(FrameType::Ping, &[])
+    }
+
+    /// Sends a batch of items for ingestion into the live engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::read_reply`].
+    pub fn ingest(&mut self, items: &[u64]) -> io::Result<Reply> {
+        let mut payload = Vec::with_capacity(items.len() * 8);
+        for item in items {
+            payload.extend_from_slice(&item.to_le_bytes());
+        }
+        self.roundtrip(FrameType::Ingest, &payload)
+    }
+
+    /// Submits one fcds wire envelope to the merge store.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::read_reply`].
+    pub fn merge(&mut self, image: &[u8]) -> io::Result<Reply> {
+        self.roundtrip(FrameType::Merge, image)
+    }
+
+    /// Queries an estimate. `family` 0 is the live Θ engine, 1–4 the
+    /// merge store families.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::read_reply`].
+    pub fn query_estimate(&mut self, family: u8) -> io::Result<Reply> {
+        self.roundtrip(FrameType::Query, &[0, family])
+    }
+
+    /// Queries a wire image (same family coding as
+    /// [`Client::query_estimate`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::read_reply`].
+    pub fn query_image(&mut self, family: u8) -> io::Result<Reply> {
+        self.roundtrip(FrameType::Query, &[1, family])
+    }
+
+    /// Asks the server to start draining.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::read_reply`].
+    pub fn request_shutdown(&mut self) -> io::Result<Reply> {
+        self.roundtrip(FrameType::Shutdown, &[])
+    }
+}

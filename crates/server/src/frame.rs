@@ -1,0 +1,460 @@
+//! The length-prefixed frame protocol spoken on every `fcds-server`
+//! connection.
+//!
+//! A frame is a fixed 16-byte header followed by `payload_len` payload
+//! bytes. All integers are little-endian, matching the sketch wire
+//! envelope the payloads carry:
+//!
+//! | offset | size | field         | meaning                                   |
+//! |-------:|-----:|---------------|-------------------------------------------|
+//! | 0      | 4    | `magic`       | `"FCF1"` (fcds frame v1)                  |
+//! | 4      | 1    | `type`        | frame type code (below)                   |
+//! | 5      | 1    | `flags`       | must be 0 in v1                           |
+//! | 6      | 2    | `seq`         | client sequence number, echoed in replies |
+//! | 8      | 4    | `payload_len` | payload bytes following the header        |
+//! | 12     | 4    | `checksum`    | FNV-1a 32 over the payload                |
+//!
+//! The checksum is not cryptographic — it exists so a bit-flipped
+//! payload (a real fault class for long-lived TCP streams through
+//! middleboxes, and one the fault-injection harness synthesises) turns
+//! into a typed NACK instead of a garbage merge. Header corruption is
+//! caught by the magic/type/flags checks; payload corruption by the
+//! checksum; declared-length abuse by the server's configured cap
+//! *before* any buffer is sized from it.
+
+/// `"FCF1"` little-endian: fcds frame protocol, version 1.
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"FCF1");
+
+/// Fixed frame header length in bytes.
+pub const FRAME_HEADER_LEN: usize = 16;
+
+/// Frame type codes. Client→server types have the high bit clear,
+/// server→client types have it set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Liveness probe; answered with [`FrameType::Pong`].
+    Ping = 0x01,
+    /// Batch ingest: payload is `n × u64` items (LE), `n ≥ 0`,
+    /// `payload_len % 8 == 0`. Answered with Ack or a shed Nack.
+    Ingest = 0x02,
+    /// Merge an fcds wire envelope (any family) into the server's merge
+    /// store. Payload is exactly one envelope.
+    Merge = 0x03,
+    /// Query: payload is `[kind: u8, family: u8]`. `kind` 0 = estimate
+    /// (answered with [`FrameType::Estimate`]), 1 = wire image (answered
+    /// with [`FrameType::Image`]). `family` 0 = the live Θ engine,
+    /// 1–4 = the merge store for that `SketchFamily` code.
+    Query = 0x04,
+    /// Ask the server to start draining (answered with Ack; ingest and
+    /// merge frames are NACKed with `Draining` from then on).
+    Shutdown = 0x06,
+
+    /// Reply to [`FrameType::Ping`].
+    Pong = 0x81,
+    /// Positive acknowledgement (empty payload).
+    Ack = 0x82,
+    /// Typed negative acknowledgement: payload is
+    /// `[code: u16 LE][detail: UTF-8]`. Never silent — every rejected
+    /// request produces one (or the connection is closed, for framing
+    /// that cannot be resynchronised).
+    Nack = 0x83,
+    /// Estimate reply: payload is one `f64` (LE bits).
+    Estimate = 0x84,
+    /// Wire-image reply: payload is one fcds wire envelope.
+    Image = 0x85,
+}
+
+impl FrameType {
+    /// Decodes a type code.
+    pub fn from_code(code: u8) -> Option<FrameType> {
+        Some(match code {
+            0x01 => FrameType::Ping,
+            0x02 => FrameType::Ingest,
+            0x03 => FrameType::Merge,
+            0x04 => FrameType::Query,
+            0x06 => FrameType::Shutdown,
+            0x81 => FrameType::Pong,
+            0x82 => FrameType::Ack,
+            0x83 => FrameType::Nack,
+            0x84 => FrameType::Estimate,
+            0x85 => FrameType::Image,
+            _ => return None,
+        })
+    }
+}
+
+/// Machine-readable NACK reason codes (the error taxonomy the load
+/// harness aggregates by). The u16 goes on the wire; the enum names the
+/// contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum NackCode {
+    /// Unparseable or protocol-violating frame (bad magic, unknown type,
+    /// non-zero flags, malformed payload). Bad magic closes the
+    /// connection after the NACK — the stream cannot be resynchronised;
+    /// the other cases keep it open.
+    Malformed = 1,
+    /// Declared payload length exceeds the server's cap. The connection
+    /// is closed: the oversized payload cannot be safely skipped.
+    PayloadTooLarge = 2,
+    /// The payload failed sketch-wire validation (`WireError`); detail
+    /// carries the display string. Connection stays open.
+    Wire = 3,
+    /// Load shed: the target ingest queue is full. The client should
+    /// back off and retry.
+    Overload = 4,
+    /// The target backend's circuit breaker is open; retry after its
+    /// cooldown.
+    BreakerOpen = 5,
+    /// The server is draining; no new ingest or merge work is accepted.
+    Draining = 6,
+    /// The request is well-formed but the server cannot serve it (e.g.
+    /// an estimate query against a family that has no estimator).
+    Unsupported = 7,
+    /// Internal failure (e.g. the ingest backend died); detail says why.
+    Internal = 8,
+    /// Payload checksum mismatch — the frame was corrupted in flight.
+    /// Connection stays open (framing itself was intact).
+    Checksum = 9,
+    /// The peer blew the mid-frame read deadline. Sent on a best-effort
+    /// basis before the connection is closed.
+    Timeout = 10,
+}
+
+impl NackCode {
+    /// Decodes a wire code.
+    pub fn from_code(code: u16) -> Option<NackCode> {
+        Some(match code {
+            1 => NackCode::Malformed,
+            2 => NackCode::PayloadTooLarge,
+            3 => NackCode::Wire,
+            4 => NackCode::Overload,
+            5 => NackCode::BreakerOpen,
+            6 => NackCode::Draining,
+            7 => NackCode::Unsupported,
+            8 => NackCode::Internal,
+            9 => NackCode::Checksum,
+            10 => NackCode::Timeout,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame type.
+    pub ftype: FrameType,
+    /// Client-chosen sequence number, echoed verbatim in replies.
+    pub seq: u16,
+    /// The payload bytes (already checksum-verified on decode).
+    pub payload: Vec<u8>,
+}
+
+/// Why a frame header or payload was rejected. Each variant maps to a
+/// documented [`NackCode`] and connection disposition (see
+/// [`HeaderError::nack_code`] / [`HeaderError::closes_connection`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeaderError {
+    /// The magic bytes are wrong — the stream is not speaking this
+    /// protocol (or has desynchronised beyond repair).
+    BadMagic {
+        /// The four bytes found where the magic belongs.
+        found: u32,
+    },
+    /// Unknown frame type code, or a server→client code sent by a
+    /// client.
+    UnknownType {
+        /// The offending type code.
+        found: u8,
+    },
+    /// Non-zero flags (v1 defines none).
+    BadFlags {
+        /// The offending flags byte.
+        found: u8,
+    },
+    /// Declared payload length exceeds the receiver's cap.
+    PayloadTooLarge {
+        /// The declared payload length.
+        declared: u32,
+        /// The receiver's cap.
+        cap: u32,
+    },
+    /// The payload's FNV-1a 32 does not match the header.
+    ChecksumMismatch {
+        /// Checksum the header declared.
+        declared: u32,
+        /// Checksum computed over the received payload.
+        computed: u32,
+    },
+}
+
+impl HeaderError {
+    /// The NACK code this error is reported with.
+    pub fn nack_code(&self) -> NackCode {
+        match self {
+            HeaderError::BadMagic { .. }
+            | HeaderError::UnknownType { .. }
+            | HeaderError::BadFlags { .. } => NackCode::Malformed,
+            HeaderError::PayloadTooLarge { .. } => NackCode::PayloadTooLarge,
+            HeaderError::ChecksumMismatch { .. } => NackCode::Checksum,
+        }
+    }
+
+    /// Whether the connection must be closed after NACKing: true when
+    /// the byte stream cannot be resynchronised (wrong magic — we are
+    /// lost) or cannot be safely skipped (oversized payload). Unknown
+    /// types, bad flags and checksum mismatches keep the connection: the
+    /// framing itself was intact, so the next frame boundary is known.
+    pub fn closes_connection(&self) -> bool {
+        matches!(
+            self,
+            HeaderError::BadMagic { .. } | HeaderError::PayloadTooLarge { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeaderError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:#010x} (want \"FCF1\")")
+            }
+            HeaderError::UnknownType { found } => write!(f, "unknown frame type {found:#04x}"),
+            HeaderError::BadFlags { found } => write!(f, "unsupported frame flags {found:#04x}"),
+            HeaderError::PayloadTooLarge { declared, cap } => {
+                write!(f, "declared payload {declared} exceeds cap {cap}")
+            }
+            HeaderError::ChecksumMismatch { declared, computed } => write!(
+                f,
+                "payload checksum mismatch: header says {declared:#010x}, payload is {computed:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HeaderError {}
+
+/// The validated fields of a frame header, before the payload has been
+/// read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedHeader {
+    /// The frame type.
+    pub ftype: FrameType,
+    /// The client sequence number.
+    pub seq: u16,
+    /// Declared payload length (≤ the cap passed to
+    /// [`parse_header`]).
+    pub payload_len: u32,
+    /// Declared payload checksum, verified by [`check_payload`].
+    pub checksum: u32,
+}
+
+/// FNV-1a 32-bit over `data`.
+pub fn fnv1a32(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Parses and validates a 16-byte frame header against `max_payload`,
+/// rejecting declared lengths above it before anything is buffered
+/// (mirroring `fcds_sketches::wire::peek`'s cap, one protocol layer up).
+///
+/// `client_side`: when true, only client→server frame types are
+/// accepted (a server rejecting server-codes from clients); when false,
+/// only server→client types (a client library validating replies).
+///
+/// # Errors
+///
+/// See [`HeaderError`] for the taxonomy; every variant maps to a
+/// documented NACK code and connection disposition.
+pub fn parse_header(
+    bytes: &[u8; FRAME_HEADER_LEN],
+    max_payload: u32,
+    client_side: bool,
+) -> Result<ParsedHeader, HeaderError> {
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    if magic != FRAME_MAGIC {
+        return Err(HeaderError::BadMagic { found: magic });
+    }
+    let type_code = bytes[4];
+    let ftype = FrameType::from_code(type_code)
+        .filter(|t| ((*t as u8) & 0x80 == 0) == client_side)
+        .ok_or(HeaderError::UnknownType { found: type_code })?;
+    let flags = bytes[5];
+    if flags != 0 {
+        return Err(HeaderError::BadFlags { found: flags });
+    }
+    let seq = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    let payload_len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if payload_len > max_payload {
+        return Err(HeaderError::PayloadTooLarge {
+            declared: payload_len,
+            cap: max_payload,
+        });
+    }
+    let checksum = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    Ok(ParsedHeader {
+        ftype,
+        seq,
+        payload_len,
+        checksum,
+    })
+}
+
+/// Verifies a received payload against its header checksum.
+///
+/// # Errors
+///
+/// [`HeaderError::ChecksumMismatch`] when the payload was corrupted in
+/// flight.
+pub fn check_payload(header: &ParsedHeader, payload: &[u8]) -> Result<(), HeaderError> {
+    debug_assert_eq!(payload.len() as u32, header.payload_len);
+    let computed = fnv1a32(payload);
+    if computed != header.checksum {
+        return Err(HeaderError::ChecksumMismatch {
+            declared: header.checksum,
+            computed,
+        });
+    }
+    Ok(())
+}
+
+/// Encodes a frame (header + payload) into one buffer ready to write.
+pub fn encode_frame(ftype: FrameType, seq: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.push(ftype as u8);
+    out.push(0); // flags
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes a NACK payload: `[code: u16 LE][detail: UTF-8]`.
+pub fn encode_nack_payload(code: NackCode, detail: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(2 + detail.len());
+    p.extend_from_slice(&(code as u16).to_le_bytes());
+    p.extend_from_slice(detail.as_bytes());
+    p
+}
+
+/// Decodes a NACK payload into `(code, detail)`.
+pub fn decode_nack_payload(payload: &[u8]) -> Option<(NackCode, String)> {
+    if payload.len() < 2 {
+        return None;
+    }
+    let code = u16::from_le_bytes(payload[0..2].try_into().expect("2 bytes"));
+    let detail = String::from_utf8_lossy(&payload[2..]).into_owned();
+    Some((NackCode::from_code(code)?, detail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_header(ftype: FrameType, seq: u16, payload: &[u8]) -> ParsedHeader {
+        let bytes = encode_frame(ftype, seq, payload);
+        let header: [u8; FRAME_HEADER_LEN] = bytes[..FRAME_HEADER_LEN].try_into().unwrap();
+        let client_side = (ftype as u8) & 0x80 == 0;
+        let parsed = parse_header(&header, u32::MAX, client_side).unwrap();
+        check_payload(&parsed, &bytes[FRAME_HEADER_LEN..]).unwrap();
+        parsed
+    }
+
+    #[test]
+    fn frame_roundtrip_preserves_fields() {
+        for (ftype, seq, payload) in [
+            (FrameType::Ping, 0u16, &b""[..]),
+            (
+                FrameType::Ingest,
+                7,
+                &b"\x01\x00\x00\x00\x00\x00\x00\x00"[..],
+            ),
+            (FrameType::Nack, u16::MAX, &b"\x04\x00shed"[..]),
+        ] {
+            let parsed = roundtrip_header(ftype, seq, payload);
+            assert_eq!(parsed.ftype, ftype);
+            assert_eq!(parsed.seq, seq);
+            assert_eq!(parsed.payload_len as usize, payload.len());
+        }
+    }
+
+    #[test]
+    fn direction_check_rejects_wrong_side() {
+        let bytes = encode_frame(FrameType::Ack, 1, b"");
+        let header: [u8; FRAME_HEADER_LEN] = bytes[..FRAME_HEADER_LEN].try_into().unwrap();
+        // A server must not accept a server→client code from a client.
+        assert_eq!(
+            parse_header(&header, u32::MAX, true),
+            Err(HeaderError::UnknownType {
+                found: FrameType::Ack as u8
+            })
+        );
+        // A client accepts it fine.
+        assert!(parse_header(&header, u32::MAX, false).is_ok());
+    }
+
+    #[test]
+    fn cap_rejects_oversized_declarations() {
+        let bytes = encode_frame(FrameType::Ingest, 0, &[0u8; 64]);
+        let header: [u8; FRAME_HEADER_LEN] = bytes[..FRAME_HEADER_LEN].try_into().unwrap();
+        assert!(parse_header(&header, 64, true).is_ok());
+        let err = parse_header(&header, 63, true).unwrap_err();
+        assert_eq!(
+            err,
+            HeaderError::PayloadTooLarge {
+                declared: 64,
+                cap: 63
+            }
+        );
+        assert!(err.closes_connection());
+        assert_eq!(err.nack_code(), NackCode::PayloadTooLarge);
+    }
+
+    #[test]
+    fn checksum_catches_single_bit_flips() {
+        let payload = b"the payload under test".to_vec();
+        let bytes = encode_frame(FrameType::Merge, 3, &payload);
+        let header: [u8; FRAME_HEADER_LEN] = bytes[..FRAME_HEADER_LEN].try_into().unwrap();
+        let parsed = parse_header(&header, u32::MAX, true).unwrap();
+        for bit in 0..payload.len() * 8 {
+            let mut corrupted = payload.clone();
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            let err = check_payload(&parsed, &corrupted).unwrap_err();
+            assert_eq!(err.nack_code(), NackCode::Checksum);
+            assert!(!err.closes_connection());
+        }
+        check_payload(&parsed, &payload).unwrap();
+    }
+
+    #[test]
+    fn nack_payload_roundtrip() {
+        for code in [
+            NackCode::Malformed,
+            NackCode::PayloadTooLarge,
+            NackCode::Wire,
+            NackCode::Overload,
+            NackCode::BreakerOpen,
+            NackCode::Draining,
+            NackCode::Unsupported,
+            NackCode::Internal,
+            NackCode::Checksum,
+            NackCode::Timeout,
+        ] {
+            let p = encode_nack_payload(code, "detail text");
+            let (got, detail) = decode_nack_payload(&p).unwrap();
+            assert_eq!(got, code);
+            assert_eq!(detail, "detail text");
+        }
+        assert_eq!(decode_nack_payload(&[1]), None);
+        assert_eq!(decode_nack_payload(&[0xFF, 0xFF]), None);
+    }
+}

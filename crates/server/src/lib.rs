@@ -1,0 +1,1076 @@
+//! `fcds-server`: a fault-tolerant network tier in front of the
+//! concurrent sketch engine.
+//!
+//! Thread-per-connection over `std::net` (no async runtime — the build
+//! environment is offline and the engine's hot path is synchronous
+//! anyway), speaking the length-prefixed [`frame`] protocol whose
+//! payloads are the sketch wire envelopes plus a raw batch-ingest
+//! frame. Robustness is the design center:
+//!
+//! * **Deadlines** — every connection has a mid-frame read deadline and
+//!   a write timeout, so a stalled or severed peer can hold a thread
+//!   for at most one frame.
+//! * **Backpressure** — ingest flows through bounded per-worker queues;
+//!   a full queue sheds the batch with an explicit
+//!   [`frame::NackCode::Overload`] NACK, never a silent drop.
+//! * **Circuit breaking** — each ingest worker is guarded by a
+//!   closed/open/half-open [`breaker::CircuitBreaker`]; a worker that
+//!   keeps failing is taken out of rotation and probed after a
+//!   cooldown.
+//! * **Panic isolation** — connection threads and ingest workers run
+//!   under `catch_unwind`; a poisoned request can kill at most the
+//!   thread it is on, and a dead worker trips its breaker instead of
+//!   wedging the engine. A dead *propagator* (the engine-level fault)
+//!   surfaces as `FlushError` from the worker's writer and is handled
+//!   the same way.
+//! * **Graceful drain** — [`ServerHandle::shutdown`] stops admitting
+//!   ingest, drains the queues, flushes every writer, quiesces the
+//!   engine (republishing images), then closes the listener and joins
+//!   every thread, returning a [`DrainReport`].
+
+pub mod breaker;
+pub mod client;
+pub mod frame;
+
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use client::{Client, Reply};
+pub use frame::{FrameType, NackCode};
+
+use crate::frame::{
+    check_payload, encode_frame, encode_nack_payload, parse_header, Frame, HeaderError,
+    FRAME_HEADER_LEN,
+};
+use bytes::Bytes;
+use fcds_core::theta::{ConcurrentThetaBuilder, ConcurrentThetaSketch};
+use fcds_core::PropagationBackendKind;
+use fcds_sketches::theta::ThetaRead;
+use fcds_sketches::wire::{
+    hll_multiway_merge, ladder_multiway_concat, mg_multiway_merge, peek, theta_multiway_union,
+    HllWireView, LadderWireView, MgWireView, SketchFamily, ThetaWireView, WireEncode,
+};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked socket reads and idle loops wake up to check the
+/// shutdown/drain flags. Deadlines are enforced at this granularity.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server configuration. `Default` is sized for a small host (the 1-CPU
+/// CI container): two ingest workers, 64-deep queues, 1 MiB frames.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks a free port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Number of ingest worker threads, each owning one engine writer.
+    pub ingest_workers: usize,
+    /// Bound of each worker's ingest queue, in batches. A full queue
+    /// sheds with [`NackCode::Overload`].
+    pub queue_depth: usize,
+    /// Maximum accepted frame payload, bytes. Larger declarations are
+    /// NACKed ([`NackCode::PayloadTooLarge`]) and the connection closed.
+    pub max_frame_payload: u32,
+    /// Mid-frame read deadline: once a frame's first byte arrives, the
+    /// rest must arrive within this window or the connection is closed
+    /// (with a best-effort [`NackCode::Timeout`] NACK).
+    pub frame_deadline: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// `lg_k` of the live Θ engine.
+    pub lg_k: u8,
+    /// Propagation backend for the live engine.
+    pub backend: PropagationBackendKind,
+    /// Consecutive failures that open a worker's circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects before admitting a half-open
+    /// probe.
+    pub breaker_cooldown: Duration,
+    /// Maximum retained wire images per sketch family in the merge
+    /// store; beyond it, merges shed with [`NackCode::Overload`].
+    pub merge_store_cap: usize,
+    /// Fault-injection hook for the robustness suite: an ingest worker
+    /// that sees this item value panics, exercising panic isolation and
+    /// the breaker over a real connection. `None` in production.
+    pub fault_panic_on: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ingest_workers: 2,
+            queue_depth: 64,
+            max_frame_payload: 1 << 20,
+            frame_deadline: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            lg_k: 12,
+            backend: PropagationBackendKind::WriterAssisted,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
+            merge_store_cap: 1024,
+            fault_panic_on: None,
+        }
+    }
+}
+
+/// Monotone server counters (all `Relaxed` — diagnostics, not
+/// synchronisation).
+#[derive(Debug, Default)]
+struct Stats {
+    conns_opened: AtomicU64,
+    conns_closed: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    nacks: AtomicU64,
+    sheds: AtomicU64,
+    ingest_batches: AtomicU64,
+    ingest_items: AtomicU64,
+    merges_accepted: AtomicU64,
+    worker_panics: AtomicU64,
+    conn_panics: AtomicU64,
+    flush_errors: AtomicU64,
+    read_timeouts: AtomicU64,
+}
+
+/// A point-in-time copy of the server's diagnostic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub conns_opened: u64,
+    /// Connections that have finished (closed or errored).
+    pub conns_closed: u64,
+    /// Frames successfully decoded from clients.
+    pub frames_in: u64,
+    /// Frames written to clients.
+    pub frames_out: u64,
+    /// NACK frames sent (every rejected request produces exactly one).
+    pub nacks: u64,
+    /// Ingest batches shed on full queues.
+    pub sheds: u64,
+    /// Ingest batches accepted into worker queues.
+    pub ingest_batches: u64,
+    /// Stream items ingested into the live engine.
+    pub ingest_items: u64,
+    /// Wire images accepted into the merge store.
+    pub merges_accepted: u64,
+    /// Ingest-worker panics isolated (each kills one worker, trips its
+    /// breaker, and takes nothing else down).
+    pub worker_panics: u64,
+    /// Connection-thread panics isolated.
+    pub conn_panics: u64,
+    /// Writer flushes that failed with a typed `FlushError`.
+    pub flush_errors: u64,
+    /// Connections closed for blowing the mid-frame read deadline.
+    pub read_timeouts: u64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            conns_opened: self.conns_opened.load(Ordering::Relaxed),
+            conns_closed: self.conns_closed.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            nacks: self.nacks.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            ingest_batches: self.ingest_batches.load(Ordering::Relaxed),
+            ingest_items: self.ingest_items.load(Ordering::Relaxed),
+            merges_accepted: self.merges_accepted.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            conn_panics: self.conn_panics.load(Ordering::Relaxed),
+            flush_errors: self.flush_errors.load(Ordering::Relaxed),
+            read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Bounded per-family store of merged-in wire images, validated on
+/// arrival (capped `peek` + full zero-copy view parse) and fanned in at
+/// query time with the multiway kernels.
+struct MergeStore {
+    families: [Mutex<Vec<Bytes>>; 4],
+    cap: usize,
+}
+
+impl MergeStore {
+    fn new(cap: usize) -> Self {
+        MergeStore {
+            families: [
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+            ],
+            cap,
+        }
+    }
+
+    fn slot(&self, family: SketchFamily) -> &Mutex<Vec<Bytes>> {
+        &self.families[(family.code() - 1) as usize]
+    }
+
+    /// Appends an already-validated image; `Err` when the family's
+    /// store is at capacity (the caller sheds).
+    fn push(&self, family: SketchFamily, image: Bytes) -> Result<(), ()> {
+        let mut v = self.slot(family).lock().unwrap_or_else(|e| e.into_inner());
+        if v.len() >= self.cap {
+            return Err(());
+        }
+        v.push(image);
+        Ok(())
+    }
+
+    fn images(&self, family: SketchFamily) -> Vec<Bytes> {
+        self.slot(family)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+/// Run-state flags shared by every thread of the server.
+#[derive(Debug, Default)]
+struct Control {
+    /// Stop admitting ingest/merge work (queries still served).
+    draining: AtomicBool,
+    /// Tear everything down: listener, connections, workers.
+    shutdown: AtomicBool,
+    /// A client sent a `Shutdown` frame; the embedder (e.g. the binary)
+    /// polls this and calls [`ServerHandle::shutdown`].
+    drain_requested: AtomicBool,
+}
+
+/// Per-worker dispatch handle, cloned into every connection thread.
+#[derive(Clone)]
+struct WorkerHandle {
+    tx: SyncSender<Vec<u64>>,
+    breaker: Arc<CircuitBreaker>,
+    dead: Arc<AtomicBool>,
+}
+
+/// Everything a connection thread needs.
+struct ServerCtx {
+    cfg: ServerConfig,
+    ctl: Control,
+    stats: Stats,
+    engine: ConcurrentThetaSketch,
+    store: MergeStore,
+    workers: Vec<WorkerHandle>,
+    next_worker: AtomicUsize,
+}
+
+/// The running server: owns the accept loop, worker threads, and the
+/// live engine. Obtain via [`serve`]; stop via [`Self::shutdown`] (or
+/// drop, which performs an abrupt but still joined teardown).
+pub struct ServerHandle {
+    ctx: Arc<ServerCtx>,
+    addr: SocketAddr,
+    accept_join: Option<JoinHandle<()>>,
+    worker_joins: Vec<JoinHandle<WorkerExit>>,
+    conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    drained: bool,
+}
+
+/// What a worker reports when it exits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerExit {
+    /// Queue drained and writer flushed cleanly.
+    Flushed,
+    /// Writer flush failed (typed engine error, already counted).
+    FlushFailed,
+    /// The worker panicked (isolated; breaker tripped).
+    Panicked,
+}
+
+/// Outcome of a graceful drain: how cleanly the server went down.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct DrainReport {
+    /// Workers whose queues drained and writers flushed cleanly.
+    pub workers_flushed: usize,
+    /// Workers whose final flush failed with a typed error.
+    pub workers_flush_failed: usize,
+    /// Workers that had died by panic before or during the drain.
+    pub workers_panicked: usize,
+    /// Threads that could not be joined (must be 0 — anything else is a
+    /// leak).
+    pub leaked_threads: usize,
+    /// Final counter snapshot.
+    pub stats: StatsSnapshot,
+    /// Final estimate of the live engine after quiesce.
+    pub final_estimate: f64,
+}
+
+/// Starts the server: binds the listener, spins up the engine and the
+/// ingest workers, and begins accepting connections.
+///
+/// # Errors
+///
+/// Propagates listener bind errors; panics only on invalid engine
+/// configuration (caller-controlled).
+pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let workers_n = cfg.ingest_workers.max(1);
+    let engine = ConcurrentThetaBuilder::new()
+        .lg_k(cfg.lg_k)
+        .writers(workers_n)
+        .backend(cfg.backend)
+        .build()
+        .expect("server engine config must be valid");
+
+    let mut worker_handles = Vec::with_capacity(workers_n);
+    let mut worker_rx: Vec<Receiver<Vec<u64>>> = Vec::with_capacity(workers_n);
+    for _ in 0..workers_n {
+        let (tx, rx) = sync_channel::<Vec<u64>>(cfg.queue_depth.max(1));
+        worker_handles.push(WorkerHandle {
+            tx,
+            breaker: Arc::new(CircuitBreaker::new(
+                cfg.breaker_threshold.max(1),
+                cfg.breaker_cooldown,
+            )),
+            dead: Arc::new(AtomicBool::new(false)),
+        });
+        worker_rx.push(rx);
+    }
+
+    let store = MergeStore::new(cfg.merge_store_cap);
+    let ctx = Arc::new(ServerCtx {
+        cfg,
+        ctl: Control::default(),
+        stats: Stats::default(),
+        engine,
+        store,
+        workers: worker_handles,
+        next_worker: AtomicUsize::new(0),
+    });
+
+    let mut worker_joins = Vec::with_capacity(workers_n);
+    for (i, rx) in worker_rx.into_iter().enumerate() {
+        let ctx = Arc::clone(&ctx);
+        let writer = ctx.engine.writer();
+        worker_joins.push(
+            std::thread::Builder::new()
+                .name(format!("fcds-ingest-{i}"))
+                .spawn(move || ingest_worker(ctx, i, writer, rx))
+                .expect("spawn ingest worker"),
+        );
+    }
+
+    let conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept_join = {
+        let ctx = Arc::clone(&ctx);
+        let conn_joins = Arc::clone(&conn_joins);
+        std::thread::Builder::new()
+            .name("fcds-accept".to_string())
+            .spawn(move || accept_loop(listener, ctx, conn_joins))
+            .expect("spawn accept loop")
+    };
+
+    Ok(ServerHandle {
+        ctx,
+        addr,
+        accept_join: Some(accept_join),
+        worker_joins,
+        conn_joins,
+        drained: false,
+    })
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.ctx.stats.snapshot()
+    }
+
+    /// Whether the live engine lost a propagation service (a dead
+    /// propagator thread) — degraded but still serving.
+    pub fn is_degraded(&self) -> bool {
+        self.ctx
+            .workers
+            .iter()
+            .any(|w| w.dead.load(Ordering::Acquire))
+    }
+
+    /// Whether some client requested a drain with a `Shutdown` frame.
+    pub fn drain_requested(&self) -> bool {
+        self.ctx.ctl.drain_requested.load(Ordering::Acquire)
+    }
+
+    /// Estimate of the live engine (concurrent query path).
+    pub fn live_estimate(&self) -> f64 {
+        self.ctx.engine.estimate()
+    }
+
+    /// Gracefully drains and stops the server:
+    ///
+    /// 1. stop admitting ingest/merge (`Draining` NACKs from here on);
+    /// 2. let workers drain their queues and flush their writers;
+    /// 3. quiesce the engine (merges every hand-off, republishes
+    ///    images);
+    /// 4. close the listener and every connection, joining all threads.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> DrainReport {
+        self.drained = true;
+        self.ctx.ctl.draining.store(true, Ordering::Release);
+
+        let mut workers_flushed = 0usize;
+        let mut workers_flush_failed = 0usize;
+        let mut workers_panicked = 0usize;
+        let mut leaked_threads = 0usize;
+        for j in self.worker_joins.drain(..) {
+            match j.join() {
+                Ok(WorkerExit::Flushed) => workers_flushed += 1,
+                Ok(WorkerExit::FlushFailed) => workers_flush_failed += 1,
+                Ok(WorkerExit::Panicked) => workers_panicked += 1,
+                Err(_) => leaked_threads += 1, // catch_unwind means this can't happen
+            }
+        }
+
+        // Writers are flushed (or dead); merge what is in flight and
+        // republish every shard image.
+        self.ctx.engine.quiesce();
+
+        self.ctx.ctl.shutdown.store(true, Ordering::Release);
+        if let Some(j) = self.accept_join.take() {
+            if j.join().is_err() {
+                leaked_threads += 1;
+            }
+        }
+        let joins = {
+            let mut g = self.conn_joins.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *g)
+        };
+        for j in joins {
+            if j.join().is_err() {
+                leaked_threads += 1;
+            }
+        }
+
+        DrainReport {
+            workers_flushed,
+            workers_flush_failed,
+            workers_panicked,
+            leaked_threads,
+            stats: self.ctx.stats.snapshot(),
+            final_estimate: self.ctx.engine.estimate(),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if !self.drained {
+            let _ = self.shutdown_inner();
+        }
+    }
+}
+
+/// The ingest worker: drains its bounded queue into its engine writer.
+/// Runs under `catch_unwind`; a panic (injected faults, engine bugs)
+/// kills only this worker, trips its breaker, and marks it dead so
+/// dispatch routes around it.
+fn ingest_worker(
+    ctx: Arc<ServerCtx>,
+    index: usize,
+    writer: fcds_core::theta::ThetaWriter,
+    rx: Receiver<Vec<u64>>,
+) -> WorkerExit {
+    let me = ctx.workers[index].clone();
+    let exit = catch_unwind(AssertUnwindSafe(|| {
+        ingest_worker_impl(&ctx, &me, writer, &rx)
+    }));
+    match exit {
+        Ok(e) => e,
+        Err(_) => {
+            me.dead.store(true, Ordering::Release);
+            me.breaker.trip();
+            ctx.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            WorkerExit::Panicked
+        }
+    }
+}
+
+fn ingest_worker_impl(
+    ctx: &ServerCtx,
+    me: &WorkerHandle,
+    mut writer: fcds_core::theta::ThetaWriter,
+    rx: &Receiver<Vec<u64>>,
+) -> WorkerExit {
+    loop {
+        match rx.recv_timeout(POLL_INTERVAL) {
+            Ok(batch) => {
+                if let Some(poison) = ctx.cfg.fault_panic_on {
+                    if batch.contains(&poison) {
+                        panic!("injected fault: poisoned ingest item {poison}");
+                    }
+                }
+                let n = batch.len() as u64;
+                writer.update_batch(&batch);
+                // Surface engine-side propagation faults (a dead
+                // propagator thread) promptly instead of only at drain:
+                // flush after each batch. With the writer-assisted
+                // backend this is propagation the writer performs
+                // anyway; with the dedicated-thread backend it bounds
+                // the un-acked window to one batch.
+                match writer.flush() {
+                    Ok(()) => {
+                        ctx.stats.ingest_items.fetch_add(n, Ordering::Relaxed);
+                        me.breaker.record_success();
+                    }
+                    Err(_e) => {
+                        ctx.stats.flush_errors.fetch_add(1, Ordering::Relaxed);
+                        me.dead.store(true, Ordering::Release);
+                        me.breaker.trip();
+                        return WorkerExit::FlushFailed;
+                    }
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if ctx.ctl.draining.load(Ordering::Acquire)
+                    || ctx.ctl.shutdown.load(Ordering::Acquire)
+                {
+                    // Dispatch stopped admitting before the flag was
+                    // set, so an empty poll during a drain means the
+                    // queue is finally dry: flush and exit.
+                    return match writer.flush() {
+                        Ok(()) => WorkerExit::Flushed,
+                        Err(_) => {
+                            ctx.stats.flush_errors.fetch_add(1, Ordering::Relaxed);
+                            me.dead.store(true, Ordering::Release);
+                            me.breaker.trip();
+                            WorkerExit::FlushFailed
+                        }
+                    };
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                // All senders gone (server handle dropped mid-teardown).
+                return match writer.flush() {
+                    Ok(()) => WorkerExit::Flushed,
+                    Err(_) => WorkerExit::FlushFailed,
+                };
+            }
+        }
+    }
+}
+
+/// Accepts connections until shutdown; each connection gets its own
+/// thread wrapped in `catch_unwind`.
+fn accept_loop(
+    listener: TcpListener,
+    ctx: Arc<ServerCtx>,
+    conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut conn_id = 0u64;
+    loop {
+        if ctx.ctl.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                conn_id += 1;
+                ctx.stats.conns_opened.fetch_add(1, Ordering::Relaxed);
+                let ctx2 = Arc::clone(&ctx);
+                let handle = std::thread::Builder::new()
+                    .name(format!("fcds-conn-{conn_id}"))
+                    .spawn(move || {
+                        let ctx3 = Arc::clone(&ctx2);
+                        let r = catch_unwind(AssertUnwindSafe(move || {
+                            handle_connection(stream, &ctx2);
+                        }));
+                        if r.is_err() {
+                            ctx3.stats.conn_panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                        ctx3.stats.conns_closed.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .expect("spawn connection thread");
+                let mut joins = conn_joins.lock().unwrap_or_else(|e| e.into_inner());
+                // Reap finished threads so the vec stays bounded by the
+                // number of *live* connections.
+                joins.retain(|j| !j.is_finished());
+                joins.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => {
+                // Transient accept errors (aborted handshakes) — retry.
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+}
+
+/// What the frame reader produced.
+enum ReadEvent {
+    /// A validated frame.
+    Frame(Frame),
+    /// A protocol violation; NACK with `err`'s code and close if
+    /// `err.closes_connection()`.
+    Bad { seq: u16, err: HeaderError },
+    /// The peer closed (or the server is shutting down) — exit quietly.
+    Closed,
+    /// Mid-frame deadline blown: best-effort Timeout NACK, then close.
+    TimedOut { seq: u16 },
+}
+
+/// Reads exactly `buf.len()` bytes, polling the shutdown flag and
+/// enforcing `deadline` (set by the caller once a frame has started).
+fn read_exact_ctl(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: &mut Option<Instant>,
+    ctx: &ServerCtx,
+) -> io::Result<ReadProgress> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(ReadProgress::Closed),
+            Ok(n) => {
+                filled += n;
+                if deadline.is_none() {
+                    *deadline = Some(Instant::now() + ctx.cfg.frame_deadline);
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if ctx.ctl.shutdown.load(Ordering::Acquire) {
+                    return Ok(ReadProgress::Closed);
+                }
+                if let Some(d) = *deadline {
+                    if Instant::now() >= d {
+                        return Ok(ReadProgress::TimedOut);
+                    }
+                }
+                if filled == 0 {
+                    // Idle between frames: not an error, keep polling.
+                    return Ok(ReadProgress::Idle);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadProgress::Done)
+}
+
+enum ReadProgress {
+    Done,
+    Idle,
+    Closed,
+    TimedOut,
+}
+
+/// Reads one frame (or classifies why one could not be read).
+fn read_frame(stream: &mut TcpStream, ctx: &ServerCtx) -> io::Result<ReadEvent> {
+    let mut header_bytes = [0u8; FRAME_HEADER_LEN];
+    let mut deadline: Option<Instant> = None;
+    // Header: loop on Idle (no frame started yet).
+    loop {
+        match read_exact_ctl(stream, &mut header_bytes, &mut deadline, ctx)? {
+            ReadProgress::Done => break,
+            ReadProgress::Idle => continue,
+            ReadProgress::Closed => return Ok(ReadEvent::Closed),
+            ReadProgress::TimedOut => return Ok(ReadEvent::TimedOut { seq: 0 }),
+        }
+    }
+    // Sequence number for NACKs even when validation fails (only
+    // meaningful if the magic matched; 0 otherwise).
+    let raw_seq = u16::from_le_bytes(header_bytes[6..8].try_into().expect("2 bytes"));
+    let header = match parse_header(&header_bytes, ctx.cfg.max_frame_payload, true) {
+        Ok(h) => h,
+        Err(err) => {
+            let seq = if matches!(err, HeaderError::BadMagic { .. }) {
+                0
+            } else {
+                raw_seq
+            };
+            // For keep-open violations (unknown type, bad flags) the
+            // framing is intact: skim the declared payload so the next
+            // frame starts at a boundary. The declared length is still
+            // capped before we trust it.
+            if !err.closes_connection() {
+                let declared = u32::from_le_bytes(header_bytes[8..12].try_into().expect("4 bytes"));
+                if declared > ctx.cfg.max_frame_payload {
+                    return Ok(ReadEvent::Bad {
+                        seq,
+                        err: HeaderError::PayloadTooLarge {
+                            declared,
+                            cap: ctx.cfg.max_frame_payload,
+                        },
+                    });
+                }
+                let mut discard = vec![0u8; declared as usize];
+                loop {
+                    match read_exact_ctl(stream, &mut discard, &mut deadline, ctx)? {
+                        ReadProgress::Done => break,
+                        ReadProgress::Idle => continue,
+                        ReadProgress::Closed => return Ok(ReadEvent::Closed),
+                        ReadProgress::TimedOut => return Ok(ReadEvent::TimedOut { seq }),
+                    }
+                }
+            }
+            return Ok(ReadEvent::Bad { seq, err });
+        }
+    };
+    let mut payload = vec![0u8; header.payload_len as usize];
+    loop {
+        match read_exact_ctl(stream, &mut payload, &mut deadline, ctx)? {
+            ReadProgress::Done => break,
+            ReadProgress::Idle => continue,
+            ReadProgress::Closed => return Ok(ReadEvent::Closed),
+            ReadProgress::TimedOut => return Ok(ReadEvent::TimedOut { seq: header.seq }),
+        }
+    }
+    if let Err(err) = check_payload(&header, &payload) {
+        return Ok(ReadEvent::Bad {
+            seq: header.seq,
+            err,
+        });
+    }
+    Ok(ReadEvent::Frame(Frame {
+        ftype: header.ftype,
+        seq: header.seq,
+        payload,
+    }))
+}
+
+/// One response frame to write back.
+struct Response {
+    ftype: FrameType,
+    seq: u16,
+    payload: Vec<u8>,
+    /// Close the connection after writing.
+    close: bool,
+}
+
+impl Response {
+    fn ack(seq: u16) -> Response {
+        Response {
+            ftype: FrameType::Ack,
+            seq,
+            payload: Vec::new(),
+            close: false,
+        }
+    }
+
+    fn nack(seq: u16, code: NackCode, detail: &str, close: bool) -> Response {
+        Response {
+            ftype: FrameType::Nack,
+            seq,
+            payload: encode_nack_payload(code, detail),
+            close,
+        }
+    }
+}
+
+/// Serves one connection until close/shutdown/fatal error.
+fn handle_connection(mut stream: TcpStream, ctx: &ServerCtx) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(ctx.cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let event = match read_frame(&mut stream, ctx) {
+            Ok(e) => e,
+            Err(_) => return, // hard I/O error: nothing sane to send
+        };
+        let response = match event {
+            ReadEvent::Closed => return,
+            ReadEvent::TimedOut { seq } => {
+                ctx.stats.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                Response::nack(
+                    seq,
+                    NackCode::Timeout,
+                    "mid-frame read deadline blown",
+                    true,
+                )
+            }
+            ReadEvent::Bad { seq, err } => Response::nack(
+                seq,
+                err.nack_code(),
+                &err.to_string(),
+                err.closes_connection(),
+            ),
+            ReadEvent::Frame(frame) => {
+                ctx.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                dispatch_frame(frame, ctx)
+            }
+        };
+        let close = response.close;
+        if write_response(&mut stream, ctx, response).is_err() || close {
+            return;
+        }
+    }
+}
+
+fn write_response(stream: &mut TcpStream, ctx: &ServerCtx, r: Response) -> io::Result<()> {
+    if r.ftype == FrameType::Nack {
+        ctx.stats.nacks.fetch_add(1, Ordering::Relaxed);
+    }
+    let bytes = encode_frame(r.ftype, r.seq, &r.payload);
+    stream.write_all(&bytes)?;
+    ctx.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Routes one validated frame to its handler and produces the response.
+fn dispatch_frame(frame: Frame, ctx: &ServerCtx) -> Response {
+    match frame.ftype {
+        FrameType::Ping => Response {
+            ftype: FrameType::Pong,
+            seq: frame.seq,
+            payload: Vec::new(),
+            close: false,
+        },
+        FrameType::Ingest => handle_ingest(frame, ctx),
+        FrameType::Merge => handle_merge(frame, ctx),
+        FrameType::Query => handle_query(frame, ctx),
+        FrameType::Shutdown => {
+            ctx.ctl.drain_requested.store(true, Ordering::Release);
+            ctx.ctl.draining.store(true, Ordering::Release);
+            Response::ack(frame.seq)
+        }
+        // parse_header's direction check makes these unreachable, but
+        // route them to a typed error rather than a panic if it ever
+        // regresses.
+        _ => Response::nack(
+            frame.seq,
+            NackCode::Malformed,
+            "server-side frame type",
+            false,
+        ),
+    }
+}
+
+fn handle_ingest(frame: Frame, ctx: &ServerCtx) -> Response {
+    if ctx.ctl.draining.load(Ordering::Acquire) {
+        return Response::nack(frame.seq, NackCode::Draining, "server is draining", false);
+    }
+    if !frame.payload.len().is_multiple_of(8) {
+        return Response::nack(
+            frame.seq,
+            NackCode::Malformed,
+            "ingest payload must be a whole number of u64 items",
+            false,
+        );
+    }
+    let items: Vec<u64> = frame
+        .payload
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect();
+    if items.is_empty() {
+        return Response::ack(frame.seq);
+    }
+    let n = ctx.workers.len();
+    let start = ctx.next_worker.fetch_add(1, Ordering::Relaxed);
+    let mut batch = items;
+    let mut saw_full = false;
+    let mut saw_open = false;
+    for i in 0..n {
+        let w = &ctx.workers[(start + i) % n];
+        if w.dead.load(Ordering::Acquire) {
+            continue;
+        }
+        if !w.breaker.allow() {
+            saw_open = true;
+            continue;
+        }
+        match w.tx.try_send(batch) {
+            Ok(()) => {
+                ctx.stats.ingest_batches.fetch_add(1, Ordering::Relaxed);
+                return Response::ack(frame.seq);
+            }
+            Err(TrySendError::Full(b)) => {
+                w.breaker.record_failure();
+                saw_full = true;
+                batch = b;
+            }
+            Err(TrySendError::Disconnected(b)) => {
+                // Worker gone without marking dead (shouldn't happen,
+                // but never wedge on it).
+                w.dead.store(true, Ordering::Release);
+                w.breaker.trip();
+                batch = b;
+            }
+        }
+    }
+    ctx.stats.sheds.fetch_add(1, Ordering::Relaxed);
+    if saw_full {
+        Response::nack(
+            frame.seq,
+            NackCode::Overload,
+            "all ingest queues full; back off and retry",
+            false,
+        )
+    } else if saw_open {
+        Response::nack(
+            frame.seq,
+            NackCode::BreakerOpen,
+            "ingest breakers open; retry after cooldown",
+            false,
+        )
+    } else {
+        Response::nack(
+            frame.seq,
+            NackCode::Internal,
+            "no live ingest backend",
+            false,
+        )
+    }
+}
+
+fn handle_merge(frame: Frame, ctx: &ServerCtx) -> Response {
+    if ctx.ctl.draining.load(Ordering::Acquire) {
+        return Response::nack(frame.seq, NackCode::Draining, "server is draining", false);
+    }
+    // Pre-screen the envelope header with the capped peek (satellite of
+    // this PR: never size anything from an unvalidated declared length),
+    // then fully validate with the family's zero-copy view so only
+    // decodable images enter the store.
+    let peeked = match peek(&frame.payload, ctx.cfg.max_frame_payload as u64) {
+        Ok(p) => p,
+        Err(e) => return Response::nack(frame.seq, NackCode::Wire, &e.to_string(), false),
+    };
+    let validation = match peeked.family {
+        SketchFamily::Theta => ThetaWireView::parse(&frame.payload).map(|_| ()),
+        SketchFamily::Hll => HllWireView::parse(&frame.payload).map(|_| ()),
+        SketchFamily::Quantiles => LadderWireView::<u64>::parse(&frame.payload).map(|_| ()),
+        SketchFamily::Frequency => MgWireView::<u64>::parse(&frame.payload).map(|_| ()),
+    };
+    if let Err(e) = validation {
+        return Response::nack(frame.seq, NackCode::Wire, &e.to_string(), false);
+    }
+    match ctx.store.push(peeked.family, Bytes::from(frame.payload)) {
+        Ok(()) => {
+            ctx.stats.merges_accepted.fetch_add(1, Ordering::Relaxed);
+            Response::ack(frame.seq)
+        }
+        Err(()) => Response::nack(
+            frame.seq,
+            NackCode::Overload,
+            "merge store at capacity for this family",
+            false,
+        ),
+    }
+}
+
+fn handle_query(frame: Frame, ctx: &ServerCtx) -> Response {
+    let [kind, family] = match frame.payload.as_slice() {
+        [k, f] => [*k, *f],
+        _ => {
+            return Response::nack(
+                frame.seq,
+                NackCode::Malformed,
+                "query payload must be [kind, family]",
+                false,
+            )
+        }
+    };
+    let wire_err = |e: fcds_sketches::WireError| {
+        Response::nack(frame.seq, NackCode::Wire, &e.to_string(), false)
+    };
+    match (kind, family) {
+        // Estimates.
+        (0, 0) => Response {
+            ftype: FrameType::Estimate,
+            seq: frame.seq,
+            payload: ctx.engine.estimate().to_bits().to_le_bytes().to_vec(),
+            close: false,
+        },
+        (0, 1) => match theta_multiway_union(&ctx.store.images(SketchFamily::Theta)) {
+            Ok(s) => Response {
+                ftype: FrameType::Estimate,
+                seq: frame.seq,
+                payload: s.estimate().to_bits().to_le_bytes().to_vec(),
+                close: false,
+            },
+            Err(e) => wire_err(e),
+        },
+        (0, 2) => match hll_multiway_merge(&ctx.store.images(SketchFamily::Hll)) {
+            Ok(s) => Response {
+                ftype: FrameType::Estimate,
+                seq: frame.seq,
+                payload: s.estimate().to_bits().to_le_bytes().to_vec(),
+                close: false,
+            },
+            Err(e) => wire_err(e),
+        },
+        (0, 3 | 4) => Response::nack(
+            frame.seq,
+            NackCode::Unsupported,
+            "quantiles/frequency families have no scalar estimate; query the image",
+            false,
+        ),
+        // Images.
+        (1, 0) => Response {
+            ftype: FrameType::Image,
+            seq: frame.seq,
+            payload: ctx.engine.wire_image().as_ref().to_vec(),
+            close: false,
+        },
+        (1, 1) => match theta_multiway_union(&ctx.store.images(SketchFamily::Theta)) {
+            Ok(s) => Response {
+                ftype: FrameType::Image,
+                seq: frame.seq,
+                payload: s.to_wire_bytes().as_ref().to_vec(),
+                close: false,
+            },
+            Err(e) => wire_err(e),
+        },
+        (1, 2) => match hll_multiway_merge(&ctx.store.images(SketchFamily::Hll)) {
+            Ok(s) => Response {
+                ftype: FrameType::Image,
+                seq: frame.seq,
+                payload: s.to_wire_bytes().as_ref().to_vec(),
+                close: false,
+            },
+            Err(e) => wire_err(e),
+        },
+        (1, 3) => {
+            match ladder_multiway_concat::<u64, _>(&ctx.store.images(SketchFamily::Quantiles)) {
+                Ok(s) => Response {
+                    ftype: FrameType::Image,
+                    seq: frame.seq,
+                    payload: s.to_wire_bytes().as_ref().to_vec(),
+                    close: false,
+                },
+                Err(e) => wire_err(e),
+            }
+        }
+        (1, 4) => match mg_multiway_merge::<u64, _>(&ctx.store.images(SketchFamily::Frequency)) {
+            Ok(s) => Response {
+                ftype: FrameType::Image,
+                seq: frame.seq,
+                payload: s.to_wire_bytes().as_ref().to_vec(),
+                close: false,
+            },
+            Err(e) => wire_err(e),
+        },
+        _ => Response::nack(
+            frame.seq,
+            NackCode::Malformed,
+            "unknown query kind or family",
+            false,
+        ),
+    }
+}

@@ -1,0 +1,97 @@
+//! `fcds-server` binary: serve the concurrent sketch engine over TCP.
+//!
+//! ```text
+//! fcds-server [--addr=HOST:PORT] [--workers=N] [--queue-depth=N]
+//!             [--lg-k=N] [--secs=N]
+//! ```
+//!
+//! Runs until a client sends a `Shutdown` frame (or `--secs` elapses),
+//! then drains gracefully and prints the drain report.
+
+use fcds_server::{serve, ServerConfig};
+use std::time::{Duration, Instant};
+
+/// Accepts both `--flag=value` and `--flag value`, so the same
+/// invocation style works here and on `fcds-load` (whose harness
+/// parser is `=`-only). A present-but-unparseable value aborts rather
+/// than silently falling back to the default.
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let raw = args.iter().enumerate().find_map(|(i, a)| {
+        if a == flag {
+            args.get(i + 1).cloned()
+        } else {
+            a.strip_prefix(flag)
+                .and_then(|rest| rest.strip_prefix('='))
+                .map(|v| v.to_string())
+        }
+    })?;
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("fcds-server: bad value {raw:?} for {flag}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = ServerConfig::default();
+    if let Some(addr) = parse_flag::<String>(&args, "--addr") {
+        cfg.addr = addr;
+    }
+    if let Some(w) = parse_flag::<usize>(&args, "--workers") {
+        cfg.ingest_workers = w;
+    }
+    if let Some(d) = parse_flag::<usize>(&args, "--queue-depth") {
+        cfg.queue_depth = d;
+    }
+    if let Some(k) = parse_flag::<u8>(&args, "--lg-k") {
+        cfg.lg_k = k;
+    }
+    let secs = parse_flag::<u64>(&args, "--secs");
+
+    let handle = match serve(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("fcds-server: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("fcds-server listening on {}", handle.local_addr());
+
+    let deadline = secs.map(|s| Instant::now() + Duration::from_secs(s));
+    loop {
+        if handle.drain_requested() {
+            println!("fcds-server: drain requested by client");
+            break;
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                println!("fcds-server: --secs elapsed");
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let report = handle.shutdown();
+    println!(
+        "fcds-server: drained (workers flushed {}, flush-failed {}, panicked {}, leaked {})",
+        report.workers_flushed,
+        report.workers_flush_failed,
+        report.workers_panicked,
+        report.leaked_threads
+    );
+    println!(
+        "fcds-server: {} items in {} batches, {} sheds, {} nacks, final estimate {:.1}",
+        report.stats.ingest_items,
+        report.stats.ingest_batches,
+        report.stats.sheds,
+        report.stats.nacks,
+        report.final_estimate
+    );
+    if report.leaked_threads > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,308 @@
+//! End-to-end loopback tests: a real server on 127.0.0.1, real TCP
+//! clients, the full frame protocol. This is the CI smoke test for the
+//! network tier's happy paths plus its headline fault story (worker
+//! panic → breaker → recovery → graceful drain).
+
+use fcds_server::client::{Client, Reply};
+use fcds_server::frame::{FrameType, NackCode};
+use fcds_server::{serve, BreakerState, ServerConfig};
+use fcds_sketches::wire::{peek, SketchFamily, WireEncode};
+use std::time::Duration;
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        frame_deadline: Duration::from_millis(300),
+        ..ServerConfig::default()
+    }
+}
+
+fn connect(handle: &fcds_server::ServerHandle) -> Client {
+    Client::connect(handle.local_addr(), CLIENT_TIMEOUT).expect("connect")
+}
+
+#[test]
+fn ping_pong_roundtrip() {
+    let handle = serve(test_config()).unwrap();
+    let mut c = connect(&handle);
+    let reply = c.ping().unwrap();
+    assert!(matches!(reply, Reply::Pong { .. }));
+    let report = handle.shutdown();
+    assert_eq!(report.leaked_threads, 0);
+}
+
+#[test]
+fn ingest_from_two_clients_reaches_the_live_engine() {
+    let handle = serve(test_config()).unwrap();
+    let n_per_client = 20_000u64;
+    let mut c1 = connect(&handle);
+    let mut c2 = connect(&handle);
+    // Disjoint ranges from two connections, batched.
+    for chunk in (0..n_per_client).collect::<Vec<_>>().chunks(500) {
+        assert!(matches!(c1.ingest(chunk).unwrap(), Reply::Ack { .. }));
+    }
+    for chunk in (n_per_client..2 * n_per_client)
+        .collect::<Vec<_>>()
+        .chunks(500)
+    {
+        assert!(matches!(c2.ingest(chunk).unwrap(), Reply::Ack { .. }));
+    }
+    // Workers flush after every batch, so once the queues drain the
+    // estimate must reflect every acked item. Poll briefly for the
+    // queues to empty.
+    let expect = (2 * n_per_client) as f64;
+    let mut estimate = 0.0;
+    for _ in 0..100 {
+        match c1.query_estimate(0).unwrap() {
+            Reply::Estimate { value, .. } => estimate = value,
+            other => panic!("unexpected reply: {other:?}"),
+        }
+        if (estimate - expect).abs() / expect < 0.05 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        (estimate - expect).abs() / expect < 0.05,
+        "estimate {estimate} should be within 5% of {expect}"
+    );
+    let report = handle.shutdown();
+    assert_eq!(report.stats.ingest_items, 2 * n_per_client);
+    assert_eq!(report.leaked_threads, 0);
+    assert_eq!(report.workers_panicked, 0);
+}
+
+#[test]
+fn empty_ingest_is_acked() {
+    let handle = serve(test_config()).unwrap();
+    let mut c = connect(&handle);
+    assert!(matches!(c.ingest(&[]).unwrap(), Reply::Ack { .. }));
+    handle.shutdown();
+}
+
+#[test]
+fn merge_store_accepts_and_fans_in_wire_images() {
+    let handle = serve(test_config()).unwrap();
+    let mut c = connect(&handle);
+
+    // Two Θ images over disjoint ranges, built locally.
+    let mut s1 = fcds_sketches::theta::QuickSelectThetaSketch::new(12, 0).unwrap();
+    let mut s2 = fcds_sketches::theta::QuickSelectThetaSketch::new(12, 0).unwrap();
+    for i in 0..30_000u64 {
+        s1.update(i);
+        s2.update(i + 30_000);
+    }
+    let img1 = s1.compact().to_wire_bytes();
+    let img2 = s2.compact().to_wire_bytes();
+    assert!(matches!(c.merge(&img1).unwrap(), Reply::Ack { .. }));
+    assert!(matches!(c.merge(&img2).unwrap(), Reply::Ack { .. }));
+
+    // The union estimate covers both.
+    match c.query_estimate(SketchFamily::Theta.code()).unwrap() {
+        Reply::Estimate { value, .. } => {
+            assert!(
+                (value - 60_000.0).abs() / 60_000.0 < 0.05,
+                "union estimate {value} should be near 60000"
+            );
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    // And the merged image is itself a valid Θ envelope.
+    match c.query_image(SketchFamily::Theta.code()).unwrap() {
+        Reply::Image { bytes, .. } => {
+            let peeked = peek(&bytes, u64::MAX).unwrap();
+            assert_eq!(peeked.family, SketchFamily::Theta);
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn estimate_query_on_unsupported_family_gets_typed_nack() {
+    let handle = serve(test_config()).unwrap();
+    let mut c = connect(&handle);
+    let reply = c.query_estimate(SketchFamily::Quantiles.code()).unwrap();
+    assert_eq!(reply.nack_code(), Some(NackCode::Unsupported));
+    // The connection stays usable.
+    assert!(matches!(c.ping().unwrap(), Reply::Pong { .. }));
+    handle.shutdown();
+}
+
+#[test]
+fn estimate_query_on_empty_merge_store_gets_wire_nack() {
+    let handle = serve(test_config()).unwrap();
+    let mut c = connect(&handle);
+    let reply = c.query_estimate(SketchFamily::Theta.code()).unwrap();
+    assert_eq!(reply.nack_code(), Some(NackCode::Wire));
+    handle.shutdown();
+}
+
+#[test]
+fn slow_client_is_cut_off_at_the_frame_deadline() {
+    let cfg = ServerConfig {
+        frame_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
+    };
+    let handle = serve(cfg).unwrap();
+    let mut c = connect(&handle);
+    // Send a frame header declaring 64 payload bytes, then stall.
+    let full = fcds_server::frame::encode_frame(FrameType::Ingest, 9, &[0u8; 64]);
+    c.send_raw(&full[..20]).unwrap();
+    // The server must NACK Timeout (best effort) and close.
+    match c.read_reply() {
+        Ok(reply) => assert_eq!(reply.nack_code(), Some(NackCode::Timeout)),
+        // Closing without the courtesy NACK is also within contract.
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+    }
+    let report = handle.shutdown();
+    assert_eq!(report.stats.read_timeouts, 1);
+    assert_eq!(report.leaked_threads, 0);
+}
+
+#[test]
+fn shutdown_frame_flips_drain_and_refuses_new_ingest() {
+    let handle = serve(test_config()).unwrap();
+    let mut c = connect(&handle);
+    assert!(matches!(c.ingest(&[1, 2, 3]).unwrap(), Reply::Ack { .. }));
+    assert!(matches!(c.request_shutdown().unwrap(), Reply::Ack { .. }));
+    assert!(handle.drain_requested());
+    // Ingest and merge are now refused with Draining; queries still work.
+    assert_eq!(
+        c.ingest(&[4]).unwrap().nack_code(),
+        Some(NackCode::Draining)
+    );
+    assert!(matches!(c.ping().unwrap(), Reply::Pong { .. }));
+    let report = handle.shutdown();
+    assert_eq!(report.stats.ingest_items, 3);
+    assert_eq!(
+        report.workers_flushed as u64 + report.stats.worker_panics,
+        2
+    );
+    assert_eq!(report.leaked_threads, 0);
+}
+
+#[test]
+fn worker_panic_is_isolated_breaker_trips_and_server_survives() {
+    // One worker, poisoned item → the panic kills the only ingest
+    // backend. The server must keep serving queries and NACK ingest
+    // with a typed error, never hang or crash.
+    let cfg = ServerConfig {
+        ingest_workers: 1,
+        fault_panic_on: Some(0xDEAD_BEEF),
+        ..test_config()
+    };
+    let handle = serve(cfg).unwrap();
+    let mut c = connect(&handle);
+    assert!(matches!(c.ingest(&[1, 2, 3]).unwrap(), Reply::Ack { .. }));
+
+    // Poison batch: accepted into the queue (the panic happens in the
+    // worker, asynchronously).
+    assert!(matches!(
+        c.ingest(&[0xDEAD_BEEF]).unwrap(),
+        Reply::Ack { .. }
+    ));
+
+    // Subsequent ingest eventually sees the dead backend: either the
+    // queue NACK (Internal — all workers dead) once the panic has been
+    // observed, or transiently Ack/Overload while the worker is dying.
+    let mut saw_internal = false;
+    for _ in 0..100 {
+        match c.ingest(&[7]).unwrap() {
+            Reply::Nack {
+                code: NackCode::Internal,
+                ..
+            } => {
+                saw_internal = true;
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    assert!(saw_internal, "dead worker must surface as Internal NACK");
+
+    // Queries still served; the connection and server survived.
+    assert!(matches!(c.ping().unwrap(), Reply::Pong { .. }));
+    assert!(handle.is_degraded());
+
+    let report = handle.shutdown();
+    assert_eq!(report.stats.worker_panics, 1);
+    assert_eq!(report.workers_panicked, 1);
+    assert_eq!(report.leaked_threads, 0);
+}
+
+#[test]
+fn backpressure_sheds_with_overload_nack_when_queues_fill() {
+    // Tiny queues + a poisoned worker stuck panicking? No — simpler:
+    // stall the single worker by flooding it faster than it can drain.
+    // queue_depth 1 and large batches make the race easy to hit.
+    let cfg = ServerConfig {
+        ingest_workers: 1,
+        queue_depth: 1,
+        ..test_config()
+    };
+    let handle = serve(cfg).unwrap();
+    let mut c = connect(&handle);
+    let batch: Vec<u64> = (0..4096).collect();
+    let mut saw_overload = false;
+    for _ in 0..2000 {
+        match c.ingest(&batch).unwrap() {
+            Reply::Nack { code, .. } => {
+                assert!(
+                    code == NackCode::Overload || code == NackCode::BreakerOpen,
+                    "sheds must be typed Overload/BreakerOpen, got {code:?}"
+                );
+                saw_overload = true;
+                break;
+            }
+            Reply::Ack { .. } => {}
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    assert!(saw_overload, "a 1-deep queue must shed under a flood");
+    let report = handle.shutdown();
+    assert!(report.stats.sheds >= 1);
+    // Shed batches are NOT silently dropped-and-acked: every shed has a
+    // matching NACK.
+    assert!(report.stats.nacks >= report.stats.sheds);
+    assert_eq!(report.leaked_threads, 0);
+}
+
+#[test]
+fn breaker_standalone_recovers_through_half_open() {
+    // The breaker unit covers the state machine; this drills the
+    // recovery sequence the server relies on end to end.
+    let b = fcds_server::CircuitBreaker::new(2, Duration::from_millis(50));
+    b.record_failure();
+    b.record_failure();
+    assert_eq!(b.state(), BreakerState::Open);
+    assert!(!b.allow());
+    std::thread::sleep(Duration::from_millis(60));
+    assert!(b.allow(), "cooldown elapsed: half-open probe admitted");
+    b.record_success();
+    assert_eq!(b.state(), BreakerState::Closed);
+}
+
+#[test]
+fn drain_flushes_all_acked_items_into_the_final_estimate() {
+    let handle = serve(test_config()).unwrap();
+    let mut c = connect(&handle);
+    let mut acked = 0u64;
+    for chunk in (0..10_000u64).collect::<Vec<_>>().chunks(250) {
+        if matches!(c.ingest(chunk).unwrap(), Reply::Ack { .. }) {
+            acked += chunk.len() as u64;
+        }
+    }
+    let report = handle.shutdown();
+    assert_eq!(report.workers_flushed, 2, "both workers must flush clean");
+    assert_eq!(report.stats.ingest_items, acked);
+    let expect = acked as f64;
+    assert!(
+        (report.final_estimate - expect).abs() / expect < 0.05,
+        "final estimate {} should cover all {acked} acked items",
+        report.final_estimate
+    );
+    assert_eq!(report.leaked_threads, 0);
+}

@@ -266,14 +266,22 @@ pub struct PeekedHeader {
 ///
 /// Contrast [`WireHeader::parse`]: `peek` accepts any input carrying at
 /// least the header, so the declared `payload_len` is *reported, not
-/// verified* — full validation still happens at decode time.
+/// verified* against the bytes present — full validation still happens
+/// at decode time. What `peek` *does* verify is the caller's trust
+/// budget: a frame reader sizing a receive buffer from the declared
+/// length must never let an attacker-controlled header drive the
+/// allocation, so declared lengths above `max_payload_len` are rejected
+/// before any payload byte is read. Callers with no framing concern can
+/// pass [`u64::MAX`].
 ///
 /// # Errors
 ///
 /// [`WireError::Truncated`] below 16 bytes, and the header taxonomy
 /// ([`WireError::BadMagic`] / [`WireError::UnsupportedVersion`] /
 /// [`WireError::UnknownFamily`]) for damaged headers — identical to the
-/// full parser, byte for byte.
+/// full parser, byte for byte. [`WireError::PayloadLength`] when the
+/// declared length exceeds `max_payload_len` (the error's `have` field
+/// carries the cap: the most payload the caller was willing to accept).
 ///
 /// # Examples
 ///
@@ -283,12 +291,22 @@ pub struct PeekedHeader {
 ///
 /// let image = HllSketch::new(10, 3).unwrap().to_wire_bytes();
 /// // Only the first 16 bytes are needed.
-/// let peeked = peek(&image[..WIRE_HEADER_LEN]).unwrap();
+/// let peeked = peek(&image[..WIRE_HEADER_LEN], 1 << 20).unwrap();
 /// assert_eq!(peeked.family, SketchFamily::Hll);
 /// assert_eq!(peeked.payload_len as usize, image.len() - WIRE_HEADER_LEN);
+/// // A header declaring more than the cap is rejected outright.
+/// let mut absurd = image[..WIRE_HEADER_LEN].to_vec();
+/// absurd[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+/// assert!(peek(&absurd, 1 << 20).is_err());
 /// ```
-pub fn peek(data: &[u8]) -> Result<PeekedHeader, WireError> {
+pub fn peek(data: &[u8], max_payload_len: u64) -> Result<PeekedHeader, WireError> {
     let header = WireHeader::parse_prefix(data)?;
+    if header.payload_len > max_payload_len {
+        return Err(WireError::PayloadLength {
+            declared: header.payload_len,
+            have: max_payload_len,
+        });
+    }
     Ok(PeekedHeader {
         family: header.family,
         flags: header.flags,

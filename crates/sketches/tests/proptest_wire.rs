@@ -118,9 +118,9 @@ fn single_byte_mutation_at_every_offset_never_panics() {
 /// The hostile-header matrix: each corruption class must map to its
 /// intended [`WireError`] variant, for every family. [`peek`] reads only
 /// the 16-byte header, so it must reject the header-level classes with
-/// the *same* variants — but it never verifies the declared payload
-/// length against the input, so length-related corruption is invisible
-/// to it by design.
+/// the *same* variants — it never verifies the declared payload length
+/// against the input, but it does enforce the caller-supplied cap so a
+/// frame reader can refuse absurd lengths before buffering anything.
 #[test]
 fn corruption_classes_map_to_intended_error_variants() {
     for (name, bytes) in sample_images() {
@@ -133,7 +133,7 @@ fn corruption_classes_map_to_intended_error_variants() {
                 matches!(err, WireError::BadMagic { .. }),
                 "{name}: magic byte {i} flip gave {err:?}"
             );
-            let perr = peek(&b).expect_err(name);
+            let perr = peek(&b, u64::MAX).expect_err(name);
             assert_eq!(err, perr, "{name}: peek disagrees on magic byte {i} flip");
         }
 
@@ -147,7 +147,11 @@ fn corruption_classes_map_to_intended_error_variants() {
                 WireError::UnsupportedVersion { found: version },
                 "{name}: version {version}"
             );
-            assert_eq!(peek(&b), Err(err), "{name}: peek disagrees on version");
+            assert_eq!(
+                peek(&b, u64::MAX),
+                Err(err),
+                "{name}: peek disagrees on version"
+            );
         }
 
         // Unknown family code.
@@ -160,13 +164,18 @@ fn corruption_classes_map_to_intended_error_variants() {
                 WireError::UnknownFamily { found: family },
                 "{name}: family {family}"
             );
-            assert_eq!(peek(&b), Err(err), "{name}: peek disagrees on family");
+            assert_eq!(
+                peek(&b, u64::MAX),
+                Err(err),
+                "{name}: peek disagrees on family"
+            );
         }
 
         // Absurd declared payload length: must error on the length
-        // field alone — long before any allocation could happen. `peek`
-        // is the one reader that *accepts* this class: it reports the
-        // declared length without vouching for it.
+        // field alone — long before any allocation could happen. With a
+        // generous cap `peek` still reports the declared length without
+        // vouching for the bytes; with a realistic cap it rejects the
+        // header outright, carrying the cap in the error's `have` field.
         for declared in [u64::MAX, u64::MAX / 2, bytes.len() as u64 * 1_000_000] {
             let mut b = bytes.clone();
             b[8..16].copy_from_slice(&declared.to_le_bytes());
@@ -175,10 +184,36 @@ fn corruption_classes_map_to_intended_error_variants() {
                 matches!(err, WireError::PayloadLength { .. }),
                 "{name}: declared len {declared} gave {err:?}"
             );
-            let peeked = peek(&b).expect(name);
+            let peeked = peek(&b, u64::MAX).expect(name);
             assert_eq!(
                 peeked.payload_len, declared,
-                "{name}: peek must report the declared length verbatim"
+                "{name}: uncapped peek must report the declared length verbatim"
+            );
+            let cap = 1u64 << 20;
+            assert_eq!(
+                peek(&b, cap),
+                Err(WireError::PayloadLength {
+                    declared,
+                    have: cap
+                }),
+                "{name}: capped peek must refuse declared len {declared}"
+            );
+        }
+
+        // A declared length exactly at the cap passes the pre-screen:
+        // the cap bounds what the reader will buffer, not what is valid.
+        {
+            let mut b = bytes.clone();
+            let declared = 4096u64;
+            b[8..16].copy_from_slice(&declared.to_le_bytes());
+            let peeked = peek(&b, declared).expect(name);
+            assert_eq!(
+                peeked.payload_len, declared,
+                "{name}: declared == cap must be accepted"
+            );
+            assert!(
+                peek(&b, declared - 1).is_err(),
+                "{name}: declared just above cap must be refused"
             );
         }
 
@@ -189,7 +224,7 @@ fn corruption_classes_map_to_intended_error_variants() {
                 matches!(err, WireError::Truncated { .. }),
                 "{name}: {cut}-byte input gave {err:?}"
             );
-            let perr = peek(&bytes[..cut]).expect_err(name);
+            let perr = peek(&bytes[..cut], u64::MAX).expect_err(name);
             assert!(
                 matches!(perr, WireError::Truncated { .. }),
                 "{name}: peek on {cut}-byte input gave {perr:?}"
@@ -200,7 +235,7 @@ fn corruption_classes_map_to_intended_error_variants() {
         // exact payload, but `peek` classifies it happily — that is its
         // whole purpose (routing from the first bytes off the socket).
         let (header, _) = WireHeader::parse(&bytes).expect(name);
-        let peeked = peek(&bytes[..WIRE_HEADER_LEN]).expect(name);
+        let peeked = peek(&bytes[..WIRE_HEADER_LEN], u64::MAX).expect(name);
         assert_eq!(peeked.family, header.family, "{name}: peek family");
         assert_eq!(peeked.flags, header.flags, "{name}: peek flags");
         assert_eq!(

@@ -138,7 +138,7 @@ fn main() {
                 for i in (0..500_000u64).rev() {
                     w.update(4 * i + t + 3);
                 }
-                w.flush();
+                w.flush().unwrap();
             });
         }
         s.spawn(|| {

@@ -78,8 +78,8 @@ fn main() {
             }
         }
         fed += chunk.len();
-        w1.flush();
-        w2.flush();
+        w1.flush().unwrap();
+        w2.flush().unwrap();
         sketch.quiesce();
         let snap = sketch.snapshot();
         let obs = ThetaObservation {

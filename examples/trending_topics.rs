@@ -48,7 +48,7 @@ fn main() {
                     };
                     w.update(topic);
                 }
-                w.flush();
+                w.flush().unwrap();
             });
         }
         // A live dashboard thread.

@@ -70,8 +70,8 @@ pub use fcds_sketches as sketches;
 // the types every embedder touches regardless of which sketch they
 // instantiate (shard count, propagation backend, error budget).
 pub use fcds_core::{
-    ConcurrencyConfig, DedicatedThreadBackend, PropagationBackend, PropagationBackendKind,
-    WriterAssistedBackend,
+    ConcurrencyConfig, DedicatedThreadBackend, FlushError, PropagationBackend,
+    PropagationBackendKind, WriterAssistedBackend,
 };
 
 // The wire/merge tier, re-exported flat: sketch on any node, emit a

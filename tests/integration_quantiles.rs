@@ -24,7 +24,7 @@ fn concurrent_ranks_within_relaxed_epsilon() {
                 for i in (t..n).step_by(writers) {
                     w.update(i);
                 }
-                w.flush();
+                w.flush().unwrap();
             });
         }
     });
@@ -69,7 +69,7 @@ fn concurrent_agrees_with_sequential_on_shuffled_stream() {
                 for &v in half {
                     w.update(v);
                 }
-                w.flush();
+                w.flush().unwrap();
             });
         }
     });
@@ -106,7 +106,7 @@ fn skewed_distribution_percentiles() {
                     };
                     w.update(TotalF64(v));
                 }
-                w.flush();
+                w.flush().unwrap();
             });
         }
     });
@@ -164,8 +164,8 @@ fn visible_n_catches_up_after_flush() {
         w1.update(i);
         w2.update(i + 5_000);
     }
-    w1.flush();
-    w2.flush();
+    w1.flush().unwrap();
+    w2.flush().unwrap();
     sketch.quiesce();
     assert_eq!(sketch.visible_n(), 10_000);
 }
@@ -197,7 +197,7 @@ fn concurrent_answers_admissible_under_relaxation_checker() {
         }
         fed += chunk.len();
         for w in &mut writers {
-            w.flush();
+            w.flush().unwrap();
         }
         sketch.quiesce();
         for phi in [0.1, 0.5, 0.9] {

@@ -43,7 +43,7 @@ fn concurrent_matches_sequential_reference_after_quiesce() {
                 for i in (t..n).step_by(4) {
                     w.update(i);
                 }
-                w.flush();
+                w.flush().unwrap();
             });
         }
     });
@@ -83,7 +83,7 @@ fn theorem1_holds_at_quiescent_points() {
         }
         fed += chunk.len();
         for w in &mut handles {
-            w.flush();
+            w.flush().unwrap();
         }
         sketch.quiesce();
         checker
@@ -149,7 +149,7 @@ fn compact_outputs_of_concurrent_sketches_are_mergeable() {
                     for i in ((lo + t)..hi).step_by(2) {
                         w.update(i);
                     }
-                    w.flush();
+                    w.flush().unwrap();
                 });
             }
         });
@@ -186,8 +186,8 @@ fn estimate_is_fresh_within_relaxation_after_quiesce() {
                 w2.update(i);
             }
         }
-        w1.flush();
-        w2.flush();
+        w1.flush().unwrap();
+        w2.flush().unwrap();
     }
     sketch.quiesce();
     let snap = sketch.snapshot();
@@ -224,7 +224,7 @@ fn eager_phase_exactness_boundary() {
     for i in 1_249..50_000u64 {
         w.update(i);
     }
-    w.flush();
+    w.flush().unwrap();
     sketch.quiesce();
     let rel = (sketch.estimate() - 50_000.0).abs() / 50_000.0;
     assert!(rel < sketch.error_bound(), "post-transition error {rel}");

@@ -121,7 +121,7 @@ proptest! {
         // Flushed and quiesced: zero staleness, even across the merge and
         // for throttled images (quiesce republishes them).
         for w in &mut handles {
-            w.flush();
+            w.flush().unwrap();
         }
         sketch.quiesce();
         let snap = sketch.snapshot();
@@ -235,7 +235,7 @@ proptest! {
         // Flushed and quiesced: zero staleness for any M, and agreement
         // with a sequential oracle on the same stream.
         for w in &mut handles {
-            w.flush();
+            w.flush().unwrap();
         }
         sketch.quiesce();
         prop_assert_eq!(sketch.visible_n(), n, "sample-union merge must be lossless in n");
@@ -287,7 +287,7 @@ fn sharded_compact_union_matches_oracle_estimate() {
                 for i in (t..n).step_by(4) {
                     w.update(i);
                 }
-                w.flush();
+                w.flush().unwrap();
             });
         }
     });

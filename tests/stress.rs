@@ -4,6 +4,7 @@
 
 use fcds::core::hll::ConcurrentHllBuilder;
 use fcds::core::theta::ConcurrentThetaBuilder;
+use fcds::FlushError;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 #[test]
@@ -55,7 +56,7 @@ fn query_hammering_does_not_disturb_ingestion() {
                 for i in 0..300_000u64 {
                     w.update(t * 300_000 + i);
                 }
-                w.flush();
+                w.flush().unwrap();
             });
         }
         for _ in 0..6 {
@@ -100,14 +101,14 @@ fn dropping_sketch_before_writers_is_safe() {
         w2.update(i + 10_000);
     }
     drop(sketch); // stops the propagator
-                  // Writers keep updating and flushing into a dead engine: must return,
-                  // not hang.
+                  // Writers keep updating and flushing into a dead engine: must return
+                  // the typed shutdown error, not hang.
     for i in 0..1_000u64 {
         w1.update(i + 50_000);
         w2.update(i + 60_000);
     }
-    w1.flush();
-    w2.flush();
+    assert_eq!(w1.flush(), Err(FlushError::ShuttingDown));
+    assert_eq!(w2.flush(), Err(FlushError::ShuttingDown));
     drop(w1);
     drop(w2);
 }
@@ -126,7 +127,7 @@ fn rapid_create_destroy_cycles() {
         for v in 0..500u64 {
             w.update(v);
         }
-        w.flush();
+        w.flush().unwrap();
         sketch.quiesce();
         assert!(sketch.estimate() > 0.0);
     }
@@ -194,7 +195,7 @@ fn duplicate_heavy_concurrent_stream() {
                         w.update(v + (round % 2) * 500); // overlapping windows
                     }
                 }
-                w.flush();
+                w.flush().unwrap();
             });
         }
     });
