@@ -51,6 +51,7 @@ use fcds_core::frequency::ConcurrentFrequencySketch;
 use fcds_core::hll::ConcurrentHllSketch;
 use fcds_core::quantiles::ConcurrentQuantilesSketch;
 use fcds_core::theta::ConcurrentThetaSketch;
+use fcds_core::WireImage;
 use fcds_sketches::frequency::MisraGriesSketch;
 use fcds_sketches::hll::HllSketch;
 use fcds_sketches::quantiles::{epsilon_for_k, QuantilesLadder, QuantilesSketch};

@@ -160,6 +160,46 @@ pub const SERVE_FAULT_CLASSES_SURVIVED_MIN: f64 = 5.0;
 /// (breaker stuck open, connection leak) blows far past this.
 pub const SERVE_RECOVERY_MS_MAX: f64 = 5_000.0;
 
+/// Network tier, multi-stream mode (FCF1 v2): aggregate stream-addressed
+/// ingest throughput across ≥ 8 named streams spanning all four
+/// families, in million items per second. Same floor as the
+/// single-stream gate — per-key registry dispatch must not cost the
+/// tier its throughput contract.
+pub const SERVE_MULTISTREAM_INGEST_MITEMS_PER_S_MIN: f64 = 1.0;
+
+/// Network tier, multi-stream mode: p99 latency of stream-addressed
+/// estimate queries (Θ/HLL streams) issued concurrently with the
+/// multi-stream ingest load, in milliseconds. Image queries on the
+/// Quantiles/Frequency streams run concurrently to exercise their
+/// fan-in path but are not latency-gated — they are bulk exports whose
+/// size scales with the stream.
+pub const SERVE_MULTISTREAM_QUERY_P99_MS_MAX: f64 = 50.0;
+
+/// Network tier, multi-stream mode: the fraction of healthy-stream
+/// requests still ACKed while one stream's worker is dead from a
+/// poisoned batch. 1.0 is the isolation contract — per-stream workers,
+/// queues and breakers mean one stream's fault can never shed another
+/// stream's traffic.
+pub const SERVE_MULTISTREAM_ISOLATION_MIN: f64 = 1.0;
+
+/// Network tier, multi-stream mode: typed error coverage across the
+/// multi-stream drill, which deliberately provokes the v2 additions to
+/// the taxonomy (`UnknownStream`, `FamilyMismatch`) on top of the
+/// poisoned stream's failures. 1.0, same contract as single-stream.
+pub const SERVE_MULTISTREAM_TYPED_COVERAGE_MIN: f64 = 1.0;
+
+/// Replica sync: the number of streams (round-robin across all four
+/// families) that must converge on the passive peer after the source's
+/// background pusher ships their wire images. One per family, so every
+/// family's fan-in kernel is exercised through the sync path.
+pub const SYNC_CONVERGENCE_STREAMS_MIN: f64 = 4.0;
+
+/// Replica sync: worst peer-side relative error across converged
+/// streams. Quantiles/Frequency image counts replicate exactly; the
+/// bound is the probabilistic envelope of the Θ (lg_k = 12 ⇒ ~1.6% σ)
+/// and HLL (lg_m = 12 ⇒ ~1.6% σ) estimates with generous headroom.
+pub const SYNC_CONVERGENCE_RELERR_MAX: f64 = 0.08;
+
 /// The bound direction encoded in a threshold key's suffix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bound {

@@ -212,6 +212,12 @@ impl<T: Eq + Hash + Clone + Send + Sync + 'static> FrequencyGlobal<T> {
 }
 
 /// Builder for [`ConcurrentFrequencySketch`].
+///
+/// **Deprecated:** prefer the family-generic
+/// [`EngineBuilder<FrequencyFamily<T>>`](crate::engine::EngineBuilder),
+/// which shares one set of concurrency knobs across all four sketch
+/// families. This per-family builder remains as a thin shim for one
+/// release and will be removed.
 #[derive(Debug, Clone)]
 pub struct ConcurrentFrequencyBuilder {
     k: usize,
@@ -335,18 +341,35 @@ impl<T: Eq + Hash + Clone + Send + Sync + 'static> ConcurrentFrequencySketch<T> 
         self.k
     }
 
-    /// Serialises the merged heavy-hitters state into a unified wire
-    /// image (Misra–Gries family — see `fcds_sketches::wire`). The
-    /// merged shard table can hold up to `K·k` counters; the export
-    /// reduces it back to `k` (accruing the reduction slack into the
-    /// image's error term), so every image is a valid `k`-counter
-    /// summary whose bounds still bracket the true counts. On the
-    /// fan-in side, `fcds_sketches::wire::mg_multiway_merge` accumulates
-    /// the counters of many images with one final reduction.
-    pub fn wire_image(&self) -> bytes::Bytes
-    where
-        T: Ord + fcds_sketches::wire::WireItem,
-    {
+    /// The relaxation bound `r = 2Nb`.
+    pub fn relaxation(&self) -> u64 {
+        self.inner.relaxation()
+    }
+
+    /// Waits until all handed-off buffers have been merged and published.
+    pub fn quiesce(&self) {
+        self.inner.quiesce();
+    }
+
+    /// Engine diagnostics: merges performed, eager updates, hand-offs.
+    pub fn stats(&self) -> crate::runtime::EngineStats {
+        self.inner.stats()
+    }
+}
+
+/// Serialises the merged heavy-hitters state into a unified wire
+/// image (Misra–Gries family — see `fcds_sketches::wire`). The
+/// merged shard table can hold up to `K·k` counters; the export
+/// reduces it back to `k` (accruing the reduction slack into the
+/// image's error term), so every image is a valid `k`-counter
+/// summary whose bounds still bracket the true counts. On the
+/// fan-in side, `fcds_sketches::wire::mg_multiway_merge` accumulates
+/// the counters of many images with one final reduction.
+impl<T> crate::engine::WireImage for ConcurrentFrequencySketch<T>
+where
+    T: Eq + Hash + Ord + Clone + Send + Sync + 'static + fcds_sketches::wire::WireItem,
+{
+    fn wire_image(&self) -> bytes::Bytes {
         use fcds_sketches::wire::WireEncode;
         let snap = self.snapshot();
         let mg = MisraGriesSketch::from_parts(
@@ -357,16 +380,6 @@ impl<T: Eq + Hash + Clone + Send + Sync + 'static> ConcurrentFrequencySketch<T> 
         )
         .expect("snapshot counters satisfy the Misra-Gries invariants");
         mg.to_wire_bytes()
-    }
-
-    /// The relaxation bound `r = 2Nb`.
-    pub fn relaxation(&self) -> u64 {
-        self.inner.relaxation()
-    }
-
-    /// Waits until all handed-off buffers have been merged and published.
-    pub fn quiesce(&self) {
-        self.inner.quiesce();
     }
 }
 

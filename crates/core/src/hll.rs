@@ -187,6 +187,12 @@ impl GlobalSketch for HllGlobal {
 }
 
 /// Builder for [`ConcurrentHllSketch`].
+///
+/// **Deprecated:** prefer the family-generic
+/// [`EngineBuilder<HllFamily>`](crate::engine::EngineBuilder), which
+/// shares one set of concurrency knobs across all four sketch families.
+/// This per-family builder remains as a thin shim for one release and
+/// will be removed.
 #[derive(Debug, Clone)]
 pub struct ConcurrentHllBuilder {
     lg_m: u8,
@@ -330,18 +336,6 @@ impl ConcurrentHllSketch {
         merged
     }
 
-    /// Serialises the merged register state into a unified wire image
-    /// (HLL family — see `fcds_sketches::wire`). Register-wise max is a
-    /// lattice join, so images merged on a remote node equal the
-    /// sequential sketch of the concatenated streams exactly. A
-    /// coordinator fanning images in every query tick should hold a
-    /// `fcds_sketches::wire::MergeScratch` and call
-    /// `hll_multiway_merge_into` to fold registers straight from the
-    /// payload bytes with zero steady-state allocations.
-    pub fn wire_image(&self) -> bytes::Bytes {
-        self.registers().to_wire_bytes()
-    }
-
     /// The relaxation bound `r = 2Nb`.
     pub fn relaxation(&self) -> u64 {
         self.inner.relaxation()
@@ -350,6 +344,25 @@ impl ConcurrentHllSketch {
     /// Waits until all handed-off buffers have been merged and published.
     pub fn quiesce(&self) {
         self.inner.quiesce();
+    }
+
+    /// Engine diagnostics: merges performed, eager updates, hand-offs.
+    pub fn stats(&self) -> crate::runtime::EngineStats {
+        self.inner.stats()
+    }
+}
+
+/// Serialises the merged register state into a unified wire image
+/// (HLL family — see `fcds_sketches::wire`). Register-wise max is a
+/// lattice join, so images merged on a remote node equal the
+/// sequential sketch of the concatenated streams exactly. A
+/// coordinator fanning images in every query tick should hold a
+/// `fcds_sketches::wire::MergeScratch` and call
+/// `hll_multiway_merge_into` to fold registers straight from the
+/// payload bytes with zero steady-state allocations.
+impl crate::engine::WireImage for ConcurrentHllSketch {
+    fn wire_image(&self) -> bytes::Bytes {
+        self.registers().to_wire_bytes()
     }
 }
 

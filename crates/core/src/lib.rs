@@ -69,6 +69,7 @@
 
 pub mod composable;
 pub mod config;
+pub mod engine;
 pub mod frequency;
 pub mod hll;
 pub mod lock_based;
@@ -78,6 +79,10 @@ pub mod sync;
 pub mod theta;
 
 pub use config::{ConcurrencyConfig, PropagationBackendKind};
+pub use engine::{
+    EngineBuilder, EngineWriter, Family, FrequencyFamily, HllFamily, QuantilesFamily, StreamEngine,
+    ThetaFamily, WireImage,
+};
 pub use runtime::{
     ConcurrentSketch, DedicatedThreadBackend, FlushError, PropagationBackend, SketchWriter,
     WriterAssistedBackend,

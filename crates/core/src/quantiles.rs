@@ -212,6 +212,12 @@ impl<T: Ord + Clone + Send + Sync + 'static> GlobalSketch for QuantilesGlobal<T>
 }
 
 /// Builder for [`ConcurrentQuantilesSketch`].
+///
+/// **Deprecated:** prefer the family-generic
+/// [`EngineBuilder<QuantilesFamily<T>>`](crate::engine::EngineBuilder),
+/// which shares one set of concurrency knobs across all four sketch
+/// families. This per-family builder remains as a thin shim for one
+/// release and will be removed.
 #[derive(Debug, Clone)]
 pub struct ConcurrentQuantilesBuilder {
     k: usize,
@@ -453,30 +459,6 @@ impl<T: Ord + Clone + Send + Sync + 'static> ConcurrentQuantilesSketch<T> {
         self.k
     }
 
-    /// Serialises the published state into a unified wire image
-    /// (Quantiles family, ladder form — see `fcds_sketches::wire`)
-    /// *without flattening*: the shard ladders' copy-on-write runs are
-    /// concatenated by `Arc` clone and streamed out run by run, so the
-    /// export costs O(runs + retained) with no sort and no k-way merge —
-    /// those stay on the query side of whichever node decodes the image.
-    /// On the fan-in side,
-    /// `fcds_sketches::wire::ladder_multiway_concat` splices the
-    /// borrowed runs of many images into one ladder in a single pass.
-    pub fn wire_image(&self) -> bytes::Bytes
-    where
-        T: WireItem,
-    {
-        let mut ladders = self.inner.shard_views().map(|v| v.ladder());
-        let mut merged: QuantilesLadder<T> = ladders
-            .next()
-            .map(|l| (*l).clone())
-            .unwrap_or_else(QuantilesLadder::empty);
-        for l in ladders {
-            merged.concat(&l);
-        }
-        merged.to_wire_bytes()
-    }
-
     /// The relaxation bound `r = 2Nb`.
     pub fn relaxation(&self) -> u64 {
         self.inner.relaxation()
@@ -502,6 +484,37 @@ impl<T: Ord + Clone + Send + Sync + 'static> ConcurrentQuantilesSketch<T> {
     /// Waits until all handed-off buffers have been merged and published.
     pub fn quiesce(&self) {
         self.inner.quiesce();
+    }
+
+    /// Engine diagnostics: merges performed, eager updates, hand-offs.
+    pub fn stats(&self) -> crate::runtime::EngineStats {
+        self.inner.stats()
+    }
+}
+
+/// Serialises the published state into a unified wire image
+/// (Quantiles family, ladder form — see `fcds_sketches::wire`)
+/// *without flattening*: the shard ladders' copy-on-write runs are
+/// concatenated by `Arc` clone and streamed out run by run, so the
+/// export costs O(runs + retained) with no sort and no k-way merge —
+/// those stay on the query side of whichever node decodes the image.
+/// On the fan-in side,
+/// `fcds_sketches::wire::ladder_multiway_concat` splices the
+/// borrowed runs of many images into one ladder in a single pass.
+impl<T> crate::engine::WireImage for ConcurrentQuantilesSketch<T>
+where
+    T: Ord + Clone + Send + Sync + 'static + WireItem,
+{
+    fn wire_image(&self) -> bytes::Bytes {
+        let mut ladders = self.inner.shard_views().map(|v| v.ladder());
+        let mut merged: QuantilesLadder<T> = ladders
+            .next()
+            .map(|l| (*l).clone())
+            .unwrap_or_else(QuantilesLadder::empty);
+        for l in ladders {
+            merged.concat(&l);
+        }
+        merged.to_wire_bytes()
     }
 }
 

@@ -314,6 +314,12 @@ impl GlobalSketch for ThetaGlobal {
 
 /// Builder for [`ConcurrentThetaSketch`].
 ///
+/// **Deprecated:** prefer the family-generic
+/// [`EngineBuilder<ThetaFamily>`](crate::engine::EngineBuilder), which
+/// shares one set of concurrency knobs across all four sketch families.
+/// This per-family builder remains as a thin shim for one release and
+/// will be removed.
+///
 /// # Examples
 ///
 /// ```
@@ -532,24 +538,13 @@ impl ConcurrentThetaSketch {
         untrimmed_union(parts.iter()).expect("shards share one hash seed")
     }
 
-    /// Serialises the merged global state into a unified wire image
-    /// (Θ family, canonical sorted form — see `fcds_sketches::wire`): the
-    /// per-node export of the "sketch anywhere, merge anywhere" tier. A
-    /// central node fans these in with
-    /// `fcds_sketches::wire::merge_wire_images` (untrimmed union) without
-    /// ever having seen the streams; a coordinator merging every query
-    /// tick should hold a `fcds_sketches::wire::MergeScratch` and call
-    /// `theta_multiway_union_into` for an allocation-free k-way union
-    /// straight off the raw images.
-    pub fn wire_image(&self) -> Bytes {
-        self.compact().to_wire_bytes()
-    }
-
     /// One wire image per shard, streamed straight from the propagators'
     /// copy-on-write block snapshots in insertion order (flag
     /// `FLAG_THETA_UNSORTED`) — no sort, no shard union on the export
     /// path. Decoders canonicalise, and the untrimmed union of the shard
-    /// images equals [`Self::wire_image`]'s sketch.
+    /// images equals [`WireImage::wire_image`]'s sketch.
+    ///
+    /// [`WireImage::wire_image`]: crate::engine::WireImage::wire_image
     pub fn shard_wire_images(&self) -> Vec<Bytes> {
         self.inner
             .with_globals(|g| encode_theta_unsorted(&g.image_now()))
@@ -563,6 +558,21 @@ impl ConcurrentThetaSketch {
     /// Engine diagnostics: merges performed, eager updates, hand-offs.
     pub fn stats(&self) -> crate::runtime::EngineStats {
         self.inner.stats()
+    }
+}
+
+/// Serialises the merged global state into a unified wire image
+/// (Θ family, canonical sorted form — see `fcds_sketches::wire`): the
+/// per-node export of the "sketch anywhere, merge anywhere" tier. A
+/// central node fans these in with
+/// `fcds_sketches::wire::merge_wire_images` (untrimmed union) without
+/// ever having seen the streams; a coordinator merging every query
+/// tick should hold a `fcds_sketches::wire::MergeScratch` and call
+/// `theta_multiway_union_into` for an allocation-free k-way union
+/// straight off the raw images.
+impl crate::engine::WireImage for ConcurrentThetaSketch {
+    fn wire_image(&self) -> Bytes {
+        self.compact().to_wire_bytes()
     }
 }
 

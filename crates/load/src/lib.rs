@@ -17,6 +17,8 @@
 
 use fcds_server::client::{Client, Reply};
 use fcds_server::frame::NackCode;
+use fcds_server::{serve, ServerConfig};
+use fcds_sketches::wire::{LadderWireView, MgWireView, SketchFamily};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -123,10 +125,11 @@ impl LatencyHistogram {
 
 /// Counts of every failure outcome the workers observed, keyed by the
 /// protocol's own taxonomy. `other_nacks` catches codes added later
-/// (the counter vector is sized for today's ten).
+/// (the counter vector is sized for today's twelve, through
+/// `UnknownStream` and `FamilyMismatch`).
 #[derive(Debug, Default)]
 pub struct ErrorTaxonomy {
-    nack_counts: [AtomicU64; 10],
+    nack_counts: [AtomicU64; 12],
     other_nacks: AtomicU64,
     /// Transport-level failures (resets, EOF, timeouts) — typed at the
     /// I/O layer rather than the protocol layer.
@@ -771,6 +774,568 @@ pub fn run_scenario(server_addr: SocketAddr, cfg: &LoadConfig) -> std::io::Resul
     })
 }
 
+/// The four wire families, in the order multi-stream drills assign
+/// them to streams (stream `i` gets `FAMILIES[i % 4]`).
+pub const FAMILIES: [SketchFamily; 4] = [
+    SketchFamily::Theta,
+    SketchFamily::Hll,
+    SketchFamily::Quantiles,
+    SketchFamily::Frequency,
+];
+
+/// The poison item the multi-stream drill plants (the in-process
+/// server is started with `fault_panic_on` set to this value).
+const POISON_ITEM: u64 = u64::MAX;
+
+/// Multi-stream drill parameters.
+#[derive(Debug, Clone)]
+pub struct MultiStreamConfig {
+    /// Named streams to host (round-robin across all four families;
+    /// the acceptance floor is 8).
+    pub streams: usize,
+    /// Items per v2 ingest batch.
+    pub batch_size: usize,
+    /// Measurement window for the round-robin ingest/query load.
+    pub window: Duration,
+    /// Target aggregate ingest rate in items/s, split evenly across
+    /// the per-stream writers; 0 = unthrottled. The default keeps 2×
+    /// headroom over the gate floor while leaving the scheduler room
+    /// for the concurrent query latency measurement (one writer thread
+    /// per stream plus each stream's workers oversubscribe a small CI
+    /// container when unthrottled).
+    pub rate_items_per_s: u64,
+}
+
+impl Default for MultiStreamConfig {
+    fn default() -> Self {
+        MultiStreamConfig {
+            streams: 8,
+            batch_size: 512,
+            window: Duration::from_millis(1500),
+            rate_items_per_s: 2_000_000,
+        }
+    }
+}
+
+/// Everything the multi-stream drill measured.
+pub struct MultiStreamReport {
+    /// Streams hosted (excluding the server's default stream).
+    pub streams: usize,
+    /// Aggregate v2 ingest throughput across all streams, items/s.
+    pub ingest_items_per_s: f64,
+    /// v2 batch-ACK round-trip latency across all streams.
+    pub ingest_latency: LatencyHistogram,
+    /// v2 stream-addressed estimate-query latency (Θ/HLL streams).
+    /// Image queries on the Quantiles/Frequency streams are exercised
+    /// concurrently but not recorded here: they are bulk exports whose
+    /// cost scales with stream size, not latency-path queries.
+    pub query_latency: LatencyHistogram,
+    /// The typed error taxonomy across the drill, including the
+    /// provoked `UnknownStream` and `FamilyMismatch` NACKs and the
+    /// poisoned stream's failures.
+    pub taxonomy: ErrorTaxonomy,
+    /// Items ACKed across all streams.
+    pub items_acked: u64,
+    /// Replies fitting no contract (must be 0).
+    pub untyped_failures: u64,
+    /// Fraction of healthy-stream requests ACKed *after* one stream was
+    /// poisoned — the isolation metric; the gate requires 1.0.
+    pub isolation: f64,
+    /// Streams whose fanned-in count converged on their acked count
+    /// (within the family's error envelope; excludes the poisoned
+    /// stream).
+    pub streams_converged: usize,
+    /// Threads the in-process server leaked on drain (must be 0).
+    pub leaked_threads: usize,
+}
+
+/// One stream's identity within a drill.
+fn drill_key(prefix: &str, i: usize) -> Vec<u8> {
+    format!("{prefix}-{i}").into_bytes()
+}
+
+/// The stream's observed count through its family's natural v2 query:
+/// the estimate for Θ/HLL, the image's exact item count for Q/F.
+/// `None` while the stream is unknown or the reply is a NACK.
+fn stream_count(c: &mut Client, family: SketchFamily, key: &[u8]) -> std::io::Result<Option<f64>> {
+    match family {
+        SketchFamily::Theta | SketchFamily::Hll => {
+            Ok(match c.query_stream_estimate(family, key)? {
+                Reply::Estimate { value, .. } => Some(value),
+                _ => None,
+            })
+        }
+        SketchFamily::Quantiles => Ok(match c.query_stream_image(family, key)? {
+            Reply::Image { bytes, .. } => LadderWireView::<u64>::parse(&bytes)
+                .ok()
+                .map(|v| v.n() as f64),
+            _ => None,
+        }),
+        SketchFamily::Frequency => Ok(match c.query_stream_image(family, key)? {
+            Reply::Image { bytes, .. } => {
+                MgWireView::<u64>::parse(&bytes).ok().map(|v| v.n() as f64)
+            }
+            _ => None,
+        }),
+    }
+}
+
+fn stream_writer_loop(
+    shared: &WriterShared,
+    addr: SocketAddr,
+    family: SketchFamily,
+    key: &[u8],
+    batch_size: usize,
+    rate_items_per_s: u64,
+    stream_acked: &AtomicU64,
+) {
+    let mut next_item: u64 = 0;
+    let mut client: Option<Client> = None;
+    let mut window_start = Instant::now();
+    let mut window_items = 0u64;
+    while !shared.stop.load(Ordering::Acquire) {
+        // Same windowed pacing as the single-stream writer loop.
+        if rate_items_per_s > 0 {
+            let elapsed = window_start.elapsed().as_secs_f64();
+            if elapsed >= 1.0 {
+                window_start = Instant::now();
+                window_items = 0;
+            } else if window_items >= (rate_items_per_s as f64 * elapsed.max(0.01)) as u64 {
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+        }
+        let c = match client.as_mut() {
+            Some(c) => c,
+            None => match Client::connect(addr, Duration::from_secs(2)) {
+                Ok(c) => {
+                    shared.taxonomy.record_reconnect();
+                    client.insert(c)
+                }
+                Err(_) => {
+                    shared.taxonomy.record_io_error();
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+            },
+        };
+        let batch: Vec<u64> = (next_item..next_item + batch_size as u64).collect();
+        let sent = Instant::now();
+        match c.ingest_stream(family, key, &batch) {
+            Ok(Reply::Ack { .. }) => {
+                next_item += batch_size as u64;
+                window_items += batch_size as u64;
+                stream_acked.fetch_add(batch_size as u64, Ordering::Relaxed);
+                shared
+                    .items_acked
+                    .fetch_add(batch_size as u64, Ordering::Relaxed);
+                shared
+                    .ingest_hist
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(sent.elapsed());
+            }
+            Ok(Reply::Nack { code, .. }) => {
+                shared.taxonomy.record_nack(code);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Ok(_) => {
+                shared.untyped_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                shared.taxonomy.record_io_error();
+                client = None;
+            }
+        }
+    }
+}
+
+fn stream_query_loop(shared: &WriterShared, addr: SocketAddr, streams: usize, prefix: &str) {
+    let mut client: Option<Client> = None;
+    let mut i = 0usize;
+    while !shared.stop.load(Ordering::Acquire) {
+        let c = match client.as_mut() {
+            Some(c) => c,
+            None => match Client::connect(addr, Duration::from_secs(2)) {
+                Ok(c) => client.insert(c),
+                Err(_) => {
+                    shared.taxonomy.record_io_error();
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+            },
+        };
+        let family = FAMILIES[i % 4];
+        let key = drill_key(prefix, i);
+        i = (i + 1) % streams;
+        // Only the Θ/HLL estimate queries feed the gated latency
+        // histogram — they are the latency-path operation the p99
+        // threshold models. Image queries on the Quantiles/Frequency
+        // streams are still issued every round to exercise their fan-in
+        // path, but they are bulk exports whose size grows with the
+        // stream (megabytes under this unthrottled load), not
+        // fixed-cost queries.
+        let measured = matches!(family, SketchFamily::Theta | SketchFamily::Hll);
+        let sent = Instant::now();
+        match stream_count(c, family, &key) {
+            Ok(Some(_)) => {
+                if measured {
+                    shared
+                        .query_hist
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .record(sent.elapsed());
+                }
+            }
+            // NACKs (e.g. UnknownStream before the writer's first
+            // batch) are typed and expected during warm-up; the writer
+            // loop records its own. Skip the latency sample.
+            Ok(None) => {}
+            Err(_) => {
+                shared.taxonomy.record_io_error();
+                client = None;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Runs the multi-stream drill: an in-process server hosts
+/// `cfg.streams` named streams round-robined across all four families,
+/// one writer connection per stream plus a round-robin querier, for
+/// `cfg.window`. Afterwards the drill provokes the stream-addressed
+/// NACKs (`UnknownStream`, `FamilyMismatch`), poisons the last
+/// stream's single worker, and measures isolation: the fraction of
+/// healthy-stream requests still ACKed while the poisoned stream is
+/// dead.
+///
+/// # Errors
+///
+/// Propagates server-start and probe-connection I/O errors.
+///
+/// # Panics
+///
+/// Panics if a drill worker thread panics.
+pub fn run_multistream(cfg: &MultiStreamConfig) -> std::io::Result<MultiStreamReport> {
+    let streams = cfg.streams.max(1);
+    let server = serve(ServerConfig {
+        fault_panic_on: Some(POISON_ITEM),
+        stream_workers: 1,
+        max_streams: (streams + 8).max(64),
+        ..ServerConfig::default()
+    })?;
+    let addr = server.local_addr();
+
+    let shared = Arc::new(WriterShared {
+        stop: AtomicBool::new(false),
+        items_acked: AtomicU64::new(0),
+        batches_acked: AtomicU64::new(0),
+        untyped_failures: AtomicU64::new(0),
+        taxonomy: ErrorTaxonomy::default(),
+        ingest_hist: Mutex::new(LatencyHistogram::new()),
+        query_hist: Mutex::new(LatencyHistogram::new()),
+    });
+    let per_stream_acked: Arc<Vec<AtomicU64>> =
+        Arc::new((0..streams).map(|_| AtomicU64::new(0)).collect());
+
+    let mut joins = Vec::new();
+    for i in 0..streams {
+        let shared = Arc::clone(&shared);
+        let acked = Arc::clone(&per_stream_acked);
+        let batch_size = cfg.batch_size;
+        let per_writer_rate = if cfg.rate_items_per_s == 0 {
+            0
+        } else {
+            (cfg.rate_items_per_s / streams as u64).max(1)
+        };
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("mstream-writer-{i}"))
+                .spawn(move || {
+                    stream_writer_loop(
+                        &shared,
+                        addr,
+                        FAMILIES[i % 4],
+                        &drill_key("load", i),
+                        batch_size,
+                        per_writer_rate,
+                        &acked[i],
+                    );
+                })
+                .expect("spawn stream writer"),
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        joins.push(
+            std::thread::Builder::new()
+                .name("mstream-query".to_string())
+                .spawn(move || stream_query_loop(&shared, addr, streams, "load"))
+                .expect("spawn stream querier"),
+        );
+    }
+
+    let started = Instant::now();
+    std::thread::sleep(cfg.window);
+    shared.stop.store(true, Ordering::Release);
+    for j in joins {
+        j.join().expect("drill worker panicked");
+    }
+    let elapsed = started.elapsed();
+    let items_acked = shared.items_acked.load(Ordering::Relaxed);
+    let ingest_items_per_s = items_acked as f64 / elapsed.as_secs_f64();
+
+    let mut probe = Client::connect(addr, Duration::from_secs(2))?;
+
+    // Provoke the stream-addressed NACKs so typed coverage includes the
+    // new taxonomy rows. A query on an absent key must not create it;
+    // re-declaring stream 0 (Θ) as HLL must be refused.
+    match probe.query_stream_estimate(SketchFamily::Theta, b"load-missing")? {
+        Reply::Nack { code, .. } if code == NackCode::UnknownStream => {
+            shared.taxonomy.record_nack(code);
+        }
+        other => panic!("query of absent stream: {other:?}"),
+    }
+    match probe.ingest_stream(SketchFamily::Hll, &drill_key("load", 0), &[1])? {
+        Reply::Nack { code, .. } if code == NackCode::FamilyMismatch => {
+            shared.taxonomy.record_nack(code);
+        }
+        other => panic!("family re-declaration: {other:?}"),
+    }
+
+    // Convergence: each stream's fanned-in count vs. its acked count.
+    let mut streams_converged = 0;
+    for i in 0..streams {
+        let acked = per_stream_acked[i].load(Ordering::Relaxed) as f64;
+        if acked == 0.0 {
+            continue;
+        }
+        let mut ok = false;
+        for _ in 0..100 {
+            if let Some(got) = stream_count(&mut probe, FAMILIES[i % 4], &drill_key("load", i))? {
+                if (got - acked).abs() / acked <= 0.1 {
+                    ok = true;
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        if ok {
+            streams_converged += 1;
+        }
+    }
+
+    // Poison the last stream (single worker dies on the planted item),
+    // wait for its ingest path to fail typed, then measure isolation:
+    // every other stream must still ACK everything.
+    let victim = streams - 1;
+    let victim_key = drill_key("load", victim);
+    let _ = probe.ingest_stream(FAMILIES[victim % 4], &victim_key, &[POISON_ITEM])?;
+    let mut victim_dead = false;
+    for _ in 0..200 {
+        match probe.ingest_stream(FAMILIES[victim % 4], &victim_key, &[1, 2, 3])? {
+            Reply::Nack { code, .. } => {
+                shared.taxonomy.record_nack(code);
+                victim_dead = true;
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let (mut healthy_attempts, mut healthy_acks) = (0u64, 0u64);
+    if streams > 1 {
+        for i in 0..victim {
+            for _ in 0..10 {
+                healthy_attempts += 1;
+                match probe.ingest_stream(FAMILIES[i % 4], &drill_key("load", i), &[7])? {
+                    Reply::Ack { .. } => healthy_acks += 1,
+                    Reply::Nack { code, .. } => shared.taxonomy.record_nack(code),
+                    _ => {
+                        shared.untyped_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+    let isolation = if !victim_dead {
+        // The poison never landed (e.g. zero-length window): isolation
+        // was not exercised, report it as failed rather than vacuous.
+        0.0
+    } else if healthy_attempts == 0 {
+        1.0
+    } else {
+        healthy_acks as f64 / healthy_attempts as f64
+    };
+
+    drop(probe);
+    let drain = server.shutdown();
+    let shared = Arc::try_unwrap(shared).ok().expect("workers joined");
+    Ok(MultiStreamReport {
+        streams,
+        ingest_items_per_s,
+        ingest_latency: shared
+            .ingest_hist
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner()),
+        query_latency: shared
+            .query_hist
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner()),
+        taxonomy: shared.taxonomy,
+        items_acked,
+        untyped_failures: shared.untyped_failures.load(Ordering::Relaxed),
+        isolation,
+        streams_converged,
+        leaked_threads: drain.leaked_threads,
+    })
+}
+
+/// Replica-sync drill parameters.
+#[derive(Debug, Clone)]
+pub struct SyncConfig {
+    /// Streams to replicate (round-robin families; the gate floor
+    /// is 4 — one per family).
+    pub streams: usize,
+    /// Distinct items ingested into each stream on the source server.
+    pub items_per_stream: u64,
+    /// The source server's replica push period.
+    pub sync_period: Duration,
+    /// How long to wait for the peer to converge before giving up.
+    pub timeout: Duration,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        SyncConfig {
+            streams: 4,
+            items_per_stream: 20_000,
+            sync_period: Duration::from_millis(100),
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Outcome of the two-server replica-sync drill.
+pub struct SyncReport {
+    /// Streams replicated.
+    pub streams: usize,
+    /// Streams whose peer-side count converged within tolerance.
+    pub converged: usize,
+    /// Worst peer-side relative error across converged streams (1.0
+    /// for streams that never converged).
+    pub worst_relative_error: f64,
+    /// Time from the last source-side ACK until every stream had
+    /// converged on the peer (`None` if any stream timed out).
+    pub convergence: Option<Duration>,
+    /// Replica pushes the source's background pusher delivered.
+    pub pushes: u64,
+    /// Leaked threads across both servers' drains (must be 0).
+    pub leaked_threads: usize,
+}
+
+/// Runs the replica-sync drill: two in-process servers, A configured to
+/// push every stream's wire image to B each `sync_period`. The drill
+/// ingests `items_per_stream` distinct items into each of A's streams,
+/// then polls B's stream-addressed queries until every stream's count
+/// lands within the family's error envelope (8% for the probabilistic
+/// Θ/HLL estimates, exact item counts for Quantiles/Frequency images).
+///
+/// # Errors
+///
+/// Propagates server-start and probe I/O errors.
+///
+/// # Panics
+///
+/// Panics if source-side ingest is NACKed (nothing contends in this
+/// drill).
+pub fn run_sync_drill(cfg: &SyncConfig) -> std::io::Result<SyncReport> {
+    let streams = cfg.streams.max(1);
+    let peer = serve(ServerConfig::default())?;
+    let source = serve(ServerConfig {
+        replica_peer: Some(peer.local_addr().to_string()),
+        replica_interval: cfg.sync_period,
+        replica_source_id: 1,
+        ..ServerConfig::default()
+    })?;
+
+    let mut ca = Client::connect(source.local_addr(), Duration::from_secs(5))?;
+    for i in 0..streams {
+        let family = FAMILIES[i % 4];
+        let key = drill_key("sync", i);
+        let base = i as u64 * cfg.items_per_stream;
+        let items: Vec<u64> = (base..base + cfg.items_per_stream).collect();
+        for chunk in items.chunks(512) {
+            match ca.ingest_stream(family, &key, chunk)? {
+                Reply::Ack { .. } => {}
+                other => panic!("sync drill source ingest: {other:?}"),
+            }
+        }
+    }
+    // Wait for the source's own workers to drain so the pushed images
+    // carry the full stream before we start the convergence clock.
+    for i in 0..streams {
+        let expect = cfg.items_per_stream as f64;
+        let deadline = Instant::now() + cfg.timeout;
+        loop {
+            if let Some(got) = stream_count(&mut ca, FAMILIES[i % 4], &drill_key("sync", i))? {
+                if (got - expect).abs() / expect <= 0.08 {
+                    break;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "source stream {i} never absorbed its items"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    let clock_start = Instant::now();
+    let mut cb = Client::connect(peer.local_addr(), Duration::from_secs(5))?;
+    let mut converged = 0usize;
+    let mut worst_relerr = 0.0f64;
+    let mut all_converged_at = None;
+    for i in 0..streams {
+        let family = FAMILIES[i % 4];
+        let key = drill_key("sync", i);
+        let expect = cfg.items_per_stream as f64;
+        let deadline = clock_start + cfg.timeout;
+        let mut stream_relerr = 1.0f64;
+        while Instant::now() < deadline {
+            // Queries on B return UnknownStream until A's first push
+            // creates the stream (create-on-first-merge).
+            if let Some(got) = stream_count(&mut cb, family, &key)? {
+                let relerr = (got - expect).abs() / expect;
+                stream_relerr = relerr;
+                if relerr <= 0.08 {
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if stream_relerr <= 0.08 {
+            converged += 1;
+            all_converged_at = Some(clock_start.elapsed());
+        }
+        worst_relerr = worst_relerr.max(stream_relerr);
+    }
+
+    let drain_source = source.shutdown();
+    let drain_peer = peer.shutdown();
+    Ok(SyncReport {
+        streams,
+        converged,
+        worst_relative_error: worst_relerr,
+        convergence: if converged == streams {
+            all_converged_at
+        } else {
+            None
+        },
+        pushes: drain_source.stats.replica_pushes,
+        leaked_threads: drain_source.leaked_threads + drain_peer.leaked_threads,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -831,6 +1396,23 @@ mod tests {
         let rows = t.rows();
         assert!(rows.iter().any(|(n, c)| n == "nack_overload" && *c == 2));
         assert!(rows.iter().any(|(n, c)| n == "io_error" && *c == 1));
+    }
+
+    #[test]
+    fn taxonomy_covers_stream_nack_codes() {
+        let t = ErrorTaxonomy::default();
+        t.record_nack(NackCode::UnknownStream);
+        t.record_nack(NackCode::FamilyMismatch);
+        assert_eq!(t.nacks(NackCode::UnknownStream), 1);
+        assert_eq!(t.nacks(NackCode::FamilyMismatch), 1);
+        assert_eq!(t.other_nacks.load(Ordering::Relaxed), 0);
+        let rows = t.rows();
+        assert!(rows
+            .iter()
+            .any(|(n, c)| n == "nack_unknownstream" && *c == 1));
+        assert!(rows
+            .iter()
+            .any(|(n, c)| n == "nack_familymismatch" && *c == 1));
     }
 
     #[test]

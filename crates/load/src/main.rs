@@ -7,20 +7,32 @@
 //! ```text
 //! cargo run --release -p fcds-load [--out=DIR] [--addr=HOST:PORT]
 //!     [--writers=N] [--queriers=N] [--batch=N] [--rate=ITEMS_PER_S]
-//!     [--baseline-ms=N] [--fault-hold-ms=N] [--full]
+//!     [--baseline-ms=N] [--fault-hold-ms=N] [--streams=N]
+//!     [--sync-period-ms=N] [--full]
 //! ```
 //!
 //! Without `--addr` the harness starts its own server in-process (the
 //! CI mode: one command, no orchestration); with it, the harness
-//! targets an already-running server. `--full` lengthens the baseline
-//! and fault windows for lower-variance numbers.
+//! targets an already-running server. After the fault scenario the
+//! harness always runs the multi-stream drill (`--streams` named
+//! streams round-robined over all four families, FCF1 v2 framing,
+//! default 8) and the two-server replica-sync drill (`--sync-period-ms`
+//! push period). `--full` lengthens every window for lower-variance
+//! numbers.
 
 use fcds_bench::gate::{
-    SERVE_FAULT_CLASSES_SURVIVED_MIN, SERVE_INGEST_MITEMS_PER_S_MIN, SERVE_QUERY_P99_MS_MAX,
-    SERVE_RECOVERY_MS_MAX, SERVE_TYPED_ERROR_COVERAGE_MIN,
+    SERVE_FAULT_CLASSES_SURVIVED_MIN, SERVE_INGEST_MITEMS_PER_S_MIN,
+    SERVE_MULTISTREAM_INGEST_MITEMS_PER_S_MIN, SERVE_MULTISTREAM_ISOLATION_MIN,
+    SERVE_MULTISTREAM_QUERY_P99_MS_MAX, SERVE_MULTISTREAM_TYPED_COVERAGE_MIN,
+    SERVE_QUERY_P99_MS_MAX, SERVE_RECOVERY_MS_MAX, SERVE_TYPED_ERROR_COVERAGE_MIN,
+    SYNC_CONVERGENCE_RELERR_MAX, SYNC_CONVERGENCE_STREAMS_MIN,
 };
 use fcds_bench::report::{HarnessArgs, Table};
-use fcds_load::{run_scenario, LoadConfig, ScenarioReport};
+use fcds_load::{
+    run_multistream, run_scenario, run_sync_drill, LoadConfig, MultiStreamConfig,
+    MultiStreamReport, ScenarioReport, SyncConfig, SyncReport,
+};
+use fcds_server::frame::NackCode;
 use fcds_server::{serve, ServerConfig};
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -56,6 +68,20 @@ fn main() {
         cfg.fault_hold = Duration::from_millis(750);
     }
 
+    let mut ms_cfg = MultiStreamConfig::default();
+    if let Some(s) = args.get("streams").and_then(|v| v.parse().ok()) {
+        ms_cfg.streams = s;
+    }
+    ms_cfg.batch_size = cfg.batch_size;
+    let mut sync_cfg = SyncConfig::default();
+    if let Some(p) = args.get("sync-period-ms").and_then(|v| v.parse().ok()) {
+        sync_cfg.sync_period = Duration::from_millis(p);
+    }
+    if args.full {
+        ms_cfg.window = Duration::from_secs(4);
+        sync_cfg.items_per_stream = 100_000;
+    }
+
     // In-process server unless the caller points at a running one.
     let (server, addr) = match args.get("addr") {
         Some(a) => (None, a.parse().expect("--addr must be HOST:PORT")),
@@ -82,7 +108,23 @@ fn main() {
     let report = run_scenario(addr, &cfg).expect("run scenario");
     print_report(&report);
 
-    let json = render_json(&report, &cfg);
+    println!(
+        "multi-stream drill: {} streams × 4 families, {:.1}s window",
+        ms_cfg.streams,
+        ms_cfg.window.as_secs_f64()
+    );
+    let ms_report = run_multistream(&ms_cfg).expect("run multi-stream drill");
+    print_multistream(&ms_report);
+
+    println!(
+        "replica-sync drill: {} streams, {} ms sync period",
+        sync_cfg.streams,
+        sync_cfg.sync_period.as_millis()
+    );
+    let sync_report = run_sync_drill(&sync_cfg).expect("run sync drill");
+    print_sync(&sync_report);
+
+    let json = render_json(&report, &cfg, &ms_report, &sync_report);
     std::fs::create_dir_all(&args.out_dir).expect("create out dir");
     let path = format!("{}/BENCH_serve.json", args.out_dir);
     std::fs::write(&path, &json).expect("write BENCH_serve.json");
@@ -141,7 +183,46 @@ fn print_report(r: &ScenarioReport) {
     println!("estimate/acked ratio: {:.4}", r.estimate_ratio);
 }
 
-fn render_json(r: &ScenarioReport, cfg: &LoadConfig) -> String {
+fn print_multistream(r: &MultiStreamReport) {
+    println!(
+        "  {:.2} M items/s aggregate ingest ({} items across {} streams)",
+        r.ingest_items_per_s / 1.0e6,
+        r.items_acked,
+        r.streams
+    );
+    println!(
+        "  stream ingest RTT p99 {:.3} ms, stream query p99 {:.3} ms",
+        ms(r.ingest_latency.quantile_ns(0.99)),
+        ms(r.query_latency.quantile_ns(0.99))
+    );
+    println!(
+        "  isolation {:.2}, {} / {} streams converged, untyped failures {}",
+        r.isolation, r.streams_converged, r.streams, r.untyped_failures
+    );
+    for (name, count) in r.taxonomy.rows() {
+        println!("    {name:<24} {count}");
+    }
+}
+
+fn print_sync(r: &SyncReport) {
+    println!(
+        "  {} / {} streams converged, worst relative error {:.4}, {} pushes{}",
+        r.converged,
+        r.streams,
+        r.worst_relative_error,
+        r.pushes,
+        r.convergence
+            .map(|d| format!(", converged in {:.0} ms", d.as_secs_f64() * 1e3))
+            .unwrap_or_default()
+    );
+}
+
+fn render_json(
+    r: &ScenarioReport,
+    cfg: &LoadConfig,
+    msr: &MultiStreamReport,
+    sync: &SyncReport,
+) -> String {
     let survived = r.phases.iter().filter(|p| p.survived).count();
     let worst_recovery_ms = r
         .phases
@@ -158,6 +239,16 @@ fn render_json(r: &ScenarioReport, cfg: &LoadConfig) -> String {
     // NACK code or a transport error). `untyped_failures` counts
     // protocol replies fitting no contract — the silent-drop detector.
     let typed_coverage = if r.untyped_failures == 0 { 1.0 } else { 0.0 };
+    // Multi-stream typed coverage additionally requires the drill to
+    // have provoked (and typed) both v2 taxonomy rows.
+    let ms_typed = if msr.untyped_failures == 0
+        && msr.taxonomy.nacks(NackCode::UnknownStream) > 0
+        && msr.taxonomy.nacks(NackCode::FamilyMismatch) > 0
+    {
+        1.0
+    } else {
+        0.0
+    };
 
     let mut rows = String::new();
     for (i, p) in r.phases.iter().enumerate() {
@@ -197,18 +288,37 @@ fn render_json(r: &ScenarioReport, cfg: &LoadConfig) -> String {
          \"taxonomy\": {{\n{taxonomy}  }},\n  \
          \"reconnects\": {reconnects},\n  \
          \"estimate_over_acked\": {est:.4},\n  \
+         \"multistream\": {{\"streams\": {ms_streams}, \
+         \"items_per_s\": {ms_ips:.1}, \"items_acked\": {ms_acked}, \
+         \"query_p99_ms\": {ms_qp99:.4}, \"isolation\": {ms_iso:.4}, \
+         \"streams_converged\": {ms_conv}}},\n  \
+         \"sync\": {{\"streams\": {sy_streams}, \
+         \"converged\": {sy_conv}, \"worst_relerr\": {sy_err:.4}, \
+         \"convergence_ms\": {sy_ms:.1}, \"pushes\": {sy_pushes}}},\n  \
          \"acceptance\": {{\n    \
          \"ingest_mitems_per_s\": {accept_ips:.4},\n    \
          \"query_p99_ms\": {qp99:.4},\n    \
          \"typed_error_coverage\": {typed:.1},\n    \
          \"fault_classes_survived\": {survived}.0,\n    \
-         \"worst_recovery_ms\": {worst:.1}\n  }},\n  \
+         \"worst_recovery_ms\": {worst:.1},\n    \
+         \"multistream_ingest_mitems_per_s\": {ms_accept_ips:.4},\n    \
+         \"multistream_query_p99_ms\": {ms_qp99:.4},\n    \
+         \"multistream_isolation\": {ms_iso:.4},\n    \
+         \"multistream_typed_coverage\": {ms_typed:.1},\n    \
+         \"sync_convergence_streams\": {sy_conv}.0,\n    \
+         \"sync_convergence_relerr\": {sy_err:.4}\n  }},\n  \
          \"thresholds\": {{\n    \
          \"ingest_mitems_per_s_min\": {thr_ips},\n    \
          \"query_p99_ms_max\": {thr_p99},\n    \
          \"typed_error_coverage_min\": {thr_typed},\n    \
          \"fault_classes_survived_min\": {thr_survived},\n    \
-         \"worst_recovery_ms_max\": {thr_recovery}\n  }}\n}}\n",
+         \"worst_recovery_ms_max\": {thr_recovery},\n    \
+         \"multistream_ingest_mitems_per_s_min\": {thr_ms_ips},\n    \
+         \"multistream_query_p99_ms_max\": {thr_ms_p99},\n    \
+         \"multistream_isolation_min\": {thr_ms_iso},\n    \
+         \"multistream_typed_coverage_min\": {thr_ms_typed},\n    \
+         \"sync_convergence_streams_min\": {thr_sy_streams},\n    \
+         \"sync_convergence_relerr_max\": {thr_sy_err}\n  }}\n}}\n",
         writers = cfg.writers,
         queriers = cfg.queriers,
         batch = cfg.batch_size,
@@ -228,10 +338,32 @@ fn render_json(r: &ScenarioReport, cfg: &LoadConfig) -> String {
         typed = typed_coverage,
         survived = survived,
         worst = worst_recovery_ms,
+        ms_streams = msr.streams,
+        ms_ips = msr.ingest_items_per_s,
+        ms_acked = msr.items_acked,
+        ms_qp99 = ms(msr.query_latency.quantile_ns(0.99)),
+        ms_iso = msr.isolation,
+        ms_conv = msr.streams_converged,
+        ms_accept_ips = msr.ingest_items_per_s / 1.0e6,
+        ms_typed = ms_typed,
+        sy_streams = sync.streams,
+        sy_conv = sync.converged,
+        sy_err = sync.worst_relative_error,
+        sy_ms = sync
+            .convergence
+            .map(|d| d.as_secs_f64() * 1e3)
+            .unwrap_or(-1.0),
+        sy_pushes = sync.pushes,
         thr_ips = SERVE_INGEST_MITEMS_PER_S_MIN,
         thr_p99 = SERVE_QUERY_P99_MS_MAX,
         thr_typed = SERVE_TYPED_ERROR_COVERAGE_MIN,
         thr_survived = SERVE_FAULT_CLASSES_SURVIVED_MIN,
         thr_recovery = SERVE_RECOVERY_MS_MAX,
+        thr_ms_ips = SERVE_MULTISTREAM_INGEST_MITEMS_PER_S_MIN,
+        thr_ms_p99 = SERVE_MULTISTREAM_QUERY_P99_MS_MAX,
+        thr_ms_iso = SERVE_MULTISTREAM_ISOLATION_MIN,
+        thr_ms_typed = SERVE_MULTISTREAM_TYPED_COVERAGE_MIN,
+        thr_sy_streams = SYNC_CONVERGENCE_STREAMS_MIN,
+        thr_sy_err = SYNC_CONVERGENCE_RELERR_MAX,
     )
 }

@@ -1,0 +1,49 @@
+//! Short-window runs of the multi-stream and replica-sync drills — the
+//! same code paths the CI bench leg drives at full length, kept in
+//! tier-1 so a regression fails fast rather than at the bench gate.
+
+use fcds_load::{run_multistream, run_sync_drill, MultiStreamConfig, SyncConfig};
+use fcds_server::frame::NackCode;
+use std::time::Duration;
+
+#[test]
+fn multistream_drill_isolates_and_types_every_failure() {
+    let report = run_multistream(&MultiStreamConfig {
+        streams: 8,
+        batch_size: 256,
+        window: Duration::from_millis(600),
+        ..MultiStreamConfig::default()
+    })
+    .expect("multistream drill");
+    assert_eq!(report.streams, 8);
+    assert!(report.items_acked > 0, "no traffic reached the streams");
+    assert_eq!(report.untyped_failures, 0, "silent failure detected");
+    assert_eq!(
+        report.isolation, 1.0,
+        "poisoned stream bled into its neighbours"
+    );
+    assert_eq!(report.streams_converged, 8);
+    assert!(report.taxonomy.nacks(NackCode::UnknownStream) >= 1);
+    assert!(report.taxonomy.nacks(NackCode::FamilyMismatch) >= 1);
+    assert_eq!(report.leaked_threads, 0);
+}
+
+#[test]
+fn sync_drill_converges_every_stream_within_tolerance() {
+    let report = run_sync_drill(&SyncConfig {
+        streams: 4,
+        items_per_stream: 10_000,
+        sync_period: Duration::from_millis(100),
+        timeout: Duration::from_secs(10),
+    })
+    .expect("sync drill");
+    assert_eq!(report.converged, report.streams);
+    assert!(
+        report.worst_relative_error <= 0.08,
+        "worst relative error {}",
+        report.worst_relative_error
+    );
+    assert!(report.convergence.is_some());
+    assert!(report.pushes > 0, "replica pusher never delivered");
+    assert_eq!(report.leaked_threads, 0);
+}

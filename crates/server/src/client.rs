@@ -6,9 +6,10 @@
 //! breaks loudly in one place.
 
 use crate::frame::{
-    check_payload, decode_nack_payload, encode_frame, parse_header, FrameType, NackCode,
-    FRAME_HEADER_LEN,
+    check_payload, decode_nack_payload, encode_frame, encode_frame_flags, encode_stream_prefix,
+    parse_header, FrameType, NackCode, FLAG_REPLACE, FLAG_STREAM, FRAME_HEADER_LEN,
 };
+use fcds_sketches::wire::SketchFamily;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -127,6 +128,23 @@ impl Client {
         Ok(seq)
     }
 
+    /// Sends one well-formed frame with explicit v2 flag bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write I/O errors.
+    pub fn send_frame_flags(
+        &mut self,
+        ftype: FrameType,
+        flags: u8,
+        payload: &[u8],
+    ) -> io::Result<u16> {
+        let seq = self.seq();
+        self.stream
+            .write_all(&encode_frame_flags(ftype, flags, seq, payload))?;
+        Ok(seq)
+    }
+
     /// Reads and validates one reply frame.
     ///
     /// # Errors
@@ -237,5 +255,91 @@ impl Client {
     /// See [`Client::read_reply`].
     pub fn request_shutdown(&mut self) -> io::Result<Reply> {
         self.roundtrip(FrameType::Shutdown, &[])
+    }
+
+    fn roundtrip_flags(
+        &mut self,
+        ftype: FrameType,
+        flags: u8,
+        payload: &[u8],
+    ) -> io::Result<Reply> {
+        self.send_frame_flags(ftype, flags, payload)?;
+        self.read_reply()
+    }
+
+    /// v2: ingests a batch into the named stream, creating it with
+    /// `family` on first use.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::read_reply`].
+    pub fn ingest_stream(
+        &mut self,
+        family: SketchFamily,
+        key: &[u8],
+        items: &[u64],
+    ) -> io::Result<Reply> {
+        let mut body = Vec::with_capacity(items.len() * 8);
+        for item in items {
+            body.extend_from_slice(&item.to_le_bytes());
+        }
+        let payload = encode_stream_prefix(family, key, None, &body);
+        self.roundtrip_flags(FrameType::Ingest, FLAG_STREAM, &payload)
+    }
+
+    /// v2: merges one wire envelope into the named stream's
+    /// accumulating store, creating the stream with `family` on first
+    /// use.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::read_reply`].
+    pub fn merge_stream(
+        &mut self,
+        family: SketchFamily,
+        key: &[u8],
+        image: &[u8],
+    ) -> io::Result<Reply> {
+        let payload = encode_stream_prefix(family, key, None, image);
+        self.roundtrip_flags(FrameType::Merge, FLAG_STREAM, &payload)
+    }
+
+    /// v2 REPLACE: installs `image` as the stream's slot for replica
+    /// `source`, replacing any earlier push from the same source (the
+    /// idempotent replica-sync merge).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::read_reply`].
+    pub fn merge_stream_from(
+        &mut self,
+        family: SketchFamily,
+        key: &[u8],
+        source: u64,
+        image: &[u8],
+    ) -> io::Result<Reply> {
+        let payload = encode_stream_prefix(family, key, Some(source), image);
+        self.roundtrip_flags(FrameType::Merge, FLAG_STREAM | FLAG_REPLACE, &payload)
+    }
+
+    /// v2: queries the named stream's scalar estimate (live engine ∪
+    /// replica slots ∪ pushed images).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::read_reply`].
+    pub fn query_stream_estimate(&mut self, family: SketchFamily, key: &[u8]) -> io::Result<Reply> {
+        let payload = encode_stream_prefix(family, key, None, &[0, family.code()]);
+        self.roundtrip_flags(FrameType::Query, FLAG_STREAM, &payload)
+    }
+
+    /// v2: queries the named stream's fanned-in wire image.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::read_reply`].
+    pub fn query_stream_image(&mut self, family: SketchFamily, key: &[u8]) -> io::Result<Reply> {
+        let payload = encode_stream_prefix(family, key, None, &[1, family.code()]);
+        self.roundtrip_flags(FrameType::Query, FLAG_STREAM, &payload)
     }
 }

@@ -21,12 +21,57 @@
 //! caught by the magic/type/flags checks; payload corruption by the
 //! checksum; declared-length abuse by the server's configured cap
 //! *before* any buffer is sized from it.
+//!
+//! # FCF1 v2: stream-addressed frames
+//!
+//! v2 keeps the 16-byte header byte-for-byte and assigns the first two
+//! `flags` bits; a v1 peer (flags always 0) interoperates unchanged.
+//!
+//! * [`FLAG_STREAM`] (`0x01`) — legal only on `Ingest`, `Merge` and
+//!   `Query`. The payload then starts with a **stream prefix**:
+//!
+//!   | offset | size   | field    | meaning                              |
+//!   |-------:|-------:|----------|--------------------------------------|
+//!   | 0      | 1      | `family` | [`SketchFamily`] code (1–4)          |
+//!   | 1      | 1      | `klen`   | key length, 1..=[`MAX_STREAM_KEY`]   |
+//!   | 2      | `klen` | `key`    | opaque stream key bytes              |
+//!   | 2+klen | 0 or 8 | `source` | replica id (u64 LE), iff `REPLACE`   |
+//!
+//!   followed by the ordinary v1 body (ingest items, one wire
+//!   envelope, or the 2-byte query selector with `family` ignored in
+//!   favour of the prefix).
+//! * [`FLAG_REPLACE`] (`0x02`) — legal only together with `STREAM` and
+//!   only on `Merge`: the envelope *replaces* the stream's slot for
+//!   `source` instead of accumulating, making replica pushes idempotent
+//!   for the non-idempotent families (Quantiles concat, Misra–Gries
+//!   counter addition).
+//!
+//! Any other flag bit, or a defined bit on the wrong frame type, is
+//! rejected as [`HeaderError::BadFlags`] before the payload is read.
+
+use fcds_sketches::wire::SketchFamily;
 
 /// `"FCF1"` little-endian: fcds frame protocol, version 1.
 pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"FCF1");
 
 /// Fixed frame header length in bytes.
 pub const FRAME_HEADER_LEN: usize = 16;
+
+/// v2 flag: the payload starts with a stream prefix
+/// (`[family][klen][key]`). Legal on `Ingest`, `Merge` and `Query`.
+pub const FLAG_STREAM: u8 = 0x01;
+
+/// v2 flag: replace-by-source merge. Legal only with [`FLAG_STREAM`] on
+/// `Merge`; the prefix then carries a trailing `u64` replica source id.
+pub const FLAG_REPLACE: u8 = 0x02;
+
+/// Every flag bit any FCF1 version defines; the rest must be zero.
+pub const FLAGS_MASK: u8 = FLAG_STREAM | FLAG_REPLACE;
+
+/// Longest stream key the prefix codec accepts, in bytes. Small on
+/// purpose: keys are routing labels, not payloads, and the bound keeps
+/// hostile `klen` bytes from claiming more than the prefix can hold.
+pub const MAX_STREAM_KEY: usize = 64;
 
 /// Frame type codes. Client→server types have the high bit clear,
 /// server→client types have it set.
@@ -120,6 +165,13 @@ pub enum NackCode {
     /// The peer blew the mid-frame read deadline. Sent on a best-effort
     /// basis before the connection is closed.
     Timeout = 10,
+    /// A v2 query addressed a stream key the registry does not hold.
+    /// Queries never create streams — only ingest and merge do.
+    UnknownStream = 11,
+    /// A v2 frame's declared family disagrees with the family the
+    /// stream was created with. The frame is rejected; the stream is
+    /// untouched.
+    FamilyMismatch = 12,
 }
 
 impl NackCode {
@@ -136,6 +188,8 @@ impl NackCode {
             8 => NackCode::Internal,
             9 => NackCode::Checksum,
             10 => NackCode::Timeout,
+            11 => NackCode::UnknownStream,
+            12 => NackCode::FamilyMismatch,
             _ => return None,
         })
     }
@@ -146,6 +200,9 @@ impl NackCode {
 pub struct Frame {
     /// The frame type.
     pub ftype: FrameType,
+    /// Validated flag bits ([`FLAG_STREAM`] / [`FLAG_REPLACE`]; 0 on
+    /// every v1 frame).
+    pub flags: u8,
     /// Client-chosen sequence number, echoed verbatim in replies.
     pub seq: u16,
     /// The payload bytes (already checksum-verified on decode).
@@ -169,7 +226,9 @@ pub enum HeaderError {
         /// The offending type code.
         found: u8,
     },
-    /// Non-zero flags (v1 defines none).
+    /// Undefined flag bits, or a defined bit on a frame type that does
+    /// not admit it (`STREAM` off `Ingest`/`Merge`/`Query`, `REPLACE`
+    /// without `STREAM` or off `Merge`, any flag on a reply).
     BadFlags {
         /// The offending flags byte.
         found: u8,
@@ -242,6 +301,8 @@ impl std::error::Error for HeaderError {}
 pub struct ParsedHeader {
     /// The frame type.
     pub ftype: FrameType,
+    /// Validated flag bits (0 on every v1 frame).
+    pub flags: u8,
     /// The client sequence number.
     pub seq: u16,
     /// Declared payload length (≤ the cap passed to
@@ -287,7 +348,17 @@ pub fn parse_header(
         .filter(|t| ((*t as u8) & 0x80 == 0) == client_side)
         .ok_or(HeaderError::UnknownType { found: type_code })?;
     let flags = bytes[5];
-    if flags != 0 {
+    if flags & !FLAGS_MASK != 0 {
+        return Err(HeaderError::BadFlags { found: flags });
+    }
+    let stream_ok = matches!(
+        ftype,
+        FrameType::Ingest | FrameType::Merge | FrameType::Query
+    );
+    if flags & FLAG_STREAM != 0 && !stream_ok {
+        return Err(HeaderError::BadFlags { found: flags });
+    }
+    if flags & FLAG_REPLACE != 0 && (flags & FLAG_STREAM == 0 || ftype != FrameType::Merge) {
         return Err(HeaderError::BadFlags { found: flags });
     }
     let seq = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
@@ -301,6 +372,7 @@ pub fn parse_header(
     let checksum = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
     Ok(ParsedHeader {
         ftype,
+        flags,
         seq,
         payload_len,
         checksum,
@@ -325,17 +397,158 @@ pub fn check_payload(header: &ParsedHeader, payload: &[u8]) -> Result<(), Header
     Ok(())
 }
 
-/// Encodes a frame (header + payload) into one buffer ready to write.
+/// Encodes a v1 frame (header + payload, flags 0) into one buffer
+/// ready to write.
 pub fn encode_frame(ftype: FrameType, seq: u16, payload: &[u8]) -> Vec<u8> {
+    encode_frame_flags(ftype, 0, seq, payload)
+}
+
+/// Encodes a frame with explicit flag bits. The caller is responsible
+/// for pairing [`FLAG_STREAM`]/[`FLAG_REPLACE`] with a payload that
+/// actually starts with the matching stream prefix
+/// ([`encode_stream_prefix`]).
+pub fn encode_frame_flags(ftype: FrameType, flags: u8, seq: u16, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
     out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
     out.push(ftype as u8);
-    out.push(0); // flags
+    out.push(flags);
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&fnv1a32(payload).to_le_bytes());
     out.extend_from_slice(payload);
     out
+}
+
+/// A decoded v2 stream prefix (see the module docs for the byte
+/// layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamPrefix<'a> {
+    /// The sketch family the sender declares for the stream.
+    pub family: SketchFamily,
+    /// The opaque stream key (1..=[`MAX_STREAM_KEY`] bytes).
+    pub key: &'a [u8],
+    /// Replica source id; present iff the frame carried
+    /// [`FLAG_REPLACE`].
+    pub source: Option<u64>,
+}
+
+/// Why a v2 stream prefix was rejected. All variants NACK as
+/// [`NackCode::Malformed`] and keep the connection open (the frame
+/// boundary is known — only the payload's leading bytes are bad).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamPrefixError {
+    /// The payload ends before the prefix it declares is complete.
+    Truncated,
+    /// `klen` is zero — streams must have a non-empty key.
+    EmptyKey,
+    /// `klen` exceeds [`MAX_STREAM_KEY`].
+    KeyTooLong {
+        /// The declared key length.
+        len: usize,
+    },
+    /// The family byte is not an assigned [`SketchFamily`] code.
+    BadFamily {
+        /// The offending byte.
+        found: u8,
+    },
+}
+
+impl std::fmt::Display for StreamPrefixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamPrefixError::Truncated => write!(f, "payload truncates the stream prefix"),
+            StreamPrefixError::EmptyKey => write!(f, "stream key must not be empty"),
+            StreamPrefixError::KeyTooLong { len } => {
+                write!(f, "stream key of {len} bytes exceeds max {MAX_STREAM_KEY}")
+            }
+            StreamPrefixError::BadFamily { found } => {
+                write!(f, "unassigned sketch family code {found:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamPrefixError {}
+
+/// Prepends a stream prefix to `body`, producing a v2 payload. Pass the
+/// result to [`encode_frame_flags`] with [`FLAG_STREAM`] (and
+/// [`FLAG_REPLACE`] iff `source` is `Some`).
+///
+/// # Panics
+///
+/// If `key` is empty or longer than [`MAX_STREAM_KEY`] — sender-side
+/// misuse, not a wire condition.
+pub fn encode_stream_prefix(
+    family: SketchFamily,
+    key: &[u8],
+    source: Option<u64>,
+    body: &[u8],
+) -> Vec<u8> {
+    assert!(
+        !key.is_empty() && key.len() <= MAX_STREAM_KEY,
+        "stream key must be 1..={MAX_STREAM_KEY} bytes, got {}",
+        key.len()
+    );
+    let mut out = Vec::with_capacity(2 + key.len() + 8 + body.len());
+    out.push(family.code());
+    out.push(key.len() as u8);
+    out.extend_from_slice(key);
+    if let Some(id) = source {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    out.extend_from_slice(body);
+    out
+}
+
+/// Splits a v2 payload into its stream prefix and the v1-shaped body
+/// that follows. `replace` mirrors the frame's [`FLAG_REPLACE`] bit and
+/// decides whether the trailing `source` id is expected.
+///
+/// # Errors
+///
+/// See [`StreamPrefixError`]; every variant is a `Malformed` NACK with
+/// the connection kept open.
+pub fn split_stream_prefix(
+    payload: &[u8],
+    replace: bool,
+) -> Result<(StreamPrefix<'_>, &[u8]), StreamPrefixError> {
+    let [family_code, klen, rest @ ..] = payload else {
+        return Err(StreamPrefixError::Truncated);
+    };
+    let family = SketchFamily::from_code(*family_code).ok_or(StreamPrefixError::BadFamily {
+        found: *family_code,
+    })?;
+    let klen = *klen as usize;
+    if klen == 0 {
+        return Err(StreamPrefixError::EmptyKey);
+    }
+    if klen > MAX_STREAM_KEY {
+        return Err(StreamPrefixError::KeyTooLong { len: klen });
+    }
+    if rest.len() < klen {
+        return Err(StreamPrefixError::Truncated);
+    }
+    let (key, rest) = rest.split_at(klen);
+    let (source, body) = if replace {
+        if rest.len() < 8 {
+            return Err(StreamPrefixError::Truncated);
+        }
+        let (id, body) = rest.split_at(8);
+        (
+            Some(u64::from_le_bytes(id.try_into().expect("8 bytes"))),
+            body,
+        )
+    } else {
+        (None, rest)
+    };
+    Ok((
+        StreamPrefix {
+            family,
+            key,
+            source,
+        },
+        body,
+    ))
 }
 
 /// Encodes a NACK payload: `[code: u16 LE][detail: UTF-8]`.
@@ -456,5 +669,123 @@ mod tests {
         }
         assert_eq!(decode_nack_payload(&[1]), None);
         assert_eq!(decode_nack_payload(&[0xFF, 0xFF]), None);
+    }
+
+    #[test]
+    fn stream_nack_codes_roundtrip() {
+        for code in [NackCode::UnknownStream, NackCode::FamilyMismatch] {
+            let p = encode_nack_payload(code, "why");
+            let (got, _) = decode_nack_payload(&p).unwrap();
+            assert_eq!(got, code);
+        }
+        assert_eq!(NackCode::from_code(11), Some(NackCode::UnknownStream));
+        assert_eq!(NackCode::from_code(12), Some(NackCode::FamilyMismatch));
+        assert_eq!(NackCode::from_code(13), None);
+    }
+
+    fn parse(bytes: &[u8]) -> Result<ParsedHeader, HeaderError> {
+        let header: [u8; FRAME_HEADER_LEN] = bytes[..FRAME_HEADER_LEN].try_into().unwrap();
+        parse_header(&header, u32::MAX, true)
+    }
+
+    #[test]
+    fn v2_flags_accepted_where_defined() {
+        for ftype in [FrameType::Ingest, FrameType::Merge, FrameType::Query] {
+            let parsed = parse(&encode_frame_flags(ftype, FLAG_STREAM, 9, b"x")).unwrap();
+            assert_eq!(parsed.flags, FLAG_STREAM);
+            assert_eq!(parsed.seq, 9);
+        }
+        let both = FLAG_STREAM | FLAG_REPLACE;
+        let parsed = parse(&encode_frame_flags(FrameType::Merge, both, 0, b"")).unwrap();
+        assert_eq!(parsed.flags, both);
+    }
+
+    #[test]
+    fn v2_flags_rejected_where_undefined() {
+        // Undefined bits.
+        for flags in [0x04u8, 0x80, FLAG_STREAM | 0x10] {
+            let err = parse(&encode_frame_flags(FrameType::Ingest, flags, 0, b"")).unwrap_err();
+            assert_eq!(err, HeaderError::BadFlags { found: flags });
+            assert!(!err.closes_connection());
+        }
+        // STREAM off the three frame types that admit it.
+        for ftype in [FrameType::Ping, FrameType::Shutdown] {
+            let err = parse(&encode_frame_flags(ftype, FLAG_STREAM, 0, b"")).unwrap_err();
+            assert_eq!(err, HeaderError::BadFlags { found: FLAG_STREAM });
+        }
+        // REPLACE without STREAM, and REPLACE off Merge.
+        let err = parse(&encode_frame_flags(FrameType::Merge, FLAG_REPLACE, 0, b"")).unwrap_err();
+        assert_eq!(
+            err,
+            HeaderError::BadFlags {
+                found: FLAG_REPLACE
+            }
+        );
+        let both = FLAG_STREAM | FLAG_REPLACE;
+        for ftype in [FrameType::Ingest, FrameType::Query] {
+            let err = parse(&encode_frame_flags(ftype, both, 0, b"")).unwrap_err();
+            assert_eq!(err, HeaderError::BadFlags { found: both });
+        }
+    }
+
+    #[test]
+    fn v1_frames_still_parse_with_zero_flags() {
+        let parsed = parse(&encode_frame(FrameType::Ingest, 3, b"12345678")).unwrap();
+        assert_eq!(parsed.flags, 0);
+    }
+
+    #[test]
+    fn stream_prefix_roundtrip() {
+        let body = [0xABu8; 24];
+        let payload = encode_stream_prefix(SketchFamily::Quantiles, b"clicks/eu", None, &body);
+        let (prefix, rest) = split_stream_prefix(&payload, false).unwrap();
+        assert_eq!(prefix.family, SketchFamily::Quantiles);
+        assert_eq!(prefix.key, b"clicks/eu");
+        assert_eq!(prefix.source, None);
+        assert_eq!(rest, &body);
+
+        let payload = encode_stream_prefix(SketchFamily::Hll, b"k", Some(0xDEAD_BEEF), &body);
+        let (prefix, rest) = split_stream_prefix(&payload, true).unwrap();
+        assert_eq!(prefix.family, SketchFamily::Hll);
+        assert_eq!(prefix.key, b"k");
+        assert_eq!(prefix.source, Some(0xDEAD_BEEF));
+        assert_eq!(rest, &body);
+    }
+
+    #[test]
+    fn hostile_stream_prefixes_are_typed_errors() {
+        // Truncated: empty payload, then a klen that overruns.
+        assert_eq!(
+            split_stream_prefix(b"", false),
+            Err(StreamPrefixError::Truncated)
+        );
+        assert_eq!(
+            split_stream_prefix(&[1, 10, b'a', b'b'], false),
+            Err(StreamPrefixError::Truncated)
+        );
+        // Missing source id under REPLACE.
+        assert_eq!(
+            split_stream_prefix(&[1, 1, b'a', 0, 0, 0], true),
+            Err(StreamPrefixError::Truncated)
+        );
+        // Empty key.
+        assert_eq!(
+            split_stream_prefix(&[1, 0], false),
+            Err(StreamPrefixError::EmptyKey)
+        );
+        // Oversized key: klen claims more than MAX_STREAM_KEY.
+        let mut oversized = vec![1u8, (MAX_STREAM_KEY + 1) as u8];
+        oversized.extend_from_slice(&[b'x'; MAX_STREAM_KEY + 1]);
+        assert_eq!(
+            split_stream_prefix(&oversized, false),
+            Err(StreamPrefixError::KeyTooLong {
+                len: MAX_STREAM_KEY + 1
+            })
+        );
+        // Unassigned family code.
+        assert_eq!(
+            split_stream_prefix(&[9, 1, b'a'], false),
+            Err(StreamPrefixError::BadFamily { found: 9 })
+        );
     }
 }

@@ -24,24 +24,49 @@
 //!   surfaces as `FlushError` from the worker's writer and is handled
 //!   the same way.
 //! * **Graceful drain** — [`ServerHandle::shutdown`] stops admitting
-//!   ingest, drains the queues, flushes every writer, quiesces the
+//!   ingest, drains the queues, flushes every writer, quiesces every
 //!   engine (republishing images), then closes the listener and joins
 //!   every thread, returning a [`DrainReport`].
+//!
+//! # Multi-stream service (FCF1 v2)
+//!
+//! One server hosts many named streams, each a [`fcds_core::engine::
+//! StreamEngine`] of any sketch family, looked up through the
+//! [`registry`](StreamInfo) by the stream key carried on v2 frames
+//! ([`frame::FLAG_STREAM`]). Streams are created on first ingest or
+//! merge with the frame's declared family, are isolated from each other
+//! (private workers, queues and breakers per stream), and can be
+//! retired at runtime ([`ServerHandle::retire_stream`]). v1 frames
+//! (flags 0) keep their exact pre-v2 semantics, routed to the built-in
+//! [`DEFAULT_STREAM`] Θ stream.
+//!
+//! **Replica sync**: configure [`ServerConfig::replica_peer`] and the
+//! server periodically encodes every stream's live wire image and ships
+//! it to the peer as a v2 REPLACE merge ([`frame::FLAG_REPLACE`]) keyed
+//! by [`ServerConfig::replica_source_id`]. The peer stores the newest
+//! image per source and fans it in at query time with the multiway
+//! merge kernels, so two servers ingesting disjoint substreams converge
+//! on the union within one sync period. Replacement — not accumulation
+//! — is what keeps periodic re-pushes idempotent for the families whose
+//! merges are not (Quantiles concat, Misra–Gries counter addition).
 
 pub mod breaker;
 pub mod client;
 pub mod frame;
+mod registry;
 
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use client::{Client, Reply};
 pub use frame::{FrameType, NackCode};
+pub use registry::StreamInfo;
 
 use crate::frame::{
-    check_payload, encode_frame, encode_nack_payload, parse_header, Frame, HeaderError,
-    FRAME_HEADER_LEN,
+    check_payload, encode_frame, encode_nack_payload, parse_header, split_stream_prefix, Frame,
+    HeaderError, StreamPrefix, FLAG_REPLACE, FLAG_STREAM, FRAME_HEADER_LEN,
 };
+use crate::registry::{build_engine, CreateError, Registry, StreamState, WorkerExit, WorkerHandle};
 use bytes::Bytes;
-use fcds_core::theta::{ConcurrentThetaBuilder, ConcurrentThetaSketch};
+use fcds_core::engine::EngineWriter;
 use fcds_core::PropagationBackendKind;
 use fcds_sketches::theta::ThetaRead;
 use fcds_sketches::wire::{
@@ -52,7 +77,7 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -60,6 +85,10 @@ use std::time::{Duration, Instant};
 /// How often blocked socket reads and idle loops wake up to check the
 /// shutdown/drain flags. Deadlines are enforced at this granularity.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// The key of the built-in Θ stream every v1 frame is routed to. Always
+/// present; cannot be retired.
+pub const DEFAULT_STREAM: &[u8] = b"default";
 
 /// Server configuration. `Default` is sized for a small host (the 1-CPU
 /// CI container): two ingest workers, 64-deep queues, 1 MiB frames.
@@ -98,6 +127,22 @@ pub struct ServerConfig {
     /// that sees this item value panics, exercising panic isolation and
     /// the breaker over a real connection. `None` in production.
     pub fault_panic_on: Option<u64>,
+    /// Ingest worker threads per *non-default* stream (the default
+    /// stream uses [`Self::ingest_workers`]).
+    pub stream_workers: usize,
+    /// Maximum simultaneously registered streams (including the default
+    /// stream); creation beyond it NACKs with [`NackCode::Overload`].
+    pub max_streams: usize,
+    /// Replica peer address (`host:port`). `Some` turns on the
+    /// background pusher: every [`Self::replica_interval`] the server
+    /// ships each stream's live wire image to the peer as a v2 REPLACE
+    /// merge under [`Self::replica_source_id`].
+    pub replica_peer: Option<String>,
+    /// Push period of the replica pusher.
+    pub replica_interval: Duration,
+    /// This server's replica source id — the slot its pushes replace on
+    /// the peer. Two peers pushing to each other must use distinct ids.
+    pub replica_source_id: u64,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +160,11 @@ impl Default for ServerConfig {
             breaker_cooldown: Duration::from_millis(250),
             merge_store_cap: 1024,
             fault_panic_on: None,
+            stream_workers: 1,
+            max_streams: 64,
+            replica_peer: None,
+            replica_interval: Duration::from_millis(250),
+            replica_source_id: 1,
         }
     }
 }
@@ -136,6 +186,10 @@ struct Stats {
     conn_panics: AtomicU64,
     flush_errors: AtomicU64,
     read_timeouts: AtomicU64,
+    streams_created: AtomicU64,
+    streams_retired: AtomicU64,
+    replica_pushes: AtomicU64,
+    replica_push_errors: AtomicU64,
 }
 
 /// A point-in-time copy of the server's diagnostic counters.
@@ -169,6 +223,15 @@ pub struct StatsSnapshot {
     pub flush_errors: u64,
     /// Connections closed for blowing the mid-frame read deadline.
     pub read_timeouts: u64,
+    /// Streams created (create-on-first-ingest/merge plus the default
+    /// stream).
+    pub streams_created: u64,
+    /// Streams retired at runtime.
+    pub streams_retired: u64,
+    /// Replica images successfully pushed (acked by the peer).
+    pub replica_pushes: u64,
+    /// Replica pushes that failed (connect/write error or peer NACK).
+    pub replica_push_errors: u64,
 }
 
 impl Stats {
@@ -187,6 +250,10 @@ impl Stats {
             conn_panics: self.conn_panics.load(Ordering::Relaxed),
             flush_errors: self.flush_errors.load(Ordering::Relaxed),
             read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            streams_created: self.streams_created.load(Ordering::Relaxed),
+            streams_retired: self.streams_retired.load(Ordering::Relaxed),
+            replica_pushes: self.replica_pushes.load(Ordering::Relaxed),
+            replica_push_errors: self.replica_push_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -247,46 +314,38 @@ struct Control {
     drain_requested: AtomicBool,
 }
 
-/// Per-worker dispatch handle, cloned into every connection thread.
-#[derive(Clone)]
-struct WorkerHandle {
-    tx: SyncSender<Vec<u64>>,
-    breaker: Arc<CircuitBreaker>,
-    dead: Arc<AtomicBool>,
-}
-
 /// Everything a connection thread needs.
 struct ServerCtx {
     cfg: ServerConfig,
     ctl: Control,
     stats: Stats,
-    engine: ConcurrentThetaSketch,
+    registry: Registry,
     store: MergeStore,
-    workers: Vec<WorkerHandle>,
-    next_worker: AtomicUsize,
+    /// Worker-exit counts from streams retired before the drain, folded
+    /// into the final [`DrainReport`].
+    retired_flushed: AtomicUsize,
+    retired_flush_failed: AtomicUsize,
+    retired_panicked: AtomicUsize,
 }
 
-/// The running server: owns the accept loop, worker threads, and the
-/// live engine. Obtain via [`serve`]; stop via [`Self::shutdown`] (or
-/// drop, which performs an abrupt but still joined teardown).
+impl ServerCtx {
+    /// The built-in v1 stream. Present from [`serve`] until drain.
+    fn default_stream(&self) -> Option<Arc<StreamState>> {
+        self.registry.get(DEFAULT_STREAM)
+    }
+}
+
+/// The running server: owns the accept loop, the stream registry (and
+/// every stream's worker threads), and the optional replica pusher.
+/// Obtain via [`serve`]; stop via [`Self::shutdown`] (or drop, which
+/// performs an abrupt but still joined teardown).
 pub struct ServerHandle {
     ctx: Arc<ServerCtx>,
     addr: SocketAddr,
     accept_join: Option<JoinHandle<()>>,
-    worker_joins: Vec<JoinHandle<WorkerExit>>,
+    pusher_join: Option<JoinHandle<()>>,
     conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
     drained: bool,
-}
-
-/// What a worker reports when it exits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum WorkerExit {
-    /// Queue drained and writer flushed cleanly.
-    Flushed,
-    /// Writer flush failed (typed engine error, already counted).
-    FlushFailed,
-    /// The worker panicked (isolated; breaker tripped).
-    Panicked,
 }
 
 /// Outcome of a graceful drain: how cleanly the server went down.
@@ -308,8 +367,63 @@ pub struct DrainReport {
     pub final_estimate: f64,
 }
 
-/// Starts the server: binds the listener, spins up the engine and the
-/// ingest workers, and begins accepting connections.
+/// Spawns a fully-wired stream: builds the engine for `family`, starts
+/// `workers_n` worker threads each owning one engine writer, and
+/// returns the state ready to insert into the registry.
+fn spawn_stream(
+    ctx: &Arc<ServerCtx>,
+    key: &[u8],
+    family: SketchFamily,
+    workers_n: usize,
+) -> Result<Arc<StreamState>, String> {
+    let workers_n = workers_n.max(1);
+    let engine = build_engine(family, ctx.cfg.lg_k, ctx.cfg.backend, workers_n)?;
+    let mut handles = Vec::with_capacity(workers_n);
+    let mut rxs: Vec<Receiver<Vec<u64>>> = Vec::with_capacity(workers_n);
+    for _ in 0..workers_n {
+        let (tx, rx) = sync_channel::<Vec<u64>>(ctx.cfg.queue_depth.max(1));
+        handles.push(WorkerHandle {
+            tx,
+            breaker: Arc::new(CircuitBreaker::new(
+                ctx.cfg.breaker_threshold.max(1),
+                ctx.cfg.breaker_cooldown,
+            )),
+            dead: Arc::new(AtomicBool::new(false)),
+        });
+        rxs.push(rx);
+    }
+    let state = Arc::new(StreamState {
+        key: key.to_vec(),
+        family,
+        engine,
+        workers: handles,
+        worker_joins: Mutex::new(Vec::with_capacity(workers_n)),
+        next_worker: AtomicUsize::new(0),
+        retired: AtomicBool::new(false),
+        items: AtomicU64::new(0),
+        replicas: Mutex::new(std::collections::HashMap::new()),
+        pushed: Mutex::new(Vec::new()),
+    });
+    let mut joins = Vec::with_capacity(workers_n);
+    for (i, rx) in rxs.into_iter().enumerate() {
+        let ctx = Arc::clone(ctx);
+        let state2 = Arc::clone(&state);
+        let writer = state.engine.writer();
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("fcds-stream-worker-{i}"))
+                .spawn(move || stream_worker(ctx, state2, i, writer, rx))
+                .map_err(|e| format!("spawn stream worker: {e}"))?,
+        );
+    }
+    *state.worker_joins.lock().unwrap_or_else(|e| e.into_inner()) = joins;
+    ctx.stats.streams_created.fetch_add(1, Ordering::Relaxed);
+    Ok(state)
+}
+
+/// Starts the server: binds the listener, spins up the default Θ stream
+/// and its ingest workers (plus the replica pusher when configured),
+/// and begins accepting connections.
 ///
 /// # Errors
 ///
@@ -320,51 +434,25 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
-    let workers_n = cfg.ingest_workers.max(1);
-    let engine = ConcurrentThetaBuilder::new()
-        .lg_k(cfg.lg_k)
-        .writers(workers_n)
-        .backend(cfg.backend)
-        .build()
-        .expect("server engine config must be valid");
-
-    let mut worker_handles = Vec::with_capacity(workers_n);
-    let mut worker_rx: Vec<Receiver<Vec<u64>>> = Vec::with_capacity(workers_n);
-    for _ in 0..workers_n {
-        let (tx, rx) = sync_channel::<Vec<u64>>(cfg.queue_depth.max(1));
-        worker_handles.push(WorkerHandle {
-            tx,
-            breaker: Arc::new(CircuitBreaker::new(
-                cfg.breaker_threshold.max(1),
-                cfg.breaker_cooldown,
-            )),
-            dead: Arc::new(AtomicBool::new(false)),
-        });
-        worker_rx.push(rx);
-    }
-
     let store = MergeStore::new(cfg.merge_store_cap);
+    let max_streams = cfg.max_streams.max(1);
     let ctx = Arc::new(ServerCtx {
         cfg,
         ctl: Control::default(),
         stats: Stats::default(),
-        engine,
+        registry: Registry::new(max_streams),
         store,
-        workers: worker_handles,
-        next_worker: AtomicUsize::new(0),
+        retired_flushed: AtomicUsize::new(0),
+        retired_flush_failed: AtomicUsize::new(0),
+        retired_panicked: AtomicUsize::new(0),
     });
 
-    let mut worker_joins = Vec::with_capacity(workers_n);
-    for (i, rx) in worker_rx.into_iter().enumerate() {
-        let ctx = Arc::clone(&ctx);
-        let writer = ctx.engine.writer();
-        worker_joins.push(
-            std::thread::Builder::new()
-                .name(format!("fcds-ingest-{i}"))
-                .spawn(move || ingest_worker(ctx, i, writer, rx))
-                .expect("spawn ingest worker"),
-        );
-    }
+    let default_workers = ctx.cfg.ingest_workers.max(1);
+    ctx.registry
+        .get_or_create(DEFAULT_STREAM, SketchFamily::Theta, || {
+            spawn_stream(&ctx, DEFAULT_STREAM, SketchFamily::Theta, default_workers)
+        })
+        .map_err(|e| io::Error::other(format!("default stream: {e:?}")))?;
 
     let conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let accept_join = {
@@ -376,11 +464,19 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
             .expect("spawn accept loop")
     };
 
+    let pusher_join = ctx.cfg.replica_peer.clone().map(|peer| {
+        let ctx = Arc::clone(&ctx);
+        std::thread::Builder::new()
+            .name("fcds-replica-push".to_string())
+            .spawn(move || replica_pusher(ctx, peer))
+            .expect("spawn replica pusher")
+    });
+
     Ok(ServerHandle {
         ctx,
         addr,
         accept_join: Some(accept_join),
-        worker_joins,
+        pusher_join,
         conn_joins,
         drained: false,
     })
@@ -397,13 +493,14 @@ impl ServerHandle {
         self.ctx.stats.snapshot()
     }
 
-    /// Whether the live engine lost a propagation service (a dead
-    /// propagator thread) — degraded but still serving.
+    /// Whether any stream lost an ingest worker (panic or dead
+    /// propagator) — degraded but still serving.
     pub fn is_degraded(&self) -> bool {
         self.ctx
-            .workers
+            .registry
+            .list()
             .iter()
-            .any(|w| w.dead.load(Ordering::Acquire))
+            .any(|s| s.workers.iter().any(|w| w.dead.load(Ordering::Acquire)))
     }
 
     /// Whether some client requested a drain with a `Shutdown` frame.
@@ -411,9 +508,57 @@ impl ServerHandle {
         self.ctx.ctl.drain_requested.load(Ordering::Acquire)
     }
 
-    /// Estimate of the live engine (concurrent query path).
+    /// Estimate of the default stream's live Θ engine (concurrent query
+    /// path).
     pub fn live_estimate(&self) -> f64 {
-        self.ctx.engine.estimate()
+        self.ctx
+            .default_stream()
+            .and_then(|s| s.engine.estimate())
+            .unwrap_or(0.0)
+    }
+
+    /// Every live stream: key, family, items ingested.
+    pub fn list_streams(&self) -> Vec<StreamInfo> {
+        self.ctx
+            .registry
+            .list()
+            .iter()
+            .map(|s| StreamInfo {
+                key: s.key.clone(),
+                family: s.family,
+                items: s.items.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Retires a stream: removes it from the registry, drains and joins
+    /// its workers, and quiesces its engine. Returns `false` for the
+    /// default stream (not retirable) or an unknown key. A later v2
+    /// ingest/merge under the same key creates a fresh stream.
+    pub fn retire_stream(&self, key: &[u8]) -> bool {
+        if key == DEFAULT_STREAM {
+            return false;
+        }
+        let Some(state) = self.ctx.registry.retire(key) else {
+            return false;
+        };
+        state.retired.store(true, Ordering::Release);
+        let (flushed, failed, panicked, _leaked) = state.join_workers();
+        self.ctx
+            .retired_flushed
+            .fetch_add(flushed, Ordering::Relaxed);
+        self.ctx
+            .retired_flush_failed
+            .fetch_add(failed, Ordering::Relaxed);
+        self.ctx
+            .retired_panicked
+            .fetch_add(panicked, Ordering::Relaxed);
+        state.engine.quiesce();
+        self.ctx
+            .stats
+            .streams_retired
+            .fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Gracefully drains and stops the server:
@@ -431,24 +576,34 @@ impl ServerHandle {
         self.drained = true;
         self.ctx.ctl.draining.store(true, Ordering::Release);
 
-        let mut workers_flushed = 0usize;
-        let mut workers_flush_failed = 0usize;
-        let mut workers_panicked = 0usize;
+        // Carry over worker exits from streams retired before the
+        // drain, then drain every remaining stream.
+        let mut workers_flushed = self.ctx.retired_flushed.load(Ordering::Relaxed);
+        let mut workers_flush_failed = self.ctx.retired_flush_failed.load(Ordering::Relaxed);
+        let mut workers_panicked = self.ctx.retired_panicked.load(Ordering::Relaxed);
         let mut leaked_threads = 0usize;
-        for j in self.worker_joins.drain(..) {
-            match j.join() {
-                Ok(WorkerExit::Flushed) => workers_flushed += 1,
-                Ok(WorkerExit::FlushFailed) => workers_flush_failed += 1,
-                Ok(WorkerExit::Panicked) => workers_panicked += 1,
-                Err(_) => leaked_threads += 1, // catch_unwind means this can't happen
+        let mut final_estimate = 0.0f64;
+        for state in self.ctx.registry.drain_all() {
+            state.retired.store(true, Ordering::Release);
+            let (flushed, failed, panicked, leaked) = state.join_workers();
+            workers_flushed += flushed;
+            workers_flush_failed += failed;
+            workers_panicked += panicked;
+            leaked_threads += leaked;
+            // Writers are flushed (or dead); merge what is in flight
+            // and republish every shard image.
+            state.engine.quiesce();
+            if state.key == DEFAULT_STREAM {
+                final_estimate = state.engine.estimate().unwrap_or(0.0);
             }
         }
 
-        // Writers are flushed (or dead); merge what is in flight and
-        // republish every shard image.
-        self.ctx.engine.quiesce();
-
         self.ctx.ctl.shutdown.store(true, Ordering::Release);
+        if let Some(j) = self.pusher_join.take() {
+            if j.join().is_err() {
+                leaked_threads += 1;
+            }
+        }
         if let Some(j) = self.accept_join.take() {
             if j.join().is_err() {
                 leaked_threads += 1;
@@ -470,7 +625,7 @@ impl ServerHandle {
             workers_panicked,
             leaked_threads,
             stats: self.ctx.stats.snapshot(),
-            final_estimate: self.ctx.engine.estimate(),
+            final_estimate,
         }
     }
 }
@@ -483,19 +638,22 @@ impl Drop for ServerHandle {
     }
 }
 
-/// The ingest worker: drains its bounded queue into its engine writer.
-/// Runs under `catch_unwind`; a panic (injected faults, engine bugs)
-/// kills only this worker, trips its breaker, and marks it dead so
-/// dispatch routes around it.
-fn ingest_worker(
+/// The per-stream ingest worker: drains its bounded queue into its
+/// engine writer (family-generic through [`EngineWriter`]). Runs under
+/// `catch_unwind`; a panic (injected faults, engine bugs) kills only
+/// this worker, trips its breaker, and marks it dead so dispatch routes
+/// around it — workers of *other* streams are untouched, which is the
+/// per-stream isolation property the registry suite asserts.
+fn stream_worker(
     ctx: Arc<ServerCtx>,
+    state: Arc<StreamState>,
     index: usize,
-    writer: fcds_core::theta::ThetaWriter,
+    writer: Box<dyn EngineWriter>,
     rx: Receiver<Vec<u64>>,
 ) -> WorkerExit {
-    let me = ctx.workers[index].clone();
+    let me = state.workers[index].clone();
     let exit = catch_unwind(AssertUnwindSafe(|| {
-        ingest_worker_impl(&ctx, &me, writer, &rx)
+        stream_worker_impl(&ctx, &state, &me, writer, &rx)
     }));
     match exit {
         Ok(e) => e,
@@ -508,10 +666,11 @@ fn ingest_worker(
     }
 }
 
-fn ingest_worker_impl(
+fn stream_worker_impl(
     ctx: &ServerCtx,
+    state: &StreamState,
     me: &WorkerHandle,
-    mut writer: fcds_core::theta::ThetaWriter,
+    mut writer: Box<dyn EngineWriter>,
     rx: &Receiver<Vec<u64>>,
 ) -> WorkerExit {
     loop {
@@ -523,7 +682,7 @@ fn ingest_worker_impl(
                     }
                 }
                 let n = batch.len() as u64;
-                writer.update_batch(&batch);
+                writer.ingest_batch(&batch);
                 // Surface engine-side propagation faults (a dead
                 // propagator thread) promptly instead of only at drain:
                 // flush after each batch. With the writer-assisted
@@ -533,6 +692,7 @@ fn ingest_worker_impl(
                 match writer.flush() {
                     Ok(()) => {
                         ctx.stats.ingest_items.fetch_add(n, Ordering::Relaxed);
+                        state.items.fetch_add(n, Ordering::Relaxed);
                         me.breaker.record_success();
                     }
                     Err(_e) => {
@@ -546,10 +706,11 @@ fn ingest_worker_impl(
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                 if ctx.ctl.draining.load(Ordering::Acquire)
                     || ctx.ctl.shutdown.load(Ordering::Acquire)
+                    || state.retired.load(Ordering::Acquire)
                 {
                     // Dispatch stopped admitting before the flag was
-                    // set, so an empty poll during a drain means the
-                    // queue is finally dry: flush and exit.
+                    // set, so an empty poll during a drain/retire means
+                    // the queue is finally dry: flush and exit.
                     return match writer.flush() {
                         Ok(()) => WorkerExit::Flushed,
                         Err(_) => {
@@ -567,6 +728,57 @@ fn ingest_worker_impl(
                     Ok(()) => WorkerExit::Flushed,
                     Err(_) => WorkerExit::FlushFailed,
                 };
+            }
+        }
+    }
+}
+
+/// The background replica pusher: every `replica_interval`, encode each
+/// live stream's wire image and ship it to the peer as a v2 REPLACE
+/// merge under this server's source id. Connection failures are counted
+/// and retried next round — the pusher never takes the server down.
+fn replica_pusher(ctx: Arc<ServerCtx>, peer: String) {
+    let mut client: Option<Client> = None;
+    let mut last_push = Instant::now();
+    loop {
+        if ctx.ctl.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        std::thread::sleep(POLL_INTERVAL);
+        if last_push.elapsed() < ctx.cfg.replica_interval {
+            continue;
+        }
+        last_push = Instant::now();
+        for state in ctx.registry.list() {
+            let image = state.engine.wire_image();
+            if client.is_none() {
+                client = Client::connect(peer.as_str(), ctx.cfg.write_timeout).ok();
+            }
+            let Some(c) = client.as_mut() else {
+                ctx.stats
+                    .replica_push_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            let pushed =
+                c.merge_stream_from(state.family, &state.key, ctx.cfg.replica_source_id, &image);
+            match pushed {
+                Ok(Reply::Ack { .. }) => {
+                    ctx.stats.replica_pushes.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(_) => {
+                    // Typed NACK (peer draining, at capacity…): count
+                    // and keep the connection — framing is intact.
+                    ctx.stats
+                        .replica_push_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    ctx.stats
+                        .replica_push_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    client = None; // reconnect next round
+                }
             }
         }
     }
@@ -749,6 +961,7 @@ fn read_frame(stream: &mut TcpStream, ctx: &ServerCtx) -> io::Result<ReadEvent> 
     }
     Ok(ReadEvent::Frame(Frame {
         ftype: header.ftype,
+        flags: header.flags,
         seq: header.seq,
         payload,
     }))
@@ -784,7 +997,7 @@ impl Response {
 }
 
 /// Serves one connection until close/shutdown/fatal error.
-fn handle_connection(mut stream: TcpStream, ctx: &ServerCtx) {
+fn handle_connection(mut stream: TcpStream, ctx: &Arc<ServerCtx>) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let _ = stream.set_write_timeout(Some(ctx.cfg.write_timeout));
     let _ = stream.set_nodelay(true);
@@ -833,7 +1046,7 @@ fn write_response(stream: &mut TcpStream, ctx: &ServerCtx, r: Response) -> io::R
 }
 
 /// Routes one validated frame to its handler and produces the response.
-fn dispatch_frame(frame: Frame, ctx: &ServerCtx) -> Response {
+fn dispatch_frame(frame: Frame, ctx: &Arc<ServerCtx>) -> Response {
     match frame.ftype {
         FrameType::Ping => Response {
             ftype: FrameType::Pong,
@@ -861,11 +1074,82 @@ fn dispatch_frame(frame: Frame, ctx: &ServerCtx) -> Response {
     }
 }
 
-fn handle_ingest(frame: Frame, ctx: &ServerCtx) -> Response {
+/// Resolves a v2 stream prefix against the registry. `create` is true
+/// for ingest/merge (create-on-first-use) and false for queries
+/// ([`NackCode::UnknownStream`] instead).
+fn resolve_stream(
+    ctx: &Arc<ServerCtx>,
+    seq: u16,
+    prefix: &StreamPrefix<'_>,
+    create: bool,
+) -> Result<Arc<StreamState>, Response> {
+    let mismatch = |expected: SketchFamily| {
+        Response::nack(
+            seq,
+            NackCode::FamilyMismatch,
+            &format!(
+                "stream was created as {}, frame declared {}",
+                expected.name(),
+                prefix.family.name()
+            ),
+            false,
+        )
+    };
+    if create {
+        let workers = ctx.cfg.stream_workers.max(1);
+        match ctx.registry.get_or_create(prefix.key, prefix.family, || {
+            spawn_stream(ctx, prefix.key, prefix.family, workers)
+        }) {
+            Ok((stream, _created)) => Ok(stream),
+            Err(CreateError::FamilyMismatch { expected }) => Err(mismatch(expected)),
+            Err(CreateError::AtCapacity) => Err(Response::nack(
+                seq,
+                NackCode::Overload,
+                "stream registry at capacity; retire a stream first",
+                false,
+            )),
+            Err(CreateError::Build(e)) => Err(Response::nack(seq, NackCode::Internal, &e, false)),
+        }
+    } else {
+        match ctx.registry.get(prefix.key) {
+            Some(stream) if stream.family == prefix.family => Ok(stream),
+            Some(stream) => Err(mismatch(stream.family)),
+            None => Err(Response::nack(
+                seq,
+                NackCode::UnknownStream,
+                "no such stream (queries never create streams)",
+                false,
+            )),
+        }
+    }
+}
+
+fn handle_ingest(frame: Frame, ctx: &Arc<ServerCtx>) -> Response {
     if ctx.ctl.draining.load(Ordering::Acquire) {
         return Response::nack(frame.seq, NackCode::Draining, "server is draining", false);
     }
-    if !frame.payload.len().is_multiple_of(8) {
+    let (stream, body) = if frame.flags & FLAG_STREAM != 0 {
+        match split_stream_prefix(&frame.payload, false) {
+            Ok((prefix, body)) => match resolve_stream(ctx, frame.seq, &prefix, true) {
+                Ok(stream) => (stream, body),
+                Err(nack) => return nack,
+            },
+            Err(e) => return Response::nack(frame.seq, NackCode::Malformed, &e.to_string(), false),
+        }
+    } else {
+        match ctx.default_stream() {
+            Some(stream) => (stream, frame.payload.as_slice()),
+            None => {
+                return Response::nack(
+                    frame.seq,
+                    NackCode::Internal,
+                    "default stream missing",
+                    false,
+                )
+            }
+        }
+    };
+    if !body.len().is_multiple_of(8) {
         return Response::nack(
             frame.seq,
             NackCode::Malformed,
@@ -873,21 +1157,28 @@ fn handle_ingest(frame: Frame, ctx: &ServerCtx) -> Response {
             false,
         );
     }
-    let items: Vec<u64> = frame
-        .payload
+    let items: Vec<u64> = body
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
         .collect();
     if items.is_empty() {
         return Response::ack(frame.seq);
     }
-    let n = ctx.workers.len();
-    let start = ctx.next_worker.fetch_add(1, Ordering::Relaxed);
+    ingest_into(&stream, items, ctx, frame.seq)
+}
+
+/// Routes one batch into `stream`'s workers: round-robin over live
+/// workers with closed breakers; a full queue records a breaker failure
+/// and tries the next. Failure NACKs are scoped to this stream — other
+/// streams' workers and breakers are never consulted.
+fn ingest_into(stream: &StreamState, items: Vec<u64>, ctx: &ServerCtx, seq: u16) -> Response {
+    let n = stream.workers.len();
+    let start = stream.next_worker.fetch_add(1, Ordering::Relaxed);
     let mut batch = items;
     let mut saw_full = false;
     let mut saw_open = false;
     for i in 0..n {
-        let w = &ctx.workers[(start + i) % n];
+        let w = &stream.workers[(start + i) % n];
         if w.dead.load(Ordering::Acquire) {
             continue;
         }
@@ -898,7 +1189,7 @@ fn handle_ingest(frame: Frame, ctx: &ServerCtx) -> Response {
         match w.tx.try_send(batch) {
             Ok(()) => {
                 ctx.stats.ingest_batches.fetch_add(1, Ordering::Relaxed);
-                return Response::ack(frame.seq);
+                return Response::ack(seq);
             }
             Err(TrySendError::Full(b)) => {
                 w.breaker.record_failure();
@@ -917,50 +1208,104 @@ fn handle_ingest(frame: Frame, ctx: &ServerCtx) -> Response {
     ctx.stats.sheds.fetch_add(1, Ordering::Relaxed);
     if saw_full {
         Response::nack(
-            frame.seq,
+            seq,
             NackCode::Overload,
             "all ingest queues full; back off and retry",
             false,
         )
     } else if saw_open {
         Response::nack(
-            frame.seq,
+            seq,
             NackCode::BreakerOpen,
             "ingest breakers open; retry after cooldown",
             false,
         )
     } else {
-        Response::nack(
-            frame.seq,
-            NackCode::Internal,
-            "no live ingest backend",
-            false,
-        )
+        Response::nack(seq, NackCode::Internal, "no live ingest backend", false)
     }
 }
 
-fn handle_merge(frame: Frame, ctx: &ServerCtx) -> Response {
+/// Pre-screens an envelope with the capped peek (never size anything
+/// from an unvalidated declared length), then fully validates with the
+/// family's zero-copy view so only decodable images are stored.
+fn validate_envelope(payload: &[u8], cap: u32) -> Result<SketchFamily, String> {
+    let peeked = peek(payload, cap as u64).map_err(|e| e.to_string())?;
+    match peeked.family {
+        SketchFamily::Theta => ThetaWireView::parse(payload).map(|_| ()),
+        SketchFamily::Hll => HllWireView::parse(payload).map(|_| ()),
+        SketchFamily::Quantiles => LadderWireView::<u64>::parse(payload).map(|_| ()),
+        SketchFamily::Frequency => MgWireView::<u64>::parse(payload).map(|_| ()),
+    }
+    .map_err(|e| e.to_string())?;
+    Ok(peeked.family)
+}
+
+fn handle_merge(frame: Frame, ctx: &Arc<ServerCtx>) -> Response {
     if ctx.ctl.draining.load(Ordering::Acquire) {
         return Response::nack(frame.seq, NackCode::Draining, "server is draining", false);
     }
-    // Pre-screen the envelope header with the capped peek (satellite of
-    // this PR: never size anything from an unvalidated declared length),
-    // then fully validate with the family's zero-copy view so only
-    // decodable images enter the store.
-    let peeked = match peek(&frame.payload, ctx.cfg.max_frame_payload as u64) {
-        Ok(p) => p,
-        Err(e) => return Response::nack(frame.seq, NackCode::Wire, &e.to_string(), false),
-    };
-    let validation = match peeked.family {
-        SketchFamily::Theta => ThetaWireView::parse(&frame.payload).map(|_| ()),
-        SketchFamily::Hll => HllWireView::parse(&frame.payload).map(|_| ()),
-        SketchFamily::Quantiles => LadderWireView::<u64>::parse(&frame.payload).map(|_| ()),
-        SketchFamily::Frequency => MgWireView::<u64>::parse(&frame.payload).map(|_| ()),
-    };
-    if let Err(e) = validation {
-        return Response::nack(frame.seq, NackCode::Wire, &e.to_string(), false);
+    if frame.flags & FLAG_STREAM != 0 {
+        let replace = frame.flags & FLAG_REPLACE != 0;
+        let (prefix, body) = match split_stream_prefix(&frame.payload, replace) {
+            Ok(split) => split,
+            Err(e) => return Response::nack(frame.seq, NackCode::Malformed, &e.to_string(), false),
+        };
+        // Create-on-first-merge: a replica push materialises the stream
+        // on the receiving peer before any local ingest.
+        let stream = match resolve_stream(ctx, frame.seq, &prefix, true) {
+            Ok(stream) => stream,
+            Err(nack) => return nack,
+        };
+        let family = match validate_envelope(body, ctx.cfg.max_frame_payload) {
+            Ok(f) => f,
+            Err(e) => return Response::nack(frame.seq, NackCode::Wire, &e, false),
+        };
+        if family != stream.family {
+            return Response::nack(
+                frame.seq,
+                NackCode::FamilyMismatch,
+                &format!(
+                    "envelope is {}, stream is {}",
+                    family.name(),
+                    stream.family.name()
+                ),
+                false,
+            );
+        }
+        let image = Bytes::from(body.to_vec());
+        if let Some(source) = prefix.source {
+            // Replace-by-source: idempotent under periodic re-push.
+            let mut replicas = stream.replicas.lock().unwrap_or_else(|e| e.into_inner());
+            if !replicas.contains_key(&source) && replicas.len() >= ctx.cfg.merge_store_cap {
+                return Response::nack(
+                    frame.seq,
+                    NackCode::Overload,
+                    "replica slots at capacity for this stream",
+                    false,
+                );
+            }
+            replicas.insert(source, image);
+        } else {
+            let mut pushed = stream.pushed.lock().unwrap_or_else(|e| e.into_inner());
+            if pushed.len() >= ctx.cfg.merge_store_cap {
+                return Response::nack(
+                    frame.seq,
+                    NackCode::Overload,
+                    "merge store at capacity for this stream",
+                    false,
+                );
+            }
+            pushed.push(image);
+        }
+        ctx.stats.merges_accepted.fetch_add(1, Ordering::Relaxed);
+        return Response::ack(frame.seq);
     }
-    match ctx.store.push(peeked.family, Bytes::from(frame.payload)) {
+    // v1: the global per-family merge store.
+    let family = match validate_envelope(&frame.payload, ctx.cfg.max_frame_payload) {
+        Ok(f) => f,
+        Err(e) => return Response::nack(frame.seq, NackCode::Wire, &e, false),
+    };
+    match ctx.store.push(family, Bytes::from(frame.payload)) {
         Ok(()) => {
             ctx.stats.merges_accepted.fetch_add(1, Ordering::Relaxed);
             Response::ack(frame.seq)
@@ -974,7 +1319,84 @@ fn handle_merge(frame: Frame, ctx: &ServerCtx) -> Response {
     }
 }
 
-fn handle_query(frame: Frame, ctx: &ServerCtx) -> Response {
+/// Serves a v2 per-stream query: fans the stream's live image, replica
+/// slots and pushed images together with the family's multiway kernel.
+fn stream_query(seq: u16, stream: &StreamState, kind: u8) -> Response {
+    let images = stream.images();
+    let wire_err =
+        |e: fcds_sketches::WireError| Response::nack(seq, NackCode::Wire, &e.to_string(), false);
+    let estimate = |value: f64| Response {
+        ftype: FrameType::Estimate,
+        seq,
+        payload: value.to_bits().to_le_bytes().to_vec(),
+        close: false,
+    };
+    let image = |bytes: Bytes| Response {
+        ftype: FrameType::Image,
+        seq,
+        payload: bytes.as_ref().to_vec(),
+        close: false,
+    };
+    match (kind, stream.family) {
+        (0, SketchFamily::Theta) => match theta_multiway_union(&images) {
+            Ok(s) => estimate(s.estimate()),
+            Err(e) => wire_err(e),
+        },
+        (0, SketchFamily::Hll) => match hll_multiway_merge(&images) {
+            Ok(s) => estimate(s.estimate()),
+            Err(e) => wire_err(e),
+        },
+        (0, _) => Response::nack(
+            seq,
+            NackCode::Unsupported,
+            "quantiles/frequency families have no scalar estimate; query the image",
+            false,
+        ),
+        (1, SketchFamily::Theta) => match theta_multiway_union(&images) {
+            Ok(s) => image(s.to_wire_bytes()),
+            Err(e) => wire_err(e),
+        },
+        (1, SketchFamily::Hll) => match hll_multiway_merge(&images) {
+            Ok(s) => image(s.to_wire_bytes()),
+            Err(e) => wire_err(e),
+        },
+        (1, SketchFamily::Quantiles) => match ladder_multiway_concat::<u64, _>(&images) {
+            Ok(s) => image(s.to_wire_bytes()),
+            Err(e) => wire_err(e),
+        },
+        (1, SketchFamily::Frequency) => match mg_multiway_merge::<u64, _>(&images) {
+            Ok(s) => image(s.to_wire_bytes()),
+            Err(e) => wire_err(e),
+        },
+        _ => Response::nack(seq, NackCode::Malformed, "unknown query kind", false),
+    }
+}
+
+fn handle_query(frame: Frame, ctx: &Arc<ServerCtx>) -> Response {
+    if frame.flags & FLAG_STREAM != 0 {
+        let (prefix, body) = match split_stream_prefix(&frame.payload, false) {
+            Ok(split) => split,
+            Err(e) => return Response::nack(frame.seq, NackCode::Malformed, &e.to_string(), false),
+        };
+        let stream = match resolve_stream(ctx, frame.seq, &prefix, false) {
+            Ok(stream) => stream,
+            Err(nack) => return nack,
+        };
+        // Same 2-byte selector as v1; the family byte is redundant with
+        // the prefix and ignored.
+        let kind = match body {
+            [k, _family] => *k,
+            _ => {
+                return Response::nack(
+                    frame.seq,
+                    NackCode::Malformed,
+                    "query payload must be [kind, family]",
+                    false,
+                )
+            }
+        };
+        return stream_query(frame.seq, &stream, kind);
+    }
     let [kind, family] = match frame.payload.as_slice() {
         [k, f] => [*k, *f],
         _ => {
@@ -991,12 +1413,18 @@ fn handle_query(frame: Frame, ctx: &ServerCtx) -> Response {
     };
     match (kind, family) {
         // Estimates.
-        (0, 0) => Response {
-            ftype: FrameType::Estimate,
-            seq: frame.seq,
-            payload: ctx.engine.estimate().to_bits().to_le_bytes().to_vec(),
-            close: false,
-        },
+        (0, 0) => {
+            let value = ctx
+                .default_stream()
+                .and_then(|s| s.engine.estimate())
+                .unwrap_or(0.0);
+            Response {
+                ftype: FrameType::Estimate,
+                seq: frame.seq,
+                payload: value.to_bits().to_le_bytes().to_vec(),
+                close: false,
+            }
+        }
         (0, 1) => match theta_multiway_union(&ctx.store.images(SketchFamily::Theta)) {
             Ok(s) => Response {
                 ftype: FrameType::Estimate,
@@ -1022,11 +1450,19 @@ fn handle_query(frame: Frame, ctx: &ServerCtx) -> Response {
             false,
         ),
         // Images.
-        (1, 0) => Response {
-            ftype: FrameType::Image,
-            seq: frame.seq,
-            payload: ctx.engine.wire_image().as_ref().to_vec(),
-            close: false,
+        (1, 0) => match ctx.default_stream() {
+            Some(s) => Response {
+                ftype: FrameType::Image,
+                seq: frame.seq,
+                payload: s.engine.wire_image().as_ref().to_vec(),
+                close: false,
+            },
+            None => Response::nack(
+                frame.seq,
+                NackCode::Internal,
+                "default stream missing",
+                false,
+            ),
         },
         (1, 1) => match theta_multiway_union(&ctx.store.images(SketchFamily::Theta)) {
             Ok(s) => Response {

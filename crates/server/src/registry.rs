@@ -1,0 +1,256 @@
+//! The per-key stream registry: the map from opaque stream keys to
+//! running [`StreamEngine`]s, plus each stream's private ingest
+//! workers, replica slots, and pushed-image store.
+//!
+//! Lifecycle contract (documented in the README and exercised by the
+//! `registry_streams` suite):
+//!
+//! * **Create on first ingest or merge** — a v2 `Ingest` or `Merge`
+//!   frame for an unknown key creates the stream with the frame's
+//!   declared family. Queries never create ([`NackCode::UnknownStream`]
+//!   instead), so a typo'd read cannot materialise an empty stream.
+//! * **Family is fixed at creation** — later frames declaring a
+//!   different family are rejected with
+//!   [`NackCode::FamilyMismatch`] and leave the stream untouched.
+//! * **Isolation** — every stream owns its worker threads, queues and
+//!   circuit breakers; a poisoned batch or open breaker on one stream
+//!   can never shed or NACK another stream's traffic.
+//! * **Retire** — removes the key, drains and joins the stream's
+//!   workers, quiesces the engine. A subsequent ingest/merge under the
+//!   same key creates a *fresh* stream (any family).
+//!
+//! [`NackCode::UnknownStream`]: crate::frame::NackCode::UnknownStream
+//! [`NackCode::FamilyMismatch`]: crate::frame::NackCode::FamilyMismatch
+
+use crate::breaker::CircuitBreaker;
+use bytes::Bytes;
+use fcds_core::engine::{
+    EngineBuilder, FrequencyFamily, HllFamily, QuantilesFamily, StreamEngine, ThetaFamily,
+};
+use fcds_core::PropagationBackendKind;
+use fcds_sketches::wire::SketchFamily;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Per-worker dispatch handle, cloned into every connection thread.
+#[derive(Clone)]
+pub(crate) struct WorkerHandle {
+    pub(crate) tx: SyncSender<Vec<u64>>,
+    pub(crate) breaker: Arc<CircuitBreaker>,
+    pub(crate) dead: Arc<AtomicBool>,
+}
+
+/// What a worker reports when it exits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WorkerExit {
+    /// Queue drained and writer flushed cleanly.
+    Flushed,
+    /// Writer flush failed (typed engine error, already counted).
+    FlushFailed,
+    /// The worker panicked (isolated; breaker tripped).
+    Panicked,
+}
+
+/// One registered stream: a running engine plus everything the server
+/// scopes to it (workers, breakers, replica slots, pushed images).
+pub(crate) struct StreamState {
+    pub(crate) key: Vec<u8>,
+    pub(crate) family: SketchFamily,
+    pub(crate) engine: Box<dyn StreamEngine>,
+    pub(crate) workers: Vec<WorkerHandle>,
+    pub(crate) worker_joins: Mutex<Vec<JoinHandle<WorkerExit>>>,
+    pub(crate) next_worker: AtomicUsize,
+    /// Set by retire/drain; workers exit once their queue is dry.
+    pub(crate) retired: AtomicBool,
+    /// Items ingested into this stream's engine (diagnostics).
+    pub(crate) items: AtomicU64,
+    /// Replace-by-source replica slots: the latest image pushed by each
+    /// replica source id. Replacement (not accumulation) is what makes
+    /// periodic pushes idempotent for the non-idempotent families
+    /// (Quantiles concat, Misra–Gries counter addition).
+    pub(crate) replicas: Mutex<HashMap<u64, Bytes>>,
+    /// Accumulating v2 merge store (non-REPLACE merges), bounded by
+    /// `merge_store_cap`.
+    pub(crate) pushed: Mutex<Vec<Bytes>>,
+}
+
+impl StreamState {
+    /// Everything query-time fan-in sees: the live engine's image, the
+    /// newest image per replica source, and all accumulated pushes.
+    /// Never empty — the live image is always present.
+    pub(crate) fn images(&self) -> Vec<Bytes> {
+        let mut v = vec![self.engine.wire_image()];
+        {
+            let replicas = self.replicas.lock().unwrap_or_else(|e| e.into_inner());
+            v.extend(replicas.values().cloned());
+        }
+        {
+            let pushed = self.pushed.lock().unwrap_or_else(|e| e.into_inner());
+            v.extend(pushed.iter().cloned());
+        }
+        v
+    }
+
+    /// Joins every worker thread, returning
+    /// `(flushed, flush_failed, panicked, leaked)` counts. Callers set
+    /// [`Self::retired`] (or the server-wide draining flag) first so
+    /// the workers actually exit.
+    pub(crate) fn join_workers(&self) -> (usize, usize, usize, usize) {
+        let joins = {
+            let mut g = self.worker_joins.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *g)
+        };
+        let (mut flushed, mut failed, mut panicked, mut leaked) = (0, 0, 0, 0);
+        for j in joins {
+            match j.join() {
+                Ok(WorkerExit::Flushed) => flushed += 1,
+                Ok(WorkerExit::FlushFailed) => failed += 1,
+                Ok(WorkerExit::Panicked) => panicked += 1,
+                Err(_) => leaked += 1, // catch_unwind means this can't happen
+            }
+        }
+        (flushed, failed, panicked, leaked)
+    }
+}
+
+/// A public, copyable description of one live stream
+/// ([`crate::ServerHandle::list_streams`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamInfo {
+    /// The stream key.
+    pub key: Vec<u8>,
+    /// The family the stream was created with.
+    pub family: SketchFamily,
+    /// Items ingested into the stream so far.
+    pub items: u64,
+}
+
+/// Why [`Registry::get_or_create`] refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CreateError {
+    /// The key exists with a different family.
+    FamilyMismatch {
+        /// The family the stream was created with.
+        expected: SketchFamily,
+    },
+    /// The registry holds `max_streams` streams already.
+    AtCapacity,
+    /// Engine construction failed (invalid config).
+    Build(String),
+}
+
+/// The concurrent key → stream map. One mutex over the map: lookups
+/// and creates are short (engine construction happens inside the lock
+/// exactly once per key, which is also what makes concurrent
+/// create-on-first-ingest of the same key race-free).
+pub(crate) struct Registry {
+    streams: Mutex<HashMap<Vec<u8>, Arc<StreamState>>>,
+    max_streams: usize,
+}
+
+impl Registry {
+    pub(crate) fn new(max_streams: usize) -> Self {
+        Registry {
+            streams: Mutex::new(HashMap::new()),
+            max_streams: max_streams.max(1),
+        }
+    }
+
+    pub(crate) fn get(&self, key: &[u8]) -> Option<Arc<StreamState>> {
+        self.streams
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned()
+    }
+
+    /// Looks up `key`, creating it with `make` if absent. Returns the
+    /// stream and whether this call created it.
+    pub(crate) fn get_or_create(
+        &self,
+        key: &[u8],
+        family: SketchFamily,
+        make: impl FnOnce() -> Result<Arc<StreamState>, String>,
+    ) -> Result<(Arc<StreamState>, bool), CreateError> {
+        let mut map = self.streams.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = map.get(key) {
+            if existing.family != family {
+                return Err(CreateError::FamilyMismatch {
+                    expected: existing.family,
+                });
+            }
+            return Ok((Arc::clone(existing), false));
+        }
+        if map.len() >= self.max_streams {
+            return Err(CreateError::AtCapacity);
+        }
+        let state = make().map_err(CreateError::Build)?;
+        map.insert(key.to_vec(), Arc::clone(&state));
+        Ok((state, true))
+    }
+
+    /// Removes `key` from the map and returns its state for the caller
+    /// to drain. `None` if the key was not registered.
+    pub(crate) fn retire(&self, key: &[u8]) -> Option<Arc<StreamState>> {
+        self.streams
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(key)
+    }
+
+    /// Snapshot of every live stream.
+    pub(crate) fn list(&self) -> Vec<Arc<StreamState>> {
+        self.streams
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Removes and returns every stream (graceful drain).
+    pub(crate) fn drain_all(&self) -> Vec<Arc<StreamState>> {
+        self.streams
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain()
+            .map(|(_, s)| s)
+            .collect()
+    }
+}
+
+/// The per-family engine factory: maps a wire family code onto the
+/// unified [`EngineBuilder`], sharing the server's concurrency shape
+/// (`writers`, backend) across families. Θ takes the configured `lg_k`;
+/// the other families run at their documented defaults.
+pub(crate) fn build_engine(
+    family: SketchFamily,
+    lg_k: u8,
+    backend: PropagationBackendKind,
+    writers: usize,
+) -> Result<Box<dyn StreamEngine>, String> {
+    let writers = writers.max(1);
+    let built = match family {
+        SketchFamily::Theta => EngineBuilder::<ThetaFamily>::new()
+            .accuracy(lg_k as usize)
+            .writers(writers)
+            .backend(backend)
+            .build_boxed(),
+        SketchFamily::Hll => EngineBuilder::<HllFamily>::new()
+            .writers(writers)
+            .backend(backend)
+            .build_boxed(),
+        SketchFamily::Quantiles => EngineBuilder::<QuantilesFamily<u64>>::new()
+            .writers(writers)
+            .backend(backend)
+            .build_boxed(),
+        SketchFamily::Frequency => EngineBuilder::<FrequencyFamily<u64>>::new()
+            .writers(writers)
+            .backend(backend)
+            .build_boxed(),
+    };
+    built.map_err(|e| e.to_string())
+}

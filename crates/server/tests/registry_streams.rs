@@ -1,0 +1,485 @@
+//! Multi-stream registry suite: v2 stream-addressed frames end to end.
+//!
+//! Covers the PR's acceptance surface over real TCP: eight named
+//! streams across all four families on one server, registry lifecycle
+//! races (concurrent create-on-first-ingest, ingest-during-retire,
+//! query-during-drain), per-stream fault isolation (a poisoned worker
+//! on one stream never NACKs another), hostile v2 frames (oversized
+//! key, bad family code, truncated prefixes, misplaced flags, v1/v2
+//! mixing on one connection), and two-server replica-sync convergence.
+
+use fcds_server::client::{Client, Reply};
+use fcds_server::frame::{
+    encode_frame_flags, FrameType, NackCode, FLAG_REPLACE, FLAG_STREAM, MAX_STREAM_KEY,
+};
+use fcds_server::{serve, ServerConfig, ServerHandle};
+use fcds_sketches::wire::{peek, LadderWireView, MgWireView, SketchFamily};
+use std::time::Duration;
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(5);
+
+const FAMILIES: [SketchFamily; 4] = [
+    SketchFamily::Theta,
+    SketchFamily::Hll,
+    SketchFamily::Quantiles,
+    SketchFamily::Frequency,
+];
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        frame_deadline: Duration::from_millis(300),
+        ..ServerConfig::default()
+    }
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    Client::connect(handle.local_addr(), CLIENT_TIMEOUT).expect("connect")
+}
+
+fn stream_key(i: usize) -> Vec<u8> {
+    format!("stream-{i}").into_bytes()
+}
+
+/// Drives `items` into a keyed stream and waits until the stream's
+/// fanned-in state reflects them (workers flush after every batch, so
+/// this converges within a few poll rounds).
+fn ingest_all(c: &mut Client, family: SketchFamily, key: &[u8], items: &[u64]) {
+    for chunk in items.chunks(500) {
+        let reply = c.ingest_stream(family, key, chunk).unwrap();
+        assert!(matches!(reply, Reply::Ack { .. }), "ingest: {reply:?}");
+    }
+}
+
+/// The observed distinct-count (Θ/HLL) or total item count (Q/F) for a
+/// keyed stream, via the family's natural query.
+fn observed_count(c: &mut Client, family: SketchFamily, key: &[u8]) -> f64 {
+    match family {
+        SketchFamily::Theta | SketchFamily::Hll => {
+            match c.query_stream_estimate(family, key).unwrap() {
+                Reply::Estimate { value, .. } => value,
+                other => panic!("estimate reply: {other:?}"),
+            }
+        }
+        SketchFamily::Quantiles => match c.query_stream_image(family, key).unwrap() {
+            Reply::Image { bytes, .. } => LadderWireView::<u64>::parse(&bytes).unwrap().n() as f64,
+            other => panic!("image reply: {other:?}"),
+        },
+        SketchFamily::Frequency => match c.query_stream_image(family, key).unwrap() {
+            Reply::Image { bytes, .. } => MgWireView::<u64>::parse(&bytes).unwrap().n() as f64,
+            other => panic!("image reply: {other:?}"),
+        },
+    }
+}
+
+/// Polls until `observed_count` is within `tol` of `expect` (the worker
+/// queues are asynchronous) — panics after ~2 s.
+fn wait_for_count(c: &mut Client, family: SketchFamily, key: &[u8], expect: f64, tol: f64) -> f64 {
+    let mut got = 0.0;
+    for _ in 0..100 {
+        got = observed_count(c, family, key);
+        if (got - expect).abs() / expect <= tol {
+            return got;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("{family:?}/{key:?}: observed {got}, want within {tol} of {expect}");
+}
+
+#[test]
+fn eight_streams_across_four_families_on_one_server() {
+    let handle = serve(test_config()).unwrap();
+    let mut c = connect(&handle);
+    let per_stream = 10_000u64;
+    for i in 0..8 {
+        let family = FAMILIES[i % 4];
+        let base = i as u64 * per_stream;
+        let items: Vec<u64> = (base..base + per_stream).collect();
+        ingest_all(&mut c, family, &stream_key(i), &items);
+    }
+    for i in 0..8 {
+        let family = FAMILIES[i % 4];
+        wait_for_count(&mut c, family, &stream_key(i), per_stream as f64, 0.1);
+    }
+    // The registry sees 8 named streams + the default stream.
+    let streams = handle.list_streams();
+    assert_eq!(streams.len(), 9);
+    // v1 frames on the same connection still hit the default Θ stream.
+    assert!(matches!(c.ingest(&[1, 2, 3]).unwrap(), Reply::Ack { .. }));
+    let report = handle.shutdown();
+    assert_eq!(report.leaked_threads, 0);
+    assert_eq!(report.stats.streams_created, 9);
+}
+
+#[test]
+fn concurrent_create_of_same_key_yields_one_stream() {
+    let handle = serve(test_config()).unwrap();
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let mut c = connect(&handle);
+            std::thread::spawn(move || {
+                let items: Vec<u64> = (t * 1000..(t + 1) * 1000).collect();
+                let reply = c
+                    .ingest_stream(SketchFamily::Hll, b"contended", &items)
+                    .unwrap();
+                assert!(matches!(reply, Reply::Ack { .. }), "{reply:?}");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let mut c = connect(&handle);
+    wait_for_count(&mut c, SketchFamily::Hll, b"contended", 8_000.0, 0.1);
+    // Exactly one stream materialised for the key.
+    let created: Vec<_> = handle
+        .list_streams()
+        .into_iter()
+        .filter(|s| s.key == b"contended")
+        .collect();
+    assert_eq!(created.len(), 1);
+    assert_eq!(created[0].items, 8_000);
+    let report = handle.shutdown();
+    assert_eq!(report.leaked_threads, 0);
+    assert_eq!(report.stats.streams_created, 2); // default + contended
+}
+
+#[test]
+fn family_mismatch_and_unknown_stream_are_typed_nacks() {
+    let handle = serve(test_config()).unwrap();
+    let mut c = connect(&handle);
+    assert!(matches!(
+        c.ingest_stream(SketchFamily::Theta, b"fixed", &[1, 2, 3])
+            .unwrap(),
+        Reply::Ack { .. }
+    ));
+    // Same key, different family: rejected, stream untouched.
+    let reply = c
+        .ingest_stream(SketchFamily::Quantiles, b"fixed", &[4, 5])
+        .unwrap();
+    assert_eq!(reply.nack_code(), Some(NackCode::FamilyMismatch));
+    let reply = c
+        .query_stream_estimate(SketchFamily::Hll, b"fixed")
+        .unwrap();
+    assert_eq!(reply.nack_code(), Some(NackCode::FamilyMismatch));
+    // Queries never create streams.
+    let reply = c
+        .query_stream_estimate(SketchFamily::Theta, b"never-made")
+        .unwrap();
+    assert_eq!(reply.nack_code(), Some(NackCode::UnknownStream));
+    assert!(handle.list_streams().iter().all(|s| s.key != b"never-made"));
+    handle.shutdown();
+}
+
+#[test]
+fn retire_then_reingest_creates_a_fresh_stream() {
+    let handle = serve(test_config()).unwrap();
+    let mut c = connect(&handle);
+    ingest_all(
+        &mut c,
+        SketchFamily::Theta,
+        b"cycled",
+        &(0..5_000u64).collect::<Vec<_>>(),
+    );
+    wait_for_count(&mut c, SketchFamily::Theta, b"cycled", 5_000.0, 0.1);
+    assert!(handle.retire_stream(b"cycled"));
+    assert!(!handle.retire_stream(b"cycled"), "already gone");
+    assert!(!handle.retire_stream(b"default"), "default not retirable");
+    // The key is free again — and may even change family.
+    let reply = c
+        .ingest_stream(SketchFamily::Frequency, b"cycled", &[7, 7, 7])
+        .unwrap();
+    assert!(matches!(reply, Reply::Ack { .. }));
+    wait_for_count(&mut c, SketchFamily::Frequency, b"cycled", 3.0, 0.01);
+    let report = handle.shutdown();
+    assert_eq!(report.stats.streams_retired, 1);
+    assert_eq!(report.leaked_threads, 0);
+    // The retired stream's workers are folded into the drain report.
+    assert!(report.workers_flushed >= 2);
+}
+
+#[test]
+fn ingest_racing_retire_never_hangs_or_panics() {
+    let handle = serve(test_config()).unwrap();
+    let mut c = connect(&handle);
+    assert!(matches!(
+        c.ingest_stream(SketchFamily::Hll, b"doomed", &[1]).unwrap(),
+        Reply::Ack { .. }
+    ));
+    let writer = std::thread::spawn(move || {
+        // Every reply must be a typed Ack/Nack — never a hang, never a
+        // dropped connection.
+        for i in 0..200u64 {
+            let reply = c.ingest_stream(SketchFamily::Hll, b"doomed", &[i]).unwrap();
+            assert!(
+                matches!(reply, Reply::Ack { .. } | Reply::Nack { .. }),
+                "{reply:?}"
+            );
+        }
+    });
+    std::thread::sleep(Duration::from_millis(5));
+    handle.retire_stream(b"doomed");
+    writer.join().unwrap();
+    let report = handle.shutdown();
+    assert_eq!(report.leaked_threads, 0);
+    assert_eq!(report.stats.conn_panics, 0);
+}
+
+#[test]
+fn queries_still_served_during_drain() {
+    let handle = serve(test_config()).unwrap();
+    let mut c = connect(&handle);
+    ingest_all(
+        &mut c,
+        SketchFamily::Theta,
+        b"readable",
+        &(0..5_000u64).collect::<Vec<_>>(),
+    );
+    wait_for_count(&mut c, SketchFamily::Theta, b"readable", 5_000.0, 0.1);
+    // Client-requested drain: ingest stops, queries keep working.
+    assert!(matches!(c.request_shutdown().unwrap(), Reply::Ack { .. }));
+    let reply = c
+        .ingest_stream(SketchFamily::Theta, b"readable", &[9])
+        .unwrap();
+    assert_eq!(reply.nack_code(), Some(NackCode::Draining));
+    match c
+        .query_stream_estimate(SketchFamily::Theta, b"readable")
+        .unwrap()
+    {
+        Reply::Estimate { value, .. } => {
+            assert!((value - 5_000.0).abs() / 5_000.0 < 0.1, "estimate {value}")
+        }
+        other => panic!("query during drain: {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn poisoned_stream_never_nacks_its_neighbours() {
+    let poison = u64::MAX;
+    let handle = serve(ServerConfig {
+        fault_panic_on: Some(poison),
+        stream_workers: 1,
+        ..test_config()
+    })
+    .unwrap();
+    let mut c = connect(&handle);
+    for i in 0..4 {
+        let reply = c
+            .ingest_stream(FAMILIES[i % 4], &stream_key(i), &[i as u64])
+            .unwrap();
+        assert!(matches!(reply, Reply::Ack { .. }));
+    }
+    // Poison stream 0: its only worker dies (the batch was acked before
+    // the worker dequeued it), and once dead, further ingest NACKs.
+    assert!(matches!(
+        c.ingest_stream(FAMILIES[0], &stream_key(0), &[poison])
+            .unwrap(),
+        Reply::Ack { .. }
+    ));
+    let mut nacked = false;
+    for _ in 0..100 {
+        let reply = c
+            .ingest_stream(FAMILIES[0], &stream_key(0), &[1, 2, 3])
+            .unwrap();
+        if let Reply::Nack { code, .. } = reply {
+            assert!(
+                matches!(
+                    code,
+                    NackCode::Internal | NackCode::BreakerOpen | NackCode::Overload
+                ),
+                "unexpected code {code:?}"
+            );
+            nacked = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(nacked, "dead stream should eventually NACK ingest");
+    assert!(handle.is_degraded());
+    // Isolation: every *other* stream still ACKs everything.
+    for i in 1..4 {
+        for _ in 0..10 {
+            let reply = c
+                .ingest_stream(FAMILIES[i % 4], &stream_key(i), &[42])
+                .unwrap();
+            assert!(
+                matches!(reply, Reply::Ack { .. }),
+                "stream {i} was hit by stream 0's fault: {reply:?}"
+            );
+        }
+    }
+    let report = handle.shutdown();
+    assert_eq!(report.stats.worker_panics, 1);
+    assert_eq!(report.leaked_threads, 0);
+}
+
+#[test]
+fn hostile_v2_frames_are_typed_and_survivable() {
+    let handle = serve(test_config()).unwrap();
+    let mut c = connect(&handle);
+
+    // Oversized key: klen byte > MAX_STREAM_KEY (prefix codec bound).
+    let mut payload = vec![SketchFamily::Theta.code(), (MAX_STREAM_KEY + 1) as u8];
+    payload.extend_from_slice(&[b'k'; MAX_STREAM_KEY + 1]);
+    c.send_raw(&encode_frame_flags(
+        FrameType::Ingest,
+        FLAG_STREAM,
+        1,
+        &payload,
+    ))
+    .unwrap();
+    assert_eq!(
+        c.read_reply().unwrap().nack_code(),
+        Some(NackCode::Malformed)
+    );
+
+    // Bad family code in the prefix.
+    c.send_raw(&encode_frame_flags(
+        FrameType::Ingest,
+        FLAG_STREAM,
+        2,
+        &[0x09, 1, b'a'],
+    ))
+    .unwrap();
+    assert_eq!(
+        c.read_reply().unwrap().nack_code(),
+        Some(NackCode::Malformed)
+    );
+
+    // Truncated prefix (klen runs past the payload).
+    c.send_raw(&encode_frame_flags(
+        FrameType::Ingest,
+        FLAG_STREAM,
+        3,
+        &[SketchFamily::Hll.code(), 10, b'a'],
+    ))
+    .unwrap();
+    assert_eq!(
+        c.read_reply().unwrap().nack_code(),
+        Some(NackCode::Malformed)
+    );
+
+    // REPLACE without STREAM is a header-level violation (kept open).
+    c.send_raw(&encode_frame_flags(FrameType::Merge, FLAG_REPLACE, 4, b""))
+        .unwrap();
+    assert_eq!(
+        c.read_reply().unwrap().nack_code(),
+        Some(NackCode::Malformed)
+    );
+
+    // STREAM flag on a Ping.
+    c.send_raw(&encode_frame_flags(FrameType::Ping, FLAG_STREAM, 5, b""))
+        .unwrap();
+    assert_eq!(
+        c.read_reply().unwrap().nack_code(),
+        Some(NackCode::Malformed)
+    );
+
+    // Undefined flag bit.
+    c.send_raw(&encode_frame_flags(FrameType::Ingest, 0x40, 6, b""))
+        .unwrap();
+    assert_eq!(
+        c.read_reply().unwrap().nack_code(),
+        Some(NackCode::Malformed)
+    );
+
+    // The connection survived all of it: v1 and v2 work interleaved.
+    assert!(matches!(c.ping().unwrap(), Reply::Pong { .. }));
+    assert!(matches!(c.ingest(&[1, 2]).unwrap(), Reply::Ack { .. }));
+    assert!(matches!(
+        c.ingest_stream(SketchFamily::Theta, b"mixed", &[3, 4])
+            .unwrap(),
+        Reply::Ack { .. }
+    ));
+    assert!(matches!(c.ingest(&[5]).unwrap(), Reply::Ack { .. }));
+    let report = handle.shutdown();
+    assert_eq!(report.leaked_threads, 0);
+    assert_eq!(report.stats.conn_panics, 0);
+}
+
+/// Two real servers: A ingests, A's replica pusher ships every stream's
+/// image to B, and B's per-stream fan-in converges on A's state within
+/// one sync period.
+#[test]
+fn replica_sync_converges_across_two_servers() {
+    let b = serve(test_config()).unwrap();
+    let a = serve(ServerConfig {
+        replica_peer: Some(b.local_addr().to_string()),
+        replica_interval: Duration::from_millis(100),
+        replica_source_id: 7,
+        ..test_config()
+    })
+    .unwrap();
+
+    let mut ca = connect(&a);
+    let per_stream = 20_000u64;
+    for (i, family) in FAMILIES.iter().enumerate() {
+        let base = i as u64 * per_stream;
+        let items: Vec<u64> = (base..base + per_stream).collect();
+        ingest_all(&mut ca, *family, &stream_key(i), &items);
+    }
+    for (i, family) in FAMILIES.iter().enumerate() {
+        wait_for_count(&mut ca, *family, &stream_key(i), per_stream as f64, 0.1);
+    }
+
+    // B must materialise all four streams (create-on-first-merge) and
+    // converge within the family's error envelope. Allow a few sync
+    // periods of slack for scheduling.
+    let mut cb = connect(&b);
+    for (i, family) in FAMILIES.iter().enumerate() {
+        let mut converged = false;
+        let mut last = 0.0;
+        for _ in 0..100 {
+            std::thread::sleep(Duration::from_millis(20));
+            match family {
+                SketchFamily::Theta | SketchFamily::Hll => {
+                    match cb.query_stream_estimate(*family, &stream_key(i)) {
+                        Ok(Reply::Estimate { value, .. }) => last = value,
+                        Ok(_) => continue, // UnknownStream until first push
+                        Err(e) => panic!("query: {e}"),
+                    }
+                }
+                _ => match cb.query_stream_image(*family, &stream_key(i)) {
+                    Ok(Reply::Image { bytes, .. }) => {
+                        last = match family {
+                            SketchFamily::Quantiles => {
+                                LadderWireView::<u64>::parse(&bytes).unwrap().n() as f64
+                            }
+                            _ => MgWireView::<u64>::parse(&bytes).unwrap().n() as f64,
+                        }
+                    }
+                    Ok(_) => continue,
+                    Err(e) => panic!("query: {e}"),
+                },
+            }
+            if (last - per_stream as f64).abs() / per_stream as f64 <= 0.08 {
+                converged = true;
+                break;
+            }
+        }
+        assert!(
+            converged,
+            "{family:?}/{i}: peer saw {last}, want ~{per_stream}"
+        );
+    }
+
+    // Re-pushes replaced (not accumulated) the source slot: the image
+    // query of a Frequency stream still decodes and its n stayed ~one
+    // stream's worth, proving idempotence for a non-idempotent family.
+    match cb
+        .query_stream_image(SketchFamily::Frequency, &stream_key(3))
+        .unwrap()
+    {
+        Reply::Image { bytes, .. } => {
+            let peeked = peek(&bytes, u64::MAX).unwrap();
+            assert_eq!(peeked.family, SketchFamily::Frequency);
+        }
+        other => panic!("image: {other:?}"),
+    }
+
+    let ra = a.shutdown();
+    assert!(ra.stats.replica_pushes > 0, "pusher never delivered");
+    let rb = b.shutdown();
+    assert_eq!(rb.leaked_threads, 0);
+    assert!(rb.stats.merges_accepted > 0);
+}

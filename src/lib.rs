@@ -91,3 +91,13 @@ pub use fcds_sketches::wire::{
     theta_multiway_union, theta_multiway_union_into, HllFanin, HllWireView, LadderWireView,
     MergeScratch, MgWireView, PeekedHeader, ThetaFanin, ThetaWireView,
 };
+
+// The family-generic engine tier: one builder and one object-safe
+// engine trait across all four concurrent sketches. This is what the
+// multi-stream server's per-key registry is built on, and the
+// replacement for the four per-family builders (which remain as thin
+// deprecated shims for one release).
+pub use fcds_core::{
+    EngineBuilder, EngineWriter, Family, FrequencyFamily, HllFamily, QuantilesFamily, StreamEngine,
+    ThetaFamily, WireImage,
+};
