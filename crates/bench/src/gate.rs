@@ -200,6 +200,39 @@ pub const SYNC_CONVERGENCE_STREAMS_MIN: f64 = 4.0;
 /// and HLL (lg_m = 12 ⇒ ~1.6% σ) estimates with generous headroom.
 pub const SYNC_CONVERGENCE_RELERR_MAX: f64 = 0.08;
 
+/// Durability (`run_crash_drill`): worst-case wall-clock from
+/// re-spawning the killed server process to every stream answering
+/// queries again, in seconds. Recovery is a boot-time directory scan —
+/// O(streams) decode + CRC + registry insert, milliseconds of real
+/// work — so 5 s is dominated by process spawn + connect retries on a
+/// loaded 1-CPU runner. A recovery that scales with ingested *items*
+/// (replaying a journal instead of loading a snapshot) would blow
+/// through it.
+pub const DURABILITY_RECOVERY_S_MAX: f64 = 5.0;
+
+/// Durability: number of streams the restarted server must answer for
+/// after the SIGKILL. The drill ingests (and waits for a durable
+/// on-disk snapshot of) every one of its 8 streams before killing, so
+/// all 8 must come back — bounded loss is about *tail* items, never
+/// whole streams.
+pub const DURABILITY_STREAMS_RECOVERED_MIN: f64 = 8.0;
+
+/// Durability: worst per-family relative error of the recovered counts
+/// vs the pre-kill ingest oracle. The drill keeps churning between the
+/// last confirmed snapshot and the SIGKILL, so the recovered value may
+/// legitimately *exceed* the oracle by the churn fraction; below it,
+/// the Θ/HLL estimator envelope (~8%) is the only slack. 0.15 covers
+/// both; losing more than one snapshot interval of ingest breaks it.
+pub const DURABILITY_RELERR_MAX: f64 = 0.15;
+
+/// Durability: snapshot records that failed CRC/wire validation but
+/// were *served anyway* after restart. The drill plants a garbage file
+/// and a CRC-flipped forged record in the data dir before rebooting;
+/// recovery must quarantine both and the forged stream's key must NACK
+/// `UnknownStream`. Exactly zero — a torn or doctored record is never
+/// trusted.
+pub const DURABILITY_CORRUPT_ACCEPTED_MAX: f64 = 0.0;
+
 /// The bound direction encoded in a threshold key's suffix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bound {

@@ -21,7 +21,9 @@ use fcds_server::{serve, ServerConfig};
 use fcds_sketches::wire::{LadderWireView, MgWireView, SketchFamily};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -1333,6 +1335,447 @@ pub fn run_sync_drill(cfg: &SyncConfig) -> std::io::Result<SyncReport> {
         },
         pushes: drain_source.stats.replica_pushes,
         leaked_threads: drain_source.leaked_threads + drain_peer.leaked_threads,
+    })
+}
+
+/// Locates the `fcds-server` binary for the crash drill: the
+/// `FCDS_SERVER_BIN` env var if set, else a sibling of the current
+/// executable (covers `target/{profile}/` for the `fcds-load` binary
+/// and `target/{profile}/deps/` for integration tests).
+pub fn find_server_bin() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("FCDS_SERVER_BIN") {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Some(p);
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?.to_path_buf();
+    for _ in 0..2 {
+        for name in ["fcds-server", "fcds-server.exe"] {
+            let cand = dir.join(name);
+            if cand.is_file() {
+                return Some(cand);
+            }
+        }
+        dir = dir.parent()?.to_path_buf();
+    }
+    None
+}
+
+/// Crash-drill parameters.
+#[derive(Debug, Clone)]
+pub struct CrashDrillConfig {
+    /// Streams to host (round-robin families; the gate floor is 8 —
+    /// two per family).
+    pub streams: usize,
+    /// Distinct items ingested (and verified durable) into each stream
+    /// before the kill.
+    pub items_per_stream: u64,
+    /// The server's checkpoint period — the documented bounded-loss
+    /// window.
+    pub snapshot_interval: Duration,
+    /// How long to keep ingesting small churn batches (the traffic
+    /// inside the loss window) before the SIGKILL. Spanning several
+    /// snapshot intervals makes the kill land mid-checkpoint.
+    pub churn: Duration,
+    /// Items per churn batch. Kept small relative to
+    /// `items_per_stream` so the recovered count stays inside the
+    /// documented relative-error window.
+    pub churn_batch: usize,
+    /// How long the restarted server gets to answer for every stream.
+    pub recovery_timeout: Duration,
+    /// Server binary override (`None` = [`find_server_bin`]).
+    pub server_bin: Option<PathBuf>,
+}
+
+impl Default for CrashDrillConfig {
+    fn default() -> Self {
+        CrashDrillConfig {
+            streams: 8,
+            items_per_stream: 20_000,
+            snapshot_interval: Duration::from_millis(150),
+            churn: Duration::from_millis(450),
+            churn_batch: 32,
+            recovery_timeout: Duration::from_secs(10),
+            server_bin: None,
+        }
+    }
+}
+
+/// Outcome of the kill-drill.
+pub struct CrashDrillReport {
+    /// Streams the drill ingested into before the kill.
+    pub streams: usize,
+    /// Streams answering their family's v2 query after the restart.
+    pub recovered_streams: usize,
+    /// Time from restarting the process until every stream answered
+    /// (`None` if any stream timed out) — includes process startup and
+    /// the boot-time snapshot scan.
+    pub recovery: Option<Duration>,
+    /// Worst per-stream relative error of the recovered count vs the
+    /// pre-kill durable oracle (`items_per_stream`), across all
+    /// streams. Churn ingested inside the loss window may legitimately
+    /// surface, so the bound is churn fraction + the probabilistic
+    /// families' estimate envelope.
+    pub worst_relative_error: f64,
+    /// Worst relative error per family (Θ, HLL, Quantiles, Frequency).
+    pub family_relerr: [f64; 4],
+    /// Whether the planted CRC-invalid record was served after restart
+    /// (must be 0 — corrupt records are quarantined, never trusted).
+    pub corrupt_accepted: usize,
+    /// `.quarantine` files found in the data dir after restart (the
+    /// drill plants two invalid records, so ≥ 2).
+    pub quarantined: usize,
+    /// Churn items ACKed inside the loss window (context for the
+    /// relative-error bound).
+    pub churn_items: u64,
+    /// Typed errors met while driving the drill.
+    pub taxonomy: ErrorTaxonomy,
+}
+
+/// Monotone suffix for drill data dirs, so drills in one process
+/// (binary run + tests) never collide.
+static CRASH_DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Spawns a real `fcds-server` process on a free port with the
+/// durability tier pointed at `dir`, and parses the listening address
+/// off its stdout (printed only after recovery completes, so the
+/// returned address is immediately queryable).
+fn spawn_server_process(
+    bin: &Path,
+    dir: &Path,
+    snapshot_interval: Duration,
+) -> std::io::Result<(Child, SocketAddr)> {
+    use std::io::BufRead as _;
+    let mut child = Command::new(bin)
+        .arg("--addr=127.0.0.1:0")
+        .arg(format!("--data-dir={}", dir.display()))
+        .arg(format!("--snapshot-ms={}", snapshot_interval.as_millis()))
+        .arg("--fsync=interval")
+        // Safety net: a drill that dies without killing its child must
+        // not leave an orphan server running forever.
+        .arg("--secs=120")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("stdout is piped");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut addr = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break; // EOF: the child died before listening
+        }
+        if let Some(rest) = line.trim().strip_prefix("fcds-server listening on ") {
+            addr = rest.parse::<SocketAddr>().ok();
+            break;
+        }
+    }
+    // Keep draining stdout so the child can never block on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    match addr {
+        Some(a) => Ok((child, a)),
+        None => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(std::io::Error::other(
+                "fcds-server process exited before reporting its listening address",
+            ))
+        }
+    }
+}
+
+fn connect_retry(addr: SocketAddr, deadline: Instant) -> std::io::Result<Client> {
+    loop {
+        match Client::connect(addr, Duration::from_secs(5)) {
+            Ok(c) => return Ok(c),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Ingests one chunk, retrying typed back-pressure NACKs (recorded in
+/// the taxonomy) until acked or the deadline passes.
+fn ingest_acked(
+    c: &mut Client,
+    taxonomy: &ErrorTaxonomy,
+    family: SketchFamily,
+    key: &[u8],
+    chunk: &[u64],
+) -> std::io::Result<()> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match c.ingest_stream(family, key, chunk)? {
+            Reply::Ack { .. } => return Ok(()),
+            Reply::Nack { code, .. } => {
+                taxonomy.record_nack(code);
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::other(format!(
+                        "drill ingest NACKed past deadline: {code:?}"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            other => {
+                return Err(std::io::Error::other(format!(
+                    "unexpected ingest reply: {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// Runs the kill-drill against a **real server process**:
+///
+/// 1. spawn `fcds-server` with a data dir and a short
+///    `snapshot_interval`;
+/// 2. ingest `items_per_stream` distinct items into each of `streams`
+///    streams (round-robin across all four families) and wait until
+///    every stream's on-disk snapshot provably covers that base (the
+///    records are decoded with the server's own
+///    [`fcds_server::recover::decode_record`] and their sequence
+///    checked);
+/// 3. keep ingesting small churn batches across several checkpoint
+///    intervals, then SIGKILL the process mid-flight;
+/// 4. plant two invalid snapshot records in the data dir (pure garbage
+///    and a structurally valid record whose CRC is wrong);
+/// 5. restart the server on the same dir and measure: time until every
+///    stream answers, per-family relative error vs the durable oracle,
+///    whether the corrupt record was served (it must NACK
+///    `UnknownStream`), and how many files were quarantined.
+///
+/// # Errors
+///
+/// Propagates process-spawn and probe I/O errors; fails with a typed
+/// error when the `fcds-server` binary cannot be found (build it with
+/// `cargo build -p fcds-server` or set `FCDS_SERVER_BIN`).
+pub fn run_crash_drill(cfg: &CrashDrillConfig) -> std::io::Result<CrashDrillReport> {
+    use fcds_server::persist::{encode_record, snapshot_file_name};
+    use fcds_server::recover::decode_record;
+
+    let bin = cfg
+        .server_bin
+        .clone()
+        .or_else(find_server_bin)
+        .ok_or_else(|| {
+            std::io::Error::other(
+                "fcds-server binary not found; run `cargo build -p fcds-server` \
+                 or set FCDS_SERVER_BIN",
+            )
+        })?;
+    let streams = cfg.streams.max(1);
+    let dir = std::env::temp_dir().join(format!(
+        "fcds-crash-{}-{}",
+        std::process::id(),
+        CRASH_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let taxonomy = ErrorTaxonomy::default();
+
+    // Phase 1: base ingest into a fresh server.
+    let (mut child, addr) = spawn_server_process(&bin, &dir, cfg.snapshot_interval)?;
+    let drill = (|| -> std::io::Result<CrashDrillReport> {
+        let mut c = connect_retry(addr, Instant::now() + Duration::from_secs(5))?;
+        for i in 0..streams {
+            let family = FAMILIES[i % 4];
+            let key = drill_key("crash", i);
+            let base = i as u64 * cfg.items_per_stream;
+            let items: Vec<u64> = (base..base + cfg.items_per_stream).collect();
+            for chunk in items.chunks(512) {
+                ingest_acked(&mut c, &taxonomy, family, &key, chunk)?;
+            }
+        }
+        // Wait until every stream absorbed its base (worker queues can
+        // lag the ACKs), then until every on-disk snapshot covers it —
+        // that makes `items_per_stream` a *durable* oracle the
+        // post-crash assertions may rely on.
+        let absorb_deadline = Instant::now() + Duration::from_secs(30);
+        for i in 0..streams {
+            let expect = cfg.items_per_stream as f64;
+            loop {
+                if let Some(got) = stream_count(&mut c, FAMILIES[i % 4], &drill_key("crash", i))? {
+                    if (got - expect).abs() / expect <= 0.08 {
+                        break;
+                    }
+                }
+                if Instant::now() >= absorb_deadline {
+                    return Err(std::io::Error::other(format!(
+                        "stream {i} never absorbed its base ingest"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        let durable_deadline = Instant::now() + Duration::from_secs(30);
+        for i in 0..streams {
+            let path = dir.join(snapshot_file_name(&drill_key("crash", i)));
+            loop {
+                // Reads race benignly with the checkpointer's atomic
+                // rename: we see the old record or the new one, and a
+                // stale read just means another poll.
+                let covered = std::fs::read(&path)
+                    .ok()
+                    .and_then(|bytes| decode_record(&bytes).ok())
+                    .is_some_and(|rec| rec.seq >= cfg.items_per_stream);
+                if covered {
+                    break;
+                }
+                if Instant::now() >= durable_deadline {
+                    return Err(std::io::Error::other(format!(
+                        "stream {i}'s snapshot never covered its base ingest"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+
+        // Phase 2: churn inside the loss window, then SIGKILL. The
+        // churn spans several checkpoint intervals, so the kill lands
+        // while snapshots are actively being rewritten.
+        let mut churn_items = 0u64;
+        let mut churn_next = (streams as u64) * cfg.items_per_stream;
+        let churn_until = Instant::now() + cfg.churn;
+        'churn: while Instant::now() < churn_until {
+            for i in 0..streams {
+                let family = FAMILIES[i % 4];
+                let key = drill_key("crash", i);
+                let batch: Vec<u64> = (churn_next..churn_next + cfg.churn_batch as u64).collect();
+                churn_next += cfg.churn_batch as u64;
+                ingest_acked(&mut c, &taxonomy, family, &key, &batch)?;
+                churn_items += cfg.churn_batch as u64;
+                if Instant::now() >= churn_until {
+                    break 'churn;
+                }
+            }
+            // Paced, not flat-out: the churn models a trickle inside
+            // the loss window, and everything the last pre-kill
+            // checkpoint captured legitimately surfaces in the
+            // recovered counts — unthrottled loopback churn would dwarf
+            // the oracle and turn the relative-error bound meaningless.
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        child.kill()?; // SIGKILL: no drain, no final checkpoint
+        child.wait()?;
+
+        // Phase 3: plant invalid records. (a) pure garbage under a
+        // plausible name; (b) a structurally valid record for a key the
+        // drill never ingested, with its CRC corrupted — accepting it
+        // would materialise stream "crash-corrupt".
+        std::fs::write(dir.join("s-00.snap"), b"definitely not a snapshot")?;
+        let corrupt_key = b"crash-corrupt".to_vec();
+        let donor = std::fs::read(dir.join(snapshot_file_name(&drill_key("crash", 0))))?;
+        let donor_rec = decode_record(&donor)
+            .map_err(|e| std::io::Error::other(format!("donor snapshot invalid: {e}")))?;
+        let mut forged = encode_record(
+            donor_rec.family,
+            &corrupt_key,
+            donor_rec.seq,
+            &donor_rec.image,
+        );
+        forged[24] ^= 0xFF; // flip a CRC byte
+        std::fs::write(dir.join(snapshot_file_name(&corrupt_key)), &forged)?;
+
+        // Phase 4: restart on the same dir and measure recovery.
+        let restart_started = Instant::now();
+        let (child2, addr2) = spawn_server_process(&bin, &dir, cfg.snapshot_interval)?;
+        let mut child2 = child2;
+        let outcome = (|| -> std::io::Result<CrashDrillReport> {
+            let recovery_deadline = restart_started + cfg.recovery_timeout;
+            let mut probe = connect_retry(addr2, recovery_deadline)?;
+            let mut recovered_streams = 0usize;
+            let mut worst_relerr = 0.0f64;
+            let mut family_relerr = [0.0f64; 4];
+            for i in 0..streams {
+                let family = FAMILIES[i % 4];
+                let key = drill_key("crash", i);
+                let expect = cfg.items_per_stream as f64;
+                let mut answered = false;
+                while Instant::now() < recovery_deadline {
+                    if let Some(got) = stream_count(&mut probe, family, &key)? {
+                        let relerr = (got - expect).abs() / expect;
+                        worst_relerr = worst_relerr.max(relerr);
+                        family_relerr[i % 4] = family_relerr[i % 4].max(relerr);
+                        answered = true;
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                if answered {
+                    recovered_streams += 1;
+                } else {
+                    worst_relerr = 1.0;
+                    family_relerr[i % 4] = 1.0;
+                }
+            }
+            let recovery = (recovered_streams == streams).then(|| restart_started.elapsed());
+
+            // The forged record must have been quarantined, never
+            // served: its stream may not exist.
+            let corrupt_accepted =
+                match probe.query_stream_estimate(SketchFamily::Theta, &corrupt_key)? {
+                    Reply::Nack {
+                        code: NackCode::UnknownStream,
+                        ..
+                    } => 0,
+                    _ => 1,
+                };
+            let quarantined = std::fs::read_dir(&dir)?
+                .filter_map(|e| e.ok())
+                .filter(|e| {
+                    e.file_name()
+                        .to_string_lossy()
+                        .ends_with(fcds_server::persist::QUARANTINE_SUFFIX)
+                })
+                .count();
+
+            let _ = probe.request_shutdown();
+            Ok(CrashDrillReport {
+                streams,
+                recovered_streams,
+                recovery,
+                worst_relative_error: worst_relerr,
+                family_relerr,
+                corrupt_accepted,
+                quarantined,
+                churn_items,
+                taxonomy: ErrorTaxonomy::default(), // replaced by caller below
+            })
+        })();
+        // Always reap the restarted process, drill outcome or not.
+        let drain_deadline = Instant::now() + Duration::from_secs(15);
+        loop {
+            match child2.try_wait()? {
+                Some(_) => break,
+                None if Instant::now() >= drain_deadline => {
+                    let _ = child2.kill();
+                    let _ = child2.wait();
+                    break;
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        outcome
+    })();
+    // Never leave the phase-1 process running on an early error.
+    let _ = child.kill();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    drill.map(|mut report| {
+        report.taxonomy = taxonomy;
+        report
     })
 }
 

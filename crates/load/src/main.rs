@@ -8,7 +8,7 @@
 //! cargo run --release -p fcds-load [--out=DIR] [--addr=HOST:PORT]
 //!     [--writers=N] [--queriers=N] [--batch=N] [--rate=ITEMS_PER_S]
 //!     [--baseline-ms=N] [--fault-hold-ms=N] [--streams=N]
-//!     [--sync-period-ms=N] [--full]
+//!     [--sync-period-ms=N] [--snapshot-ms=N] [--full]
 //! ```
 //!
 //! Without `--addr` the harness starts its own server in-process (the
@@ -16,21 +16,25 @@
 //! targets an already-running server. After the fault scenario the
 //! harness always runs the multi-stream drill (`--streams` named
 //! streams round-robined over all four families, FCF1 v2 framing,
-//! default 8) and the two-server replica-sync drill (`--sync-period-ms`
-//! push period). `--full` lengthens every window for lower-variance
-//! numbers.
+//! default 8), the two-server replica-sync drill (`--sync-period-ms`
+//! push period), and the crash drill (a real `fcds-server` process
+//! with `--snapshot-ms` checkpoints, SIGKILLed mid-checkpoint and
+//! restarted against its data dir). `--full` lengthens every window
+//! for lower-variance numbers.
 
 use fcds_bench::gate::{
-    SERVE_FAULT_CLASSES_SURVIVED_MIN, SERVE_INGEST_MITEMS_PER_S_MIN,
-    SERVE_MULTISTREAM_INGEST_MITEMS_PER_S_MIN, SERVE_MULTISTREAM_ISOLATION_MIN,
-    SERVE_MULTISTREAM_QUERY_P99_MS_MAX, SERVE_MULTISTREAM_TYPED_COVERAGE_MIN,
-    SERVE_QUERY_P99_MS_MAX, SERVE_RECOVERY_MS_MAX, SERVE_TYPED_ERROR_COVERAGE_MIN,
-    SYNC_CONVERGENCE_RELERR_MAX, SYNC_CONVERGENCE_STREAMS_MIN,
+    DURABILITY_CORRUPT_ACCEPTED_MAX, DURABILITY_RECOVERY_S_MAX, DURABILITY_RELERR_MAX,
+    DURABILITY_STREAMS_RECOVERED_MIN, SERVE_FAULT_CLASSES_SURVIVED_MIN,
+    SERVE_INGEST_MITEMS_PER_S_MIN, SERVE_MULTISTREAM_INGEST_MITEMS_PER_S_MIN,
+    SERVE_MULTISTREAM_ISOLATION_MIN, SERVE_MULTISTREAM_QUERY_P99_MS_MAX,
+    SERVE_MULTISTREAM_TYPED_COVERAGE_MIN, SERVE_QUERY_P99_MS_MAX, SERVE_RECOVERY_MS_MAX,
+    SERVE_TYPED_ERROR_COVERAGE_MIN, SYNC_CONVERGENCE_RELERR_MAX, SYNC_CONVERGENCE_STREAMS_MIN,
 };
 use fcds_bench::report::{HarnessArgs, Table};
 use fcds_load::{
-    run_multistream, run_scenario, run_sync_drill, LoadConfig, MultiStreamConfig,
-    MultiStreamReport, ScenarioReport, SyncConfig, SyncReport,
+    run_crash_drill, run_multistream, run_scenario, run_sync_drill, CrashDrillConfig,
+    CrashDrillReport, LoadConfig, MultiStreamConfig, MultiStreamReport, ScenarioReport, SyncConfig,
+    SyncReport, FAMILIES,
 };
 use fcds_server::frame::NackCode;
 use fcds_server::{serve, ServerConfig};
@@ -77,9 +81,15 @@ fn main() {
     if let Some(p) = args.get("sync-period-ms").and_then(|v| v.parse().ok()) {
         sync_cfg.sync_period = Duration::from_millis(p);
     }
+    let mut crash_cfg = CrashDrillConfig::default();
+    if let Some(ms) = args.get("snapshot-ms").and_then(|v| v.parse().ok()) {
+        crash_cfg.snapshot_interval = Duration::from_millis(std::cmp::max(ms, 1));
+        crash_cfg.churn = Duration::from_millis(std::cmp::max(ms, 1) * 3);
+    }
     if args.full {
         ms_cfg.window = Duration::from_secs(4);
         sync_cfg.items_per_stream = 100_000;
+        crash_cfg.items_per_stream = 50_000;
     }
 
     // In-process server unless the caller points at a running one.
@@ -124,7 +134,16 @@ fn main() {
     let sync_report = run_sync_drill(&sync_cfg).expect("run sync drill");
     print_sync(&sync_report);
 
-    let json = render_json(&report, &cfg, &ms_report, &sync_report);
+    println!(
+        "crash drill: {} streams × {} items, {} ms snapshots, SIGKILL mid-checkpoint",
+        crash_cfg.streams,
+        crash_cfg.items_per_stream,
+        crash_cfg.snapshot_interval.as_millis()
+    );
+    let crash_report = run_crash_drill(&crash_cfg).expect("run crash drill");
+    print_crash(&crash_report);
+
+    let json = render_json(&report, &cfg, &ms_report, &sync_report, &crash_report);
     std::fs::create_dir_all(&args.out_dir).expect("create out dir");
     let path = format!("{}/BENCH_serve.json", args.out_dir);
     std::fs::write(&path, &json).expect("write BENCH_serve.json");
@@ -217,11 +236,41 @@ fn print_sync(r: &SyncReport) {
     );
 }
 
+fn print_crash(r: &CrashDrillReport) {
+    println!(
+        "  {} / {} streams recovered{}, {} churn items inside the loss window",
+        r.recovered_streams,
+        r.streams,
+        r.recovery
+            .map(|d| format!(" in {:.0} ms", d.as_secs_f64() * 1e3))
+            .unwrap_or_else(|| " (TIMEOUT)".to_string()),
+        r.churn_items
+    );
+    println!(
+        "  worst relative error {:.4} ({})",
+        r.worst_relative_error,
+        r.family_relerr
+            .iter()
+            .enumerate()
+            .map(|(i, e)| format!("{} {:.4}", FAMILIES[i].name(), e))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "  corrupt records accepted {}, quarantined files {}",
+        r.corrupt_accepted, r.quarantined
+    );
+    for (name, count) in r.taxonomy.rows() {
+        println!("    {name:<24} {count}");
+    }
+}
+
 fn render_json(
     r: &ScenarioReport,
     cfg: &LoadConfig,
     msr: &MultiStreamReport,
     sync: &SyncReport,
+    crash: &CrashDrillReport,
 ) -> String {
     let survived = r.phases.iter().filter(|p| p.survived).count();
     let worst_recovery_ms = r
@@ -295,6 +344,13 @@ fn render_json(
          \"sync\": {{\"streams\": {sy_streams}, \
          \"converged\": {sy_conv}, \"worst_relerr\": {sy_err:.4}, \
          \"convergence_ms\": {sy_ms:.1}, \"pushes\": {sy_pushes}}},\n  \
+         \"crash\": {{\"streams\": {cr_streams}, \
+         \"recovered_streams\": {cr_recovered}, \
+         \"recovery_s\": {cr_recovery:.4}, \
+         \"worst_relerr\": {cr_err:.4}, \
+         \"corrupt_accepted\": {cr_corrupt}, \
+         \"quarantined\": {cr_quarantined}, \
+         \"churn_items\": {cr_churn}}},\n  \
          \"acceptance\": {{\n    \
          \"ingest_mitems_per_s\": {accept_ips:.4},\n    \
          \"query_p99_ms\": {qp99:.4},\n    \
@@ -306,7 +362,11 @@ fn render_json(
          \"multistream_isolation\": {ms_iso:.4},\n    \
          \"multistream_typed_coverage\": {ms_typed:.1},\n    \
          \"sync_convergence_streams\": {sy_conv}.0,\n    \
-         \"sync_convergence_relerr\": {sy_err:.4}\n  }},\n  \
+         \"sync_convergence_relerr\": {sy_err:.4},\n    \
+         \"durability_recovery_s\": {cr_recovery:.4},\n    \
+         \"durability_streams_recovered\": {cr_recovered}.0,\n    \
+         \"durability_relerr\": {cr_err:.4},\n    \
+         \"durability_corrupt_accepted\": {cr_corrupt}.0\n  }},\n  \
          \"thresholds\": {{\n    \
          \"ingest_mitems_per_s_min\": {thr_ips},\n    \
          \"query_p99_ms_max\": {thr_p99},\n    \
@@ -318,7 +378,11 @@ fn render_json(
          \"multistream_isolation_min\": {thr_ms_iso},\n    \
          \"multistream_typed_coverage_min\": {thr_ms_typed},\n    \
          \"sync_convergence_streams_min\": {thr_sy_streams},\n    \
-         \"sync_convergence_relerr_max\": {thr_sy_err}\n  }}\n}}\n",
+         \"sync_convergence_relerr_max\": {thr_sy_err},\n    \
+         \"durability_recovery_s_max\": {thr_cr_recovery},\n    \
+         \"durability_streams_recovered_min\": {thr_cr_streams},\n    \
+         \"durability_relerr_max\": {thr_cr_err},\n    \
+         \"durability_corrupt_accepted_max\": {thr_cr_corrupt}\n  }}\n}}\n",
         writers = cfg.writers,
         queriers = cfg.queriers,
         batch = cfg.batch_size,
@@ -354,6 +418,15 @@ fn render_json(
             .map(|d| d.as_secs_f64() * 1e3)
             .unwrap_or(-1.0),
         sy_pushes = sync.pushes,
+        cr_streams = crash.streams,
+        cr_recovered = crash.recovered_streams,
+        // An unrecovered drill counts as an hour, far past any sane
+        // gate: it must trip the max, not vanish from it.
+        cr_recovery = crash.recovery.map(|d| d.as_secs_f64()).unwrap_or(3_600.0),
+        cr_err = crash.worst_relative_error,
+        cr_corrupt = crash.corrupt_accepted,
+        cr_quarantined = crash.quarantined,
+        cr_churn = crash.churn_items,
         thr_ips = SERVE_INGEST_MITEMS_PER_S_MIN,
         thr_p99 = SERVE_QUERY_P99_MS_MAX,
         thr_typed = SERVE_TYPED_ERROR_COVERAGE_MIN,
@@ -365,5 +438,9 @@ fn render_json(
         thr_ms_typed = SERVE_MULTISTREAM_TYPED_COVERAGE_MIN,
         thr_sy_streams = SYNC_CONVERGENCE_STREAMS_MIN,
         thr_sy_err = SYNC_CONVERGENCE_RELERR_MAX,
+        thr_cr_recovery = DURABILITY_RECOVERY_S_MAX,
+        thr_cr_streams = DURABILITY_STREAMS_RECOVERED_MIN,
+        thr_cr_err = DURABILITY_RELERR_MAX,
+        thr_cr_corrupt = DURABILITY_CORRUPT_ACCEPTED_MAX,
     )
 }

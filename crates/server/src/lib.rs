@@ -53,11 +53,15 @@
 pub mod breaker;
 pub mod client;
 pub mod frame;
+pub mod persist;
+pub mod recover;
 mod registry;
 
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use client::{Client, Reply};
 pub use frame::{FrameType, NackCode};
+pub use persist::{DirStore, FsyncPolicy, SnapshotStore};
+pub use recover::{RecoverError, RecoveryOutcome, SnapshotRecord};
 pub use registry::StreamInfo;
 
 use crate::frame::{
@@ -143,6 +147,17 @@ pub struct ServerConfig {
     /// This server's replica source id — the slot its pushes replace on
     /// the peer. Two peers pushing to each other must use distinct ids.
     pub replica_source_id: u64,
+    /// Snapshot directory for the durability tier. `Some` turns on the
+    /// background checkpointer (bounded loss ≤ one
+    /// [`Self::snapshot_interval`] of acked ingest per stream) and
+    /// boot-time recovery of every valid snapshot found there. `None`
+    /// (the default) keeps the pre-PR-10 in-memory-only behaviour.
+    pub data_dir: Option<String>,
+    /// Checkpoint period of the durability tier — the bounded-loss
+    /// window.
+    pub snapshot_interval: Duration,
+    /// When snapshot bytes are fsynced (see [`FsyncPolicy`]).
+    pub fsync_policy: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -165,6 +180,9 @@ impl Default for ServerConfig {
             replica_peer: None,
             replica_interval: Duration::from_millis(250),
             replica_source_id: 1,
+            data_dir: None,
+            snapshot_interval: Duration::from_millis(250),
+            fsync_policy: FsyncPolicy::Interval,
         }
     }
 }
@@ -190,6 +208,10 @@ struct Stats {
     streams_retired: AtomicU64,
     replica_pushes: AtomicU64,
     replica_push_errors: AtomicU64,
+    snapshots_written: AtomicU64,
+    snapshot_errors: AtomicU64,
+    streams_recovered: AtomicU64,
+    records_quarantined: AtomicU64,
 }
 
 /// A point-in-time copy of the server's diagnostic counters.
@@ -232,10 +254,22 @@ pub struct StatsSnapshot {
     pub replica_pushes: u64,
     /// Replica pushes that failed (connect/write error or peer NACK).
     pub replica_push_errors: u64,
+    /// Snapshot records committed by the checkpointer.
+    pub snapshots_written: u64,
+    /// Checkpointer write/merge/fsync failures (counted, never fatal).
+    pub snapshot_errors: u64,
+    /// Streams re-registered from valid snapshots at boot.
+    pub streams_recovered: u64,
+    /// Snapshot records that failed validation at boot and were
+    /// quarantined.
+    pub records_quarantined: u64,
+    /// State of the replica-peer circuit breaker (`None` when no peer
+    /// is configured).
+    pub replica_breaker: Option<BreakerState>,
 }
 
 impl Stats {
-    fn snapshot(&self) -> StatsSnapshot {
+    fn snapshot(&self, replica_breaker: Option<BreakerState>) -> StatsSnapshot {
         StatsSnapshot {
             conns_opened: self.conns_opened.load(Ordering::Relaxed),
             conns_closed: self.conns_closed.load(Ordering::Relaxed),
@@ -254,6 +288,11 @@ impl Stats {
             streams_retired: self.streams_retired.load(Ordering::Relaxed),
             replica_pushes: self.replica_pushes.load(Ordering::Relaxed),
             replica_push_errors: self.replica_push_errors.load(Ordering::Relaxed),
+            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
+            snapshot_errors: self.snapshot_errors.load(Ordering::Relaxed),
+            streams_recovered: self.streams_recovered.load(Ordering::Relaxed),
+            records_quarantined: self.records_quarantined.load(Ordering::Relaxed),
+            replica_breaker,
         }
     }
 }
@@ -312,6 +351,10 @@ struct Control {
     /// A client sent a `Shutdown` frame; the embedder (e.g. the binary)
     /// polls this and calls [`ServerHandle::shutdown`].
     drain_requested: AtomicBool,
+    /// Stops the background checkpointer ahead of the drain path's
+    /// final checkpoint pass, so exactly one writer touches the store
+    /// during teardown.
+    checkpoint_stop: AtomicBool,
 }
 
 /// Everything a connection thread needs.
@@ -321,6 +364,12 @@ struct ServerCtx {
     stats: Stats,
     registry: Registry,
     store: MergeStore,
+    /// The snapshot store of the durability tier (`None` when
+    /// persistence is off).
+    persist: Option<Arc<dyn SnapshotStore>>,
+    /// Circuit breaker guarding the replica peer link (`None` when no
+    /// peer is configured).
+    replica_breaker: Option<Arc<CircuitBreaker>>,
     /// Worker-exit counts from streams retired before the drain, folded
     /// into the final [`DrainReport`].
     retired_flushed: AtomicUsize,
@@ -333,18 +382,84 @@ impl ServerCtx {
     fn default_stream(&self) -> Option<Arc<StreamState>> {
         self.registry.get(DEFAULT_STREAM)
     }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats
+            .snapshot(self.replica_breaker.as_ref().map(|b| b.state()))
+    }
+}
+
+/// Why [`serve`] could not start. Startup is all-or-nothing: on any
+/// variant every thread spawned so far has been joined and every
+/// stream drained — a spawn failure can never leak a half-started
+/// server.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Binding (or inspecting) the listener failed.
+    Bind(io::Error),
+    /// The built-in default stream could not be created.
+    DefaultStream(String),
+    /// Opening the snapshot directory failed.
+    Store(io::Error),
+    /// The boot-time snapshot scan failed outright (individual bad
+    /// records never cause this — they are quarantined).
+    Recover(String),
+    /// A server thread could not be spawned.
+    Spawn {
+        /// Which thread (`"accept loop"`, `"replica pusher"`,
+        /// `"checkpointer"`).
+        what: &'static str,
+        /// The OS error.
+        source: io::Error,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind(e) => write!(f, "bind listener: {e}"),
+            ServeError::DefaultStream(e) => write!(f, "create default stream: {e}"),
+            ServeError::Store(e) => write!(f, "open snapshot directory: {e}"),
+            ServeError::Recover(e) => write!(f, "recover snapshots: {e}"),
+            ServeError::Spawn { what, source } => write!(f, "spawn {what}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind(e) | ServeError::Store(e) | ServeError::Spawn { source: e, .. } => {
+                Some(e)
+            }
+            ServeError::DefaultStream(_) | ServeError::Recover(_) => None,
+        }
+    }
+}
+
+impl From<ServeError> for io::Error {
+    fn from(e: ServeError) -> io::Error {
+        match e {
+            ServeError::Bind(e) | ServeError::Store(e) => e,
+            other => io::Error::other(other.to_string()),
+        }
+    }
 }
 
 /// The running server: owns the accept loop, the stream registry (and
-/// every stream's worker threads), and the optional replica pusher.
-/// Obtain via [`serve`]; stop via [`Self::shutdown`] (or drop, which
-/// performs an abrupt but still joined teardown).
+/// every stream's worker threads), the optional replica pusher and the
+/// optional checkpointer. Obtain via [`serve`]; stop via
+/// [`Self::shutdown`] (or drop, which performs an abrupt but still
+/// joined teardown).
 pub struct ServerHandle {
     ctx: Arc<ServerCtx>,
     addr: SocketAddr,
     accept_join: Option<JoinHandle<()>>,
     pusher_join: Option<JoinHandle<()>>,
+    checkpoint_join: Option<JoinHandle<()>>,
     conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    recovery: Option<RecoveryOutcome>,
     drained: bool,
 }
 
@@ -403,6 +518,9 @@ fn spawn_stream(
         items: AtomicU64::new(0),
         replicas: Mutex::new(std::collections::HashMap::new()),
         pushed: Mutex::new(Vec::new()),
+        recovered: Mutex::new(None),
+        persisted_seq: AtomicU64::new(0),
+        snapshot_dirty: AtomicBool::new(false),
     });
     let mut joins = Vec::with_capacity(workers_n);
     for (i, rx) in rxs.into_iter().enumerate() {
@@ -422,62 +540,168 @@ fn spawn_stream(
 }
 
 /// Starts the server: binds the listener, spins up the default Θ stream
-/// and its ingest workers (plus the replica pusher when configured),
-/// and begins accepting connections.
+/// and its ingest workers, recovers every valid snapshot from
+/// [`ServerConfig::data_dir`] (when set) **before accepting traffic**,
+/// then starts the checkpointer/replica-pusher background threads and
+/// the accept loop.
 ///
 /// # Errors
 ///
-/// Propagates listener bind errors; panics only on invalid engine
-/// configuration (caller-controlled).
-pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(&cfg.addr)?;
-    let addr = listener.local_addr()?;
-    listener.set_nonblocking(true)?;
+/// Every startup failure — bind, engine build, snapshot-scan I/O,
+/// thread spawn — is a typed [`ServeError`]; nothing on this path
+/// panics, and on error every thread spawned so far has been joined.
+pub fn serve(cfg: ServerConfig) -> Result<ServerHandle, ServeError> {
+    let snapshot_store: Option<Arc<dyn SnapshotStore>> = match &cfg.data_dir {
+        Some(dir) => Some(Arc::new(DirStore::new(dir).map_err(ServeError::Store)?)),
+        None => None,
+    };
+    serve_with_store(cfg, snapshot_store)
+}
+
+/// [`serve`] with an explicit [`SnapshotStore`] (fault-injection tests
+/// substitute stores that fail with ENOSPC, short writes or fsync
+/// errors). `Some` enables the durability tier regardless of
+/// [`ServerConfig::data_dir`].
+pub fn serve_with_store(
+    cfg: ServerConfig,
+    snapshot_store: Option<Arc<dyn SnapshotStore>>,
+) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&cfg.addr).map_err(ServeError::Bind)?;
+    let addr = listener.local_addr().map_err(ServeError::Bind)?;
+    listener.set_nonblocking(true).map_err(ServeError::Bind)?;
 
     let store = MergeStore::new(cfg.merge_store_cap);
     let max_streams = cfg.max_streams.max(1);
+    let replica_breaker = cfg.replica_peer.as_ref().map(|_| {
+        Arc::new(CircuitBreaker::new(
+            cfg.breaker_threshold.max(1),
+            cfg.breaker_cooldown,
+        ))
+    });
     let ctx = Arc::new(ServerCtx {
         cfg,
         ctl: Control::default(),
         stats: Stats::default(),
         registry: Registry::new(max_streams),
         store,
+        persist: snapshot_store,
+        replica_breaker,
         retired_flushed: AtomicUsize::new(0),
         retired_flush_failed: AtomicUsize::new(0),
         retired_panicked: AtomicUsize::new(0),
     });
 
+    // Joins all streams and any already-running background threads so
+    // a failed startup never leaks a thread.
+    let abort_start = |ctx: &Arc<ServerCtx>, joins: Vec<JoinHandle<()>>| {
+        ctx.ctl.draining.store(true, Ordering::Release);
+        ctx.ctl.shutdown.store(true, Ordering::Release);
+        for state in ctx.registry.drain_all() {
+            state.retired.store(true, Ordering::Release);
+            let _ = state.join_workers();
+        }
+        for j in joins {
+            let _ = j.join();
+        }
+    };
+
     let default_workers = ctx.cfg.ingest_workers.max(1);
-    ctx.registry
+    if let Err(e) = ctx
+        .registry
         .get_or_create(DEFAULT_STREAM, SketchFamily::Theta, || {
             spawn_stream(&ctx, DEFAULT_STREAM, SketchFamily::Theta, default_workers)
         })
-        .map_err(|e| io::Error::other(format!("default stream: {e:?}")))?;
+    {
+        abort_start(&ctx, Vec::new());
+        return Err(ServeError::DefaultStream(format!("{e:?}")));
+    }
+
+    // Recover before anything can observe the registry: by the time the
+    // accept loop exists, every valid snapshot is a live stream.
+    let recovery = match ctx.persist.clone() {
+        Some(snap_store) => match recover::recover_streams(&ctx, &*snap_store) {
+            Ok(outcome) => Some(outcome),
+            Err(e) => {
+                abort_start(&ctx, Vec::new());
+                return Err(ServeError::Recover(e));
+            }
+        },
+        None => None,
+    };
+
+    let spawn_named = |name: &str, f: Box<dyn FnOnce() + Send>| {
+        std::thread::Builder::new().name(name.to_string()).spawn(f)
+    };
+
+    let checkpoint_join = match ctx.persist.clone() {
+        Some(snap_store) => {
+            let ctx2 = Arc::clone(&ctx);
+            match spawn_named(
+                "fcds-checkpoint",
+                Box::new(move || persist::checkpointer(ctx2, snap_store)),
+            ) {
+                Ok(j) => Some(j),
+                Err(source) => {
+                    abort_start(&ctx, Vec::new());
+                    return Err(ServeError::Spawn {
+                        what: "checkpointer",
+                        source,
+                    });
+                }
+            }
+        }
+        None => None,
+    };
+
+    let pusher_join = match ctx.cfg.replica_peer.clone() {
+        Some(peer) => {
+            let ctx2 = Arc::clone(&ctx);
+            match spawn_named(
+                "fcds-replica-push",
+                Box::new(move || replica_pusher(ctx2, peer)),
+            ) {
+                Ok(j) => Some(j),
+                Err(source) => {
+                    let joins = checkpoint_join.into_iter().collect();
+                    abort_start(&ctx, joins);
+                    return Err(ServeError::Spawn {
+                        what: "replica pusher",
+                        source,
+                    });
+                }
+            }
+        }
+        None => None,
+    };
 
     let conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let accept_join = {
-        let ctx = Arc::clone(&ctx);
-        let conn_joins = Arc::clone(&conn_joins);
-        std::thread::Builder::new()
-            .name("fcds-accept".to_string())
-            .spawn(move || accept_loop(listener, ctx, conn_joins))
-            .expect("spawn accept loop")
+        let ctx2 = Arc::clone(&ctx);
+        let conn_joins2 = Arc::clone(&conn_joins);
+        match spawn_named(
+            "fcds-accept",
+            Box::new(move || accept_loop(listener, ctx2, conn_joins2)),
+        ) {
+            Ok(j) => j,
+            Err(source) => {
+                let joins = checkpoint_join.into_iter().chain(pusher_join).collect();
+                abort_start(&ctx, joins);
+                return Err(ServeError::Spawn {
+                    what: "accept loop",
+                    source,
+                });
+            }
+        }
     };
-
-    let pusher_join = ctx.cfg.replica_peer.clone().map(|peer| {
-        let ctx = Arc::clone(&ctx);
-        std::thread::Builder::new()
-            .name("fcds-replica-push".to_string())
-            .spawn(move || replica_pusher(ctx, peer))
-            .expect("spawn replica pusher")
-    });
 
     Ok(ServerHandle {
         ctx,
         addr,
         accept_join: Some(accept_join),
         pusher_join,
+        checkpoint_join,
         conn_joins,
+        recovery,
         drained: false,
     })
 }
@@ -490,7 +714,12 @@ impl ServerHandle {
 
     /// Current counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.ctx.stats.snapshot()
+        self.ctx.stats_snapshot()
+    }
+
+    /// What boot-time recovery did (`None` when persistence is off).
+    pub fn recovery_outcome(&self) -> Option<&RecoveryOutcome> {
+        self.recovery.as_ref()
     }
 
     /// Whether any stream lost an ingest worker (panic or dead
@@ -517,16 +746,22 @@ impl ServerHandle {
             .unwrap_or(0.0)
     }
 
-    /// Every live stream: key, family, items ingested.
+    /// Every live stream: key, family, items ingested, durability lag.
     pub fn list_streams(&self) -> Vec<StreamInfo> {
         self.ctx
             .registry
             .list()
             .iter()
-            .map(|s| StreamInfo {
-                key: s.key.clone(),
-                family: s.family,
-                items: s.items.load(Ordering::Relaxed),
+            .map(|s| {
+                let items = s.items.load(Ordering::Relaxed);
+                let last_persisted_seq = s.persisted_seq.load(Ordering::Relaxed);
+                StreamInfo {
+                    key: s.key.clone(),
+                    family: s.family,
+                    items,
+                    last_persisted_seq,
+                    snapshot_lag: items.saturating_sub(last_persisted_seq),
+                }
             })
             .collect()
     }
@@ -554,6 +789,11 @@ impl ServerHandle {
             .retired_panicked
             .fetch_add(panicked, Ordering::Relaxed);
         state.engine.quiesce();
+        // Retirement is permanent: drop the snapshot too, so a restart
+        // cannot resurrect the retired stream.
+        if let Some(store) = &self.ctx.persist {
+            let _ = store.remove(&persist::snapshot_file_name(key));
+        }
         self.ctx
             .stats
             .streams_retired
@@ -576,13 +816,24 @@ impl ServerHandle {
         self.drained = true;
         self.ctx.ctl.draining.store(true, Ordering::Release);
 
+        // Hand snapshot writing over to this thread: stop and join the
+        // checkpointer *before* the final post-quiesce checkpoints, so
+        // a stale concurrent round can never overwrite a final record.
+        self.ctx.ctl.checkpoint_stop.store(true, Ordering::Release);
+        let mut leaked_threads = 0usize;
+        if let Some(j) = self.checkpoint_join.take() {
+            if j.join().is_err() {
+                leaked_threads += 1;
+            }
+        }
+
         // Carry over worker exits from streams retired before the
         // drain, then drain every remaining stream.
         let mut workers_flushed = self.ctx.retired_flushed.load(Ordering::Relaxed);
         let mut workers_flush_failed = self.ctx.retired_flush_failed.load(Ordering::Relaxed);
         let mut workers_panicked = self.ctx.retired_panicked.load(Ordering::Relaxed);
-        let mut leaked_threads = 0usize;
         let mut final_estimate = 0.0f64;
+        let mut wrote_final_snapshot = false;
         for state in self.ctx.registry.drain_all() {
             state.retired.store(true, Ordering::Release);
             let (flushed, failed, panicked, leaked) = state.join_workers();
@@ -594,7 +845,42 @@ impl ServerHandle {
             // and republish every shard image.
             state.engine.quiesce();
             if state.key == DEFAULT_STREAM {
-                final_estimate = state.engine.estimate().unwrap_or(0.0);
+                // Fan in like a query so boot-recovered state counts.
+                final_estimate = theta_multiway_union(&state.images())
+                    .map(|s| s.estimate())
+                    .unwrap_or_else(|_| state.engine.estimate().unwrap_or(0.0));
+            }
+            // Final checkpoint after quiesce: a *graceful* shutdown is
+            // zero-loss, the bounded-loss window applies to crashes
+            // only.
+            if let Some(store) = &self.ctx.persist {
+                let fsync_file = self.ctx.cfg.fsync_policy == FsyncPolicy::Always;
+                match persist::checkpoint_stream(&state, &**store, fsync_file) {
+                    Ok(true) => {
+                        wrote_final_snapshot = true;
+                        self.ctx
+                            .stats
+                            .snapshots_written
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(false) => {}
+                    Err(_) => {
+                        self.ctx
+                            .stats
+                            .snapshot_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        if wrote_final_snapshot && self.ctx.cfg.fsync_policy != FsyncPolicy::Never {
+            if let Some(store) = &self.ctx.persist {
+                if store.sync_dir().is_err() {
+                    self.ctx
+                        .stats
+                        .snapshot_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
 
@@ -624,7 +910,7 @@ impl ServerHandle {
             workers_flush_failed,
             workers_panicked,
             leaked_threads,
-            stats: self.ctx.stats.snapshot(),
+            stats: self.ctx.stats_snapshot(),
             final_estimate,
         }
     }
@@ -733,53 +1019,125 @@ fn stream_worker_impl(
     }
 }
 
-/// The background replica pusher: every `replica_interval`, encode each
-/// live stream's wire image and ship it to the peer as a v2 REPLACE
-/// merge under this server's source id. Connection failures are counted
-/// and retried next round — the pusher never takes the server down.
+/// Advances a xorshift64 state and scales `base` by a ±25% jitter
+/// factor. Hand-rolled so the server crate stays dependency-free; the
+/// point of the jitter is only to de-synchronise retry storms from
+/// many pushers against one recovering peer.
+fn jittered(rng: &mut u64, base: Duration) -> Duration {
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    let frac = (*rng >> 40) as f64 / (1u64 << 24) as f64; // uniform [0, 1)
+    base.mul_f64(0.75 + 0.5 * frac)
+}
+
+/// The background replica pusher: every `replica_interval`, encode what
+/// this server holds for each stream (live engine image fanned in with
+/// the boot-recovered slot, so a post-crash push never shrinks the
+/// peer's slot to an empty just-restarted engine) and ship it to the
+/// peer as a v2 REPLACE merge under this server's source id.
+///
+/// The peer link is guarded by the server-wide circuit breaker:
+/// transport failures (connect/write/read errors) count toward opening
+/// it, and while it is open the pusher backs off exponentially — the
+/// delay doubles per failed round up to 16× `replica_interval`, with
+/// ±25% jitter — instead of hammering a dead peer at full interval.
+/// A successful round closes the breaker and resets the delay. Typed
+/// peer NACKs (draining, at capacity) are counted as push errors but
+/// keep the connection and the breaker closed: the peer is alive and
+/// framing is intact. The pusher never takes the server down.
 fn replica_pusher(ctx: Arc<ServerCtx>, peer: String) {
+    let breaker = ctx
+        .replica_breaker
+        .clone()
+        .unwrap_or_else(|| Arc::new(CircuitBreaker::new(1, ctx.cfg.breaker_cooldown)));
+    let mut rng = ctx
+        .cfg
+        .replica_source_id
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        | 1;
+    let base = ctx.cfg.replica_interval;
+    let backoff_cap = base.saturating_mul(16);
+    let mut delay = base;
     let mut client: Option<Client> = None;
-    let mut last_push = Instant::now();
+    let mut next_push = Instant::now() + base;
     loop {
         if ctx.ctl.shutdown.load(Ordering::Acquire) {
             return;
         }
         std::thread::sleep(POLL_INTERVAL);
-        if last_push.elapsed() < ctx.cfg.replica_interval {
+        if Instant::now() < next_push {
             continue;
         }
-        last_push = Instant::now();
-        for state in ctx.registry.list() {
-            let image = state.engine.wire_image();
+        if !breaker.allow() {
+            // Open breaker (cooldown not yet elapsed): re-check after
+            // the current backoff delay instead of busy-probing.
+            next_push = Instant::now() + jittered(&mut rng, delay);
+            continue;
+        }
+        let mut transport_failed = false;
+        if client.is_none() {
+            client = Client::connect(peer.as_str(), ctx.cfg.write_timeout).ok();
             if client.is_none() {
-                client = Client::connect(peer.as_str(), ctx.cfg.write_timeout).ok();
-            }
-            let Some(c) = client.as_mut() else {
                 ctx.stats
                     .replica_push_errors
                     .fetch_add(1, Ordering::Relaxed);
-                continue;
-            };
-            let pushed =
-                c.merge_stream_from(state.family, &state.key, ctx.cfg.replica_source_id, &image);
-            match pushed {
-                Ok(Reply::Ack { .. }) => {
-                    ctx.stats.replica_pushes.fetch_add(1, Ordering::Relaxed);
-                }
-                Ok(_) => {
-                    // Typed NACK (peer draining, at capacity…): count
-                    // and keep the connection — framing is intact.
-                    ctx.stats
-                        .replica_push_errors
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-                Err(_) => {
-                    ctx.stats
-                        .replica_push_errors
-                        .fetch_add(1, Ordering::Relaxed);
-                    client = None; // reconnect next round
+                transport_failed = true;
+            }
+        }
+        if let Some(c) = client.as_mut() {
+            for state in ctx.registry.list() {
+                let images = persist::own_images(&state);
+                let image = if images.len() == 1 {
+                    images.into_iter().next().expect("live image")
+                } else {
+                    match persist::merged_image(state.family, &images) {
+                        Ok(img) => img,
+                        Err(_) => {
+                            ctx.stats
+                                .replica_push_errors
+                                .fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                };
+                let pushed = c.merge_stream_from(
+                    state.family,
+                    &state.key,
+                    ctx.cfg.replica_source_id,
+                    &image,
+                );
+                match pushed {
+                    Ok(Reply::Ack { .. }) => {
+                        ctx.stats.replica_pushes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(_) => {
+                        // Typed NACK (peer draining, at capacity…):
+                        // count and keep the connection — framing is
+                        // intact and the peer is demonstrably alive.
+                        ctx.stats
+                            .replica_push_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        ctx.stats
+                            .replica_push_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        client = None; // reconnect after backoff
+                        transport_failed = true;
+                        break;
+                    }
                 }
             }
+        }
+        if transport_failed {
+            breaker.record_failure();
+            delay = (delay * 2).min(backoff_cap);
+            next_push = Instant::now() + jittered(&mut rng, delay);
+        } else {
+            breaker.record_success();
+            delay = base;
+            next_push = Instant::now() + base;
         }
     }
 }
@@ -801,7 +1159,7 @@ fn accept_loop(
                 conn_id += 1;
                 ctx.stats.conns_opened.fetch_add(1, Ordering::Relaxed);
                 let ctx2 = Arc::clone(&ctx);
-                let handle = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("fcds-conn-{conn_id}"))
                     .spawn(move || {
                         let ctx3 = Arc::clone(&ctx2);
@@ -812,13 +1170,22 @@ fn accept_loop(
                             ctx3.stats.conn_panics.fetch_add(1, Ordering::Relaxed);
                         }
                         ctx3.stats.conns_closed.fetch_add(1, Ordering::Relaxed);
-                    })
-                    .expect("spawn connection thread");
-                let mut joins = conn_joins.lock().unwrap_or_else(|e| e.into_inner());
-                // Reap finished threads so the vec stays bounded by the
-                // number of *live* connections.
-                joins.retain(|j| !j.is_finished());
-                joins.push(handle);
+                    });
+                match spawned {
+                    Ok(handle) => {
+                        let mut joins = conn_joins.lock().unwrap_or_else(|e| e.into_inner());
+                        // Reap finished threads so the vec stays bounded
+                        // by the number of *live* connections.
+                        joins.retain(|j| !j.is_finished());
+                        joins.push(handle);
+                    }
+                    Err(_) => {
+                        // Out of threads: shed this connection (the
+                        // socket closes on drop) and keep accepting —
+                        // resource exhaustion must not kill the server.
+                        ctx.stats.conns_closed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
@@ -1227,8 +1594,9 @@ fn ingest_into(stream: &StreamState, items: Vec<u64>, ctx: &ServerCtx, seq: u16)
 
 /// Pre-screens an envelope with the capped peek (never size anything
 /// from an unvalidated declared length), then fully validates with the
-/// family's zero-copy view so only decodable images are stored.
-fn validate_envelope(payload: &[u8], cap: u32) -> Result<SketchFamily, String> {
+/// family's zero-copy view so only decodable images are stored. Also
+/// the validation gate for snapshot-embedded images at recovery.
+pub(crate) fn validate_envelope(payload: &[u8], cap: u32) -> Result<SketchFamily, String> {
     let peeked = peek(payload, cap as u64).map_err(|e| e.to_string())?;
     match peeked.family {
         SketchFamily::Theta => ThetaWireView::parse(payload).map(|_| ()),
@@ -1296,6 +1664,11 @@ fn handle_merge(frame: Frame, ctx: &Arc<ServerCtx>) -> Response {
                 );
             }
             pushed.push(image);
+            // Pushed images are part of the durable state; make the
+            // checkpointer rewrite the snapshot even if `items` is
+            // unchanged. (Replica slots are not: their source re-pushes
+            // them within one replica_interval.)
+            stream.snapshot_dirty.store(true, Ordering::Release);
         }
         ctx.stats.merges_accepted.fetch_add(1, Ordering::Relaxed);
         return Response::ack(frame.seq);
@@ -1412,19 +1785,18 @@ fn handle_query(frame: Frame, ctx: &Arc<ServerCtx>) -> Response {
         Response::nack(frame.seq, NackCode::Wire, &e.to_string(), false)
     };
     match (kind, family) {
-        // Estimates.
-        (0, 0) => {
-            let value = ctx
-                .default_stream()
-                .and_then(|s| s.engine.estimate())
-                .unwrap_or(0.0);
-            Response {
+        // Estimates. Family 0 is the default stream through the same
+        // fan-in as a v2 stream query, so boot-recovered and pushed
+        // state is visible to v1 clients too.
+        (0, 0) => match ctx.default_stream() {
+            Some(s) => stream_query(frame.seq, &s, 0),
+            None => Response {
                 ftype: FrameType::Estimate,
                 seq: frame.seq,
-                payload: value.to_bits().to_le_bytes().to_vec(),
+                payload: 0.0f64.to_bits().to_le_bytes().to_vec(),
                 close: false,
-            }
-        }
+            },
+        },
         (0, 1) => match theta_multiway_union(&ctx.store.images(SketchFamily::Theta)) {
             Ok(s) => Response {
                 ftype: FrameType::Estimate,
@@ -1449,14 +1821,9 @@ fn handle_query(frame: Frame, ctx: &Arc<ServerCtx>) -> Response {
             "quantiles/frequency families have no scalar estimate; query the image",
             false,
         ),
-        // Images.
+        // Images. Family 0 fans in like the estimate above.
         (1, 0) => match ctx.default_stream() {
-            Some(s) => Response {
-                ftype: FrameType::Image,
-                seq: frame.seq,
-                payload: s.engine.wire_image().as_ref().to_vec(),
-                close: false,
-            },
+            Some(s) => stream_query(frame.seq, &s, 1),
             None => Response::nack(
                 frame.seq,
                 NackCode::Internal,

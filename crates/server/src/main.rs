@@ -2,13 +2,19 @@
 //!
 //! ```text
 //! fcds-server [--addr=HOST:PORT] [--workers=N] [--queue-depth=N]
-//!             [--lg-k=N] [--secs=N]
+//!             [--lg-k=N] [--secs=N] [--data-dir=PATH]
+//!             [--snapshot-ms=N] [--fsync=always|interval|never]
 //! ```
+//!
+//! `--data-dir` turns on the durability tier: snapshots every
+//! `--snapshot-ms` (bounded loss ≤ one interval of acked ingest per
+//! stream) and boot-time recovery of every valid snapshot in the
+//! directory *before* the listening line is printed.
 //!
 //! Runs until a client sends a `Shutdown` frame (or `--secs` elapses),
 //! then drains gracefully and prints the drain report.
 
-use fcds_server::{serve, ServerConfig};
+use fcds_server::{serve, FsyncPolicy, ServerConfig};
 use std::time::{Duration, Instant};
 
 /// Accepts both `--flag=value` and `--flag value`, so the same
@@ -49,15 +55,33 @@ fn main() {
     if let Some(k) = parse_flag::<u8>(&args, "--lg-k") {
         cfg.lg_k = k;
     }
+    if let Some(dir) = parse_flag::<String>(&args, "--data-dir") {
+        cfg.data_dir = Some(dir);
+    }
+    if let Some(ms) = parse_flag::<u64>(&args, "--snapshot-ms") {
+        cfg.snapshot_interval = Duration::from_millis(ms.max(1));
+    }
+    if let Some(policy) = parse_flag::<FsyncPolicy>(&args, "--fsync") {
+        cfg.fsync_policy = policy;
+    }
     let secs = parse_flag::<u64>(&args, "--secs");
 
     let handle = match serve(cfg) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("fcds-server: bind failed: {e}");
+            eprintln!("fcds-server: startup failed: {e}");
             std::process::exit(1);
         }
     };
+    if let Some(outcome) = handle.recovery_outcome() {
+        println!(
+            "fcds-server: recovered {} stream(s), quarantined {} record(s), skipped {}",
+            outcome.recovered, outcome.quarantined, outcome.skipped
+        );
+        for (name, err) in &outcome.failures {
+            eprintln!("fcds-server: quarantined {name}: {err}");
+        }
+    }
     println!("fcds-server listening on {}", handle.local_addr());
 
     let deadline = secs.map(|s| Instant::now() + Duration::from_secs(s));

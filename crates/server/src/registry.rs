@@ -75,14 +75,33 @@ pub(crate) struct StreamState {
     /// Accumulating v2 merge store (non-REPLACE merges), bounded by
     /// `merge_store_cap`.
     pub(crate) pushed: Mutex<Vec<Bytes>>,
+    /// The wire image recovered from this stream's snapshot at boot
+    /// (`None` for streams created live). Fanned into queries,
+    /// checkpoints and replica pushes exactly like a merged image — the
+    /// live engine restarts empty, so this slot *is* the pre-crash
+    /// state.
+    pub(crate) recovered: Mutex<Option<Bytes>>,
+    /// [`Self::items`] as of the last durable snapshot (0 = never
+    /// persisted). `items - persisted_seq` is the stream's snapshot lag:
+    /// the ingest a crash right now would lose.
+    pub(crate) persisted_seq: AtomicU64,
+    /// Set when non-ingest durable state changes (an accepted v2 merge)
+    /// so the checkpointer rewrites the snapshot even though `items`
+    /// did not move.
+    pub(crate) snapshot_dirty: AtomicBool,
 }
 
 impl StreamState {
     /// Everything query-time fan-in sees: the live engine's image, the
-    /// newest image per replica source, and all accumulated pushes.
-    /// Never empty — the live image is always present.
+    /// boot-recovered snapshot image (if any), the newest image per
+    /// replica source, and all accumulated pushes. Never empty — the
+    /// live image is always present.
     pub(crate) fn images(&self) -> Vec<Bytes> {
         let mut v = vec![self.engine.wire_image()];
+        {
+            let recovered = self.recovered.lock().unwrap_or_else(|e| e.into_inner());
+            v.extend(recovered.iter().cloned());
+        }
         {
             let replicas = self.replicas.lock().unwrap_or_else(|e| e.into_inner());
             v.extend(replicas.values().cloned());
@@ -119,6 +138,7 @@ impl StreamState {
 /// A public, copyable description of one live stream
 /// ([`crate::ServerHandle::list_streams`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct StreamInfo {
     /// The stream key.
     pub key: Vec<u8>,
@@ -126,6 +146,13 @@ pub struct StreamInfo {
     pub family: SketchFamily,
     /// Items ingested into the stream so far.
     pub items: u64,
+    /// [`Self::items`] as of the stream's last durable snapshot (0 when
+    /// never persisted or persistence is off).
+    pub last_persisted_seq: u64,
+    /// `items - last_persisted_seq`: the acked ingest a crash right now
+    /// would lose. Bounded by one `snapshot_interval` of traffic while
+    /// the checkpointer is healthy.
+    pub snapshot_lag: u64,
 }
 
 /// Why [`Registry::get_or_create`] refused.

@@ -130,14 +130,27 @@ fn concurrent_create_of_same_key_yields_one_stream() {
     }
     let mut c = connect(&handle);
     wait_for_count(&mut c, SketchFamily::Hll, b"contended", 8_000.0, 0.1);
-    // Exactly one stream materialised for the key.
-    let created: Vec<_> = handle
-        .list_streams()
-        .into_iter()
-        .filter(|s| s.key == b"contended")
-        .collect();
-    assert_eq!(created.len(), 1);
-    assert_eq!(created[0].items, 8_000);
+    // Exactly one stream materialised for the key, and every ACKed batch
+    // lands in its counter. The estimate converging above does not imply
+    // the last queued batch was applied yet (estimator variance can
+    // cover for it), so poll the counter, not just the estimate.
+    let created = |handle: &ServerHandle| {
+        handle
+            .list_streams()
+            .into_iter()
+            .filter(|s| s.key == b"contended")
+            .collect::<Vec<_>>()
+    };
+    let mut streams = created(&handle);
+    for _ in 0..100 {
+        if streams.len() == 1 && streams[0].items == 8_000 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        streams = created(&handle);
+    }
+    assert_eq!(streams.len(), 1);
+    assert_eq!(streams[0].items, 8_000);
     let report = handle.shutdown();
     assert_eq!(report.leaked_threads, 0);
     assert_eq!(report.stats.streams_created, 2); // default + contended
